@@ -1,0 +1,69 @@
+//! Criterion bench: the §2.2 steering-strategy ablation — RS-BRIEF
+//! descriptor rotation vs the 30-angle LUT vs direct Eq. 2 rotation.
+//! RS-BRIEF's steering is a 256-bit rotate; the direct method re-rotates
+//! 512 test locations per feature.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eslam_features::brief::{OriginalBrief, RsBrief};
+use eslam_features::Descriptor;
+use eslam_image::GrayImage;
+use std::hint::black_box;
+
+fn smoothed_image() -> GrayImage {
+    let img = GrayImage::from_fn(128, 128, |x, y| ((x * 37 + y * 59) % 251) as u8);
+    eslam_image::filter::gaussian_blur_7x7_fixed(&img)
+}
+
+fn bench_steering(c: &mut Criterion) {
+    let img = smoothed_image();
+    let rs = RsBrief::new(42);
+    let orig = OriginalBrief::new(42);
+    let mut group = c.benchmark_group("descriptor/steering");
+
+    group.bench_function("rs_brief_compute_plus_rotate", |b| {
+        b.iter(|| {
+            for label in 0..8u8 {
+                black_box(rs.compute(&img, 64, 64, label));
+            }
+        })
+    });
+    group.bench_function("original_lut", |b| {
+        b.iter(|| {
+            for k in 0..8 {
+                black_box(orig.compute_lut(&img, 64, 64, k as f64 * 0.3));
+            }
+        })
+    });
+    group.bench_function("original_direct_rotation", |b| {
+        b.iter(|| {
+            for k in 0..8 {
+                black_box(orig.compute_direct(&img, 64, 64, k as f64 * 0.3));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_rotator_alone(c: &mut Criterion) {
+    // The pure BRIEF Rotator operation: what the hardware does per
+    // feature instead of any trigonometry.
+    let d = Descriptor::from_words([0x0123456789abcdef, 0xfedcba9876543210, 0x55aa55aa55aa55aa, 0x1122334455667788]);
+    c.bench_function("descriptor/rotate_256bit", |b| {
+        b.iter(|| {
+            for label in 0..32u8 {
+                black_box(d.steer(label));
+            }
+        })
+    });
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let a = Descriptor::from_words([0xdeadbeef, 0xcafebabe, 0x12345678, 0x9abcdef0]);
+    let b_desc = Descriptor::from_words([0xfeedface, 0x0badf00d, 0x87654321, 0x0fedcba9]);
+    c.bench_function("descriptor/hamming", |b| {
+        b.iter(|| black_box(a.hamming(&b_desc)))
+    });
+}
+
+criterion_group!(benches, bench_steering, bench_rotator_alone, bench_hamming);
+criterion_main!(benches);

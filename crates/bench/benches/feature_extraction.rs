@@ -1,0 +1,49 @@
+//! Criterion bench: ORB feature extraction wall-clock on this host,
+//! across image sizes and pyramid depths (the workload behind Table 2's
+//! FE row — absolute times differ from the paper's testbed, the scaling
+//! shape is what matters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslam_features::orb::{OrbConfig, OrbExtractor};
+use eslam_image::pyramid::PyramidConfig;
+use eslam_image::GrayImage;
+use std::hint::black_box;
+
+fn test_image(w: u32, h: u32) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let base = if ((x / 12) + (y / 12)) % 2 == 0 { 50 } else { 190 };
+        base + ((x * 31 + y * 17) % 23) as u8
+    })
+}
+
+fn bench_extraction_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction/size");
+    for (w, h) in [(160u32, 120u32), (320, 240), (640, 480)] {
+        let img = test_image(w, h);
+        let extractor = OrbExtractor::new(OrbConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{w}x{h}")), &img, |b, img| {
+            b.iter(|| black_box(extractor.extract(img)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_pyramid_depth(c: &mut Criterion) {
+    // The §4.4 pixel argument: 4 levels ≈ 1.48× the pixels of 2 levels.
+    let mut group = c.benchmark_group("feature_extraction/pyramid_levels");
+    let img = test_image(320, 240);
+    for levels in [1usize, 2, 4] {
+        let cfg = OrbConfig {
+            pyramid: PyramidConfig { levels, scale_factor: 1.2 },
+            ..Default::default()
+        };
+        let extractor = OrbExtractor::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &img, |b, img| {
+            b.iter(|| black_box(extractor.extract(img)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction_sizes, bench_extraction_pyramid_depth);
+criterion_main!(benches);

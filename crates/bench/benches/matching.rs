@@ -1,0 +1,61 @@
+//! Criterion bench: brute-force Hamming matching across map sizes (the
+//! workload behind Table 2's FM row) plus the modelled accelerator
+//! latency for the same points, so the software/hardware scaling shapes
+//! can be compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslam_features::matcher::match_brute_force;
+use eslam_features::Descriptor;
+use eslam_hw::matcher::MatcherModel;
+use std::hint::black_box;
+
+fn descriptors(n: usize, salt: u64) -> Vec<Descriptor> {
+    (0..n)
+        .map(|i| {
+            let s = (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) ^ salt;
+            Descriptor::from_words([
+                s,
+                s.rotate_left(17),
+                s.rotate_left(31) ^ 0xabcdef,
+                s.rotate_left(47),
+            ])
+        })
+        .collect()
+}
+
+fn bench_matching_scaling(c: &mut Criterion) {
+    let query = descriptors(1024, 1);
+    let mut group = c.benchmark_group("matching/map_size");
+    group.sample_size(10);
+    for m in [576usize, 1152, 2304] {
+        let map = descriptors(m, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &map, |b, map| {
+            b.iter(|| black_box(match_brute_force(&query, map, u32::MAX)))
+        });
+    }
+    group.finish();
+
+    // Print the modelled accelerator latencies for the same sweep (not a
+    // timed bench — a reference table in the report output).
+    let model = MatcherModel::default();
+    for m in [576u64, 1152, 2304] {
+        let t = model.matching_timing(1024, m);
+        eprintln!("matcher model: 1024x{m} -> {:.3} ms @100MHz", t.total_ms());
+    }
+}
+
+fn bench_query_count(c: &mut Criterion) {
+    let map = descriptors(2304, 3);
+    let mut group = c.benchmark_group("matching/query_count");
+    group.sample_size(10);
+    for n in [256usize, 512, 1024] {
+        let query = descriptors(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, query| {
+            b.iter(|| black_box(match_brute_force(query, &map, u32::MAX)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching_scaling, bench_query_count);
+criterion_main!(benches);

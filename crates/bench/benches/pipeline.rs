@@ -1,0 +1,55 @@
+//! Criterion bench: full per-frame SLAM pipeline throughput on synthetic
+//! sequences (the end-to-end workload behind Table 3), plus the Fig. 7
+//! schedule evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eslam_core::{Slam, SlamConfig};
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_hw::system::{frame_timing, Schedule, StageTimesMs};
+use std::hint::black_box;
+
+fn bench_slam_frame(c: &mut Criterion) {
+    // Quarter-scale desk sequence: the steady-state tracking cost.
+    let seq = SequenceSpec::paper_sequences(6, 0.25)[2].build();
+    let frames: Vec<_> = seq.frames().collect();
+    let mut group = c.benchmark_group("pipeline/slam_frame");
+    group.sample_size(10);
+    group.bench_function("track_quarter_scale", |b| {
+        b.iter(|| {
+            let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+            for f in &frames {
+                black_box(slam.process(f.timestamp, &f.gray, &f.depth));
+            }
+            black_box(slam.trajectory().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_schedule_eval(c: &mut Criterion) {
+    let stages = StageTimesMs {
+        fe: 9.1,
+        fm: 4.0,
+        pe: 9.2,
+        po: 8.7,
+        mu: 9.9,
+    };
+    c.bench_function("pipeline/fig7_schedule_eval", |b| {
+        b.iter(|| {
+            black_box(frame_timing(&stages, Schedule::EslamPipeline));
+            black_box(frame_timing(&stages, Schedule::Sequential));
+        })
+    });
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    // Dataset substrate cost: one quarter-scale ray-cast frame.
+    let seq = SequenceSpec::paper_sequences(1, 0.25)[3].build();
+    let mut group = c.benchmark_group("pipeline/render_frame");
+    group.sample_size(10);
+    group.bench_function("room_160x120", |b| b.iter(|| black_box(seq.frame(0))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_slam_frame, bench_schedule_eval, bench_rendering);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation of the BRIEF Matcher **parallelism P** (DESIGN.md §5.4):
+//! matching latency vs FPGA resources across Hamming-unit counts, and
+//! the resulting system frame rate under the Fig. 7 schedule.
+
+use eslam_hw::cpu::arm_cortex_a9;
+use eslam_hw::matcher::{MatcherModel, NOMINAL_MAP_POINTS, NOMINAL_QUERIES};
+use eslam_hw::resource::{eslam_total, XCZ7020, XCZ7045};
+use eslam_hw::system::{eslam_stage_times, frame_timing, Schedule, StageTimesMs};
+
+fn main() {
+    let arm = arm_cortex_a9();
+    let fe = eslam_stage_times().fe;
+
+    println!("BRIEF Matcher parallelism sweep (1024 queries x {NOMINAL_MAP_POINTS} map points)\n");
+    println!("   P | FM latency | N-frame period | N-fps | LUT total | fits 7045 | fits 7020");
+    println!("-----+------------+----------------+-------+-----------+-----------+----------");
+    for p in [1u32, 2, 4, 6, 8, 12, 16] {
+        let model = MatcherModel {
+            parallel_units: p,
+            ..Default::default()
+        };
+        let fm = model.matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS).total_ms();
+        let stages = StageTimesMs {
+            fe,
+            fm,
+            pe: arm.pe_ms,
+            po: arm.po_ms,
+            mu: arm.mu_ms,
+        };
+        let ft = frame_timing(&stages, Schedule::EslamPipeline);
+        let res = eslam_total(p);
+        println!(
+            "{:>4} | {:>7.2} ms | {:>11.2} ms | {:>5.2} | {:>9} | {:>9} | {:>8}",
+            p,
+            fm,
+            ft.normal_ms,
+            ft.normal_fps,
+            res.lut,
+            XCZ7045.utilization(res).fits,
+            XCZ7020.utilization(res).fits,
+        );
+    }
+
+    println!("\nObservations:");
+    println!("  - P = 6 is the paper's design point: FM 4.0 ms, comfortably hidden under");
+    println!("    the 17.9 ms ARM-bound normal-frame period (FE + FM = 13.1 < 17.9 ms).");
+    println!("  - Raising P past 6 buys nothing at this workload: the period is ARM-bound.");
+    println!("  - Lowering P to 2 still fits the key-frame budget and squeezes into XCZ7020.");
+
+    // Self-check: the normal-frame period is ARM-bound for all P >= 4.
+    for p in [4u32, 6, 8, 16] {
+        let fm = MatcherModel {
+            parallel_units: p,
+            ..Default::default()
+        }
+        .matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS)
+        .total_ms();
+        let stages = StageTimesMs { fe, fm, pe: arm.pe_ms, po: arm.po_ms, mu: arm.mu_ms };
+        let ft = frame_timing(&stages, Schedule::EslamPipeline);
+        assert!((ft.normal_ms - (arm.pe_ms + arm.po_ms)).abs() < 1e-9, "P={p} not ARM-bound");
+    }
+}

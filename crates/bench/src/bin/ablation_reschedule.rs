@@ -1,0 +1,73 @@
+//! Ablation of the §3.1 **workflow rescheduling**: latency and on-chip
+//! memory of the original (detect → filter → compute) vs rescheduled
+//! (detect → compute → filter) extraction schedules, plus the measured
+//! M − N descriptor overhead on real rendered frames.
+
+use eslam_bench::{print_table, Row};
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_features::orb::{OrbConfig, OrbExtractor, Workflow};
+use eslam_hw::extractor::{ExtractionWorkload, ExtractorModel};
+
+fn main() {
+    let model = ExtractorModel::default();
+    let workload = ExtractionWorkload::vga_nominal();
+
+    let resched = model.extraction_timing(&workload, Workflow::Rescheduled);
+    let orig = model.extraction_timing(&workload, Workflow::Original);
+    let mem_r = model.memory_footprint(&workload, Workflow::Rescheduled);
+    let mem_o = model.memory_footprint(&workload, Workflow::Original);
+
+    let rows = vec![
+        Row::text(
+            "latency (rescheduled)",
+            "9.1 ms",
+            format!("{:.2} ms", resched.total_ms()),
+        ),
+        Row::text(
+            "latency (original workflow)",
+            "- (slower)",
+            format!("{:.2} ms", orig.total_ms()),
+        ),
+        Row::text(
+            "latency saving",
+            "\"significant\"",
+            format!("{:.0}%", (1.0 - resched.total_ms() / orig.total_ms()) * 100.0),
+        ),
+        Row::text(
+            "on-chip buffer (rescheduled)",
+            "streaming only",
+            format!("{} Kb", mem_r.streaming_bits / 1024),
+        ),
+        Row::text(
+            "on-chip buffer (original)",
+            "\"amount of cache\"",
+            format!(
+                "{} Kb streaming + {} Kb frame buffer",
+                mem_o.streaming_bits / 1024,
+                mem_o.buffer_bits / 1024
+            ),
+        ),
+    ];
+    print_table("Ablation: workflow rescheduling (§3.1)", &rows);
+
+    // Measured M vs N on a rendered frame: the price of streaming.
+    let gray = SequenceSpec::paper_sequences(1, 0.5)[2].build().frame(0).gray;
+    let f = OrbExtractor::new(OrbConfig::default()).extract(&gray);
+    println!(
+        "\nmeasured on a rendered {}x{} desk frame: M = {} candidates, N = {} kept",
+        gray.width(),
+        gray.height(),
+        f.stats.candidates,
+        f.stats.kept
+    );
+    println!(
+        "rescheduled workflow computes {} extra descriptors ({}% overhead) to eliminate idle states",
+        f.stats.candidates.saturating_sub(f.stats.kept),
+        if f.stats.kept > 0 {
+            100 * f.stats.candidates.saturating_sub(f.stats.kept) / f.stats.kept
+        } else {
+            0
+        }
+    );
+    assert!(resched.total < orig.total);
+}

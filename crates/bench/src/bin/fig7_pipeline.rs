@@ -1,0 +1,51 @@
+//! Regenerates **Figure 7**: the parallelized pipeline timelines for
+//! normal and key frames, as ASCII Gantt charts.
+
+use eslam_hw::system::{eslam_stage_times, frame_timing, pipeline_timeline, Schedule};
+
+fn gantt(keyframe: bool) {
+    let stages = eslam_stage_times();
+    let timeline = pipeline_timeline(&stages, keyframe);
+    let span = timeline.iter().fold(0.0f64, |m, e| m.max(e.end_ms));
+    let width = 64.0;
+    let scale = width / span;
+
+    println!(
+        "\n{} frame (total {:.1} ms):",
+        if keyframe { "Key" } else { "Normal" },
+        span
+    );
+    for lane in ["FPGA", "ARM"] {
+        let mut line = vec![b' '; width as usize + 2];
+        let mut labels = String::new();
+        for e in timeline.iter().filter(|e| e.lane == lane) {
+            let s = (e.start_ms * scale) as usize;
+            let t = ((e.end_ms * scale) as usize).max(s + 1).min(line.len());
+            for c in line.iter_mut().take(t).skip(s) {
+                *c = b'#';
+            }
+            // Put the stage label at the start of its bar.
+            labels.push_str(&format!("{}@{:.1}ms ", e.stage, e.start_ms));
+        }
+        println!("  {:>4} |{}| {}", lane, String::from_utf8_lossy(&line), labels);
+    }
+}
+
+fn main() {
+    let stages = eslam_stage_times();
+    println!(
+        "stage times: FE {:.1} ms · FM {:.1} ms · PE {:.1} ms · PO {:.1} ms · MU {:.1} ms",
+        stages.fe, stages.fm, stages.pe, stages.po, stages.mu
+    );
+    gantt(false);
+    gantt(true);
+
+    let ft = frame_timing(&stages, Schedule::EslamPipeline);
+    println!(
+        "\nresulting periods: normal {:.1} ms ({:.2} fps) · key {:.1} ms ({:.2} fps)",
+        ft.normal_ms, ft.normal_fps, ft.keyframe_ms, ft.keyframe_fps
+    );
+    println!("paper: normal 17.9 ms (55.87 fps) · key 31.8 ms (31.45 fps)");
+    assert!((ft.normal_ms - 17.9).abs() < 0.2);
+    assert!((ft.keyframe_ms - 31.8).abs() < 0.3);
+}

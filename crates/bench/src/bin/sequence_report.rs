@@ -1,0 +1,52 @@
+//! End-to-end sequence report: runs the full SLAM pipeline on a
+//! synthetic sequence and projects the per-frame workloads through the
+//! three platform models (ARM / Intel i7 / eSLAM) under their respective
+//! schedules — the sequence-level view of Table 3.
+
+use eslam_core::{run_sequence, SlamConfig};
+use eslam_dataset::sequence::SequenceSpec;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (frames, scale) = if fast { (10, 0.25) } else { (30, 0.5) };
+    let spec = &SequenceSpec::paper_sequences(frames, scale)[2]; // fr1/desk
+    println!(
+        "sequence report: {} · {} frames at {}x resolution\n",
+        spec.name, frames, scale
+    );
+
+    let seq = spec.build();
+    let result = run_sequence(&seq, SlamConfig::scaled_for_tests(1.0 / scale));
+
+    let s = &result.stats;
+    println!("tracking   : {}/{} frames ok ({} keyframes, {} relocalizations)",
+        s.tracked, s.frames, s.keyframes, s.relocalizations);
+    println!("workload   : mean M = {:.0} candidates, mean N = {:.0} kept, map {} (peak {})",
+        s.mean_candidates, s.mean_kept, s.final_map_size, s.peak_map_size);
+    println!("matching   : mean {:.0} raw matches -> {:.0} inliers",
+        s.mean_matches, s.mean_inliers);
+    if let Some(ate) = result.ate_rmse_cm() {
+        println!("accuracy   : ATE rmse {ate:.2} cm");
+    }
+
+    println!("\nplatform projection over this sequence (per-frame workloads through the models):");
+    println!("{:<10} {:>11} {:>12} {:>8} {:>12}", "platform", "total", "mean/frame", "fps", "energy");
+    for p in result.platform_timing() {
+        println!(
+            "{:<10} {:>9.1}ms {:>10.1}ms {:>8.2} {:>10.1}mJ",
+            p.name, p.total_ms, p.mean_frame_ms, p.fps, p.energy_mj
+        );
+    }
+    println!("\nNote: this projects the *actual* per-frame workloads (smaller frames, growing");
+    println!("map) through the calibrated models, so absolute numbers differ from the");
+    println!("VGA-nominal Table 3. At small frame sizes the ARM-hosted geometric stages");
+    println!("(PE+PO+MU) dominate eSLAM's key-frame period, so the i7 can out-run it on");
+    println!("runtime — the energy advantage is the robust claim, and the VGA workload");
+    println!("restores the paper's full ordering (see table3_framerate_energy).");
+
+    let [arm, i7, eslam] = result.platform_timing();
+    // Robust invariants at any workload size: eSLAM beats the ARM host it
+    // accelerates, and is the most energy-efficient platform.
+    assert!(eslam.total_ms < arm.total_ms);
+    assert!(eslam.energy_mj < arm.energy_mj && eslam.energy_mj < i7.energy_mj);
+}

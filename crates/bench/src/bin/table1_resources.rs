@@ -1,0 +1,57 @@
+//! Regenerates **Table 1**: FPGA resource utilization of eSLAM on the
+//! Zynq XCZ7045.
+
+use eslam_bench::{max_abs_deviation, print_table, Row};
+use eslam_hw::resource::{eslam_total, DEFAULT_MATCHER_PARALLELISM, XCZ7020, XCZ7030, XCZ7045};
+
+fn main() {
+    let total = eslam_total(DEFAULT_MATCHER_PARALLELISM);
+    let util = XCZ7045.utilization(total);
+
+    let rows = vec![
+        Row::numeric("LUT", 56954.0, total.lut as f64, ""),
+        Row::numeric("LUT %", 26.0, util.percent[0], "%"),
+        Row::numeric("FF", 67809.0, total.ff as f64, ""),
+        Row::numeric("FF %", 15.5, util.percent[1], "%"),
+        Row::numeric("DSP", 111.0, total.dsp as f64, ""),
+        Row::numeric("DSP %", 12.3, util.percent[2], "%"),
+        Row::numeric("BRAM", 78.0, total.bram as f64, ""),
+        Row::numeric("BRAM %", 14.3, util.percent[3], "%"),
+    ];
+    print_table("Table 1: FPGA resource utilization (XCZ7045)", &rows);
+    assert!(max_abs_deviation(&rows) < 1.0, "resource model drifted");
+
+    println!("\nPer-unit breakdown:");
+    use eslam_hw::units::*;
+    for unit in [
+        image_resizing(),
+        fast_detection(),
+        image_smoother(),
+        nms_unit(),
+        orientation_computing(),
+        brief_computing(),
+        brief_rotator(),
+        heap_unit(),
+        extractor_caches(),
+        distance_computing(DEFAULT_MATCHER_PARALLELISM),
+        comparator(),
+        descriptor_cache(),
+        axi_and_control(),
+    ] {
+        println!("  {:<24} {}", unit.name, unit.resources);
+    }
+
+    println!("\nSmaller-device check (the §4.1 claim):");
+    for device in [XCZ7030, XCZ7020] {
+        let u = device.utilization(total);
+        println!(
+            "  {:<9} fits={} (LUT {:.1}%, FF {:.1}%, DSP {:.1}%, BRAM {:.1}%)",
+            device.name, u.fits, u.percent[0], u.percent[1], u.percent[2], u.percent[3]
+        );
+    }
+    let reduced = eslam_total(2);
+    println!(
+        "  XCZ7020 with matcher parallelism 2: fits={}",
+        XCZ7020.utilization(reduced).fits
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Table 2**: detailed runtime breakdown of eSLAM vs the
+//! ARM Cortex-A9 and Intel i7 software baselines.
+
+use eslam_bench::{max_abs_deviation, print_table, Row};
+use eslam_hw::system::platform_reports;
+
+fn main() {
+    let [arm, i7, eslam] = platform_reports();
+
+    let rows = vec![
+        Row::numeric("Feature Extraction (eSLAM)", 9.1, eslam.stages.fe, "ms"),
+        Row::numeric("Feature Extraction (ARM)", 291.6, arm.stages.fe, "ms"),
+        Row::numeric("Feature Extraction (i7)", 32.5, i7.stages.fe, "ms"),
+        Row::numeric("Feature Matching (eSLAM)", 4.0, eslam.stages.fm, "ms"),
+        Row::numeric("Feature Matching (ARM)", 246.2, arm.stages.fm, "ms"),
+        Row::numeric("Feature Matching (i7)", 19.7, i7.stages.fm, "ms"),
+        Row::numeric("Pose Estimation (ARM host)", 9.2, eslam.stages.pe, "ms"),
+        Row::numeric("Pose Estimation (i7)", 0.9, i7.stages.pe, "ms"),
+        Row::numeric("Pose Optimization (ARM host)", 8.7, eslam.stages.po, "ms"),
+        Row::numeric("Pose Optimization (i7)", 0.5, i7.stages.po, "ms"),
+        Row::numeric("Map Updating (ARM host)", 9.9, eslam.stages.mu, "ms"),
+        Row::numeric("Map Updating (i7)", 1.2, i7.stages.mu, "ms"),
+    ];
+    print_table("Table 2: runtime breakdown", &rows);
+    assert!(max_abs_deviation(&rows) < 2.0, "runtime model drifted >2%");
+
+    println!("\nSpeedups (paper: FE 3.6x/32x, FM 4.9x/61.6x vs i7/ARM):");
+    println!(
+        "  FE: {:.1}x vs i7, {:.1}x vs ARM",
+        i7.stages.fe / eslam.stages.fe,
+        arm.stages.fe / eslam.stages.fe
+    );
+    println!(
+        "  FM: {:.1}x vs i7, {:.1}x vs ARM",
+        i7.stages.fm / eslam.stages.fm,
+        arm.stages.fm / eslam.stages.fm
+    );
+}

@@ -1,0 +1,107 @@
+//! SLAM system configuration.
+
+use eslam_features::orb::OrbConfig;
+use eslam_geometry::lm::LmParams;
+use eslam_geometry::pnp::PnpParams;
+use eslam_geometry::PinholeCamera;
+
+/// Execution backend for the front-end stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Pure software execution (the CPU baselines of the paper).
+    Software,
+    /// The simulated FPGA accelerator: functionally identical, but frame
+    /// processing also reports modelled hardware latencies.
+    Accelerator,
+}
+
+/// Configuration of the [`crate::Slam`] system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlamConfig {
+    /// Camera intrinsics.
+    pub camera: PinholeCamera,
+    /// Feature extraction configuration (descriptor kind, workflow,
+    /// pyramid, 1024-feature cap).
+    pub orb: OrbConfig,
+    /// Maximum Hamming distance for a match to be used by tracking.
+    pub matcher_max_distance: u32,
+    /// Robust PnP parameters (pose estimation stage).
+    pub pnp: PnpParams,
+    /// Levenberg-Marquardt parameters (pose optimization stage).
+    pub lm: LmParams,
+    /// Key-frame translation threshold in metres (§2.1: "translation or
+    /// rotation of the camera is larger than a threshold").
+    pub keyframe_translation: f64,
+    /// Key-frame rotation threshold in radians.
+    pub keyframe_rotation: f64,
+    /// Frames a map point may stay unmatched before culling (§2.1: map
+    /// points "that have not been matched for a long period of time are
+    /// deleted").
+    pub map_cull_age: usize,
+    /// Hard cap on global map size (the BRIEF Matcher descriptor-cache
+    /// budget; oldest-unmatched points are evicted beyond it).
+    pub max_map_points: usize,
+    /// Minimum PnP inliers for a frame to be considered tracked.
+    pub min_inliers: usize,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Use a constant-velocity motion model to seed tracking (extension):
+    /// the prior pose is extrapolated from the last inter-frame motion
+    /// instead of held constant.
+    pub motion_model: bool,
+}
+
+impl SlamConfig {
+    /// The paper's configuration for a TUM fr1-like camera.
+    pub fn tum_default() -> Self {
+        SlamConfig {
+            camera: PinholeCamera::tum_fr1(),
+            orb: OrbConfig::default(),
+            matcher_max_distance: 64,
+            pnp: PnpParams::default(),
+            lm: LmParams::default(),
+            keyframe_translation: 0.08,
+            keyframe_rotation: 0.12,
+            map_cull_age: 45,
+            max_map_points: 2304,
+            min_inliers: 10,
+            backend: Backend::Accelerator,
+            motion_model: true,
+        }
+    }
+
+    /// A configuration scaled for smaller test images (camera shrunk by
+    /// `1/scale`).
+    pub fn scaled_for_tests(scale: f64) -> Self {
+        let mut cfg = SlamConfig::tum_default();
+        cfg.camera = cfg.camera.scaled(scale);
+        cfg
+    }
+}
+
+impl Default for SlamConfig {
+    fn default() -> Self {
+        SlamConfig::tum_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let cfg = SlamConfig::default();
+        assert_eq!(cfg.orb.max_features, 1024);
+        assert_eq!(cfg.max_map_points, 2304);
+        assert_eq!(cfg.backend, Backend::Accelerator);
+        assert_eq!(cfg.camera.width, 640);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_camera() {
+        let cfg = SlamConfig::scaled_for_tests(4.0);
+        assert_eq!(cfg.camera.width, 160);
+        assert_eq!(cfg.camera.height, 120);
+    }
+}

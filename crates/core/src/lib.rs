@@ -1,0 +1,54 @@
+//! **eslam-core** — the eSLAM RGB-D visual SLAM system.
+//!
+//! This crate assembles the full pipeline of the paper's Fig. 1 on top of
+//! the substrate crates:
+//!
+//! * **Feature extraction** — `eslam-features` ORB with the paper's
+//!   RS-BRIEF descriptor and rescheduled streaming workflow;
+//! * **Feature matching** — Hamming brute-force against the global map;
+//! * **Pose estimation** — P3P + RANSAC (`eslam-geometry::pnp`);
+//! * **Pose optimization** — Levenberg-Marquardt reprojection
+//!   minimization (`eslam-geometry::lm`, Eq. 1);
+//! * **Map updating** — key-frame-gated landmark insertion and culling;
+//! * **Heterogeneous execution model** — with
+//!   [`config::Backend::Accelerator`], every frame also reports the
+//!   modelled FPGA latencies from `eslam-hw`, and [`pipeline`] schedules
+//!   whole sequences under the Fig. 7 pipeline for the ARM / Intel i7 /
+//!   eSLAM platform comparison.
+//!
+//! # Examples
+//!
+//! Track a short synthetic sequence:
+//!
+//! ```
+//! use eslam_core::{Slam, SlamConfig};
+//! use eslam_dataset::sequence::SequenceSpec;
+//!
+//! // Quarter-scale fr1/xyz keeps the doc test fast.
+//! let seq = SequenceSpec::paper_sequences(3, 0.25)[0].build();
+//! let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+//! for frame in seq.frames() {
+//!     let report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
+//!     assert!(report.tracking_ok);
+//! }
+//! assert_eq!(slam.trajectory().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod map;
+pub mod pipeline;
+pub mod runner;
+pub mod stats;
+pub mod system;
+pub mod tracking;
+
+pub use config::{Backend, SlamConfig};
+pub use map::{Map, MapPoint};
+pub use pipeline::{sequence_timing, PlatformSequenceTiming};
+pub use runner::{run_sequence, RunResult};
+pub use stats::SequenceStats;
+pub use system::{FrameHwTiming, FrameReport, Slam};
+pub use tracking::{track_frame, TrackingOutcome};

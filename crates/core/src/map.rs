@@ -1,0 +1,168 @@
+//! The global map: 3-D points with BRIEF descriptors.
+//!
+//! Map updating (§2.1) runs on key frames only: new 3-D points observed
+//! in the key frame join the map, and points "that have not been matched
+//! for a long period of time" are culled to bound the map (and with it
+//! the BRIEF Matcher workload).
+
+use eslam_features::Descriptor;
+use eslam_geometry::Vec3;
+
+/// A 3-D landmark with its appearance descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapPoint {
+    /// World position.
+    pub position: Vec3,
+    /// RS-BRIEF descriptor from the creating observation.
+    pub descriptor: Descriptor,
+    /// Frame index at creation.
+    pub created_frame: usize,
+    /// Frame index of the most recent successful match.
+    pub last_matched_frame: usize,
+    /// Number of frames this point has been matched in.
+    pub observations: usize,
+}
+
+/// The global map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    points: Vec<MapPoint>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map { points: Vec::new() }
+    }
+
+    /// Number of map points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the map holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, index-aligned with [`Map::descriptors`].
+    pub fn points(&self) -> &[MapPoint] {
+        &self.points
+    }
+
+    /// Point at `index`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn point(&self, index: usize) -> &MapPoint {
+        &self.points[index]
+    }
+
+    /// Snapshot of all descriptors (the matcher's train set).
+    pub fn descriptors(&self) -> Vec<Descriptor> {
+        self.points.iter().map(|p| p.descriptor).collect()
+    }
+
+    /// Inserts a new landmark.
+    pub fn insert(&mut self, position: Vec3, descriptor: Descriptor, frame: usize) {
+        self.points.push(MapPoint {
+            position,
+            descriptor,
+            created_frame: frame,
+            last_matched_frame: frame,
+            observations: 1,
+        });
+    }
+
+    /// Records a successful match of point `index` at `frame`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn mark_matched(&mut self, index: usize, frame: usize) {
+        let p = &mut self.points[index];
+        p.last_matched_frame = frame;
+        p.observations += 1;
+    }
+
+    /// Removes points unmatched for more than `max_age` frames, then
+    /// enforces `max_points` by evicting the stalest entries. Returns the
+    /// number of points removed.
+    pub fn cull(&mut self, current_frame: usize, max_age: usize, max_points: usize) -> usize {
+        let before = self.points.len();
+        self.points
+            .retain(|p| current_frame.saturating_sub(p.last_matched_frame) <= max_age);
+        if self.points.len() > max_points {
+            // Evict least-recently-matched first (ties: fewer observations).
+            self.points
+                .sort_by_key(|p| (std::cmp::Reverse(p.last_matched_frame), std::cmp::Reverse(p.observations)));
+            self.points.truncate(max_points);
+        }
+        before - self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(tag: u64) -> Descriptor {
+        Descriptor::from_words([tag, tag ^ 0xff, 0, 1])
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut map = Map::new();
+        assert!(map.is_empty());
+        map.insert(Vec3::new(1.0, 2.0, 3.0), desc(1), 0);
+        map.insert(Vec3::new(4.0, 5.0, 6.0), desc(2), 0);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.point(1).position, Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(map.descriptors().len(), 2);
+        assert_eq!(map.descriptors()[0], desc(1));
+    }
+
+    #[test]
+    fn mark_matched_updates_bookkeeping() {
+        let mut map = Map::new();
+        map.insert(Vec3::ZERO, desc(1), 0);
+        map.mark_matched(0, 7);
+        assert_eq!(map.point(0).last_matched_frame, 7);
+        assert_eq!(map.point(0).observations, 2);
+    }
+
+    #[test]
+    fn cull_removes_stale_points() {
+        let mut map = Map::new();
+        map.insert(Vec3::ZERO, desc(1), 0); // stale
+        map.insert(Vec3::X, desc(2), 0);
+        map.mark_matched(1, 50); // fresh
+        let removed = map.cull(60, 30, 100);
+        assert_eq!(removed, 1);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.point(0).descriptor, desc(2));
+    }
+
+    #[test]
+    fn cull_enforces_capacity() {
+        let mut map = Map::new();
+        for i in 0..10 {
+            map.insert(Vec3::ZERO, desc(i), i as usize);
+        }
+        let removed = map.cull(10, 100, 4);
+        assert_eq!(removed, 6);
+        assert_eq!(map.len(), 4);
+        // The most recently matched points survive.
+        let youngest: Vec<usize> = map.points().iter().map(|p| p.last_matched_frame).collect();
+        assert!(youngest.iter().all(|&f| f >= 6), "{youngest:?}");
+    }
+
+    #[test]
+    fn cull_keeps_everything_when_fresh() {
+        let mut map = Map::new();
+        for i in 0..5 {
+            map.insert(Vec3::ZERO, desc(i), 10);
+        }
+        assert_eq!(map.cull(11, 30, 100), 0);
+        assert_eq!(map.len(), 5);
+    }
+}

@@ -1,0 +1,93 @@
+//! One-call sequence evaluation: run the SLAM system over a synthetic
+//! sequence and collect everything the experiments need (reports,
+//! trajectories, ATE, statistics, platform timing).
+
+use crate::pipeline::{sequence_timing, PlatformSequenceTiming};
+use crate::stats::SequenceStats;
+use crate::system::{FrameReport, Slam};
+use crate::config::SlamConfig;
+use eslam_dataset::eval::{absolute_trajectory_error, AteResult};
+use eslam_dataset::sequence::SyntheticSequence;
+use eslam_dataset::Trajectory;
+
+/// Everything produced by one SLAM run over a sequence.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-frame reports.
+    pub reports: Vec<FrameReport>,
+    /// Estimated trajectory (world = first camera frame).
+    pub estimate: Trajectory,
+    /// Ground truth re-based to the first camera frame.
+    pub ground_truth: Trajectory,
+    /// ATE of the estimate against the re-based ground truth, if
+    /// computable.
+    pub ate: Option<AteResult>,
+    /// Aggregate statistics.
+    pub stats: SequenceStats,
+}
+
+impl RunResult {
+    /// ATE rmse in centimetres (the Fig. 8 unit), or `None`.
+    pub fn ate_rmse_cm(&self) -> Option<f64> {
+        self.ate.map(|a| a.stats.rmse * 100.0)
+    }
+
+    /// Platform timing summaries (ARM / i7 / eSLAM) for this run.
+    pub fn platform_timing(&self) -> [PlatformSequenceTiming; 3] {
+        sequence_timing(&self.reports)
+    }
+}
+
+/// Runs the SLAM system over every frame of `sequence` with `config`.
+///
+/// The returned ground truth is re-based so its first pose is the
+/// identity, matching the estimate's world convention.
+pub fn run_sequence(sequence: &SyntheticSequence, config: SlamConfig) -> RunResult {
+    let mut slam = Slam::new(config);
+    let mut reports = Vec::with_capacity(sequence.len());
+    for frame in sequence.frames() {
+        reports.push(slam.process(frame.timestamp, &frame.gray, &frame.depth));
+    }
+    let mut ground_truth = Trajectory::new();
+    if let Some(first) = sequence.trajectory.poses().first() {
+        let base = first.pose.inverse();
+        for tp in sequence.trajectory.poses() {
+            ground_truth.push(tp.timestamp, base.compose(&tp.pose));
+        }
+    }
+    let estimate = slam.trajectory().clone();
+    let ate = absolute_trajectory_error(&estimate, &ground_truth);
+    let stats = SequenceStats::from_reports(&reports);
+    RunResult {
+        reports,
+        estimate,
+        ground_truth,
+        ate,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslam_dataset::sequence::SequenceSpec;
+
+    #[test]
+    fn run_sequence_collects_everything() {
+        let seq = SequenceSpec::paper_sequences(5, 0.25)[0].build();
+        let result = run_sequence(&seq, SlamConfig::scaled_for_tests(4.0));
+        assert_eq!(result.reports.len(), 5);
+        assert_eq!(result.estimate.len(), 5);
+        assert_eq!(result.ground_truth.len(), 5);
+        assert_eq!(result.stats.frames, 5);
+        assert!(result.stats.tracking_ratio() > 0.9);
+        let ate = result.ate_rmse_cm().expect("ate computable");
+        assert!(ate < 20.0, "ate {ate} cm");
+        // Ground truth is re-based: first pose is identity.
+        let first = result.ground_truth.poses()[0].pose;
+        assert!(first.translation.norm() < 1e-12);
+        // Platform timing is consistent with the reports.
+        let [arm, _, eslam] = result.platform_timing();
+        assert!(arm.total_ms > eslam.total_ms);
+    }
+}

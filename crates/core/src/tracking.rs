@@ -1,0 +1,233 @@
+//! Per-frame tracking: feature matching → PnP-RANSAC → LM pose
+//! optimization (the PE and PO stages of §2.1).
+
+use crate::config::SlamConfig;
+use crate::map::Map;
+use eslam_features::matcher::match_brute_force;
+use eslam_features::orb::OrbFeatures;
+use eslam_geometry::lm::optimize_pose;
+use eslam_geometry::pnp::solve_pnp_ransac;
+use eslam_geometry::{Se3, Vec2, Vec3};
+
+/// Outcome of tracking one frame against the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingOutcome {
+    /// World-to-camera pose of the frame (inverse of camera-to-world).
+    pub pose_w2c: Se3,
+    /// Indices into the map for each accepted (inlier) correspondence.
+    pub matched_map_indices: Vec<usize>,
+    /// Feature indices (aligned with `matched_map_indices`).
+    pub matched_feature_indices: Vec<usize>,
+    /// Total descriptor matches before geometric verification.
+    pub raw_matches: usize,
+    /// PnP inliers after RANSAC + LM.
+    pub inliers: usize,
+    /// Final LM reprojection cost.
+    pub final_cost: f64,
+    /// Whether tracking met the inlier threshold.
+    pub ok: bool,
+}
+
+/// Tracks a frame: matches its descriptors against the map, estimates
+/// the pose with P3P-RANSAC and polishes it with Levenberg-Marquardt.
+///
+/// `prior_w2c` (e.g. the previous frame's pose) is the fallback and the
+/// LM seed when RANSAC fails or matches are scarce.
+pub fn track_frame(
+    features: &OrbFeatures,
+    map: &Map,
+    prior_w2c: &Se3,
+    config: &SlamConfig,
+) -> TrackingOutcome {
+    let map_descriptors = map.descriptors();
+    let matches = match_brute_force(
+        &features.descriptors,
+        &map_descriptors,
+        config.matcher_max_distance,
+    );
+
+    // Build 3-D/2-D correspondences.
+    let mut world = Vec::with_capacity(matches.len());
+    let mut pixels = Vec::with_capacity(matches.len());
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(matches.len());
+    for m in &matches {
+        let kp = &features.keypoints[m.query];
+        world.push(map.point(m.train).position);
+        pixels.push(Vec2::new(kp.x, kp.y));
+        pairs.push((m.query, m.train));
+    }
+
+    let raw_matches = pairs.len();
+    let mut pose_w2c = *prior_w2c;
+    let mut inlier_set: Vec<usize> = Vec::new();
+
+    if world.len() >= 4 {
+        if let Some(pnp) = solve_pnp_ransac(&world, &pixels, &config.camera, &config.pnp) {
+            pose_w2c = pnp.pose;
+            inlier_set = pnp.inliers;
+        }
+    }
+
+    // LM pose optimization on the inliers (or all matches when RANSAC
+    // found nothing and we fall back to the prior pose as the seed).
+    let (opt_world, opt_pixels): (Vec<Vec3>, Vec<Vec2>) = if inlier_set.is_empty() {
+        (world.clone(), pixels.clone())
+    } else {
+        inlier_set
+            .iter()
+            .map(|&i| (world[i], pixels[i]))
+            .unzip()
+    };
+    let mut final_cost = 0.0;
+    if opt_world.len() >= 3 {
+        let lm = optimize_pose(&pose_w2c, &opt_world, &opt_pixels, &config.camera, &config.lm);
+        pose_w2c = lm.pose;
+        final_cost = lm.final_cost;
+    }
+
+    // Re-validate inliers under the final pose.
+    let threshold = config.pnp.ransac.threshold;
+    let mut matched_map_indices = Vec::new();
+    let mut matched_feature_indices = Vec::new();
+    for (i, (feat_idx, map_idx)) in pairs.iter().enumerate() {
+        if let Some(uv) = config.camera.project(pose_w2c.transform(world[i])) {
+            if (uv - pixels[i]).norm() < threshold {
+                matched_map_indices.push(*map_idx);
+                matched_feature_indices.push(*feat_idx);
+            }
+        }
+    }
+    let inliers = matched_map_indices.len();
+
+    TrackingOutcome {
+        pose_w2c,
+        matched_map_indices,
+        matched_feature_indices,
+        raw_matches,
+        inliers,
+        final_cost,
+        ok: inliers >= config.min_inliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslam_features::orb::{ExtractionStats, Keypoint};
+    use eslam_features::Descriptor;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a synthetic map + a frame observing it from `truth_c2w`.
+    fn synthetic_scene(
+        seed: u64,
+        n: usize,
+        truth_c2w: Se3,
+        cfg: &SlamConfig,
+    ) -> (Map, OrbFeatures) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut map = Map::new();
+        let mut keypoints = Vec::new();
+        let mut descriptors = Vec::new();
+        let w2c = truth_c2w.inverse();
+        while map.len() < n {
+            let p = Vec3::new(
+                (rng.gen::<f64>() - 0.5) * 4.0,
+                (rng.gen::<f64>() - 0.5) * 3.0,
+                2.0 + rng.gen::<f64>() * 3.0,
+            );
+            let cam = w2c.transform(p);
+            let uv = match cfg.camera.project(cam) {
+                Some(uv) if cfg.camera.in_bounds(uv, 2.0) => uv,
+                _ => continue,
+            };
+            let desc = Descriptor::from_words([
+                rng.gen::<u64>(),
+                rng.gen::<u64>(),
+                rng.gen::<u64>(),
+                rng.gen::<u64>(),
+            ]);
+            map.insert(p, desc, 0);
+            keypoints.push(Keypoint {
+                x: uv.x,
+                y: uv.y,
+                level: 0,
+                level_x: uv.x as u32,
+                level_y: uv.y as u32,
+                score: 1.0,
+                angle: 0.0,
+                label: 0,
+            });
+            descriptors.push(desc);
+        }
+        let stats = ExtractionStats {
+            candidates: n,
+            kept: n,
+            descriptors_computed: n,
+            ..Default::default()
+        };
+        (
+            map,
+            OrbFeatures {
+                keypoints,
+                descriptors,
+                stats,
+            },
+        )
+    }
+
+    #[test]
+    fn tracks_exact_observations() {
+        let cfg = SlamConfig::tum_default();
+        let truth_c2w = Se3::from_translation(Vec3::new(0.1, -0.05, 0.2));
+        let (map, features) = synthetic_scene(3, 60, truth_c2w, &cfg);
+        let outcome = track_frame(&features, &map, &Se3::identity(), &cfg);
+        assert!(outcome.ok);
+        assert_eq!(outcome.raw_matches, 60);
+        assert!(outcome.inliers >= 55);
+        let est_c2w = outcome.pose_w2c.inverse();
+        assert!(
+            (est_c2w.translation - truth_c2w.translation).norm() < 1e-4,
+            "pose error {}",
+            (est_c2w.translation - truth_c2w.translation).norm()
+        );
+    }
+
+    #[test]
+    fn survives_descriptor_outliers() {
+        let cfg = SlamConfig::tum_default();
+        let truth_c2w = Se3::from_translation(Vec3::new(-0.1, 0.0, 0.1));
+        let (map, mut features) = synthetic_scene(5, 80, truth_c2w, &cfg);
+        // Corrupt 20 keypoint locations → wrong correspondences.
+        for kp in features.keypoints.iter_mut().take(20) {
+            kp.x = (kp.x + 200.0) % 600.0;
+            kp.y = (kp.y + 150.0) % 440.0;
+        }
+        let outcome = track_frame(&features, &map, &Se3::identity(), &cfg);
+        assert!(outcome.ok);
+        let est_c2w = outcome.pose_w2c.inverse();
+        assert!((est_c2w.translation - truth_c2w.translation).norm() < 1e-3);
+        assert!(outcome.inliers >= 55);
+        assert!(outcome.inliers <= 62);
+    }
+
+    #[test]
+    fn empty_map_fails_gracefully() {
+        let cfg = SlamConfig::tum_default();
+        let (_, features) = synthetic_scene(7, 20, Se3::identity(), &cfg);
+        let outcome = track_frame(&features, &Map::new(), &Se3::identity(), &cfg);
+        assert!(!outcome.ok);
+        assert_eq!(outcome.raw_matches, 0);
+        assert_eq!(outcome.pose_w2c, Se3::identity());
+    }
+
+    #[test]
+    fn too_few_matches_returns_prior() {
+        let cfg = SlamConfig::tum_default();
+        let truth = Se3::from_translation(Vec3::new(0.3, 0.0, 0.0));
+        let (map, features) = synthetic_scene(11, 3, truth, &cfg);
+        let prior = Se3::from_translation(Vec3::new(9.0, 9.0, 9.0));
+        let outcome = track_frame(&features, &map, &prior, &cfg);
+        assert!(!outcome.ok, "3 matches cannot satisfy min_inliers");
+    }
+}

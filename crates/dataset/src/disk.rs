@@ -1,0 +1,486 @@
+//! On-disk TUM-style datasets.
+//!
+//! The TUM RGB-D benchmark distributes sequences as a directory of
+//! per-frame image files plus index files (`rgb.txt`, `depth.txt`) and a
+//! `groundtruth.txt` trajectory. This module reads and writes that
+//! layout (with PGM images for intensity and 16-bit big-endian PGM for
+//! depth), so that
+//!
+//! * synthetic sequences can be exported once and re-loaded cheaply, and
+//! * *real* TUM sequences, converted to PGM, can be fed to the pipeline
+//!   unchanged.
+//!
+//! Layout produced by [`export_sequence`]:
+//!
+//! ```text
+//! <root>/
+//!   rgb.txt           # "timestamp rgb/<t>.pgm" per line
+//!   depth.txt         # "timestamp depth/<t>.pgm" per line
+//!   groundtruth.txt   # TUM trajectory format
+//!   rgb/*.pgm         # 8-bit grayscale
+//!   depth/*.pgm       # 16-bit (maxval 65535), TUM depth units
+//! ```
+
+use crate::sequence::{Frame, SyntheticSequence};
+use crate::trajectory::Trajectory;
+use eslam_image::io::{load_pgm, save_pgm, ImageIoError};
+use eslam_image::{DepthImage, GrayImage};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Errors from reading/writing disk datasets.
+#[derive(Debug)]
+pub enum DiskDatasetError {
+    /// Filesystem or image codec failure.
+    Io(std::io::Error),
+    /// Image file failure.
+    Image(ImageIoError),
+    /// Structural problem (missing index, mismatched counts, bad row).
+    Format(String),
+}
+
+impl fmt::Display for DiskDatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskDatasetError::Io(e) => write!(f, "i/o failure: {e}"),
+            DiskDatasetError::Image(e) => write!(f, "image failure: {e}"),
+            DiskDatasetError::Format(m) => write!(f, "invalid dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskDatasetError {}
+
+impl From<std::io::Error> for DiskDatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DiskDatasetError::Io(e)
+    }
+}
+
+impl From<ImageIoError> for DiskDatasetError {
+    fn from(e: ImageIoError) -> Self {
+        DiskDatasetError::Image(e)
+    }
+}
+
+/// Writes a 16-bit PGM (maxval 65535, big-endian payload per the PGM
+/// specification) holding raw TUM depth units.
+fn save_depth_pgm(depth: &DepthImage, path: &Path) -> Result<(), DiskDatasetError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{} {}\n65535\n", depth.width(), depth.height())?;
+    for &v in depth.as_raw() {
+        w.write_all(&v.to_be_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a 16-bit PGM depth image written by [`save_depth_pgm`].
+fn load_depth_pgm(path: &Path) -> Result<DepthImage, DiskDatasetError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut header = Vec::new();
+    // Read the three header tokens (magic, dims, maxval) byte-wise.
+    let mut tokens = Vec::new();
+    let mut token = String::new();
+    while tokens.len() < 4 {
+        let mut byte = [0u8; 1];
+        if reader.read(&mut byte)? == 0 {
+            return Err(DiskDatasetError::Format("truncated depth header".into()));
+        }
+        header.push(byte[0]);
+        if byte[0].is_ascii_whitespace() {
+            if !token.is_empty() {
+                tokens.push(std::mem::take(&mut token));
+            }
+        } else {
+            token.push(byte[0] as char);
+        }
+    }
+    if tokens[0] != "P5" {
+        return Err(DiskDatasetError::Format(format!("expected P5, got {:?}", tokens[0])));
+    }
+    let width: u32 = tokens[1]
+        .parse()
+        .map_err(|_| DiskDatasetError::Format("bad width".into()))?;
+    let height: u32 = tokens[2]
+        .parse()
+        .map_err(|_| DiskDatasetError::Format("bad height".into()))?;
+    if tokens[3] != "65535" {
+        return Err(DiskDatasetError::Format("depth PGM must have maxval 65535".into()));
+    }
+    let mut payload = vec![0u8; width as usize * height as usize * 2];
+    reader.read_exact(&mut payload)?;
+    let mut depth = DepthImage::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let i = ((y * width + x) * 2) as usize;
+            depth.set(x, y, u16::from_be_bytes([payload[i], payload[i + 1]]));
+        }
+    }
+    Ok(depth)
+}
+
+/// Exports a synthetic sequence to a TUM-style directory. Returns the
+/// number of frames written.
+///
+/// # Errors
+/// Fails on filesystem errors.
+pub fn export_sequence(seq: &SyntheticSequence, root: &Path) -> Result<usize, DiskDatasetError> {
+    std::fs::create_dir_all(root.join("rgb"))?;
+    std::fs::create_dir_all(root.join("depth"))?;
+
+    let mut rgb_index = BufWriter::new(File::create(root.join("rgb.txt"))?);
+    let mut depth_index = BufWriter::new(File::create(root.join("depth.txt"))?);
+    writeln!(rgb_index, "# timestamp filename")?;
+    writeln!(depth_index, "# timestamp filename")?;
+
+    for frame in seq.frames() {
+        let stamp = format!("{:.6}", frame.timestamp);
+        let rgb_rel = format!("rgb/{stamp}.pgm");
+        let depth_rel = format!("depth/{stamp}.pgm");
+        save_pgm(&frame.gray, root.join(&rgb_rel))?;
+        save_depth_pgm(&frame.depth, &root.join(&depth_rel))?;
+        writeln!(rgb_index, "{stamp} {rgb_rel}")?;
+        writeln!(depth_index, "{stamp} {depth_rel}")?;
+    }
+
+    let gt = File::create(root.join("groundtruth.txt"))?;
+    seq.trajectory.write_tum(BufWriter::new(gt))?;
+    Ok(seq.len())
+}
+
+/// One index entry of a disk sequence.
+#[derive(Debug, Clone, PartialEq)]
+struct IndexEntry {
+    timestamp: f64,
+    path: PathBuf,
+}
+
+/// A TUM-style sequence read from disk, loading frames lazily.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskSequence {
+    root: PathBuf,
+    rgb: Vec<IndexEntry>,
+    depth: Vec<IndexEntry>,
+    /// Ground-truth trajectory, when `groundtruth.txt` is present.
+    pub ground_truth: Option<Trajectory>,
+}
+
+impl DiskSequence {
+    /// Opens a dataset directory whose rgb/depth frames pair by
+    /// timestamp within `max_dt` seconds (the `associate.py` step of the
+    /// TUM tooling — real recordings have unsynchronized streams).
+    /// Unpairable frames are dropped.
+    ///
+    /// # Errors
+    /// Fails when the indices are missing/malformed or no frame pairs
+    /// associate at all.
+    pub fn open_associated(
+        root: impl AsRef<Path>,
+        max_dt: f64,
+    ) -> Result<DiskSequence, DiskDatasetError> {
+        let root = root.as_ref().to_path_buf();
+        let rgb_all = read_index(&root, "rgb.txt")?;
+        let depth_all = read_index(&root, "depth.txt")?;
+        // Greedy nearest-neighbour association on sorted timestamps, each
+        // depth frame used at most once.
+        let mut rgb = Vec::new();
+        let mut depth = Vec::new();
+        let mut next_depth = 0usize;
+        for r in &rgb_all {
+            // Advance to the closest depth entry not yet consumed.
+            while next_depth + 1 < depth_all.len()
+                && (depth_all[next_depth + 1].timestamp - r.timestamp).abs()
+                    <= (depth_all[next_depth].timestamp - r.timestamp).abs()
+            {
+                next_depth += 1;
+            }
+            if next_depth < depth_all.len()
+                && (depth_all[next_depth].timestamp - r.timestamp).abs() <= max_dt
+            {
+                rgb.push(r.clone());
+                depth.push(depth_all[next_depth].clone());
+                next_depth += 1;
+                if next_depth >= depth_all.len() {
+                    break;
+                }
+            }
+        }
+        if rgb.is_empty() {
+            return Err(DiskDatasetError::Format(
+                "no rgb/depth pairs associate within the time window".into(),
+            ));
+        }
+        let ground_truth = match File::open(root.join("groundtruth.txt")) {
+            Ok(f) => Some(Trajectory::read_tum(BufReader::new(f)).map_err(|e| {
+                DiskDatasetError::Format(format!("groundtruth.txt: {e}"))
+            })?),
+            Err(_) => None,
+        };
+        Ok(DiskSequence {
+            root,
+            rgb,
+            depth,
+            ground_truth,
+        })
+    }
+
+    /// Opens a dataset directory.
+    ///
+    /// # Errors
+    /// Fails when `rgb.txt`/`depth.txt` are missing or malformed, or the
+    /// two indices disagree in length.
+    pub fn open(root: impl AsRef<Path>) -> Result<DiskSequence, DiskDatasetError> {
+        let root = root.as_ref().to_path_buf();
+        let rgb = read_index(&root, "rgb.txt")?;
+        let depth = read_index(&root, "depth.txt")?;
+        if rgb.len() != depth.len() {
+            return Err(DiskDatasetError::Format(format!(
+                "rgb.txt has {} entries but depth.txt has {}",
+                rgb.len(),
+                depth.len()
+            )));
+        }
+        let ground_truth = match File::open(root.join("groundtruth.txt")) {
+            Ok(f) => Some(Trajectory::read_tum(BufReader::new(f)).map_err(|e| {
+                DiskDatasetError::Format(format!("groundtruth.txt: {e}"))
+            })?),
+            Err(_) => None,
+        };
+        Ok(DiskSequence {
+            root,
+            rgb,
+            depth,
+            ground_truth,
+        })
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.rgb.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rgb.is_empty()
+    }
+
+    /// Loads frame `index` from disk.
+    ///
+    /// # Errors
+    /// Fails if an image file is missing or malformed.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn frame(&self, index: usize) -> Result<Frame, DiskDatasetError> {
+        let rgb_entry = &self.rgb[index];
+        let depth_entry = &self.depth[index];
+        let gray: GrayImage = load_pgm(self.root.join(&rgb_entry.path))?;
+        let depth = load_depth_pgm(&self.root.join(&depth_entry.path))?;
+        // Ground-truth pose: nearest timestamp when available.
+        let ground_truth = self
+            .ground_truth
+            .as_ref()
+            .and_then(|gt| {
+                gt.poses()
+                    .iter()
+                    .min_by(|a, b| {
+                        let da = (a.timestamp - rgb_entry.timestamp).abs();
+                        let db = (b.timestamp - rgb_entry.timestamp).abs();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .map(|tp| tp.pose)
+            })
+            .unwrap_or_default();
+        Ok(Frame {
+            timestamp: rgb_entry.timestamp,
+            gray,
+            depth,
+            ground_truth,
+        })
+    }
+}
+
+fn read_index(root: &Path, name: &str) -> Result<Vec<IndexEntry>, DiskDatasetError> {
+    let file = File::open(root.join(name))
+        .map_err(|e| DiskDatasetError::Format(format!("{name}: {e}")))?;
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (ts, path) = match (parts.next(), parts.next()) {
+            (Some(ts), Some(p)) => (ts, p),
+            _ => {
+                return Err(DiskDatasetError::Format(format!(
+                    "{name} line {}: expected 'timestamp path'",
+                    lineno + 1
+                )))
+            }
+        };
+        let timestamp: f64 = ts.parse().map_err(|_| {
+            DiskDatasetError::Format(format!("{name} line {}: bad timestamp", lineno + 1))
+        })?;
+        out.push(IndexEntry {
+            timestamp,
+            path: PathBuf::from(path),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::sequence::SequenceSpec;
+    use crate::trajectory::{TrajectoryKind, TrajectoryParams};
+    use eslam_geometry::PinholeCamera;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eslam_disk_{tag}_{}", std::process::id()));
+        p
+    }
+
+    fn tiny_sequence() -> SyntheticSequence {
+        SequenceSpec {
+            name: "test/disk".into(),
+            kind: TrajectoryKind::Xyz,
+            params: TrajectoryParams {
+                frames: 3,
+                fps: 30.0,
+                amplitude: 1.0,
+            },
+            camera: PinholeCamera::new(60.0, 60.0, 32.0, 24.0, 64, 48),
+            seed: 77,
+            noise: NoiseModel::none(),
+        }
+        .build()
+    }
+
+    #[test]
+    fn export_then_open_round_trips() {
+        let root = temp_root("round_trip");
+        let seq = tiny_sequence();
+        let written = export_sequence(&seq, &root).unwrap();
+        assert_eq!(written, 3);
+
+        let disk = DiskSequence::open(&root).unwrap();
+        assert_eq!(disk.len(), 3);
+        assert!(disk.ground_truth.is_some());
+        for i in 0..3 {
+            let original = seq.frame(i);
+            let loaded = disk.frame(i).unwrap();
+            assert_eq!(loaded.gray, original.gray, "frame {i} gray");
+            assert_eq!(loaded.depth, original.depth, "frame {i} depth");
+            assert!((loaded.timestamp - original.timestamp).abs() < 1e-6);
+            assert!(
+                (loaded.ground_truth.translation - original.ground_truth.translation).norm() < 1e-4
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_index_is_reported() {
+        let root = temp_root("missing");
+        std::fs::create_dir_all(&root).unwrap();
+        let err = DiskSequence::open(&root).unwrap_err();
+        assert!(err.to_string().contains("rgb.txt"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mismatched_indices_rejected() {
+        let root = temp_root("mismatch");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("rgb.txt"), "0.0 rgb/a.pgm\n0.1 rgb/b.pgm\n").unwrap();
+        std::fs::write(root.join("depth.txt"), "0.0 depth/a.pgm\n").unwrap();
+        let err = DiskSequence::open(&root).unwrap_err();
+        assert!(err.to_string().contains("entries"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn malformed_index_row_rejected() {
+        let root = temp_root("badrow");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("rgb.txt"), "not-a-timestamp rgb/a.pgm\n").unwrap();
+        std::fs::write(root.join("depth.txt"), "").unwrap();
+        assert!(DiskSequence::open(&root).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn depth_pgm_round_trip_preserves_units() {
+        let root = temp_root("depth16");
+        std::fs::create_dir_all(&root).unwrap();
+        let mut depth = DepthImage::new(5, 4);
+        depth.set(0, 0, 0);
+        depth.set(1, 0, 1);
+        depth.set(2, 1, 30_000);
+        depth.set(4, 3, u16::MAX);
+        let path = root.join("d.pgm");
+        save_depth_pgm(&depth, &path).unwrap();
+        let loaded = load_depth_pgm(&path).unwrap();
+        assert_eq!(loaded, depth);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_associated_pairs_offset_streams() {
+        // Depth timestamps offset by 10 ms from rgb: plain `open` still
+        // pairs by index, `open_associated` must pair them by proximity
+        // and drop the unmatched trailing depth frame.
+        let root = temp_root("assoc");
+        std::fs::create_dir_all(root.join("rgb")).unwrap();
+        std::fs::create_dir_all(root.join("depth")).unwrap();
+        let gray = GrayImage::from_fn(8, 8, |x, y| (x * 8 + y) as u8);
+        let mut depth_img = DepthImage::new(8, 8);
+        depth_img.set_metres(0, 0, 1.0);
+
+        let mut rgb_idx = String::from("# ts file\n");
+        let mut depth_idx = String::from("# ts file\n");
+        for i in 0..3 {
+            let t_rgb = i as f64 * 0.1;
+            let t_depth = t_rgb + 0.01;
+            let rgb_rel = format!("rgb/{i}.pgm");
+            let depth_rel = format!("depth/{i}.pgm");
+            save_pgm(&gray, root.join(&rgb_rel)).unwrap();
+            save_depth_pgm(&depth_img, &root.join(&depth_rel)).unwrap();
+            rgb_idx.push_str(&format!("{t_rgb:.6} {rgb_rel}\n"));
+            depth_idx.push_str(&format!("{t_depth:.6} {depth_rel}\n"));
+        }
+        // One stray depth frame far from any rgb timestamp.
+        save_depth_pgm(&depth_img, &root.join("depth/stray.pgm")).unwrap();
+        depth_idx.push_str("9.000000 depth/stray.pgm\n");
+        std::fs::write(root.join("rgb.txt"), rgb_idx).unwrap();
+        std::fs::write(root.join("depth.txt"), depth_idx).unwrap();
+
+        let seq = DiskSequence::open_associated(&root, 0.02).unwrap();
+        assert_eq!(seq.len(), 3);
+        let frame = seq.frame(0).unwrap();
+        assert_eq!(frame.gray, gray);
+        // Too-tight window associates nothing.
+        assert!(DiskSequence::open_associated(&root, 0.001).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_without_groundtruth_still_works() {
+        let root = temp_root("nogt");
+        let seq = tiny_sequence();
+        export_sequence(&seq, &root).unwrap();
+        std::fs::remove_file(root.join("groundtruth.txt")).unwrap();
+        let disk = DiskSequence::open(&root).unwrap();
+        assert!(disk.ground_truth.is_none());
+        let frame = disk.frame(0).unwrap();
+        assert_eq!(frame.ground_truth, eslam_geometry::Se3::identity());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,304 @@
+//! Trajectory evaluation: absolute trajectory error (ATE) and relative
+//! pose error (RPE).
+//!
+//! ATE is the metric of the paper's Fig. 8 ("average trajectory error"):
+//! the estimated trajectory is rigidly aligned to ground truth (Horn's
+//! method) and the residual translational errors are aggregated. RPE
+//! measures drift over a fixed frame interval.
+
+use crate::trajectory::Trajectory;
+use eslam_geometry::align::align_rigid;
+use eslam_geometry::Se3;
+
+/// Aggregate error statistics in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Root mean square error.
+    pub rmse: f64,
+    /// Mean error.
+    pub mean: f64,
+    /// Median error.
+    pub median: f64,
+    /// Maximum error.
+    pub max: f64,
+    /// Number of pose pairs evaluated.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    fn from_errors(mut errors: Vec<f64>) -> ErrorStats {
+        if errors.is_empty() {
+            return ErrorStats::default();
+        }
+        let count = errors.len();
+        let mean = errors.iter().sum::<f64>() / count as f64;
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / count as f64).sqrt();
+        let max = errors.iter().cloned().fold(0.0, f64::max);
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if count % 2 == 1 {
+            errors[count / 2]
+        } else {
+            0.5 * (errors[count / 2 - 1] + errors[count / 2])
+        };
+        ErrorStats {
+            rmse,
+            mean,
+            median,
+            max,
+            count,
+        }
+    }
+}
+
+/// Result of an ATE evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AteResult {
+    /// Translational error statistics after rigid alignment.
+    pub stats: ErrorStats,
+    /// The alignment applied to the estimate.
+    pub alignment: Se3,
+}
+
+/// Associates two trajectories by timestamp (nearest neighbour within
+/// `max_dt` seconds) and returns index pairs `(estimate_idx, truth_idx)`.
+pub fn associate(estimate: &Trajectory, truth: &Trajectory, max_dt: f64) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let truth_poses = truth.poses();
+    if truth_poses.is_empty() {
+        return pairs;
+    }
+    for (ei, ep) in estimate.poses().iter().enumerate() {
+        // Truth timestamps are ordered: binary search for the closest.
+        let idx = truth_poses
+            .binary_search_by(|tp| tp.timestamp.partial_cmp(&ep.timestamp).unwrap())
+            .unwrap_or_else(|i| i);
+        let mut best: Option<(usize, f64)> = None;
+        for cand in [idx.saturating_sub(1), idx, (idx + 1).min(truth_poses.len() - 1)] {
+            let dt = (truth_poses[cand].timestamp - ep.timestamp).abs();
+            if dt <= max_dt && best.is_none_or(|(_, bd)| dt < bd) {
+                best = Some((cand, dt));
+            }
+        }
+        if let Some((ti, _)) = best {
+            pairs.push((ei, ti));
+        }
+    }
+    pairs
+}
+
+/// Computes the absolute trajectory error of `estimate` against `truth`.
+///
+/// Poses are associated by timestamp (within 20 ms), the estimate is
+/// rigidly aligned to the ground truth, and translational residuals are
+/// aggregated. Returns `None` when fewer than 3 poses associate or the
+/// alignment is degenerate (e.g. a perfectly stationary trajectory, where
+/// ATE reduces to the unaligned residual — in that case a fallback
+/// identity alignment is used instead of failing).
+pub fn absolute_trajectory_error(estimate: &Trajectory, truth: &Trajectory) -> Option<AteResult> {
+    let pairs = associate(estimate, truth, 0.02);
+    if pairs.len() < 3 {
+        return None;
+    }
+    let est_pts: Vec<_> = pairs
+        .iter()
+        .map(|&(e, _)| estimate.poses()[e].pose.translation)
+        .collect();
+    let truth_pts: Vec<_> = pairs
+        .iter()
+        .map(|&(_, t)| truth.poses()[t].pose.translation)
+        .collect();
+
+    let (alignment, errors) = match align_rigid(&est_pts, &truth_pts) {
+        Some(a) => {
+            let errors = est_pts
+                .iter()
+                .zip(&truth_pts)
+                .map(|(e, t)| (a.transform.transform(*e) - *t).norm())
+                .collect();
+            (a.transform, errors)
+        }
+        // Degenerate geometry (collinear/stationary): evaluate unaligned.
+        None => {
+            let errors = est_pts
+                .iter()
+                .zip(&truth_pts)
+                .map(|(e, t)| (*e - *t).norm())
+                .collect();
+            (Se3::identity(), errors)
+        }
+    };
+    Some(AteResult {
+        stats: ErrorStats::from_errors(errors),
+        alignment,
+    })
+}
+
+/// Computes the translational relative pose error over a window of
+/// `delta` frames: compares the estimated relative motion between frames
+/// `i` and `i+delta` with the ground-truth relative motion.
+///
+/// Returns `None` if fewer than `delta + 1` poses associate.
+pub fn relative_pose_error(
+    estimate: &Trajectory,
+    truth: &Trajectory,
+    delta: usize,
+) -> Option<ErrorStats> {
+    let pairs = associate(estimate, truth, 0.02);
+    if pairs.len() <= delta || delta == 0 {
+        return None;
+    }
+    let mut errors = Vec::new();
+    for w in pairs.windows(delta + 1) {
+        let (e0, t0) = w[0];
+        let (e1, t1) = w[delta];
+        let est_rel = estimate.poses()[e0]
+            .pose
+            .relative_to(&estimate.poses()[e1].pose);
+        let truth_rel = truth.poses()[t0].pose.relative_to(&truth.poses()[t1].pose);
+        let err = est_rel.compose(&truth_rel.inverse());
+        errors.push(err.translation.norm());
+    }
+    Some(ErrorStats::from_errors(errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::{TrajectoryKind, TrajectoryParams};
+    use eslam_geometry::{Quaternion, Vec3};
+
+    fn gt() -> Trajectory {
+        Trajectory::generate(TrajectoryKind::Desk, &TrajectoryParams::default())
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_ate() {
+        let truth = gt();
+        let result = absolute_trajectory_error(&truth, &truth).unwrap();
+        assert!(result.stats.rmse < 1e-10);
+        assert!(result.stats.max < 1e-10);
+        assert_eq!(result.stats.count, truth.len());
+    }
+
+    #[test]
+    fn rigidly_displaced_estimate_aligns_to_zero() {
+        // ATE must be invariant to a global rigid offset of the estimate.
+        let truth = gt();
+        let offset = Se3::from_quaternion_translation(
+            &Quaternion::from_axis_angle(Vec3::Y, 0.8),
+            Vec3::new(5.0, -2.0, 1.0),
+        );
+        let mut est = Trajectory::new();
+        for tp in truth.poses() {
+            est.push(tp.timestamp, offset.compose(&tp.pose));
+        }
+        let result = absolute_trajectory_error(&est, &truth).unwrap();
+        assert!(result.stats.rmse < 1e-9, "rmse {}", result.stats.rmse);
+    }
+
+    #[test]
+    fn noisy_estimate_measures_noise_level() {
+        let truth = gt();
+        let mut est = Trajectory::new();
+        for (i, tp) in truth.poses().iter().enumerate() {
+            let jitter = Vec3::new(
+                ((i * 37 % 13) as f64 / 13.0 - 0.5) * 0.04,
+                ((i * 53 % 11) as f64 / 11.0 - 0.5) * 0.04,
+                ((i * 71 % 7) as f64 / 7.0 - 0.5) * 0.04,
+            );
+            est.push(
+                tp.timestamp,
+                Se3::new(tp.pose.rotation, tp.pose.translation + jitter),
+            );
+        }
+        let result = absolute_trajectory_error(&est, &truth).unwrap();
+        assert!(result.stats.rmse > 0.001);
+        assert!(result.stats.rmse < 0.05);
+        assert!(result.stats.mean <= result.stats.rmse + 1e-12);
+        assert!(result.stats.median <= result.stats.max);
+    }
+
+    #[test]
+    fn too_few_poses_returns_none() {
+        let mut a = Trajectory::new();
+        let mut b = Trajectory::new();
+        a.push(0.0, Se3::identity());
+        b.push(0.0, Se3::identity());
+        assert!(absolute_trajectory_error(&a, &b).is_none());
+    }
+
+    #[test]
+    fn association_respects_max_dt() {
+        let mut a = Trajectory::new();
+        let mut b = Trajectory::new();
+        a.push(0.0, Se3::identity());
+        a.push(1.0, Se3::identity());
+        b.push(0.005, Se3::identity());
+        b.push(2.0, Se3::identity());
+        let pairs = associate(&a, &b, 0.02);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn association_picks_nearest() {
+        let mut a = Trajectory::new();
+        a.push(0.10, Se3::identity());
+        let mut b = Trajectory::new();
+        b.push(0.0, Se3::identity());
+        b.push(0.09, Se3::identity());
+        b.push(0.12, Se3::identity());
+        let pairs = associate(&a, &b, 0.05);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn rpe_zero_for_perfect_estimate() {
+        let truth = gt();
+        let stats = relative_pose_error(&truth, &truth, 1).unwrap();
+        assert!(stats.rmse < 1e-10);
+        assert_eq!(stats.count, truth.len() - 1);
+    }
+
+    #[test]
+    fn rpe_detects_drift() {
+        // An estimate drifting linearly in x: relative error per frame is
+        // the per-frame drift, regardless of global alignment.
+        let truth = gt();
+        let mut est = Trajectory::new();
+        for (i, tp) in truth.poses().iter().enumerate() {
+            let drift = Vec3::new(0.001 * i as f64, 0.0, 0.0);
+            est.push(
+                tp.timestamp,
+                Se3::new(tp.pose.rotation, tp.pose.translation + drift),
+            );
+        }
+        let stats = relative_pose_error(&est, &truth, 1).unwrap();
+        assert!(
+            stats.mean > 0.0005 && stats.mean < 0.002,
+            "per-frame drift {}",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn rpe_rejects_bad_delta() {
+        let truth = gt();
+        assert!(relative_pose_error(&truth, &truth, 0).is_none());
+        assert!(relative_pose_error(&truth, &truth, truth.len() + 1).is_none());
+    }
+
+    #[test]
+    fn stats_of_empty_error_list() {
+        let s = ErrorStats::from_errors(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.rmse, 0.0);
+    }
+
+    #[test]
+    fn stats_median_even_count() {
+        let s = ErrorStats::from_errors(vec![1.0, 3.0, 2.0, 4.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+    }
+}

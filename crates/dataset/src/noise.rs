@@ -1,0 +1,205 @@
+//! Sensor noise models for the synthetic RGB-D frames.
+//!
+//! The Kinect-like model adds Gaussian intensity noise to the grayscale
+//! channel and quadratically depth-dependent noise plus dropout to the
+//! depth channel, so the SLAM pipeline faces the same nuisances it would
+//! on real TUM data.
+
+use eslam_image::{DepthImage, GrayImage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise parameters applied at render time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of additive grayscale noise (intensity levels).
+    pub intensity_sigma: f64,
+    /// Depth noise coefficient: σ_z = `depth_sigma_at_1m` · z² (metres).
+    pub depth_sigma_at_1m: f64,
+    /// Probability that a depth pixel drops out (reads 0 / missing).
+    pub depth_dropout: f64,
+    /// Base RNG seed (mixed with the frame index for decorrelation).
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            intensity_sigma: 2.0,
+            depth_sigma_at_1m: 0.002,
+            depth_dropout: 0.01,
+            seed: 0xD01,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// A silent model (no noise at all), for deterministic unit tests.
+    pub fn none() -> Self {
+        NoiseModel {
+            intensity_sigma: 0.0,
+            depth_sigma_at_1m: 0.0,
+            depth_dropout: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Whether this model perturbs anything.
+    pub fn is_none(&self) -> bool {
+        self.intensity_sigma == 0.0 && self.depth_sigma_at_1m == 0.0 && self.depth_dropout == 0.0
+    }
+
+    /// Applies the model in place. `tag` and `frame_index` decorrelate the
+    /// noise across sequences and frames while keeping it reproducible.
+    pub fn apply(&self, gray: &mut GrayImage, depth: &mut DepthImage, tag: &[u8], frame_index: u64) {
+        if self.is_none() {
+            return;
+        }
+        let tag_hash = tag.iter().fold(0u64, |h, &b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ tag_hash ^ frame_index.wrapping_mul(0x9e3779b97f4a7c15),
+        );
+
+        if self.intensity_sigma > 0.0 {
+            for y in 0..gray.height() {
+                for x in 0..gray.width() {
+                    let n = gaussian(&mut rng) * self.intensity_sigma;
+                    let v = (gray.get(x, y) as f64 + n).round().clamp(0.0, 255.0) as u8;
+                    gray.set(x, y, v);
+                }
+            }
+        }
+
+        if self.depth_sigma_at_1m > 0.0 || self.depth_dropout > 0.0 {
+            for y in 0..depth.height() {
+                for x in 0..depth.width() {
+                    if let Some(z) = depth.metres(x, y) {
+                        if self.depth_dropout > 0.0 && rng.gen::<f64>() < self.depth_dropout {
+                            depth.set(x, y, 0);
+                            continue;
+                        }
+                        if self.depth_sigma_at_1m > 0.0 {
+                            let sigma = self.depth_sigma_at_1m * z * z;
+                            let noisy = (z + gaussian(&mut rng) * sigma).max(0.0);
+                            depth.set_metres(x, y, noisy);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Standard normal sample (Box-Muller).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_frame() -> (GrayImage, DepthImage) {
+        let gray = GrayImage::from_fn(64, 64, |_, _| 128);
+        let mut depth = DepthImage::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                depth.set_metres(x, y, 2.0);
+            }
+        }
+        (gray, depth)
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let (mut gray, mut depth) = flat_frame();
+        let before_g = gray.clone();
+        let before_d = depth.clone();
+        NoiseModel::none().apply(&mut gray, &mut depth, b"seq", 0);
+        assert_eq!(gray, before_g);
+        assert_eq!(depth, before_d);
+    }
+
+    #[test]
+    fn intensity_noise_perturbs_with_zero_mean() {
+        let (mut gray, mut depth) = flat_frame();
+        let model = NoiseModel {
+            intensity_sigma: 3.0,
+            depth_sigma_at_1m: 0.0,
+            depth_dropout: 0.0,
+            seed: 1,
+        };
+        model.apply(&mut gray, &mut depth, b"seq", 0);
+        let mean = gray.mean();
+        assert!((mean - 128.0).abs() < 1.0, "mean drifted to {mean}");
+        // Something actually changed.
+        assert!(gray.as_raw().iter().any(|&v| v != 128));
+    }
+
+    #[test]
+    fn depth_noise_scales_with_distance() {
+        let model = NoiseModel {
+            intensity_sigma: 0.0,
+            depth_sigma_at_1m: 0.01,
+            depth_dropout: 0.0,
+            seed: 7,
+        };
+        let spread = |z: f64| -> f64 {
+            let gray = GrayImage::new(64, 64);
+            let mut depth = DepthImage::new(64, 64);
+            for y in 0..64 {
+                for x in 0..64 {
+                    depth.set_metres(x, y, z);
+                }
+            }
+            let mut g = gray;
+            model.apply(&mut g, &mut depth, b"x", 3);
+            let vals: Vec<f64> = (0..64u32)
+                .flat_map(|y| (0..64u32).map(move |x| (x, y)))
+                .filter_map(|(x, y)| depth.metres(x, y))
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let near = spread(1.0);
+        let far = spread(4.0);
+        assert!(far > near * 4.0, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn dropout_zeroes_pixels() {
+        let (mut gray, mut depth) = flat_frame();
+        let model = NoiseModel {
+            intensity_sigma: 0.0,
+            depth_sigma_at_1m: 0.0,
+            depth_dropout: 0.25,
+            seed: 11,
+        };
+        model.apply(&mut gray, &mut depth, b"seq", 0);
+        let coverage = depth.coverage();
+        assert!((coverage - 0.75).abs() < 0.05, "coverage {coverage}");
+    }
+
+    #[test]
+    fn noise_is_reproducible_per_frame() {
+        let (mut g1, mut d1) = flat_frame();
+        let (mut g2, mut d2) = flat_frame();
+        let model = NoiseModel::default();
+        model.apply(&mut g1, &mut d1, b"seq", 5);
+        model.apply(&mut g2, &mut d2, b"seq", 5);
+        assert_eq!(g1, g2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn different_frames_get_different_noise() {
+        let (mut g1, mut d1) = flat_frame();
+        let (mut g2, mut d2) = flat_frame();
+        let model = NoiseModel::default();
+        model.apply(&mut g1, &mut d1, b"seq", 1);
+        model.apply(&mut g2, &mut d2, b"seq", 2);
+        assert_ne!(g1, g2);
+    }
+}

@@ -1,0 +1,425 @@
+//! Camera trajectories: generators mimicking the TUM sequences used in
+//! the paper's evaluation (§4.1) and TUM-format ground-truth I/O.
+//!
+//! The five evaluation sequences are modelled by their motion profiles:
+//!
+//! | paper sequence | generator | motion |
+//! |---|---|---|
+//! | `fr1/xyz` | [`TrajectoryKind::Xyz`] | translation-only oscillation |
+//! | `fr2/xyz` | [`TrajectoryKind::Xyz`] (slower, fr2 intrinsics) | idem |
+//! | `fr1/desk` | [`TrajectoryKind::Desk`] | arc sweep over a desk |
+//! | `fr1/room` | [`TrajectoryKind::Room`] | loop through the room |
+//! | `fr2/rpy` | [`TrajectoryKind::Rpy`] | rotation-only roll/pitch/yaw |
+
+use eslam_geometry::{Quaternion, Se3, Vec3};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A timestamped camera-to-world pose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedPose {
+    /// Timestamp in seconds.
+    pub timestamp: f64,
+    /// Camera-to-world transform (position = `pose.translation`).
+    pub pose: Se3,
+}
+
+/// A camera trajectory (ordered by timestamp).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    poses: Vec<TimedPose>,
+}
+
+/// Motion profile of a generated trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrajectoryKind {
+    /// Translation-only sinusoidal motion along all three axes
+    /// (TUM `xyz` sequences).
+    Xyz,
+    /// Rotation-only roll/pitch/yaw oscillation (TUM `fr2/rpy`).
+    Rpy,
+    /// An arc sweep over a desk area with the camera fixating the desk
+    /// (TUM `fr1/desk`).
+    Desk,
+    /// A slow loop through the room (TUM `fr1/room`).
+    Room,
+}
+
+impl fmt::Display for TrajectoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TrajectoryKind::Xyz => "xyz",
+            TrajectoryKind::Rpy => "rpy",
+            TrajectoryKind::Desk => "desk",
+            TrajectoryKind::Room => "room",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Parameters for trajectory generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryParams {
+    /// Number of frames.
+    pub frames: usize,
+    /// Frame rate in Hz (TUM Kinect: 30).
+    pub fps: f64,
+    /// Overall motion amplitude scale (1.0 = TUM-like).
+    pub amplitude: f64,
+}
+
+impl Default for TrajectoryParams {
+    fn default() -> Self {
+        TrajectoryParams {
+            frames: 60,
+            fps: 30.0,
+            amplitude: 1.0,
+        }
+    }
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory { poses: Vec::new() }
+    }
+
+    /// Wraps a pose list (must be timestamp-ordered for evaluation).
+    pub fn from_poses(poses: Vec<TimedPose>) -> Self {
+        Trajectory { poses }
+    }
+
+    /// Appends a pose.
+    pub fn push(&mut self, timestamp: f64, pose: Se3) {
+        self.poses.push(TimedPose { timestamp, pose });
+    }
+
+    /// The poses in order.
+    pub fn poses(&self) -> &[TimedPose] {
+        &self.poses
+    }
+
+    /// Number of poses.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// Whether the trajectory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// Camera positions as 3-D points (for alignment/plotting).
+    pub fn positions(&self) -> Vec<Vec3> {
+        self.poses.iter().map(|p| p.pose.translation).collect()
+    }
+
+    /// Total path length (sum of inter-frame position deltas).
+    pub fn path_length(&self) -> f64 {
+        self.poses
+            .windows(2)
+            .map(|w| (w[1].pose.translation - w[0].pose.translation).norm())
+            .sum()
+    }
+
+    /// Generates a trajectory of the given kind.
+    ///
+    /// All generators keep the camera inside the standard room scene and
+    /// looking at textured geometry.
+    pub fn generate(kind: TrajectoryKind, params: &TrajectoryParams) -> Trajectory {
+        let mut out = Trajectory::new();
+        let n = params.frames.max(1);
+        let a = params.amplitude;
+        for i in 0..n {
+            let t = i as f64 / params.fps;
+            let s = i as f64 / n as f64; // normalized progress 0..1
+            let pose = match kind {
+                TrajectoryKind::Xyz => {
+                    // Sinusoidal translation, fixed orientation facing +z.
+                    let p = Vec3::new(
+                        0.35 * a * (2.0 * std::f64::consts::PI * 0.45 * t).sin(),
+                        0.22 * a * (2.0 * std::f64::consts::PI * 0.30 * t).sin(),
+                        0.28 * a * (2.0 * std::f64::consts::PI * 0.20 * t).sin() - 1.0,
+                    );
+                    Se3::from_translation(p)
+                }
+                TrajectoryKind::Rpy => {
+                    // Pure rotation about a fixed position.
+                    let roll = 0.14 * a * (2.0 * std::f64::consts::PI * 0.40 * t).sin();
+                    let pitch = 0.12 * a * (2.0 * std::f64::consts::PI * 0.27 * t).sin();
+                    let yaw = 0.20 * a * (2.0 * std::f64::consts::PI * 0.18 * t).sin();
+                    let q = Quaternion::from_axis_angle(Vec3::Z, roll)
+                        .mul(&Quaternion::from_axis_angle(Vec3::X, pitch))
+                        .mul(&Quaternion::from_axis_angle(Vec3::Y, yaw));
+                    Se3::from_quaternion_translation(&q, Vec3::new(0.0, 0.0, -1.2))
+                }
+                TrajectoryKind::Desk => {
+                    // Arc around the desk centre at (0, 0.2, 1.2), looking
+                    // at it, with mild bobbing.
+                    let target = Vec3::new(0.0, 0.2, 1.2);
+                    let angle = -0.5 + 1.0 * s;
+                    let radius = 1.6 - 0.2 * s;
+                    let p = Vec3::new(
+                        target.x + radius * a * angle.sin(),
+                        -0.1 + 0.08 * a * (7.0 * s).sin(),
+                        target.z - radius * a * angle.cos(),
+                    );
+                    look_at(p, target)
+                }
+                TrajectoryKind::Room => {
+                    // A loop around the room centre, camera tangent to the
+                    // path, sweeping all four walls.
+                    let angle = 2.0 * std::f64::consts::PI * s;
+                    let p = Vec3::new(
+                        1.1 * a * angle.cos(),
+                        0.15 * a * (3.0 * angle).sin(),
+                        1.1 * a * angle.sin(),
+                    );
+                    let target = Vec3::new(
+                        2.4 * angle.cos() - 0.4 * angle.sin(),
+                        0.0,
+                        2.4 * angle.sin() + 0.4 * angle.cos(),
+                    );
+                    look_at(p, target)
+                }
+            };
+            out.push(t, pose);
+        }
+        out
+    }
+
+    /// Writes the trajectory in TUM format
+    /// (`timestamp tx ty tz qx qy qz qw` per line).
+    ///
+    /// # Errors
+    /// Propagates writer failures.
+    pub fn write_tum<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "# timestamp tx ty tz qx qy qz qw")?;
+        for tp in &self.poses {
+            let q = tp.pose.rotation_quaternion();
+            writeln!(
+                w,
+                "{:.6} {:.6} {:.6} {:.6} {:.6} {:.6} {:.6} {:.6}",
+                tp.timestamp,
+                tp.pose.translation.x,
+                tp.pose.translation.y,
+                tp.pose.translation.z,
+                q.x,
+                q.y,
+                q.z,
+                q.w
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a TUM-format trajectory (`#` lines are comments).
+    ///
+    /// # Errors
+    /// Returns `Err` with a line description for malformed rows, or I/O
+    /// failures from the reader.
+    pub fn read_tum<R: BufRead>(r: R) -> Result<Trajectory, TrajectoryParseError> {
+        let mut out = Trajectory::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line.map_err(TrajectoryParseError::Io)?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            if fields.len() != 8 {
+                return Err(TrajectoryParseError::Malformed {
+                    line: lineno + 1,
+                    reason: format!("expected 8 fields, found {}", fields.len()),
+                });
+            }
+            let nums: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
+            let nums = nums.map_err(|e| TrajectoryParseError::Malformed {
+                line: lineno + 1,
+                reason: e.to_string(),
+            })?;
+            let q = Quaternion::new(nums[7], nums[4], nums[5], nums[6]);
+            out.push(
+                nums[0],
+                Se3::from_quaternion_translation(&q, Vec3::new(nums[1], nums[2], nums[3])),
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// Builds a camera-to-world pose at `position` looking toward `target`
+/// with the image "up" aligned to world −y (the TUM camera convention:
+/// +y is down in the image).
+pub fn look_at(position: Vec3, target: Vec3) -> Se3 {
+    let forward = (target - position).normalized().unwrap_or(Vec3::Z);
+    // Camera z = forward, camera y = down, camera x = right.
+    let world_down = Vec3::new(0.0, 1.0, 0.0);
+    let right = world_down.cross(forward).normalized().unwrap_or(Vec3::X);
+    let down = forward.cross(right);
+    let rotation = eslam_geometry::Mat3::from_cols(right, down, forward);
+    Se3::new(rotation, position)
+}
+
+/// Errors from parsing a TUM trajectory file.
+#[derive(Debug)]
+pub enum TrajectoryParseError {
+    /// Underlying reader failure.
+    Io(std::io::Error),
+    /// A malformed data row.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TrajectoryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryParseError::Io(e) => write!(f, "i/o failure: {e}"),
+            TrajectoryParseError::Malformed { line, reason } => {
+                write!(f, "malformed trajectory line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_length() {
+        for kind in [
+            TrajectoryKind::Xyz,
+            TrajectoryKind::Rpy,
+            TrajectoryKind::Desk,
+            TrajectoryKind::Room,
+        ] {
+            let t = Trajectory::generate(kind, &TrajectoryParams::default());
+            assert_eq!(t.len(), 60, "{kind}");
+            // Timestamps strictly increasing at 30 Hz.
+            for w in t.poses().windows(2) {
+                assert!((w[1].timestamp - w[0].timestamp - 1.0 / 30.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn xyz_is_translation_only() {
+        let t = Trajectory::generate(TrajectoryKind::Xyz, &TrajectoryParams::default());
+        for tp in t.poses() {
+            assert!(tp.pose.rotation_angle() < 1e-9);
+        }
+        assert!(t.path_length() > 0.05);
+    }
+
+    #[test]
+    fn rpy_is_rotation_only() {
+        let t = Trajectory::generate(TrajectoryKind::Rpy, &TrajectoryParams::default());
+        let p0 = t.poses()[0].pose.translation;
+        let mut max_rot = 0.0f64;
+        for tp in t.poses() {
+            assert!((tp.pose.translation - p0).norm() < 1e-9);
+            max_rot = max_rot.max(tp.pose.rotation_angle());
+        }
+        assert!(max_rot > 0.05, "rotation amplitude {max_rot}");
+    }
+
+    #[test]
+    fn desk_keeps_target_in_view() {
+        let t = Trajectory::generate(TrajectoryKind::Desk, &TrajectoryParams::default());
+        let target = Vec3::new(0.0, 0.2, 1.2);
+        for tp in t.poses() {
+            // The target projects to positive camera z.
+            let cam_pt = tp.pose.inverse().transform(target);
+            assert!(cam_pt.z > 0.5, "target behind camera: z = {}", cam_pt.z);
+            // And close to the optical axis.
+            let off_axis = (cam_pt.x * cam_pt.x + cam_pt.y * cam_pt.y).sqrt() / cam_pt.z;
+            assert!(off_axis < 0.2, "target off-axis by {off_axis}");
+        }
+    }
+
+    #[test]
+    fn room_stays_inside_room() {
+        let t = Trajectory::generate(TrajectoryKind::Room, &TrajectoryParams::default());
+        for tp in t.poses() {
+            let p = tp.pose.translation;
+            assert!(p.x.abs() < 3.0 && p.y.abs() < 2.2 && p.z.abs() < 3.0);
+        }
+    }
+
+    #[test]
+    fn look_at_points_camera_at_target() {
+        let pose = look_at(Vec3::new(1.0, 0.5, -2.0), Vec3::new(0.0, 0.0, 1.0));
+        let cam_target = pose.inverse().transform(Vec3::new(0.0, 0.0, 1.0));
+        assert!(cam_target.x.abs() < 1e-9);
+        assert!(cam_target.y.abs() < 1e-9);
+        assert!(cam_target.z > 0.0);
+        // Proper rotation.
+        assert!((pose.rotation.determinant() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tum_round_trip() {
+        let t = Trajectory::generate(TrajectoryKind::Desk, &TrajectoryParams {
+            frames: 10,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        t.write_tum(&mut buf).unwrap();
+        let parsed = Trajectory::read_tum(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        for (a, b) in t.poses().iter().zip(parsed.poses()) {
+            assert!((a.timestamp - b.timestamp).abs() < 1e-5);
+            assert!((a.pose.translation - b.pose.translation).norm() < 1e-5);
+            assert!(
+                (a.pose.rotation - b.pose.rotation).frobenius_norm() < 1e-4,
+                "rotation mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn tum_parser_skips_comments_and_blanks() {
+        let text = "# header\n\n0.0 1 2 3 0 0 0 1\n# trailing comment\n";
+        let t = Trajectory::read_tum(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.poses()[0].pose.translation, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn tum_parser_rejects_bad_rows() {
+        let text = "0.0 1 2 3\n";
+        let err = Trajectory::read_tum(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let text = "0.0 a b c 0 0 0 1\n";
+        assert!(Trajectory::read_tum(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn amplitude_scales_motion() {
+        let small = Trajectory::generate(TrajectoryKind::Xyz, &TrajectoryParams {
+            amplitude: 0.5,
+            ..Default::default()
+        });
+        let large = Trajectory::generate(TrajectoryKind::Xyz, &TrajectoryParams {
+            amplitude: 2.0,
+            ..Default::default()
+        });
+        assert!(large.path_length() > small.path_length() * 2.0);
+    }
+
+    #[test]
+    fn path_length_of_straight_line() {
+        let mut t = Trajectory::new();
+        t.push(0.0, Se3::from_translation(Vec3::ZERO));
+        t.push(1.0, Se3::from_translation(Vec3::new(3.0, 0.0, 0.0)));
+        t.push(2.0, Se3::from_translation(Vec3::new(3.0, 4.0, 0.0)));
+        assert!((t.path_length() - 7.0).abs() < 1e-12);
+    }
+}

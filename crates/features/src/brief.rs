@@ -1,0 +1,273 @@
+//! BRIEF descriptor computation with the three steering strategies of the
+//! paper (§2.2): direct per-feature rotation (Eq. 2), the classic 30-angle
+//! lookup table \[8\], and RS-BRIEF where steering is a pure descriptor
+//! rotation.
+
+use crate::descriptor::Descriptor;
+use crate::orientation::ORIENTATION_BINS;
+use crate::pattern::{BriefPattern, SteeredPatternLut, RS_SEED_PAIRS, RS_STEP_RADIANS};
+use eslam_image::GrayImage;
+
+/// Computes a descriptor by sampling the (smoothened) image at the
+/// pattern's test locations around `(x, y)`. Bit `i` is 1 iff
+/// `I(S_i) > I(D_i)`. Out-of-bounds samples clamp to the border.
+pub fn compute_descriptor(img: &GrayImage, x: u32, y: u32, pattern: &BriefPattern) -> Descriptor {
+    let mut d = Descriptor::ZERO;
+    for (i, pair) in pattern.pairs().iter().enumerate() {
+        let (sx, sy) = pair.s.to_offset();
+        let (dx, dy) = pair.d.to_offset();
+        let is = img.get_clamped(x as i64 + sx as i64, y as i64 + sy as i64);
+        let id = img.get_clamped(x as i64 + dx as i64, y as i64 + dy as i64);
+        if is > id {
+            d.set_bit(i, true);
+        }
+    }
+    d
+}
+
+/// RS-BRIEF descriptor engine: one fixed pattern; steering by orientation
+/// label is the BRIEF Rotator byte-rotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsBrief {
+    pattern: BriefPattern,
+}
+
+impl RsBrief {
+    /// Builds the engine from a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RsBrief {
+            pattern: BriefPattern::rs_brief(seed),
+        }
+    }
+
+    /// The underlying 32-fold symmetric pattern.
+    pub fn pattern(&self) -> &BriefPattern {
+        &self.pattern
+    }
+
+    /// Computes the steered descriptor for a feature with orientation
+    /// label `label` (0..31): sample once with the fixed pattern, then
+    /// rotate the descriptor by `8 × label` bits.
+    ///
+    /// # Panics
+    /// Panics if `label >= 32`.
+    pub fn compute(&self, img: &GrayImage, x: u32, y: u32, label: u8) -> Descriptor {
+        assert!(label < ORIENTATION_BINS);
+        compute_descriptor(img, x, y, &self.pattern).steer(label)
+    }
+
+    /// Reference steering by **pattern re-indexing** (what rotating the
+    /// test locations by `label` steps amounts to, thanks to the 32-fold
+    /// symmetry). Bit-exactly equal to [`RsBrief::compute`]; used by tests
+    /// and the hardware model to prove the Rotator shortcut.
+    pub fn compute_by_reindexing(&self, img: &GrayImage, x: u32, y: u32, label: u8) -> Descriptor {
+        assert!(label < ORIENTATION_BINS);
+        let pairs = self.pattern.pairs();
+        let mut d = Descriptor::ZERO;
+        let shift = RS_SEED_PAIRS * label as usize;
+        for i in 0..pairs.len() {
+            let pair = &pairs[(i + shift) % pairs.len()];
+            let (sx, sy) = pair.s.to_offset();
+            let (dx, dy) = pair.d.to_offset();
+            let is = img.get_clamped(x as i64 + sx as i64, y as i64 + sy as i64);
+            let id = img.get_clamped(x as i64 + dx as i64, y as i64 + dy as i64);
+            if is > id {
+                d.set_bit(i, true);
+            }
+        }
+        d
+    }
+
+    /// Reference steering by **continuous rotation** (Eq. 2): rotate every
+    /// test location by `label × 11.25°` and resample. Agrees with
+    /// [`RsBrief::compute`] up to rounding ties on the 0.5-pixel grid.
+    pub fn compute_by_rotation(&self, img: &GrayImage, x: u32, y: u32, label: u8) -> Descriptor {
+        assert!(label < ORIENTATION_BINS);
+        let rotated = self.pattern.rotated(label as f64 * RS_STEP_RADIANS);
+        compute_descriptor(img, x, y, &rotated)
+    }
+}
+
+/// Original ORB descriptor engine with the 30-angle steering LUT \[8\].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OriginalBrief {
+    pattern: BriefPattern,
+    lut: SteeredPatternLut,
+}
+
+impl OriginalBrief {
+    /// Builds the engine (and its 30-entry LUT) from a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        let pattern = BriefPattern::original(seed);
+        let lut = SteeredPatternLut::build(&pattern);
+        OriginalBrief { pattern, lut }
+    }
+
+    /// The unrotated base pattern.
+    pub fn pattern(&self) -> &BriefPattern {
+        &self.pattern
+    }
+
+    /// The 30-angle steering table.
+    pub fn lut(&self) -> &SteeredPatternLut {
+        &self.lut
+    }
+
+    /// Steered descriptor via the pre-computed LUT (nearest 12°).
+    pub fn compute_lut(&self, img: &GrayImage, x: u32, y: u32, angle: f64) -> Descriptor {
+        compute_descriptor(img, x, y, self.lut.lookup(angle))
+    }
+
+    /// Steered descriptor via direct Eq. 2 rotation of all 512 locations —
+    /// the accuracy reference, and the compute-cost baseline of §2.2.
+    pub fn compute_direct(&self, img: &GrayImage, x: u32, y: u32, angle: f64) -> Descriptor {
+        compute_descriptor(img, x, y, &self.pattern.rotated(angle))
+    }
+}
+
+/// Convenience: steered RS-BRIEF descriptor for a continuous angle (the
+/// label is the nearest 11.25° step).
+pub fn rs_brief_for_angle(engine: &RsBrief, img: &GrayImage, x: u32, y: u32, angle: f64) -> Descriptor {
+    engine.compute(img, x, y, crate::orientation::angle_to_label(angle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured_image(seed: u64) -> GrayImage {
+        GrayImage::from_fn(96, 96, |x, y| {
+            let h = (x as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add((y as u64).wrapping_mul(40503))
+                .wrapping_add(seed.wrapping_mul(97));
+            ((h >> 8) % 256) as u8
+        })
+    }
+
+    #[test]
+    fn descriptor_is_deterministic() {
+        let img = textured_image(0);
+        let engine = RsBrief::new(5);
+        let a = engine.compute(&img, 48, 48, 0);
+        let b = engine.compute(&img, 48, 48, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rotator_equals_pattern_reindexing_exactly() {
+        // The core RS-BRIEF claim (§2.2): rotating test locations reduces
+        // to shifting the descriptor. Bit-exact across all 32 labels.
+        let engine = RsBrief::new(42);
+        for seed in 0..4 {
+            let img = textured_image(seed);
+            for label in 0..32u8 {
+                let fast = engine.compute(&img, 48, 48, label);
+                let reference = engine.compute_by_reindexing(&img, 48, 48, label);
+                assert_eq!(fast, reference, "seed {seed} label {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotator_matches_continuous_rotation_closely() {
+        // Continuous Eq. 2 rotation recomputes sin/cos, so rounding of a
+        // test location can differ on knife-edge half-pixel cases; the
+        // Hamming gap must still be tiny.
+        let engine = RsBrief::new(42);
+        let img = textured_image(9);
+        for label in 0..32u8 {
+            let fast = engine.compute(&img, 48, 48, label);
+            let rotated = engine.compute_by_rotation(&img, 48, 48, label);
+            assert!(
+                fast.hamming(&rotated) <= 8,
+                "label {label}: distance {}",
+                fast.hamming(&rotated)
+            );
+        }
+    }
+
+    #[test]
+    fn label_zero_is_unsteered() {
+        let engine = RsBrief::new(1);
+        let img = textured_image(3);
+        let steered = engine.compute(&img, 40, 40, 0);
+        let raw = compute_descriptor(&img, 40, 40, engine.pattern());
+        assert_eq!(steered, raw);
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_out_of_range_panics() {
+        let engine = RsBrief::new(1);
+        let img = textured_image(0);
+        let _ = engine.compute(&img, 40, 40, 32);
+    }
+
+    #[test]
+    fn different_locations_give_different_descriptors() {
+        let engine = RsBrief::new(7);
+        let img = textured_image(2);
+        let a = engine.compute(&img, 30, 30, 0);
+        let b = engine.compute(&img, 60, 60, 0);
+        assert!(a.hamming(&b) > 40, "distance {}", a.hamming(&b));
+    }
+
+    #[test]
+    fn original_lut_close_to_direct_rotation() {
+        // §2.2: the 12° discretization moves a radius-15 location by ≤ ~1.6
+        // pixels, so LUT and direct descriptors stay close on smooth data.
+        let engine = OriginalBrief::new(11);
+        let img = eslam_image::filter::gaussian_blur_7x7_fixed(&textured_image(4));
+        for k in 0..8 {
+            let angle = k as f64 * 0.35;
+            let lut = engine.compute_lut(&img, 48, 48, angle);
+            let direct = engine.compute_direct(&img, 48, 48, angle);
+            let d = lut.hamming(&direct);
+            assert!(d <= 96, "angle {angle}: distance {d}");
+        }
+    }
+
+    #[test]
+    fn original_lut_exact_at_table_angles() {
+        let engine = OriginalBrief::new(11);
+        let img = textured_image(5);
+        // At exactly 0° the LUT entry is the base pattern.
+        let lut = engine.compute_lut(&img, 48, 48, 0.0);
+        let base = compute_descriptor(&img, 48, 48, engine.pattern());
+        assert_eq!(lut, base);
+    }
+
+    #[test]
+    fn constant_image_gives_zero_descriptor() {
+        let img = GrayImage::from_fn(64, 64, |_, _| 128);
+        let engine = RsBrief::new(3);
+        let d = engine.compute(&img, 32, 32, 5);
+        assert_eq!(d.count_ones(), 0, "no strict inequality on flat image");
+    }
+
+    #[test]
+    fn steered_descriptors_of_rotated_content_match() {
+        // Rotationally invariance smoke test: descriptor of a pattern and
+        // descriptor of the same pattern rotated 90°, steered by the
+        // corresponding labels, should be much closer than random (~128).
+        let engine = RsBrief::new(21);
+        // Radial-ish texture rendered twice, the second rotated by 90°.
+        let img0 = GrayImage::from_fn(96, 96, |x, y| {
+            let (dx, dy) = (x as f64 - 48.0, y as f64 - 48.0);
+            (((dx * 0.4).sin() * (dy * 0.23).cos() + 1.0) * 100.0) as u8
+        });
+        let img90 = GrayImage::from_fn(96, 96, |x, y| {
+            // (x, y) in rotated image samples (y, 96-1-x) in the original.
+            img0.get(y, 95 - x)
+        });
+        let d0 = engine.compute(&img0, 48, 48, 0);
+        // Content rotated by 90° ⇒ orientation advanced by ±8 labels
+        // depending on the raster-axis convention; either steering must
+        // bring the descriptors far below the chance distance (~128).
+        let d90_pos = engine.compute(&img90, 48, 48, 8);
+        let d90_neg = engine.compute(&img90, 48, 48, 24);
+        let dist = d0.hamming(&d90_pos).min(d0.hamming(&d90_neg));
+        assert!(dist < 80, "steered distance {dist} should be well below chance");
+    }
+}

@@ -1,0 +1,243 @@
+//! 256-bit binary descriptors and Hamming distance.
+//!
+//! BRIEF descriptors are 256-bit strings (§2.2); feature matching compares
+//! them by Hamming distance (§2.1). The RS-BRIEF steering operation —
+//! "move the 8×n bits from the beginning of the descriptor to the end"
+//! (§3.1, BRIEF Rotator) — is a 256-bit circular rotation implemented here.
+
+use std::fmt;
+
+/// A 256-bit binary descriptor stored as four little-endian 64-bit words;
+/// test-pair `i` occupies bit `i % 64` of word `i / 64`.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_features::Descriptor;
+/// let mut d = Descriptor::ZERO;
+/// d.set_bit(5, true);
+/// d.set_bit(200, true);
+/// assert_eq!(d.count_ones(), 2);
+/// assert_eq!(d.hamming(&Descriptor::ZERO), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Descriptor {
+    /// The four 64-bit words of the descriptor.
+    pub words: [u64; 4],
+}
+
+/// Number of bits in a [`Descriptor`].
+pub const DESCRIPTOR_BITS: usize = 256;
+
+impl Descriptor {
+    /// The all-zero descriptor.
+    pub const ZERO: Descriptor = Descriptor { words: [0; 4] };
+
+    /// Builds a descriptor from its raw words.
+    pub const fn from_words(words: [u64; 4]) -> Self {
+        Descriptor { words }
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 256`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < DESCRIPTOR_BITS);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 256`.
+    #[inline]
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < DESCRIPTOR_BITS);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Population count.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to another descriptor (0..=256), the matching
+    /// metric of the paper's Distance Computing module.
+    #[inline]
+    pub fn hamming(&self, other: &Descriptor) -> u32 {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Circularly rotates the descriptor **toward the beginning** by
+    /// `bits`: output bit `k` equals input bit `(k + bits) % 256`.
+    ///
+    /// Equivalently, the first `bits` bits are moved to the end — exactly
+    /// the BRIEF Rotator operation with `bits = 8 × orientation`.
+    #[must_use]
+    pub fn rotate_bits(&self, bits: usize) -> Descriptor {
+        let bits = bits % DESCRIPTOR_BITS;
+        if bits == 0 {
+            return *self;
+        }
+        let mut out = Descriptor::ZERO;
+        for k in 0..DESCRIPTOR_BITS {
+            out.set_bit(k, self.bit((k + bits) % DESCRIPTOR_BITS));
+        }
+        out
+    }
+
+    /// The BRIEF Rotator steering: rotate by `8 × orientation_step` bits
+    /// (orientation steps of 11.25°, labels 0..31).
+    ///
+    /// # Panics
+    /// Panics if `orientation_step >= 32`.
+    #[must_use]
+    pub fn steer(&self, orientation_step: u8) -> Descriptor {
+        assert!(orientation_step < 32, "orientation label must be 0..32");
+        self.rotate_bits(8 * orientation_step as usize)
+    }
+}
+
+impl fmt::Display for Descriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}{:016x}{:016x}{:016x}",
+            self.words[3], self.words[2], self.words[1], self.words[0]
+        )
+    }
+}
+
+impl fmt::Binary for Descriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in self.words.iter().rev() {
+            write!(f, "{w:064b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_descriptor_properties() {
+        let d = Descriptor::ZERO;
+        assert_eq!(d.count_ones(), 0);
+        assert_eq!(d.hamming(&d), 0);
+        assert!(!d.bit(0));
+        assert!(!d.bit(255));
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut d = Descriptor::ZERO;
+        for i in [0usize, 1, 63, 64, 127, 128, 200, 255] {
+            d.set_bit(i, true);
+            assert!(d.bit(i), "bit {i}");
+        }
+        assert_eq!(d.count_ones(), 8);
+        d.set_bit(64, false);
+        assert!(!d.bit(64));
+        assert_eq!(d.count_ones(), 7);
+    }
+
+    #[test]
+    fn hamming_metric_axioms() {
+        let mut a = Descriptor::ZERO;
+        let mut b = Descriptor::ZERO;
+        a.set_bit(3, true);
+        a.set_bit(100, true);
+        b.set_bit(100, true);
+        b.set_bit(250, true);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(b.hamming(&a), 2); // symmetry
+        assert_eq!(a.hamming(&a), 0); // identity
+        // Complement has maximal distance.
+        let full = Descriptor::from_words([u64::MAX; 4]);
+        assert_eq!(Descriptor::ZERO.hamming(&full), 256);
+    }
+
+    #[test]
+    fn rotate_zero_is_identity() {
+        let d = Descriptor::from_words([0x0123456789abcdef, 0xfedcba9876543210, 0xaaaa5555aaaa5555, 0x1]);
+        assert_eq!(d.rotate_bits(0), d);
+        assert_eq!(d.rotate_bits(256), d);
+    }
+
+    #[test]
+    fn rotate_moves_prefix_to_end() {
+        // Set only bit 8; rotating by 8 moves it to bit 0.
+        let mut d = Descriptor::ZERO;
+        d.set_bit(8, true);
+        let r = d.rotate_bits(8);
+        assert!(r.bit(0));
+        assert_eq!(r.count_ones(), 1);
+        // Set bit 0; rotating by 8 wraps it to bit 248.
+        let mut d = Descriptor::ZERO;
+        d.set_bit(0, true);
+        let r = d.rotate_bits(8);
+        assert!(r.bit(248));
+    }
+
+    #[test]
+    fn rotation_composes() {
+        let d = Descriptor::from_words([0xdeadbeefcafebabe, 0x0123456789abcdef, 0x5555aaaa5555aaaa, 0xff00ff00ff00ff00]);
+        let once = d.rotate_bits(24).rotate_bits(40);
+        let combined = d.rotate_bits(64);
+        assert_eq!(once, combined);
+    }
+
+    #[test]
+    fn rotation_preserves_popcount() {
+        let d = Descriptor::from_words([0xdeadbeef, 0xcafebabe, 0x12345678, 0x9abcdef0]);
+        for n in 0..32 {
+            assert_eq!(d.rotate_bits(8 * n).count_ones(), d.count_ones());
+        }
+    }
+
+    #[test]
+    fn full_steering_cycle_returns_original() {
+        let d = Descriptor::from_words([0x1111, 0x2222, 0x4444, 0x8888]);
+        let mut r = d;
+        for _ in 0..32 {
+            r = r.rotate_bits(8);
+        }
+        assert_eq!(r, d);
+    }
+
+    #[test]
+    fn steer_matches_rotate() {
+        let d = Descriptor::from_words([0xabcdef, 0x123456, 0x987654, 0xfedcba]);
+        for step in 0..32u8 {
+            assert_eq!(d.steer(step), d.rotate_bits(8 * step as usize));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "orientation label")]
+    fn steer_rejects_large_label() {
+        let _ = Descriptor::ZERO.steer(32);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        let d = Descriptor::from_words([1, 0, 0, 0]);
+        let s = d.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.ends_with('1'));
+    }
+}

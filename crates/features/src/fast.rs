@@ -1,0 +1,328 @@
+//! FAST (Features from Accelerated Segment Test) corner detection.
+//!
+//! The paper's FAST Detection module takes a 7×7 pixel patch and flags the
+//! centre as a keypoint when ≥ 9 contiguous pixels on the 16-pixel
+//! Bresenham circle of radius 3 are all brighter than centre + threshold
+//! or all darker than centre − threshold (FAST-9/16, the variant ORB
+//! uses).
+
+use eslam_image::GrayImage;
+
+/// The 16 offsets of the radius-3 Bresenham circle, clockwise from
+/// 12 o'clock. Index order matters for the contiguity test.
+pub const CIRCLE_OFFSETS: [(i32, i32); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Minimum contiguous arc length for FAST-9.
+pub const FAST_ARC: usize = 9;
+
+/// Default detection threshold (intensity difference).
+pub const DEFAULT_THRESHOLD: u8 = 20;
+
+/// Classification of circle pixels relative to the centre.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    Brighter,
+    Darker,
+    Similar,
+}
+
+/// Tests whether the pixel at `(x, y)` is a FAST-9 corner.
+///
+/// Pixels closer than 3 to the border are never corners (the circle would
+/// leave the image). This function is the bit-exact reference for the
+/// hardware FAST unit.
+pub fn is_fast_corner(img: &GrayImage, x: u32, y: u32, threshold: u8) -> bool {
+    if x < 3 || y < 3 || x + 3 >= img.width() || y + 3 >= img.height() {
+        return false;
+    }
+    let centre = img.get(x, y) as i32;
+    let t = threshold as i32;
+
+    // High-speed reject: any 9-pixel arc on the 16-pixel circle covers at
+    // least 2 of the 4 compass points (they are spaced 4 apart), so fewer
+    // than 2 extreme compass points rules a corner out.
+    let p0 = img.get(x, y - 3) as i32;
+    let p8 = img.get(x, y + 3) as i32;
+    let p4 = img.get(x + 3, y) as i32;
+    let p12 = img.get(x - 3, y) as i32;
+    let bright_compass = [p0, p4, p8, p12].iter().filter(|&&p| p > centre + t).count();
+    let dark_compass = [p0, p4, p8, p12].iter().filter(|&&p| p < centre - t).count();
+    if bright_compass < 2 && dark_compass < 2 {
+        return false;
+    }
+
+    let mut classes = [Tri::Similar; 16];
+    for (class, &(dx, dy)) in classes.iter_mut().zip(&CIRCLE_OFFSETS) {
+        let p = img.get((x as i32 + dx) as u32, (y as i32 + dy) as u32) as i32;
+        *class = if p > centre + t {
+            Tri::Brighter
+        } else if p < centre - t {
+            Tri::Darker
+        } else {
+            Tri::Similar
+        };
+    }
+
+    has_arc(&classes, Tri::Brighter) || has_arc(&classes, Tri::Darker)
+}
+
+/// Checks for a circular run of ≥ [`FAST_ARC`] pixels of class `want`.
+fn has_arc(classes: &[Tri], want: Tri) -> bool {
+    let mut run = 0usize;
+    // Walk the circle twice to capture wrap-around runs.
+    for i in 0..(classes.len() * 2) {
+        if classes[i % classes.len()] == want {
+            run += 1;
+            if run >= FAST_ARC {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+/// A raw FAST detection prior to scoring/NMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDetection {
+    /// Column of the detection.
+    pub x: u32,
+    /// Row of the detection.
+    pub y: u32,
+}
+
+/// Detects all FAST-9 corners in the image at the given threshold.
+///
+/// Returns detections in raster order, matching the order the streaming
+/// hardware emits them.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_image::GrayImage;
+/// use eslam_features::fast::{detect, DEFAULT_THRESHOLD};
+/// // A bright square on dark background has corners at its corners.
+/// let img = GrayImage::from_fn(32, 32, |x, y| {
+///     if (8..24).contains(&x) && (8..24).contains(&y) { 200 } else { 20 }
+/// });
+/// let corners = detect(&img, DEFAULT_THRESHOLD);
+/// assert!(!corners.is_empty());
+/// ```
+pub fn detect(img: &GrayImage, threshold: u8) -> Vec<FastDetection> {
+    let mut out = Vec::new();
+    for y in 3..img.height().saturating_sub(3) {
+        for x in 3..img.width().saturating_sub(3) {
+            if is_fast_corner(img, x, y, threshold) {
+                out.push(FastDetection { x, y });
+            }
+        }
+    }
+    out
+}
+
+/// Two-tier adaptive detection (extension, mirroring ORB-SLAM's
+/// `iniThFAST`/`minThFAST` scheme): detect at `threshold`; if fewer than
+/// `min_detections` corners fire (weakly textured input), retry once at
+/// `fallback_threshold`.
+///
+/// Returns the detections together with the threshold that produced
+/// them.
+///
+/// # Panics
+/// Panics if `fallback_threshold > threshold` (the fallback must be more
+/// permissive).
+pub fn detect_adaptive(
+    img: &GrayImage,
+    threshold: u8,
+    fallback_threshold: u8,
+    min_detections: usize,
+) -> (Vec<FastDetection>, u8) {
+    assert!(
+        fallback_threshold <= threshold,
+        "fallback threshold must not exceed the primary threshold"
+    );
+    let primary = detect(img, threshold);
+    if primary.len() >= min_detections || fallback_threshold == threshold {
+        (primary, threshold)
+    } else {
+        (detect(img, fallback_threshold), fallback_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bright_square(size: u32, lo: u8, hi: u8) -> GrayImage {
+        GrayImage::from_fn(size, size, move |x, y| {
+            let q = size / 4;
+            if (q..3 * q).contains(&x) && (q..3 * q).contains(&y) {
+                hi
+            } else {
+                lo
+            }
+        })
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::from_fn(32, 32, |_, _| 128);
+        assert!(detect(&img, 20).is_empty());
+    }
+
+    #[test]
+    fn gradient_has_no_corners() {
+        let img = GrayImage::from_fn(64, 64, |x, _| (x * 4).min(255) as u8);
+        assert!(detect(&img, 20).is_empty());
+    }
+
+    #[test]
+    fn square_corners_detected() {
+        let img = bright_square(40, 20, 220);
+        let corners = detect(&img, 30);
+        assert!(!corners.is_empty());
+        // Detections cluster near the four square corners (10,10), (29,10),
+        // (10,29), (29,29); none in the flat interior.
+        for c in &corners {
+            let near_corner = [(10i32, 10i32), (29, 10), (10, 29), (29, 29)]
+                .iter()
+                .any(|&(cx, cy)| (c.x as i32 - cx).abs() <= 3 && (c.y as i32 - cy).abs() <= 3);
+            assert!(near_corner, "unexpected corner at ({}, {})", c.x, c.y);
+        }
+    }
+
+    #[test]
+    fn dark_corner_on_bright_background_detected() {
+        let img = bright_square(40, 220, 20); // inverted contrast
+        let corners = detect(&img, 30);
+        assert!(!corners.is_empty());
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        let img = bright_square(40, 60, 180);
+        let low = detect(&img, 10).len();
+        let mid = detect(&img, 40).len();
+        let high = detect(&img, 120).len();
+        assert!(low >= mid, "low {low} vs mid {mid}");
+        assert!(mid >= high, "mid {mid} vs high {high}");
+        // The contrast is exactly 120 and the test is strict (p > c + t),
+        // so threshold 120 can never fire.
+        assert_eq!(high, 0);
+    }
+
+    #[test]
+    fn border_pixels_never_fire() {
+        let img = bright_square(16, 0, 255);
+        for c in detect(&img, 10) {
+            assert!(c.x >= 3 && c.y >= 3);
+            assert!(c.x + 3 < 16 && c.y + 3 < 16);
+        }
+        // Direct probe of the border guard.
+        assert!(!is_fast_corner(&img, 0, 0, 10));
+        assert!(!is_fast_corner(&img, 2, 8, 10));
+    }
+
+    #[test]
+    fn isolated_bright_dot_is_a_corner() {
+        // A single bright pixel: the full circle is darker → arc of 16.
+        let mut img = GrayImage::from_fn(16, 16, |_, _| 50);
+        img.set(8, 8, 255);
+        assert!(is_fast_corner(&img, 8, 8, 20));
+    }
+
+    #[test]
+    fn wrap_around_arc_detected() {
+        // Construct a circle whose bright arc crosses index 0: indices
+        // 12..16 and 0..5 bright (9 contiguous with wrap), rest dark.
+        let mut img = GrayImage::from_fn(9, 9, |_, _| 100);
+        let bright: Vec<usize> = (12..16).chain(0..5).collect();
+        for (i, &(dx, dy)) in CIRCLE_OFFSETS.iter().enumerate() {
+            let v = if bright.contains(&i) { 200 } else { 100 };
+            img.set((4 + dx) as u32, (4 + dy) as u32, v);
+        }
+        assert!(is_fast_corner(&img, 4, 4, 20));
+    }
+
+    #[test]
+    fn eight_pixel_arc_is_not_enough() {
+        let mut img = GrayImage::from_fn(9, 9, |_, _| 100);
+        for (i, &(dx, dy)) in CIRCLE_OFFSETS.iter().enumerate() {
+            let v = if i < 8 { 200 } else { 100 };
+            img.set((4 + dx) as u32, (4 + dy) as u32, v);
+        }
+        assert!(!is_fast_corner(&img, 4, 4, 20));
+    }
+
+    #[test]
+    fn nine_pixel_arc_fires() {
+        let mut img = GrayImage::from_fn(9, 9, |_, _| 100);
+        for (i, &(dx, dy)) in CIRCLE_OFFSETS.iter().enumerate() {
+            let v = if i < 9 { 200 } else { 100 };
+            img.set((4 + dx) as u32, (4 + dy) as u32, v);
+        }
+        assert!(is_fast_corner(&img, 4, 4, 20));
+    }
+
+    #[test]
+    fn detections_in_raster_order() {
+        let img = bright_square(40, 20, 220);
+        let corners = detect(&img, 30);
+        for pair in corners.windows(2) {
+            let a = (pair[0].y, pair[0].x);
+            let b = (pair[1].y, pair[1].x);
+            assert!(a < b, "not raster ordered: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_keeps_primary_when_plentiful() {
+        let img = bright_square(40, 20, 220);
+        let (corners, used) = detect_adaptive(&img, 30, 7, 1);
+        assert_eq!(used, 30);
+        assert_eq!(corners, detect(&img, 30));
+    }
+
+    #[test]
+    fn adaptive_falls_back_on_weak_texture() {
+        // Low-contrast square: threshold 60 finds nothing, 10 does.
+        let img = bright_square(40, 100, 130);
+        assert!(detect(&img, 60).is_empty());
+        let (corners, used) = detect_adaptive(&img, 60, 10, 1);
+        assert_eq!(used, 10);
+        assert!(!corners.is_empty());
+    }
+
+    #[test]
+    fn adaptive_reports_primary_when_fallback_also_needed_but_equal() {
+        let img = GrayImage::from_fn(16, 16, |_, _| 128);
+        let (corners, used) = detect_adaptive(&img, 20, 20, 5);
+        assert!(corners.is_empty());
+        assert_eq!(used, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "fallback")]
+    fn adaptive_rejects_inverted_thresholds() {
+        let img = GrayImage::new(8, 8);
+        detect_adaptive(&img, 10, 20, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Grid-based spatial feature distribution (extension).
+//!
+//! The paper filters purely by Harris score through the 1024-entry Heap;
+//! production ORB-SLAM additionally spreads keypoints across the image
+//! to stabilize PnP geometry. This module provides that post-filter as
+//! an optional extension: the image is divided into a grid and each cell
+//! retains at most `per_cell` keypoints (best score first), giving a
+//! bounded, spatially even selection. Used by the heap-capacity ablation
+//! to quantify what the Heap-only filter gives up.
+
+use crate::orb::Keypoint;
+use std::collections::HashMap;
+
+/// Parameters of the grid filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridParams {
+    /// Cell edge in base-image pixels.
+    pub cell_size: u32,
+    /// Maximum keypoints retained per cell.
+    pub per_cell: usize,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        GridParams {
+            cell_size: 32,
+            per_cell: 4,
+        }
+    }
+}
+
+/// Statistics describing how evenly keypoints cover the image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStats {
+    /// Number of non-empty cells.
+    pub occupied_cells: usize,
+    /// Total cells inspected (bounding grid of the keypoints).
+    pub total_cells: usize,
+    /// Maximum keypoints found in one cell.
+    pub max_per_cell: usize,
+}
+
+impl CoverageStats {
+    /// Fraction of the bounding grid covered by at least one keypoint.
+    pub fn occupancy(&self) -> f64 {
+        if self.total_cells == 0 {
+            0.0
+        } else {
+            self.occupied_cells as f64 / self.total_cells as f64
+        }
+    }
+}
+
+/// Returns the indices of keypoints retained by the grid filter, ordered
+/// by descending score (the same order [`crate::orb::OrbExtractor`]
+/// emits). Keypoints are binned by their base-image coordinates.
+///
+/// # Panics
+/// Panics if `params.cell_size == 0` or `params.per_cell == 0`.
+pub fn grid_filter(keypoints: &[Keypoint], params: &GridParams) -> Vec<usize> {
+    assert!(params.cell_size > 0, "cell size must be positive");
+    assert!(params.per_cell > 0, "per-cell quota must be positive");
+    // Indices sorted by descending score; stable for equal scores.
+    let mut order: Vec<usize> = (0..keypoints.len()).collect();
+    order.sort_by(|&a, &b| {
+        keypoints[b]
+            .score
+            .partial_cmp(&keypoints[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut counts: HashMap<(i64, i64), usize> = HashMap::new();
+    let mut kept = Vec::new();
+    for idx in order {
+        let kp = &keypoints[idx];
+        let cell = (
+            (kp.x / params.cell_size as f64).floor() as i64,
+            (kp.y / params.cell_size as f64).floor() as i64,
+        );
+        let count = counts.entry(cell).or_insert(0);
+        if *count < params.per_cell {
+            *count += 1;
+            kept.push(idx);
+        }
+    }
+    kept
+}
+
+/// Measures the spatial coverage of a keypoint set over its bounding
+/// grid of `cell_size` cells.
+pub fn coverage(keypoints: &[Keypoint], cell_size: u32) -> CoverageStats {
+    if keypoints.is_empty() || cell_size == 0 {
+        return CoverageStats {
+            occupied_cells: 0,
+            total_cells: 0,
+            max_per_cell: 0,
+        };
+    }
+    let cs = cell_size as f64;
+    let mut counts: HashMap<(i64, i64), usize> = HashMap::new();
+    let (mut min_cx, mut max_cx) = (i64::MAX, i64::MIN);
+    let (mut min_cy, mut max_cy) = (i64::MAX, i64::MIN);
+    for kp in keypoints {
+        let cx = (kp.x / cs).floor() as i64;
+        let cy = (kp.y / cs).floor() as i64;
+        *counts.entry((cx, cy)).or_insert(0) += 1;
+        min_cx = min_cx.min(cx);
+        max_cx = max_cx.max(cx);
+        min_cy = min_cy.min(cy);
+        max_cy = max_cy.max(cy);
+    }
+    let total = ((max_cx - min_cx + 1) * (max_cy - min_cy + 1)).max(0) as usize;
+    CoverageStats {
+        occupied_cells: counts.len(),
+        total_cells: total,
+        max_per_cell: counts.values().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(x: f64, y: f64, score: f64) -> Keypoint {
+        Keypoint {
+            x,
+            y,
+            level: 0,
+            level_x: x as u32,
+            level_y: y as u32,
+            score,
+            angle: 0.0,
+            label: 0,
+        }
+    }
+
+    #[test]
+    fn quota_enforced_per_cell() {
+        // Five keypoints in one 32px cell, quota 2 → best two kept.
+        let kps = vec![
+            kp(5.0, 5.0, 1.0),
+            kp(6.0, 5.0, 5.0),
+            kp(7.0, 5.0, 3.0),
+            kp(8.0, 5.0, 4.0),
+            kp(9.0, 5.0, 2.0),
+        ];
+        let kept = grid_filter(&kps, &GridParams { cell_size: 32, per_cell: 2 });
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept, vec![1, 3]); // scores 5.0 then 4.0
+    }
+
+    #[test]
+    fn separate_cells_independent() {
+        let kps = vec![kp(5.0, 5.0, 1.0), kp(100.0, 5.0, 1.0), kp(5.0, 100.0, 1.0)];
+        let kept = grid_filter(&kps, &GridParams { cell_size: 32, per_cell: 1 });
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn output_sorted_by_score() {
+        let kps = vec![kp(5.0, 5.0, 1.0), kp(100.0, 5.0, 9.0), kp(200.0, 5.0, 4.0)];
+        let kept = grid_filter(&kps, &GridParams::default());
+        let scores: Vec<f64> = kept.iter().map(|&i| kps[i].score).collect();
+        assert_eq!(scores, vec![9.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(grid_filter(&[], &GridParams::default()).is_empty());
+        let stats = coverage(&[], 32);
+        assert_eq!(stats.occupancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        grid_filter(&[kp(0.0, 0.0, 1.0)], &GridParams { cell_size: 0, per_cell: 1 });
+    }
+
+    #[test]
+    fn coverage_counts_cells() {
+        // 4 keypoints in 2 distinct cells of a 2x1 bounding grid.
+        let kps = vec![
+            kp(5.0, 5.0, 1.0),
+            kp(6.0, 6.0, 1.0),
+            kp(40.0, 5.0, 1.0),
+            kp(41.0, 6.0, 1.0),
+        ];
+        let stats = coverage(&kps, 32);
+        assert_eq!(stats.occupied_cells, 2);
+        assert_eq!(stats.total_cells, 2);
+        assert_eq!(stats.max_per_cell, 2);
+        assert!((stats.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_filter_improves_spatial_evenness() {
+        // A dense cluster plus a sparse spread: after filtering, the
+        // cluster no longer dominates.
+        let mut kps = Vec::new();
+        for i in 0..50 {
+            kps.push(kp(10.0 + (i % 7) as f64, 10.0 + (i / 7) as f64, 100.0 + i as f64));
+        }
+        for i in 0..10 {
+            kps.push(kp(50.0 + 40.0 * i as f64, 200.0, 1.0));
+        }
+        let before = coverage(&kps, 32);
+        let kept = grid_filter(&kps, &GridParams { cell_size: 32, per_cell: 3 });
+        let filtered: Vec<Keypoint> = kept.iter().map(|&i| kps[i]).collect();
+        let after = coverage(&filtered, 32);
+        assert!(after.max_per_cell <= 3);
+        // All sparse points survive; the cluster is capped.
+        assert_eq!(after.occupied_cells, before.occupied_cells);
+        assert!(filtered.len() < kps.len());
+        assert!(filtered.iter().filter(|k| k.score < 50.0).count() == 10);
+    }
+}

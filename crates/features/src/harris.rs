@@ -1,0 +1,119 @@
+//! Harris corner response.
+//!
+//! The paper's FAST Detection module "computes Harris corner score for
+//! each keypoint" (§3.1); the score drives both non-maximum suppression
+//! and the top-1024 Heap filtering. As in the original ORB, the response
+//! is evaluated on a small block around the keypoint with Sobel
+//! derivatives.
+
+use eslam_image::GrayImage;
+
+/// Harris detector constant `k` in `det(M) − k·trace(M)²`.
+pub const HARRIS_K: f64 = 0.04;
+
+/// Half-size of the 7×7 scoring block (matches the 7×7 patch the paper's
+/// FAST Detection module consumes).
+pub const BLOCK_HALF: i64 = 3;
+
+/// Computes the Harris corner response at `(x, y)`.
+///
+/// Derivatives use the 3×3 Sobel operator; the structure tensor is
+/// accumulated over the 7×7 block centred on the pixel with border
+/// replication. Normalization matches OpenCV's ORB convention of scaling
+/// by `1 / (4 · block_area)²` on the raw Sobel sums — only relative order
+/// matters for NMS/heap filtering, but a stable scale keeps scores
+/// readable.
+pub fn harris_score(img: &GrayImage, x: u32, y: u32) -> f64 {
+    let mut sum_xx = 0.0f64;
+    let mut sum_yy = 0.0f64;
+    let mut sum_xy = 0.0f64;
+    let (cx, cy) = (x as i64, y as i64);
+    for dy in -BLOCK_HALF..=BLOCK_HALF {
+        for dx in -BLOCK_HALF..=BLOCK_HALF {
+            let px = cx + dx;
+            let py = cy + dy;
+            let ix = sobel_x(img, px, py);
+            let iy = sobel_y(img, px, py);
+            sum_xx += ix * ix;
+            sum_yy += iy * iy;
+            sum_xy += ix * iy;
+        }
+    }
+    let norm = 1.0 / ((4 * (2 * BLOCK_HALF + 1).pow(2)) as f64);
+    let (a, b, c) = (sum_xx * norm * norm, sum_xy * norm * norm, sum_yy * norm * norm);
+    let det = a * c - b * b;
+    let trace = a + c;
+    det - HARRIS_K * trace * trace
+}
+
+#[inline]
+fn sobel_x(img: &GrayImage, x: i64, y: i64) -> f64 {
+    let g = |dx: i64, dy: i64| img.get_clamped(x + dx, y + dy) as f64;
+    (g(1, -1) + 2.0 * g(1, 0) + g(1, 1)) - (g(-1, -1) + 2.0 * g(-1, 0) + g(-1, 1))
+}
+
+#[inline]
+fn sobel_y(img: &GrayImage, x: i64, y: i64) -> f64 {
+    let g = |dx: i64, dy: i64| img.get_clamped(x + dx, y + dy) as f64;
+    (g(-1, 1) + 2.0 * g(0, 1) + g(1, 1)) - (g(-1, -1) + 2.0 * g(0, -1) + g(1, -1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner_image() -> GrayImage {
+        // Bright quadrant: a strong L-corner at (16, 16).
+        GrayImage::from_fn(32, 32, |x, y| if x >= 16 && y >= 16 { 220 } else { 30 })
+    }
+
+    #[test]
+    fn flat_region_scores_zero() {
+        let img = GrayImage::from_fn(16, 16, |_, _| 128);
+        assert_eq!(harris_score(&img, 8, 8), 0.0);
+    }
+
+    #[test]
+    fn corner_scores_higher_than_edge() {
+        let img = corner_image();
+        let corner = harris_score(&img, 16, 16);
+        let edge = harris_score(&img, 24, 16); // on the horizontal edge
+        let flat = harris_score(&img, 24, 24); // inside the bright region
+        assert!(corner > edge, "corner {corner} vs edge {edge}");
+        assert!(corner > flat, "corner {corner} vs flat {flat}");
+        assert!(corner > 0.0);
+    }
+
+    #[test]
+    fn edge_scores_negative_or_small() {
+        // A pure edge has rank-1 structure tensor: det ≈ 0, so the
+        // response ≈ −k·trace² < 0.
+        let img = GrayImage::from_fn(32, 32, |x, _| if x < 16 { 0 } else { 255 });
+        let edge = harris_score(&img, 16, 16);
+        assert!(edge < 0.0, "edge response {edge}");
+    }
+
+    #[test]
+    fn response_is_contrast_monotone() {
+        let weak = GrayImage::from_fn(32, 32, |x, y| if x >= 16 && y >= 16 { 80 } else { 30 });
+        let strong = corner_image();
+        assert!(harris_score(&strong, 16, 16) > harris_score(&weak, 16, 16));
+    }
+
+    #[test]
+    fn response_symmetric_under_inversion() {
+        // Inverting intensity flips gradients but not the tensor products.
+        let img = corner_image();
+        let inverted = GrayImage::from_fn(32, 32, |x, y| 255 - img.get(x, y));
+        let a = harris_score(&img, 16, 16);
+        let b = harris_score(&inverted, 16, 16);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn border_evaluation_does_not_panic() {
+        let img = corner_image();
+        let _ = harris_score(&img, 0, 0);
+        let _ = harris_score(&img, 31, 31);
+    }
+}

@@ -1,0 +1,261 @@
+//! Brute-force Hamming-distance matching.
+//!
+//! Software reference of the paper's BRIEF Matcher (§3.2): for each
+//! descriptor of the current frame, compute the Hamming distance to every
+//! map descriptor and keep the minimum. Optional filters (distance cap,
+//! Lowe ratio, cross-check) are provided for the software pipeline; the
+//! hardware unit implements only the plain minimum search, as described in
+//! the paper.
+
+use crate::descriptor::Descriptor;
+
+/// A correspondence between a query descriptor and a train descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescriptorMatch {
+    /// Index into the query set (current frame).
+    pub query: usize,
+    /// Index into the train set (map points).
+    pub train: usize,
+    /// Hamming distance between the two descriptors.
+    pub distance: u32,
+}
+
+/// For each query descriptor, finds the nearest train descriptor
+/// (minimum Hamming distance; ties keep the lowest train index, matching
+/// the sequential hardware comparator). Matches with distance above
+/// `max_distance` are dropped.
+///
+/// Returns matches ordered by query index. Empty train sets yield no
+/// matches.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_features::{Descriptor, matcher::match_brute_force};
+/// let q = [Descriptor::from_words([0b1011, 0, 0, 0])];
+/// let t = [
+///     Descriptor::from_words([0b0011, 0, 0, 0]), // distance 1
+///     Descriptor::from_words([0b1111, 0, 0, 0]), // distance 1 (tie — first wins)
+///     Descriptor::ZERO,                            // distance 3
+/// ];
+/// let m = match_brute_force(&q, &t, u32::MAX);
+/// assert_eq!(m[0].train, 0);
+/// assert_eq!(m[0].distance, 1);
+/// ```
+pub fn match_brute_force(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    max_distance: u32,
+) -> Vec<DescriptorMatch> {
+    let mut out = Vec::with_capacity(query.len());
+    for (qi, q) in query.iter().enumerate() {
+        let mut best: Option<(usize, u32)> = None;
+        for (ti, t) in train.iter().enumerate() {
+            let d = q.hamming(t);
+            match best {
+                Some((_, bd)) if d >= bd => {}
+                _ => best = Some((ti, d)),
+            }
+        }
+        if let Some((ti, d)) = best {
+            if d <= max_distance {
+                out.push(DescriptorMatch {
+                    query: qi,
+                    train: ti,
+                    distance: d,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour matching with Lowe's ratio test: a match survives iff
+/// `best < ratio × second_best`. `ratio` ∈ (0, 1]; smaller is stricter.
+///
+/// # Panics
+/// Panics if `ratio` is not within `(0, 1]`.
+pub fn match_with_ratio(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    ratio: f64,
+    max_distance: u32,
+) -> Vec<DescriptorMatch> {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let mut out = Vec::new();
+    for (qi, q) in query.iter().enumerate() {
+        let mut best: Option<(usize, u32)> = None;
+        let mut second: u32 = u32::MAX;
+        for (ti, t) in train.iter().enumerate() {
+            let d = q.hamming(t);
+            match best {
+                None => best = Some((ti, d)),
+                Some((_, bd)) if d < bd => {
+                    second = bd;
+                    best = Some((ti, d));
+                }
+                Some(_) => second = second.min(d),
+            }
+        }
+        if let Some((ti, d)) = best {
+            let passes_ratio = second == u32::MAX || (d as f64) < ratio * second as f64;
+            if d <= max_distance && passes_ratio {
+                out.push(DescriptorMatch {
+                    query: qi,
+                    train: ti,
+                    distance: d,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Mutual-consistency filter: keeps a forward match `(q → t)` only when
+/// the backward matching also pairs `t → q`.
+pub fn cross_check(
+    forward: &[DescriptorMatch],
+    backward: &[DescriptorMatch],
+) -> Vec<DescriptorMatch> {
+    forward
+        .iter()
+        .filter(|f| {
+            backward
+                .iter()
+                .any(|b| b.query == f.train && b.train == f.query)
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(bits: &[usize]) -> Descriptor {
+        let mut d = Descriptor::ZERO;
+        for &b in bits {
+            d.set_bit(b, true);
+        }
+        d
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let q = [desc(&[1, 5, 9])];
+        let t = [desc(&[0]), desc(&[1, 5, 9]), desc(&[2])];
+        let m = match_brute_force(&q, &t, u32::MAX);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].train, 1);
+        assert_eq!(m[0].distance, 0);
+    }
+
+    #[test]
+    fn empty_train_set_gives_no_matches() {
+        let q = [desc(&[1])];
+        assert!(match_brute_force(&q, &[], u32::MAX).is_empty());
+    }
+
+    #[test]
+    fn empty_query_set_gives_no_matches() {
+        let t = [desc(&[1])];
+        assert!(match_brute_force(&[], &t, u32::MAX).is_empty());
+    }
+
+    #[test]
+    fn max_distance_filters() {
+        let q = [desc(&[0, 1, 2, 3])];
+        let t = [Descriptor::ZERO]; // distance 4
+        assert!(match_brute_force(&q, &t, 3).is_empty());
+        assert_eq!(match_brute_force(&q, &t, 4).len(), 1);
+    }
+
+    #[test]
+    fn tie_keeps_lowest_train_index() {
+        let q = [desc(&[10])];
+        let t = [desc(&[11]), desc(&[12])]; // both at distance 2
+        let m = match_brute_force(&q, &t, u32::MAX);
+        assert_eq!(m[0].train, 0);
+    }
+
+    #[test]
+    fn matches_ordered_by_query() {
+        let q = [desc(&[0]), desc(&[64]), desc(&[128])];
+        let t = [desc(&[0]), desc(&[64]), desc(&[128])];
+        let m = match_brute_force(&q, &t, u32::MAX);
+        let idx: Vec<_> = m.iter().map(|x| x.query).collect();
+        assert_eq!(idx, [0, 1, 2]);
+        for x in &m {
+            assert_eq!(x.query, x.train);
+        }
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous() {
+        // Query equidistant from two train descriptors → ambiguous.
+        let q = [desc(&[0])];
+        let t = [desc(&[1]), desc(&[2])]; // both distance 2
+        let strict = match_with_ratio(&q, &t, 0.8, u32::MAX);
+        assert!(strict.is_empty());
+        // A clearly better best passes.
+        let t2 = [desc(&[0]), desc(&[1, 2, 3, 4, 5])];
+        let ok = match_with_ratio(&q, &t2, 0.8, u32::MAX);
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].train, 0);
+    }
+
+    #[test]
+    fn ratio_test_single_candidate_passes() {
+        let q = [desc(&[0])];
+        let t = [desc(&[0, 1])];
+        let m = match_with_ratio(&q, &t, 0.5, u32::MAX);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_panics() {
+        match_with_ratio(&[], &[], 1.5, 0);
+    }
+
+    #[test]
+    fn cross_check_keeps_mutual_only() {
+        let fwd = vec![
+            DescriptorMatch { query: 0, train: 5, distance: 1 },
+            DescriptorMatch { query: 1, train: 6, distance: 2 },
+        ];
+        let bwd = vec![
+            DescriptorMatch { query: 5, train: 0, distance: 1 }, // mutual with fwd[0]
+            DescriptorMatch { query: 6, train: 9, distance: 2 }, // not mutual
+        ];
+        let kept = cross_check(&fwd, &bwd);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].query, 0);
+    }
+
+    #[test]
+    fn brute_force_finds_global_minimum() {
+        // Pseudo-random descriptor sets; verify against naive argmin.
+        let mk = |seed: u64| {
+            let mut words = [0u64; 4];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64 * 1442695040888963407);
+            }
+            Descriptor::from_words(words)
+        };
+        let query: Vec<Descriptor> = (0..20).map(|i| mk(i * 7 + 1)).collect();
+        let train: Vec<Descriptor> = (0..50).map(|i| mk(i * 13 + 3)).collect();
+        let matches = match_brute_force(&query, &train, u32::MAX);
+        assert_eq!(matches.len(), query.len());
+        for m in &matches {
+            let naive = train
+                .iter()
+                .map(|t| query[m.query].hamming(t))
+                .min()
+                .unwrap();
+            assert_eq!(m.distance, naive);
+        }
+    }
+}

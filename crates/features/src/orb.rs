@@ -1,0 +1,511 @@
+//! The complete ORB feature extractor.
+//!
+//! Mirrors the paper's ORB Extractor datapath (§3.1, Fig. 4): per pyramid
+//! level, FAST detection + Harris scoring → NMS → Gaussian smoothing →
+//! orientation (32-label) → (RS-)BRIEF descriptor → bounded heap keeping
+//! the best 1024 features.
+//!
+//! Two workflow schedules are modelled (§3.1):
+//!
+//! * [`Workflow::Original`] — detect → **filter** (top-N) → compute
+//!   descriptors for the N survivors. Computes only N descriptors but the
+//!   descriptor stage idles until filtering finishes and all intermediate
+//!   candidates must be buffered.
+//! * [`Workflow::Rescheduled`] — detect → compute descriptors for **all**
+//!   M candidates → filter. Streams, overlapping all stages, at the cost
+//!   of M − N extra descriptor computations.
+//!
+//! Both schedules produce **identical feature sets** (tested); they differ
+//! only in work/latency/memory, which [`ExtractionStats`] records and the
+//! `eslam-hw` timing model consumes.
+
+use crate::brief::{compute_descriptor, OriginalBrief, RsBrief};
+use crate::descriptor::Descriptor;
+use crate::fast;
+use crate::harris::harris_score;
+use crate::heap::{BestHeap, DEFAULT_HEAP_CAPACITY};
+use crate::nms::{suppress, ScoredPoint};
+use crate::orientation::{angle_to_label, label_to_angle, patch_moments, OrientationLut};
+use eslam_image::filter::gaussian_blur_7x7_fixed;
+use eslam_image::pyramid::{ImagePyramid, PyramidConfig};
+use eslam_image::GrayImage;
+
+/// Margin (pixels) a keypoint must keep from the level border so that the
+/// radius-15 descriptor/orientation patch (plus rounding) stays inside.
+pub const EDGE_MARGIN: u32 = 16;
+
+/// Descriptor flavour used by the extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescriptorKind {
+    /// The paper's rotationally symmetric pattern; steering by descriptor
+    /// rotation (hardware-friendly).
+    RsBrief,
+    /// Original ORB pattern steered through the 30-angle LUT \[8\].
+    OriginalLut,
+    /// Original ORB pattern with direct per-feature rotation (Eq. 2).
+    OriginalDirect,
+}
+
+/// Extraction workflow schedule (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workflow {
+    /// Detect → filter → compute (the pre-rescheduling baseline).
+    Original,
+    /// Detect → compute → filter (the paper's streaming schedule).
+    Rescheduled,
+}
+
+/// Configuration of the [`OrbExtractor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrbConfig {
+    /// Pyramid layout (4 levels × 1.2 by default, as in the paper).
+    pub pyramid: PyramidConfig,
+    /// FAST intensity threshold.
+    pub fast_threshold: u8,
+    /// Maximum features kept per frame (the Heap capacity, 1024).
+    pub max_features: usize,
+    /// Descriptor flavour.
+    pub descriptor: DescriptorKind,
+    /// Workflow schedule.
+    pub workflow: Workflow,
+    /// Seed for the descriptor pattern generation.
+    pub pattern_seed: u64,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            pyramid: PyramidConfig::default(),
+            fast_threshold: fast::DEFAULT_THRESHOLD,
+            max_features: DEFAULT_HEAP_CAPACITY,
+            descriptor: DescriptorKind::RsBrief,
+            workflow: Workflow::Rescheduled,
+            pattern_seed: 0xe51a,
+        }
+    }
+}
+
+/// An oriented, scored multi-scale keypoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Keypoint {
+    /// Column in base-image coordinates.
+    pub x: f64,
+    /// Row in base-image coordinates.
+    pub y: f64,
+    /// Pyramid level the keypoint was detected at.
+    pub level: usize,
+    /// Column in level coordinates.
+    pub level_x: u32,
+    /// Row in level coordinates.
+    pub level_y: u32,
+    /// Harris corner score.
+    pub score: f64,
+    /// Continuous orientation angle (radians).
+    pub angle: f64,
+    /// Discretized orientation label (0..31, 11.25° steps).
+    pub label: u8,
+}
+
+/// Counters describing one extraction run; these feed the `eslam-hw`
+/// latency/memory model of the workflow-rescheduling ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtractionStats {
+    /// Raw FAST detections across all levels (before NMS) — the paper's M
+    /// is measured after NMS; this counter exposes the upstream volume.
+    pub fast_detections: usize,
+    /// Candidates surviving NMS and the border margin (the paper's M).
+    pub candidates: usize,
+    /// Features finally kept (the paper's N ≤ 1024).
+    pub kept: usize,
+    /// Descriptors actually computed: N for [`Workflow::Original`],
+    /// M for [`Workflow::Rescheduled`].
+    pub descriptors_computed: usize,
+    /// Total pixels processed across the pyramid.
+    pub pixels_processed: u64,
+}
+
+/// Extraction result: keypoints with aligned descriptors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrbFeatures {
+    /// Keypoints ordered by descending Harris score.
+    pub keypoints: Vec<Keypoint>,
+    /// `descriptors[i]` belongs to `keypoints[i]`.
+    pub descriptors: Vec<Descriptor>,
+    /// Workflow counters.
+    pub stats: ExtractionStats,
+}
+
+impl OrbFeatures {
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.keypoints.len()
+    }
+
+    /// Whether no features were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.keypoints.is_empty()
+    }
+}
+
+/// Descriptor engines, instantiated once per extractor.
+#[derive(Debug, Clone)]
+enum Engine {
+    Rs(RsBrief),
+    Original(OriginalBrief),
+    Direct(OriginalBrief),
+}
+
+/// The ORB feature extractor (software reference of the FPGA datapath).
+///
+/// # Examples
+///
+/// ```
+/// use eslam_image::GrayImage;
+/// use eslam_features::orb::{OrbExtractor, OrbConfig};
+///
+/// // A checkerboard with per-pixel variation (a perfectly symmetric
+/// // X-junction is not a FAST-9 corner, so pure checkerboards are empty).
+/// let img = GrayImage::from_fn(320, 240, |x, y| {
+///     let base = if (x / 16 + y / 16) % 2 == 0 { 40 } else { 200 };
+///     base + ((x * 31 + y * 17) % 23) as u8
+/// });
+/// let extractor = OrbExtractor::new(OrbConfig::default());
+/// let features = extractor.extract(&img);
+/// assert!(!features.is_empty());
+/// assert_eq!(features.keypoints.len(), features.descriptors.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrbExtractor {
+    config: OrbConfig,
+    engine: Engine,
+    lut: OrientationLut,
+}
+
+impl OrbExtractor {
+    /// Creates an extractor, generating the descriptor pattern from
+    /// `config.pattern_seed`.
+    pub fn new(config: OrbConfig) -> Self {
+        let engine = match config.descriptor {
+            DescriptorKind::RsBrief => Engine::Rs(RsBrief::new(config.pattern_seed)),
+            DescriptorKind::OriginalLut => Engine::Original(OriginalBrief::new(config.pattern_seed)),
+            DescriptorKind::OriginalDirect => Engine::Direct(OriginalBrief::new(config.pattern_seed)),
+        };
+        OrbExtractor {
+            config,
+            engine,
+            lut: OrientationLut::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OrbConfig {
+        &self.config
+    }
+
+    /// Extracts up to `max_features` oriented, described keypoints.
+    pub fn extract(&self, image: &GrayImage) -> OrbFeatures {
+        let pyramid = ImagePyramid::build(image, &self.config.pyramid);
+        let mut stats = ExtractionStats {
+            pixels_processed: pyramid.total_pixels(),
+            ..Default::default()
+        };
+
+        // Per level: detect, score, suppress; keep the smoothed image for
+        // the descriptor/orientation stages.
+        let mut level_candidates: Vec<Vec<ScoredPoint>> = Vec::with_capacity(pyramid.levels());
+        let mut smoothed: Vec<GrayImage> = Vec::with_capacity(pyramid.levels());
+        for (_, img) in pyramid.iter() {
+            let detections = fast::detect(img, self.config.fast_threshold);
+            stats.fast_detections += detections.len();
+            let scored: Vec<ScoredPoint> = detections
+                .iter()
+                .map(|d| ScoredPoint {
+                    x: d.x,
+                    y: d.y,
+                    score: harris_score(img, d.x, d.y),
+                })
+                .collect();
+            let surviving: Vec<ScoredPoint> = suppress(&scored)
+                .into_iter()
+                .filter(|p| {
+                    p.x >= EDGE_MARGIN
+                        && p.y >= EDGE_MARGIN
+                        && p.x + EDGE_MARGIN < img.width()
+                        && p.y + EDGE_MARGIN < img.height()
+                })
+                .collect();
+            stats.candidates += surviving.len();
+            level_candidates.push(surviving);
+            smoothed.push(gaussian_blur_7x7_fixed(img));
+        }
+
+        let (keypoints, descriptors) = match self.config.workflow {
+            Workflow::Rescheduled => {
+                // Compute descriptors for every candidate, then filter.
+                let mut heap: BestHeap<(Keypoint, Descriptor)> =
+                    BestHeap::new(self.config.max_features);
+                for (level, candidates) in level_candidates.iter().enumerate() {
+                    let scale = pyramid.scale_of(level);
+                    for c in candidates {
+                        let kp = self.orient(&smoothed[level], c, level, scale);
+                        let desc = self.describe(&smoothed[level], &kp);
+                        stats.descriptors_computed += 1;
+                        heap.push(kp.score, (kp, desc));
+                    }
+                }
+                let mut kps = Vec::with_capacity(heap.len());
+                let mut descs = Vec::with_capacity(heap.len());
+                for (_, (kp, d)) in heap.into_sorted_vec() {
+                    kps.push(kp);
+                    descs.push(d);
+                }
+                (kps, descs)
+            }
+            Workflow::Original => {
+                // Filter first on Harris score, then compute descriptors
+                // only for the survivors.
+                let mut heap: BestHeap<Keypoint> = BestHeap::new(self.config.max_features);
+                for (level, candidates) in level_candidates.iter().enumerate() {
+                    let scale = pyramid.scale_of(level);
+                    for c in candidates {
+                        let kp = self.orient(&smoothed[level], c, level, scale);
+                        heap.push(kp.score, kp);
+                    }
+                }
+                let mut kps = Vec::with_capacity(heap.len());
+                let mut descs = Vec::with_capacity(heap.len());
+                for (_, kp) in heap.into_sorted_vec() {
+                    let desc = self.describe(&smoothed[kp.level], &kp);
+                    stats.descriptors_computed += 1;
+                    kps.push(kp);
+                    descs.push(desc);
+                }
+                (kps, descs)
+            }
+        };
+
+        stats.kept = keypoints.len();
+        OrbFeatures {
+            keypoints,
+            descriptors,
+            stats,
+        }
+    }
+
+    /// Builds the oriented keypoint for a surviving candidate.
+    fn orient(&self, smoothed: &GrayImage, c: &ScoredPoint, level: usize, scale: f64) -> Keypoint {
+        let moments = patch_moments(smoothed, c.x, c.y);
+        let label = self.lut.label(moments.m10, moments.m01);
+        // The continuous angle is retained for the Original descriptor
+        // modes; RS-BRIEF uses only the label, as the hardware does.
+        let angle = match self.config.descriptor {
+            DescriptorKind::RsBrief => label_to_angle(label),
+            _ => moments.angle(),
+        };
+        Keypoint {
+            x: c.x as f64 * scale,
+            y: c.y as f64 * scale,
+            level,
+            level_x: c.x,
+            level_y: c.y,
+            score: c.score,
+            angle,
+            label,
+        }
+    }
+
+    /// Computes the steered descriptor for a keypoint.
+    fn describe(&self, smoothed: &GrayImage, kp: &Keypoint) -> Descriptor {
+        match &self.engine {
+            Engine::Rs(rs) => rs.compute(smoothed, kp.level_x, kp.level_y, kp.label),
+            Engine::Original(orig) => orig.compute_lut(smoothed, kp.level_x, kp.level_y, kp.angle),
+            Engine::Direct(orig) => orig.compute_direct(smoothed, kp.level_x, kp.level_y, kp.angle),
+        }
+    }
+
+    /// Computes the *unsteered* descriptor at a keypoint (used by the
+    /// hardware model, which steers in a separate Rotator stage).
+    pub fn describe_unsteered(&self, smoothed: &GrayImage, x: u32, y: u32) -> Descriptor {
+        match &self.engine {
+            Engine::Rs(rs) => compute_descriptor(smoothed, x, y, rs.pattern()),
+            Engine::Original(orig) | Engine::Direct(orig) => {
+                compute_descriptor(smoothed, x, y, orig.pattern())
+            }
+        }
+    }
+}
+
+/// Convenience: checks that the orientation label discretization used by
+/// keypoints agrees with [`angle_to_label`].
+pub fn label_of_angle(angle: f64) -> u8 {
+    angle_to_label(angle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corner-rich checkerboard with mild pseudo-random variation.
+    fn test_image(w: u32, h: u32, seed: u64) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            let base = if ((x / 12) + (y / 12)) % 2 == 0 { 50 } else { 190 };
+            let jitter = ((x as u64 * 31 + y as u64 * 17 + seed * 1009) % 23) as u8;
+            base + jitter
+        })
+    }
+
+    #[test]
+    fn extracts_features_from_checkerboard() {
+        let img = test_image(320, 240, 0);
+        let extractor = OrbExtractor::new(OrbConfig::default());
+        let f = extractor.extract(&img);
+        assert!(f.len() > 50, "got {}", f.len());
+        assert_eq!(f.keypoints.len(), f.descriptors.len());
+        assert!(f.stats.kept <= 1024);
+        assert_eq!(f.stats.kept, f.len());
+    }
+
+    #[test]
+    fn respects_max_features() {
+        let img = test_image(320, 240, 1);
+        let cfg = OrbConfig {
+            max_features: 20,
+            ..Default::default()
+        };
+        let f = OrbExtractor::new(cfg).extract(&img);
+        assert!(f.len() <= 20);
+        // Sorted by descending score.
+        for pair in f.keypoints.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn workflows_produce_identical_features() {
+        // §3.1: rescheduling changes latency/memory, not results.
+        let img = test_image(320, 240, 2);
+        let base = OrbConfig {
+            max_features: 100,
+            ..Default::default()
+        };
+        let original = OrbExtractor::new(OrbConfig {
+            workflow: Workflow::Original,
+            ..base
+        })
+        .extract(&img);
+        let rescheduled = OrbExtractor::new(OrbConfig {
+            workflow: Workflow::Rescheduled,
+            ..base
+        })
+        .extract(&img);
+        assert_eq!(original.keypoints, rescheduled.keypoints);
+        assert_eq!(original.descriptors, rescheduled.descriptors);
+    }
+
+    #[test]
+    fn rescheduled_computes_more_descriptors() {
+        // The cost of streaming: M ≥ N descriptor computations.
+        let img = test_image(320, 240, 3);
+        let base = OrbConfig {
+            max_features: 50,
+            ..Default::default()
+        };
+        let original = OrbExtractor::new(OrbConfig {
+            workflow: Workflow::Original,
+            ..base
+        })
+        .extract(&img);
+        let rescheduled = OrbExtractor::new(OrbConfig {
+            workflow: Workflow::Rescheduled,
+            ..base
+        })
+        .extract(&img);
+        assert_eq!(original.stats.descriptors_computed, original.stats.kept);
+        assert_eq!(
+            rescheduled.stats.descriptors_computed,
+            rescheduled.stats.candidates
+        );
+        assert!(rescheduled.stats.descriptors_computed >= original.stats.descriptors_computed);
+    }
+
+    #[test]
+    fn keypoints_respect_edge_margin() {
+        let img = test_image(160, 120, 4);
+        let f = OrbExtractor::new(OrbConfig::default()).extract(&img);
+        for kp in &f.keypoints {
+            assert!(kp.level_x >= EDGE_MARGIN);
+            assert!(kp.level_y >= EDGE_MARGIN);
+        }
+    }
+
+    #[test]
+    fn base_coordinates_scale_with_level() {
+        let img = test_image(320, 240, 5);
+        let f = OrbExtractor::new(OrbConfig::default()).extract(&img);
+        let mut seen_upper_level = false;
+        for kp in &f.keypoints {
+            let scale = 1.2f64.powi(kp.level as i32);
+            assert!((kp.x - kp.level_x as f64 * scale).abs() < 1e-9);
+            assert!((kp.y - kp.level_y as f64 * scale).abs() < 1e-9);
+            if kp.level > 0 {
+                seen_upper_level = true;
+            }
+        }
+        assert!(seen_upper_level, "multi-scale detection expected");
+    }
+
+    #[test]
+    fn flat_image_yields_nothing() {
+        let img = GrayImage::from_fn(160, 120, |_, _| 127);
+        let f = OrbExtractor::new(OrbConfig::default()).extract(&img);
+        assert!(f.is_empty());
+        assert_eq!(f.stats.candidates, 0);
+        assert_eq!(f.stats.descriptors_computed, 0);
+    }
+
+    #[test]
+    fn stats_pixels_match_pyramid() {
+        let img = test_image(320, 240, 6);
+        let f = OrbExtractor::new(OrbConfig::default()).extract(&img);
+        let cfg = PyramidConfig::default();
+        assert_eq!(f.stats.pixels_processed, cfg.total_pixels(320, 240));
+    }
+
+    #[test]
+    fn descriptor_kinds_all_work() {
+        let img = test_image(240, 180, 7);
+        for kind in [
+            DescriptorKind::RsBrief,
+            DescriptorKind::OriginalLut,
+            DescriptorKind::OriginalDirect,
+        ] {
+            let f = OrbExtractor::new(OrbConfig {
+                descriptor: kind,
+                max_features: 64,
+                ..Default::default()
+            })
+            .extract(&img);
+            assert!(!f.is_empty(), "{kind:?} extracted nothing");
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let img = test_image(240, 180, 8);
+        let e = OrbExtractor::new(OrbConfig::default());
+        let a = e.extract(&img);
+        let b = e.extract(&img);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_consistent_with_angles() {
+        let img = test_image(320, 240, 9);
+        let f = OrbExtractor::new(OrbConfig::default()).extract(&img);
+        for kp in &f.keypoints {
+            assert!(kp.label < 32);
+            // RS-BRIEF keypoints carry the label's representative angle.
+            assert_eq!(label_of_angle(kp.angle), kp.label);
+        }
+    }
+}

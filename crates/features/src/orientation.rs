@@ -1,0 +1,247 @@
+//! Feature orientation by the intensity-centroid method.
+//!
+//! The paper's Orientation Computing module (§3.1, Eq. 3) finds the mass
+//! centre `(u, v)` of the circular patch around a feature and defines the
+//! orientation as the vector from the patch centre to the mass centre.
+//! Because the RS-BRIEF pattern is 32-fold symmetric, the module
+//! discretizes the angle into an integral label 0..31 (11.25° steps),
+//! determined "from v/u and the signs of u and v" via a lookup table —
+//! [`OrientationLut`] reproduces that hardware structure.
+
+use eslam_image::GrayImage;
+
+/// Radius of the circular orientation patch (§2.2: radius-15 patch).
+pub const ORIENTATION_RADIUS: i64 = 15;
+
+/// Number of discrete orientation labels (32 × 11.25° = 360°).
+pub const ORIENTATION_BINS: u8 = 32;
+
+/// Raw intensity-centroid moments of a circular patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Moments {
+    /// `Σ I(x,y)·x` over the circular patch (numerator of `u`).
+    pub m10: i64,
+    /// `Σ I(x,y)·y` over the circular patch (numerator of `v`).
+    pub m01: i64,
+    /// `Σ I(x,y)` (the shared denominator of Eq. 3; positive for any
+    /// non-black patch).
+    pub m00: i64,
+}
+
+impl Moments {
+    /// Continuous orientation angle `atan2(v, u)` in `(-π, π]`.
+    pub fn angle(&self) -> f64 {
+        (self.m01 as f64).atan2(self.m10 as f64)
+    }
+}
+
+/// Computes the patch moments at `(x, y)`. Pixels outside the image are
+/// clamped (border replication), matching the hardware line buffers.
+pub fn patch_moments(img: &GrayImage, x: u32, y: u32) -> Moments {
+    let mut m10 = 0i64;
+    let mut m01 = 0i64;
+    let mut m00 = 0i64;
+    let r2 = ORIENTATION_RADIUS * ORIENTATION_RADIUS;
+    for dy in -ORIENTATION_RADIUS..=ORIENTATION_RADIUS {
+        for dx in -ORIENTATION_RADIUS..=ORIENTATION_RADIUS {
+            if dx * dx + dy * dy > r2 {
+                continue;
+            }
+            let i = img.get_clamped(x as i64 + dx, y as i64 + dy) as i64;
+            m10 += i * dx;
+            m01 += i * dy;
+            m00 += i;
+        }
+    }
+    Moments { m10, m01, m00 }
+}
+
+/// Continuous orientation angle at `(x, y)` in radians.
+pub fn orientation_angle(img: &GrayImage, x: u32, y: u32) -> f64 {
+    patch_moments(img, x, y).angle()
+}
+
+/// Discretizes a continuous angle into the 0..31 label (nearest 11.25°
+/// step, wrapping).
+pub fn angle_to_label(theta: f64) -> u8 {
+    let tau = 2.0 * std::f64::consts::PI;
+    let normalized = theta.rem_euclid(tau);
+    ((normalized / tau * ORIENTATION_BINS as f64).round() as u32 % ORIENTATION_BINS as u32) as u8
+}
+
+/// The label's representative angle in radians (label × 11.25°).
+pub fn label_to_angle(label: u8) -> f64 {
+    2.0 * std::f64::consts::PI * (label as f64) / ORIENTATION_BINS as f64
+}
+
+/// Hardware-style orientation lookup: determines the 0..31 label from the
+/// ratio `v/u` and the signs of `u` and `v`, avoiding any trigonometry in
+/// the datapath (§3.1: "builds a lookup table to determine the orientation
+/// from v/u and the signs of u and v").
+///
+/// The table stores `tan` of the 8 bin boundaries in the first quadrant;
+/// sign bits select the quadrant. Output is bit-identical to
+/// [`angle_to_label`]`(atan2(v, u))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrientationLut {
+    /// `tan` of the first-quadrant bin boundaries (5.625°, 16.875°, …,
+    /// 84.375°), the comparison thresholds of the hardware unit.
+    boundaries: Vec<f64>,
+}
+
+impl Default for OrientationLut {
+    fn default() -> Self {
+        OrientationLut::new()
+    }
+}
+
+impl OrientationLut {
+    /// Builds the boundary table.
+    pub fn new() -> Self {
+        // Bin k covers angles [k·11.25° − 5.625°, k·11.25° + 5.625°).
+        // Within the first quadrant the boundaries are at 5.625° + k·11.25°
+        // for k = 0..8 (the last, 95.625°, is handled by quadrant logic).
+        let boundaries = (0..8)
+            .map(|k| ((5.625 + 11.25 * k as f64).to_radians()).tan())
+            .collect();
+        OrientationLut { boundaries }
+    }
+
+    /// Looks up the orientation label for centroid numerators `(u, v)`
+    /// (i.e. `m10`, `m01`). `(0, 0)` maps to label 0.
+    pub fn label(&self, u: i64, v: i64) -> u8 {
+        if u == 0 && v == 0 {
+            return 0;
+        }
+        let au = u.unsigned_abs() as f64;
+        let av = v.unsigned_abs() as f64;
+        // First-quadrant sector from |v|/|u| against the tan boundaries:
+        // sector s means angle ∈ [s·11.25°−5.625°, s·11.25°+5.625°).
+        let mut sector = 8u8; // ≥ 84.375° ⇒ the vertical bin
+        if au > 0.0 {
+            let ratio = av / au;
+            sector = self.boundaries.iter().take_while(|&&b| ratio >= b).count() as u8;
+        } else {
+            // u = 0 ⇒ 90°.
+            sector = if av > 0.0 { 8 } else { sector };
+        }
+        // Map the first-quadrant sector into the full circle by sign.
+        let label = match (u >= 0, v >= 0) {
+            (true, true) => sector as i16,           // Q1: θ = sector
+            (false, true) => 16 - sector as i16,     // Q2: θ = 180° − s
+            (false, false) => 16 + sector as i16,    // Q3: θ = 180° + s
+            (true, false) => (32 - sector as i16) % 32, // Q4: θ = −s
+        };
+        (label.rem_euclid(32)) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn flat_patch_has_zero_moments_about_centre() {
+        let img = GrayImage::from_fn(64, 64, |_, _| 100);
+        let m = patch_moments(&img, 32, 32);
+        assert_eq!(m.m10, 0);
+        assert_eq!(m.m01, 0);
+        assert!(m.m00 > 0);
+    }
+
+    #[test]
+    fn rightward_gradient_points_right() {
+        let img = GrayImage::from_fn(64, 64, |x, _| (x * 4).min(255) as u8);
+        let theta = orientation_angle(&img, 32, 32);
+        assert!(theta.abs() < 0.05, "angle {theta}");
+        assert_eq!(angle_to_label(theta), 0);
+    }
+
+    #[test]
+    fn downward_gradient_points_down() {
+        // Image y grows downward; mass below centre ⇒ v > 0 ⇒ θ ≈ +90°.
+        let img = GrayImage::from_fn(64, 64, |_, y| (y * 4).min(255) as u8);
+        let theta = orientation_angle(&img, 32, 32);
+        assert!((theta - PI / 2.0).abs() < 0.05, "angle {theta}");
+        assert_eq!(angle_to_label(theta), 8);
+    }
+
+    #[test]
+    fn label_discretization_wraps() {
+        assert_eq!(angle_to_label(0.0), 0);
+        assert_eq!(angle_to_label(2.0 * PI), 0);
+        assert_eq!(angle_to_label(-2.0 * PI), 0);
+        assert_eq!(angle_to_label(PI), 16);
+        assert_eq!(angle_to_label(-PI / 2.0), 24);
+        // 11.25° = one step.
+        assert_eq!(angle_to_label(11.25f64.to_radians()), 1);
+        // Just under half a step rounds down.
+        assert_eq!(angle_to_label(5.6f64.to_radians()), 0);
+        // Just over half a step rounds up.
+        assert_eq!(angle_to_label(5.7f64.to_radians()), 1);
+    }
+
+    #[test]
+    fn label_round_trip() {
+        for label in 0..32u8 {
+            assert_eq!(angle_to_label(label_to_angle(label)), label);
+        }
+    }
+
+    #[test]
+    fn lut_matches_atan2_binning_exhaustively() {
+        let lut = OrientationLut::new();
+        // Sweep a dense grid of (u, v) numerators.
+        for u in (-2000i64..=2000).step_by(37) {
+            for v in (-2000i64..=2000).step_by(41) {
+                if u == 0 && v == 0 {
+                    continue;
+                }
+                let expect = angle_to_label((v as f64).atan2(u as f64));
+                let got = lut.label(u, v);
+                assert_eq!(got, expect, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_axes_and_diagonals() {
+        let lut = OrientationLut::new();
+        assert_eq!(lut.label(100, 0), 0); // 0°
+        assert_eq!(lut.label(0, 100), 8); // 90°
+        assert_eq!(lut.label(-100, 0), 16); // 180°
+        assert_eq!(lut.label(0, -100), 24); // 270°
+        assert_eq!(lut.label(100, 100), 4); // 45°
+        assert_eq!(lut.label(-100, 100), 12); // 135°
+        assert_eq!(lut.label(-100, -100), 20); // 225°
+        assert_eq!(lut.label(100, -100), 28); // 315°
+        assert_eq!(lut.label(0, 0), 0);
+    }
+
+    #[test]
+    fn rotating_image_rotates_label() {
+        // Rotate a directional pattern by 90° and check the label moves
+        // by 8 steps.
+        let img_right = GrayImage::from_fn(64, 64, |x, _| (x * 4).min(255) as u8);
+        let img_down = GrayImage::from_fn(64, 64, |_, y| (y * 4).min(255) as u8);
+        let m_right = patch_moments(&img_right, 32, 32);
+        let m_down = patch_moments(&img_down, 32, 32);
+        let lut = OrientationLut::new();
+        let l_right = lut.label(m_right.m10, m_right.m01);
+        let l_down = lut.label(m_down.m10, m_down.m01);
+        assert_eq!((l_right + 8) % 32, l_down);
+    }
+
+    #[test]
+    fn moments_use_circular_mask() {
+        // A bright pixel just outside the circle (at distance > 15) must
+        // not affect the moments.
+        let mut img = GrayImage::from_fn(64, 64, |_, _| 0);
+        img.set(32 + 12, 32 + 12, 255); // radius ≈ 17 > 15
+        let m = patch_moments(&img, 32, 32);
+        assert_eq!(m.m10, 0);
+        assert_eq!(m.m01, 0);
+        assert_eq!(m.m00, 0);
+    }
+}

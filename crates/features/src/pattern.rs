@@ -1,0 +1,384 @@
+//! BRIEF test-location patterns: the original random pattern and the
+//! paper's 32-fold rotationally symmetric RS-BRIEF pattern (§2.2).
+//!
+//! A pattern is an ordered list of 256 test pairs `(S_i, D_i)`; descriptor
+//! bit `i` is 1 iff `I(S_i) > I(D_i)` on the smoothened image.
+//!
+//! Three steering strategies are modelled, matching the paper's
+//! discussion:
+//!
+//! 1. **Direct rotation** (Eq. 2) — rotate all 512 locations per feature;
+//!    accurate but compute-heavy.
+//! 2. **30-angle lookup table** — the classic ORB approach \[8\]:
+//!    pre-compute the pattern at 12° increments; costs LUT storage.
+//! 3. **RS-BRIEF** — the pattern itself is 32-fold rotationally symmetric,
+//!    so steering degenerates to a re-indexing of the fixed pattern
+//!    (equivalently a byte-rotation of the descriptor — see
+//!    [`crate::Descriptor::steer`]).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of test pairs in a 256-bit descriptor.
+pub const PATTERN_PAIRS: usize = 256;
+/// Number of rotational symmetry steps of RS-BRIEF (32 × 11.25° = 360°).
+pub const RS_STEPS: usize = 32;
+/// Seed pairs per rotation step (32 × 8 = 256).
+pub const RS_SEED_PAIRS: usize = 8;
+/// Angular increment of one RS-BRIEF step, in radians (11.25°).
+pub const RS_STEP_RADIANS: f64 = 2.0 * std::f64::consts::PI / RS_STEPS as f64;
+/// Radius of the circular patch the test locations live in (§2.2:
+/// "a circular patch with a radius of 15 pixels").
+pub const PATCH_RADIUS: f64 = 15.0;
+/// Number of discretized angles in the classic ORB steering LUT \[8\].
+pub const ORB_LUT_ANGLES: usize = 30;
+
+/// A continuous test location relative to the feature centre.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestPoint {
+    /// Horizontal offset in pixels.
+    pub x: f64,
+    /// Vertical offset in pixels.
+    pub y: f64,
+}
+
+impl TestPoint {
+    /// Rotates the location by `theta` radians (Eq. 2 of the paper).
+    #[must_use]
+    pub fn rotated(&self, theta: f64) -> TestPoint {
+        let (s, c) = theta.sin_cos();
+        TestPoint {
+            x: self.x * c - self.y * s,
+            y: self.y * c + self.x * s,
+        }
+    }
+
+    /// Rounds to the integer pixel offset actually sampled.
+    pub fn to_offset(&self) -> (i32, i32) {
+        (self.x.round() as i32, self.y.round() as i32)
+    }
+
+    /// Distance from the patch centre.
+    pub fn radius(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+/// One descriptor test: compare intensity at `s` against `d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestPair {
+    /// First location (the "S" set of the paper).
+    pub s: TestPoint,
+    /// Second location (the "D" set of the paper).
+    pub d: TestPoint,
+}
+
+impl TestPair {
+    /// Rotates both locations by `theta` radians.
+    #[must_use]
+    pub fn rotated(&self, theta: f64) -> TestPair {
+        TestPair {
+            s: self.s.rotated(theta),
+            d: self.d.rotated(theta),
+        }
+    }
+}
+
+/// A full 256-pair BRIEF pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BriefPattern {
+    pairs: Vec<TestPair>,
+}
+
+impl BriefPattern {
+    /// Wraps a list of exactly [`PATTERN_PAIRS`] test pairs.
+    ///
+    /// # Panics
+    /// Panics if `pairs.len() != 256`.
+    pub fn new(pairs: Vec<TestPair>) -> Self {
+        assert_eq!(pairs.len(), PATTERN_PAIRS, "a BRIEF pattern has 256 pairs");
+        BriefPattern { pairs }
+    }
+
+    /// The test pairs in descriptor-bit order.
+    pub fn pairs(&self) -> &[TestPair] {
+        &self.pairs
+    }
+
+    /// Generates the **original BRIEF** pattern: 256 pairs drawn i.i.d.
+    /// from an isotropic Gaussian (σ = patch_radius / 2.5), rejected and
+    /// redrawn until they fall inside the patch (§2.2: "randomly selected
+    /// in the neighborhood according to Gaussian distribution").
+    ///
+    /// Deterministic for a given `seed`.
+    pub fn original(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sigma = PATCH_RADIUS / 2.5;
+        let draw_point = |rng: &mut SmallRng| -> TestPoint {
+            loop {
+                let p = TestPoint {
+                    x: gaussian(rng) * sigma,
+                    y: gaussian(rng) * sigma,
+                };
+                if p.radius() <= PATCH_RADIUS - 1.0 {
+                    return p;
+                }
+            }
+        };
+        let pairs = (0..PATTERN_PAIRS)
+            .map(|_| TestPair {
+                s: draw_point(&mut rng),
+                d: draw_point(&mut rng),
+            })
+            .collect();
+        BriefPattern { pairs }
+    }
+
+    /// Generates the **RS-BRIEF** pattern of the paper (§2.2): 8 seed
+    /// pairs drawn from a Gaussian, then replicated at all 32 rotations of
+    /// 11.25°. Pair ordering groups one full seed set per rotation step:
+    /// index `r * 8 + s` is seed `s` rotated by `r` steps. With this
+    /// ordering, steering by `n` steps re-indexes pairs by `+8n`, which is
+    /// exactly the byte-rotation the BRIEF Rotator performs.
+    ///
+    /// Deterministic for a given `seed`.
+    pub fn rs_brief(seed: u64) -> Self {
+        let seeds = rs_seed_pairs(seed);
+        let mut pairs = Vec::with_capacity(PATTERN_PAIRS);
+        for r in 0..RS_STEPS {
+            let theta = r as f64 * RS_STEP_RADIANS;
+            for seed_pair in &seeds {
+                pairs.push(seed_pair.rotated(theta));
+            }
+        }
+        BriefPattern { pairs }
+    }
+
+    /// Returns the pattern with every location rotated by `theta` radians
+    /// (the direct Eq. 2 steering).
+    #[must_use]
+    pub fn rotated(&self, theta: f64) -> BriefPattern {
+        BriefPattern {
+            pairs: self.pairs.iter().map(|p| p.rotated(theta)).collect(),
+        }
+    }
+
+    /// Maximum radius over all test locations; the extractor derives its
+    /// border margin from this.
+    pub fn max_radius(&self) -> f64 {
+        self.pairs
+            .iter()
+            .flat_map(|p| [p.s.radius(), p.d.radius()])
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Draws the 8 RS-BRIEF seed pairs from an isotropic Gaussian, clamped
+/// inside the patch so every rotation stays sampleable.
+fn rs_seed_pairs(seed: u64) -> Vec<TestPair> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sigma = PATCH_RADIUS / 2.5;
+    let draw_point = |rng: &mut SmallRng| -> TestPoint {
+        loop {
+            let p = TestPoint {
+                x: gaussian(rng) * sigma,
+                y: gaussian(rng) * sigma,
+            };
+            // Keep a rounding margin so every rotated+rounded location
+            // remains within the 15-pixel patch.
+            if p.radius() <= PATCH_RADIUS - 1.0 && p.radius() >= 1.5 {
+                return p;
+            }
+        }
+    };
+    (0..RS_SEED_PAIRS)
+        .map(|_| TestPair {
+            s: draw_point(&mut rng),
+            d: draw_point(&mut rng),
+        })
+        .collect()
+}
+
+/// Standard normal sample via the Box-Muller transform.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The classic ORB steering lookup table \[8\]: the same pattern
+/// pre-rotated at 30 discretized angles (12° increments). This is the
+/// strategy the paper argues is too expensive to store on-chip (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteeredPatternLut {
+    tables: Vec<BriefPattern>,
+}
+
+impl SteeredPatternLut {
+    /// Pre-computes the 30 rotated copies of `base`.
+    pub fn build(base: &BriefPattern) -> Self {
+        let tables = (0..ORB_LUT_ANGLES)
+            .map(|k| base.rotated(2.0 * std::f64::consts::PI * k as f64 / ORB_LUT_ANGLES as f64))
+            .collect();
+        SteeredPatternLut { tables }
+    }
+
+    /// The pattern pre-rotated to the discretized angle nearest `theta`.
+    pub fn lookup(&self, theta: f64) -> &BriefPattern {
+        let tau = 2.0 * std::f64::consts::PI;
+        let normalized = theta.rem_euclid(tau);
+        let idx = ((normalized / tau * ORB_LUT_ANGLES as f64).round() as usize) % ORB_LUT_ANGLES;
+        &self.tables[idx]
+    }
+
+    /// Number of stored patterns (30).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the table is empty (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Storage cost in location entries — the "considerable amount of
+    /// extra resources" of §2.2: 30 patterns × 512 locations.
+    pub fn storage_locations(&self) -> usize {
+        self.tables.len() * PATTERN_PAIRS * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn original_pattern_is_deterministic() {
+        let a = BriefPattern::original(7);
+        let b = BriefPattern::original(7);
+        assert_eq!(a, b);
+        let c = BriefPattern::original(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn original_pattern_within_patch() {
+        let p = BriefPattern::original(42);
+        assert_eq!(p.pairs().len(), 256);
+        assert!(p.max_radius() <= PATCH_RADIUS);
+    }
+
+    #[test]
+    fn rs_pattern_has_32_fold_symmetry() {
+        let p = BriefPattern::rs_brief(42);
+        // Rotating the whole pattern by one step must reproduce the same
+        // multiset of pairs, re-indexed by +8 (mod 256).
+        let rotated = p.rotated(RS_STEP_RADIANS);
+        for k in 0..PATTERN_PAIRS {
+            let expect = p.pairs()[(k + RS_SEED_PAIRS) % PATTERN_PAIRS];
+            let got = rotated.pairs()[k];
+            assert!(
+                (got.s.x - expect.s.x).abs() < 1e-9
+                    && (got.s.y - expect.s.y).abs() < 1e-9
+                    && (got.d.x - expect.d.x).abs() < 1e-9
+                    && (got.d.y - expect.d.y).abs() < 1e-9,
+                "pair {k} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn rs_pattern_radii_invariant_under_rotation() {
+        let p = BriefPattern::rs_brief(3);
+        // All 32 copies of seed s share the same radius.
+        for s in 0..RS_SEED_PAIRS {
+            let r0 = p.pairs()[s].s.radius();
+            for step in 1..RS_STEPS {
+                let r = p.pairs()[step * RS_SEED_PAIRS + s].s.radius();
+                assert!((r - r0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rs_pattern_within_patch_after_rounding() {
+        let p = BriefPattern::rs_brief(42);
+        for pair in p.pairs() {
+            for pt in [pair.s, pair.d] {
+                let (ox, oy) = pt.to_offset();
+                assert!(ox.abs() <= 15 && oy.abs() <= 15, "offset ({ox},{oy})");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_formula_matches_eq2() {
+        let p = TestPoint { x: 3.0, y: 4.0 };
+        let r = p.rotated(PI / 2.0);
+        assert!((r.x + 4.0).abs() < 1e-12);
+        assert!((r.y - 3.0).abs() < 1e-12);
+        // Radius preserved.
+        assert!((r.radius() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let p = TestPoint { x: 1.2, y: -0.7 };
+        let r = p.rotated(2.0 * PI);
+        assert!((r.x - p.x).abs() < 1e-12);
+        assert!((r.y - p.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut_has_30_tables() {
+        let base = BriefPattern::original(1);
+        let lut = SteeredPatternLut::build(&base);
+        assert_eq!(lut.len(), 30);
+        assert!(!lut.is_empty());
+        assert_eq!(lut.storage_locations(), 30 * 512);
+    }
+
+    #[test]
+    fn lut_lookup_picks_nearest_angle() {
+        let base = BriefPattern::original(1);
+        let lut = SteeredPatternLut::build(&base);
+        // θ = 0 returns the unrotated pattern.
+        assert_eq!(lut.lookup(0.0), &base);
+        // θ = 12° exactly returns table 1.
+        let twelve = 2.0 * PI / 30.0;
+        let t1 = lut.lookup(twelve);
+        let expect = base.rotated(twelve);
+        for (a, b) in t1.pairs().iter().zip(expect.pairs()) {
+            assert!((a.s.x - b.s.x).abs() < 1e-12);
+        }
+        // Slightly less than 6° rounds down to table 0.
+        assert_eq!(lut.lookup(twelve * 0.49), &base);
+        // Negative angles wrap.
+        assert_eq!(lut.lookup(-2.0 * PI), &base);
+    }
+
+    #[test]
+    fn max_error_of_discretization_is_one_pixel() {
+        // §2.2: at radius 15, a 6° deviation moves a location by ≈ 1.6 px;
+        // the paper rounds this to "about 1 pixel on the smoothened
+        // image". Verify the bound for the 11.25°/2 discretization too.
+        let worst = TestPoint { x: PATCH_RADIUS, y: 0.0 };
+        let lut_err = {
+            let moved = worst.rotated(PI / 30.0); // 6°
+            ((moved.x - worst.x).powi(2) + (moved.y - worst.y).powi(2)).sqrt()
+        };
+        assert!(lut_err < 1.6);
+        let rs_err = {
+            let moved = worst.rotated(RS_STEP_RADIANS / 2.0); // 5.625°
+            ((moved.x - worst.x).powi(2) + (moved.y - worst.y).powi(2)).sqrt()
+        };
+        assert!(rs_err < lut_err, "RS-BRIEF discretization is finer");
+    }
+
+    #[test]
+    #[should_panic(expected = "256 pairs")]
+    fn wrong_pair_count_panics() {
+        BriefPattern::new(vec![]);
+    }
+}

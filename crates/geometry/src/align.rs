@@ -1,0 +1,282 @@
+//! Closed-form rigid alignment of 3-D point sets (Kabsch / Horn / Umeyama).
+//!
+//! Used in three places:
+//! * the minimal 3-point step inside the P3P solver ([`crate::pnp`]);
+//! * absolute-trajectory-error (ATE) evaluation, which aligns the estimated
+//!   trajectory to ground truth before measuring residuals (the metric of
+//!   Fig. 8 of the paper);
+//! * map bootstrap sanity checks.
+
+use crate::matrix::Mat3;
+use crate::se3::Se3;
+use crate::vector::Vec3;
+
+/// Result of aligning point set `source` onto `target`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    /// The rigid transform such that `transform(source[i]) ≈ target[i]`.
+    pub transform: Se3,
+    /// Uniform scale (1.0 unless scale estimation was requested).
+    pub scale: f64,
+    /// Root-mean-square residual after alignment.
+    pub rmse: f64,
+}
+
+/// Computes the rigid transform (rotation + translation) that best maps
+/// `source` onto `target` in the least-squares sense (Kabsch algorithm).
+///
+/// Returns `None` if fewer than 3 point pairs are given, the slices differ
+/// in length, or the configuration is fully degenerate (all points
+/// coincident).
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::{align::align_rigid, Se3, Vec3};
+/// let src = [Vec3::new(0.0,0.0,0.0), Vec3::new(1.0,0.0,0.0), Vec3::new(0.0,1.0,0.0)];
+/// let t = Se3::from_translation(Vec3::new(5.0, -1.0, 2.0));
+/// let dst: Vec<Vec3> = src.iter().map(|&p| t.transform(p)).collect();
+/// let result = align_rigid(&src, &dst).unwrap();
+/// assert!(result.rmse < 1e-12);
+/// ```
+pub fn align_rigid(source: &[Vec3], target: &[Vec3]) -> Option<Alignment> {
+    align_impl(source, target, false)
+}
+
+/// Like [`align_rigid`] but also estimates a uniform scale (Umeyama's
+/// method), producing a similarity transform `target ≈ s·R·source + t`.
+///
+/// Returns `None` under the same conditions as [`align_rigid`], or when the
+/// source variance is numerically zero.
+pub fn align_similarity(source: &[Vec3], target: &[Vec3]) -> Option<Alignment> {
+    align_impl(source, target, true)
+}
+
+fn align_impl(source: &[Vec3], target: &[Vec3], with_scale: bool) -> Option<Alignment> {
+    if source.len() != target.len() || source.len() < 3 {
+        return None;
+    }
+    let n = source.len() as f64;
+    let src_centroid = source.iter().fold(Vec3::ZERO, |a, &p| a + p) / n;
+    let dst_centroid = target.iter().fold(Vec3::ZERO, |a, &p| a + p) / n;
+
+    // Cross-covariance H = Σ (p−p̄)(q−q̄)ᵀ and source variance.
+    let mut h = Mat3::zeros();
+    let mut src_var = 0.0;
+    for (p, q) in source.iter().zip(target) {
+        let dp = *p - src_centroid;
+        let dq = *q - dst_centroid;
+        h = h + Mat3::outer(dp, dq);
+        src_var += dp.norm_squared();
+    }
+
+    let r = rotation_from_cross_covariance(&h)?;
+
+    let scale = if with_scale {
+        if src_var < 1e-300 {
+            return None;
+        }
+        // Umeyama: s = Σ σᵢ dᵢ / Var(src); equivalently trace(D S) with the
+        // reflection handled inside `rotation_from_cross_covariance`. We
+        // compute it directly from the projected covariance.
+        let mut num = 0.0;
+        for (p, q) in source.iter().zip(target) {
+            let dp = *p - src_centroid;
+            let dq = *q - dst_centroid;
+            num += dq.dot(r * dp);
+        }
+        num / src_var
+    } else {
+        1.0
+    };
+
+    let translation = dst_centroid - (r * src_centroid) * scale;
+    let transform = Se3::new(r, translation);
+
+    let mut sq_sum = 0.0;
+    for (p, q) in source.iter().zip(target) {
+        let mapped = (r * *p) * scale + translation;
+        sq_sum += (mapped - *q).norm_squared();
+    }
+    Some(Alignment {
+        transform,
+        scale,
+        rmse: (sq_sum / n).sqrt(),
+    })
+}
+
+/// Extracts the optimal rotation from a cross-covariance matrix via the
+/// eigen-decomposition of `HᵀH` (an SVD in disguise), handling the
+/// rank-deficient (coplanar points) and reflection cases.
+fn rotation_from_cross_covariance(h: &Mat3) -> Option<Mat3> {
+    let hth = h.transpose() * *h;
+    let (eigvals, v) = hth.symmetric_eigen();
+    let sigma = Vec3::new(
+        eigvals.x.max(0.0).sqrt(),
+        eigvals.y.max(0.0).sqrt(),
+        eigvals.z.max(0.0).sqrt(),
+    );
+    // Rank < 2 (collinear or coincident points) leaves the rotation
+    // undetermined. The relative tolerance is loose on purpose: near-rank-2
+    // configurations (any 3-point sample is exactly coplanar) produce a
+    // third singular direction that is pure noise.
+    let tol = 1e-7 * sigma.x;
+    if !(sigma.x > 0.0) || sigma.y <= tol {
+        return None;
+    }
+
+    // U columns for the two dominant singular directions: uᵢ = H vᵢ / σᵢ.
+    // The third direction is always rebuilt as the right-handed completion;
+    // the determinant correction D below absorbs its sign, which is exactly
+    // the Kabsch rule of flipping the smallest singular direction when the
+    // best orthogonal map would be a reflection.
+    let u0 = ((*h * v.col(0)) / sigma.x).normalized()?;
+    let u1_raw = (*h * v.col(1)) / sigma.y;
+    let u1 = (u1_raw - u0 * u0.dot(u1_raw)).normalized()?;
+    let u2 = u0.cross(u1);
+    let u = Mat3::from_cols(u0, u1, u2);
+    // Minimizing Σ‖R dp − dq‖² maximizes trace(H R) with H = Σ dp dqᵀ.
+    // Writing H = U Σ Vᵀ, the maximizer is R = V D Uᵀ, where
+    // D = diag(1, 1, det(V Uᵀ)) guards against reflections.
+    let det = (v * u.transpose()).determinant();
+    let d = Mat3::from_diagonal(Vec3::new(1.0, 1.0, det.signum()));
+    Some(v * d * u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quaternion::Quaternion;
+
+    fn cloud(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Vec3::new(
+                    (t * 0.7).sin() * 2.0,
+                    (t * 1.3).cos() * 1.5,
+                    (t * 0.31).sin() * (t * 0.17).cos() * 3.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_pure_translation() {
+        let src = cloud(10);
+        let t = Se3::from_translation(Vec3::new(1.0, -2.0, 0.5));
+        let dst: Vec<Vec3> = src.iter().map(|&p| t.transform(p)).collect();
+        let a = align_rigid(&src, &dst).unwrap();
+        assert!(a.rmse < 1e-10);
+        assert!((a.transform.translation - t.translation).norm() < 1e-10);
+        assert!((a.transform.rotation - Mat3::identity()).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn recovers_general_rigid_transform() {
+        let src = cloud(25);
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.1);
+        let t = Se3::from_quaternion_translation(&q, Vec3::new(-3.0, 0.7, 2.2));
+        let dst: Vec<Vec3> = src.iter().map(|&p| t.transform(p)).collect();
+        let a = align_rigid(&src, &dst).unwrap();
+        assert!(a.rmse < 1e-10, "rmse {}", a.rmse);
+        assert!((a.transform.rotation - t.rotation).frobenius_norm() < 1e-9);
+        assert!((a.transform.translation - t.translation).norm() < 1e-9);
+    }
+
+    #[test]
+    fn minimal_three_points() {
+        let src = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+        ];
+        let q = Quaternion::from_axis_angle(Vec3::Z, 0.3);
+        let t = Se3::from_quaternion_translation(&q, Vec3::new(0.1, 0.2, 0.3));
+        let dst: Vec<Vec3> = src.iter().map(|&p| t.transform(p)).collect();
+        let a = align_rigid(&src, &dst).unwrap();
+        assert!(a.rmse < 1e-10);
+        assert!((a.transform.rotation - t.rotation).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn coplanar_points_still_work() {
+        // All points in the z=0 plane (rank-2 covariance).
+        let src: Vec<Vec3> = (0..12)
+            .map(|i| Vec3::new((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos(), 0.0))
+            .collect();
+        let q = Quaternion::from_axis_angle(Vec3::new(0.2, 1.0, 0.1), 0.8);
+        let t = Se3::from_quaternion_translation(&q, Vec3::new(1.0, 1.0, 1.0));
+        let dst: Vec<Vec3> = src.iter().map(|&p| t.transform(p)).collect();
+        let a = align_rigid(&src, &dst).unwrap();
+        assert!(a.rmse < 1e-9, "rmse {}", a.rmse);
+        assert!((a.transform.rotation.determinant() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points_rejected() {
+        let src: Vec<Vec3> = (0..5).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let dst = src.clone();
+        assert!(align_rigid(&src, &dst).is_none());
+    }
+
+    #[test]
+    fn coincident_points_rejected() {
+        let src = vec![Vec3::splat(1.0); 4];
+        let dst = vec![Vec3::splat(2.0); 4];
+        assert!(align_rigid(&src, &dst).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let src = cloud(5);
+        let dst = cloud(6);
+        assert!(align_rigid(&src, &dst).is_none());
+    }
+
+    #[test]
+    fn similarity_recovers_scale() {
+        let src = cloud(15);
+        let q = Quaternion::from_axis_angle(Vec3::Y, -0.6);
+        let scale = 2.5;
+        let trans = Vec3::new(0.3, -0.8, 1.4);
+        let dst: Vec<Vec3> = src.iter().map(|&p| q.rotate(p) * scale + trans).collect();
+        let a = align_similarity(&src, &dst).unwrap();
+        assert!((a.scale - scale).abs() < 1e-9, "scale {}", a.scale);
+        assert!(a.rmse < 1e-9);
+    }
+
+    #[test]
+    fn rigid_alignment_with_noise_has_small_rmse() {
+        let src = cloud(50);
+        let t = Se3::from_quaternion_translation(
+            &Quaternion::from_axis_angle(Vec3::X, 0.4),
+            Vec3::new(2.0, 0.0, -1.0),
+        );
+        let dst: Vec<Vec3> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let noise = Vec3::new(
+                    ((i * 37) % 11) as f64 / 11.0 - 0.5,
+                    ((i * 53) % 13) as f64 / 13.0 - 0.5,
+                    ((i * 71) % 7) as f64 / 7.0 - 0.5,
+                ) * 0.02;
+                t.transform(p) + noise
+            })
+            .collect();
+        let a = align_rigid(&src, &dst).unwrap();
+        assert!(a.rmse < 0.02);
+        assert!((a.transform.translation - t.translation).norm() < 0.02);
+    }
+
+    #[test]
+    fn reflection_is_never_returned() {
+        // A configuration that would tempt a naive solver into a reflection:
+        // target is source mirrored. Best proper rotation still has det +1.
+        let src = cloud(8);
+        let dst: Vec<Vec3> = src.iter().map(|p| Vec3::new(-p.x, p.y, p.z)).collect();
+        let a = align_rigid(&src, &dst).unwrap();
+        assert!((a.transform.rotation.determinant() - 1.0).abs() < 1e-9);
+    }
+}

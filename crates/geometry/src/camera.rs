@@ -1,0 +1,176 @@
+//! Pinhole camera model.
+//!
+//! The TUM RGB-D benchmark cameras (Kinect fr1/fr2) are pinhole cameras with
+//! per-sequence intrinsics; distortion is ignored here, consistent with the
+//! paper's evaluation pipeline operating on pre-rectified images.
+
+use crate::vector::{Vec2, Vec3};
+use std::fmt;
+
+/// Pinhole camera intrinsics.
+///
+/// Projects camera-frame 3-D points (Z forward) onto the image plane:
+/// `u = fx * x / z + cx`, `v = fy * y / z + cy`.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::{PinholeCamera, Vec3};
+/// let cam = PinholeCamera::tum_fr1();
+/// let p = Vec3::new(0.0, 0.0, 2.0);
+/// let uv = cam.project(p).unwrap();
+/// assert!((uv.x - cam.cx).abs() < 1e-12);
+/// let back = cam.unproject(uv, 2.0);
+/// assert!((back - p).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinholeCamera {
+    /// Focal length in pixels, horizontal.
+    pub fx: f64,
+    /// Focal length in pixels, vertical.
+    pub fy: f64,
+    /// Principal point, horizontal.
+    pub cx: f64,
+    /// Principal point, vertical.
+    pub cy: f64,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl PinholeCamera {
+    /// Creates a camera from intrinsics and image size.
+    pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: u32, height: u32) -> Self {
+        PinholeCamera { fx, fy, cx, cy, width, height }
+    }
+
+    /// Intrinsics of the TUM `freiburg1` Kinect (640×480).
+    pub fn tum_fr1() -> Self {
+        PinholeCamera::new(517.3, 516.5, 318.6, 255.3, 640, 480)
+    }
+
+    /// Intrinsics of the TUM `freiburg2` Kinect (640×480).
+    pub fn tum_fr2() -> Self {
+        PinholeCamera::new(520.9, 521.0, 325.1, 249.7, 640, 480)
+    }
+
+    /// Projects a camera-frame point to pixel coordinates.
+    ///
+    /// Returns `None` for points at or behind the camera plane
+    /// (`z <= ~0`), since those have no valid image location.
+    pub fn project(&self, p: Vec3) -> Option<Vec2> {
+        if p.z <= 1e-9 {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p.x / p.z + self.cx,
+            self.fy * p.y / p.z + self.cy,
+        ))
+    }
+
+    /// Back-projects a pixel at a given depth to a camera-frame point.
+    pub fn unproject(&self, uv: Vec2, depth: f64) -> Vec3 {
+        Vec3::new(
+            (uv.x - self.cx) * depth / self.fx,
+            (uv.y - self.cy) * depth / self.fy,
+            depth,
+        )
+    }
+
+    /// The unit-depth bearing ray through pixel `uv`.
+    pub fn bearing(&self, uv: Vec2) -> Vec3 {
+        self.unproject(uv, 1.0)
+    }
+
+    /// Whether a pixel lies inside the image bounds (with an optional
+    /// border margin in pixels).
+    pub fn in_bounds(&self, uv: Vec2, margin: f64) -> bool {
+        uv.x >= margin
+            && uv.y >= margin
+            && uv.x < self.width as f64 - margin
+            && uv.y < self.height as f64 - margin
+    }
+
+    /// Returns the camera scaled for a pyramid level (image shrunk by
+    /// `1 / scale`): focal lengths and principal point divide by `scale`.
+    pub fn scaled(&self, scale: f64) -> PinholeCamera {
+        PinholeCamera {
+            fx: self.fx / scale,
+            fy: self.fy / scale,
+            cx: self.cx / scale,
+            cy: self.cy / scale,
+            width: (self.width as f64 / scale).round() as u32,
+            height: (self.height as f64 / scale).round() as u32,
+        }
+    }
+}
+
+impl fmt::Display for PinholeCamera {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pinhole {}x{} fx={} fy={} cx={} cy={}",
+            self.width, self.height, self.fx, self.fy, self.cx, self.cy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_unproject_round_trip() {
+        let cam = PinholeCamera::tum_fr1();
+        let p = Vec3::new(0.3, -0.2, 1.7);
+        let uv = cam.project(p).unwrap();
+        let back = cam.unproject(uv, p.z);
+        assert!((back - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn principal_point_is_optical_axis() {
+        let cam = PinholeCamera::tum_fr2();
+        let uv = cam.project(Vec3::new(0.0, 0.0, 3.0)).unwrap();
+        assert!((uv.x - cam.cx).abs() < 1e-12);
+        assert!((uv.y - cam.cy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn behind_camera_rejected() {
+        let cam = PinholeCamera::tum_fr1();
+        assert!(cam.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(cam.project(Vec3::new(0.1, 0.1, 0.0)).is_none());
+    }
+
+    #[test]
+    fn bounds_check() {
+        let cam = PinholeCamera::tum_fr1();
+        assert!(cam.in_bounds(Vec2::new(0.0, 0.0), 0.0));
+        assert!(!cam.in_bounds(Vec2::new(-1.0, 5.0), 0.0));
+        assert!(!cam.in_bounds(Vec2::new(640.0, 5.0), 0.0));
+        assert!(!cam.in_bounds(Vec2::new(630.0, 470.0), 20.0));
+        assert!(cam.in_bounds(Vec2::new(320.0, 240.0), 30.0));
+    }
+
+    #[test]
+    fn scaled_camera_projects_consistently() {
+        let cam = PinholeCamera::tum_fr1();
+        let half = cam.scaled(2.0);
+        let p = Vec3::new(0.5, 0.25, 2.0);
+        let uv = cam.project(p).unwrap();
+        let uv_half = half.project(p).unwrap();
+        assert!((uv_half.x - uv.x / 2.0).abs() < 1e-12);
+        assert!((uv_half.y - uv.y / 2.0).abs() < 1e-12);
+        assert_eq!(half.width, 320);
+        assert_eq!(half.height, 240);
+    }
+
+    #[test]
+    fn bearing_has_unit_depth() {
+        let cam = PinholeCamera::tum_fr1();
+        let b = cam.bearing(Vec2::new(100.0, 200.0));
+        assert_eq!(b.z, 1.0);
+    }
+}

@@ -1,0 +1,658 @@
+//! Small fixed-size matrices (3×3 and 6×6) with the factorizations needed by
+//! the SLAM pipeline.
+//!
+//! [`Mat3`] backs rotations, camera intrinsics and covariance manipulation;
+//! [`Mat6`] is the normal-equation matrix of the 6-DoF pose optimizer.
+//! Decompositions provided: LU-based inverse for [`Mat3`], Cholesky solve for
+//! symmetric positive-definite [`Mat6`], and a cyclic Jacobi eigen-solver for
+//! symmetric [`Mat3`] (used by Horn alignment and the Harris analysis tools).
+
+use crate::vector::Vec3;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A 3×3 matrix in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::{Mat3, Vec3};
+/// let m = Mat3::identity();
+/// assert_eq!(m * Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Row-major entries: `m[r][c]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::zeros()
+    }
+}
+
+impl Mat3 {
+    /// The zero matrix.
+    pub fn zeros() -> Self {
+        Mat3 { m: [[0.0; 3]; 3] }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        Mat3 { m }
+    }
+
+    /// Builds a matrix from rows.
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
+        Mat3 {
+            m: [r0.to_array(), r1.to_array(), r2.to_array()],
+        }
+    }
+
+    /// Builds a matrix from columns.
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3 {
+            m: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    /// Builds a diagonal matrix.
+    pub fn from_diagonal(d: Vec3) -> Self {
+        let mut m = Mat3::zeros();
+        m.m[0][0] = d.x;
+        m.m[1][1] = d.y;
+        m.m[2][2] = d.z;
+        m
+    }
+
+    /// The skew-symmetric (cross-product) matrix `[v]×` such that
+    /// `skew(v) * w == v.cross(w)`.
+    pub fn skew(v: Vec3) -> Self {
+        Mat3 {
+            m: [
+                [0.0, -v.z, v.y],
+                [v.z, 0.0, -v.x],
+                [-v.y, v.x, 0.0],
+            ],
+        }
+    }
+
+    /// The outer product `a * bᵀ`.
+    pub fn outer(a: Vec3, b: Vec3) -> Self {
+        let mut m = Mat3::zeros();
+        for r in 0..3 {
+            for c in 0..3 {
+                m.m[r][c] = a[r] * b[c];
+            }
+        }
+        m
+    }
+
+    /// Row `r` as a vector.
+    ///
+    /// # Panics
+    /// Panics if `r >= 3`.
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::new(self.m[r][0], self.m[r][1], self.m[r][2])
+    }
+
+    /// Column `c` as a vector.
+    ///
+    /// # Panics
+    /// Panics if `c >= 3`.
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.m[0][c], self.m[1][c], self.m[2][c])
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat3 {
+        let mut t = Mat3::zeros();
+        for r in 0..3 {
+            for c in 0..3 {
+                t.m[c][r] = self.m[r][c];
+            }
+        }
+        t
+    }
+
+    /// Matrix determinant.
+    pub fn determinant(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Matrix inverse via the adjugate.
+    ///
+    /// Returns `None` when the determinant is numerically zero.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let det = self.determinant();
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        let m = &self.m;
+        let inv_det = 1.0 / det;
+        let mut inv = Mat3::zeros();
+        inv.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        inv.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        inv.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        inv.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        inv.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        inv.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        inv.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        inv.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        inv.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        Some(inv)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.m
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Eigen-decomposition of a **symmetric** matrix by the cyclic Jacobi
+    /// method.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` where `eigenvectors.col(i)` is
+    /// the unit eigenvector for `eigenvalues[i]`, sorted in **descending**
+    /// order of eigenvalue. The input is assumed symmetric; the strictly
+    /// lower triangle is ignored in favour of the upper one.
+    pub fn symmetric_eigen(&self) -> (Vec3, Mat3) {
+        // Symmetrize defensively so callers with tiny asymmetries converge.
+        let mut a = *self;
+        for r in 0..3 {
+            for c in (r + 1)..3 {
+                let v = 0.5 * (a.m[r][c] + a.m[c][r]);
+                a.m[r][c] = v;
+                a.m[c][r] = v;
+            }
+        }
+        let mut v = Mat3::identity();
+        for _sweep in 0..64 {
+            let off = (a.m[0][1].powi(2) + a.m[0][2].powi(2) + a.m[1][2].powi(2)).sqrt();
+            if off < 1e-14 {
+                break;
+            }
+            for p in 0..2 {
+                for q in (p + 1)..3 {
+                    if a.m[p][q].abs() < 1e-300 {
+                        continue;
+                    }
+                    let theta = (a.m[q][q] - a.m[p][p]) / (2.0 * a.m[p][q]);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply the Givens rotation G(p, q, θ) on both sides.
+                    let mut g = Mat3::identity();
+                    g.m[p][p] = c;
+                    g.m[q][q] = c;
+                    g.m[p][q] = s;
+                    g.m[q][p] = -s;
+                    a = g.transpose() * a * g;
+                    v = v * g;
+                }
+            }
+        }
+        let mut pairs = [
+            (a.m[0][0], v.col(0)),
+            (a.m[1][1], v.col(1)),
+            (a.m[2][2], v.col(2)),
+        ];
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+        (
+            Vec3::new(pairs[0].0, pairs[1].0, pairs[2].0),
+            Mat3::from_cols(pairs[0].1, pairs[1].1, pairs[2].1),
+        )
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zeros();
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zeros();
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] - rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zeros();
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] =
+                    self.m[r][0] * rhs.m[0][c] + self.m[r][1] * rhs.m[1][c] + self.m[r][2] * rhs.m[2][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self;
+        for row in out.m.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= s;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Mat3 {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.m[r][c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat3 {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.m[r][c]
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.m {
+            writeln!(f, "[{:10.4} {:10.4} {:10.4}]", row[0], row[1], row[2])?;
+        }
+        Ok(())
+    }
+}
+
+/// A 6-dimensional vector used for SE(3) tangent increments
+/// `[translation | rotation]` and normal-equation right-hand sides.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec6 {
+    /// Components in order `[t_x, t_y, t_z, ω_x, ω_y, ω_z]`.
+    pub v: [f64; 6],
+}
+
+impl Vec6 {
+    /// The zero vector.
+    pub fn zeros() -> Self {
+        Vec6 { v: [0.0; 6] }
+    }
+
+    /// Builds from translation and rotation parts.
+    pub fn from_parts(translation: Vec3, rotation: Vec3) -> Self {
+        Vec6 {
+            v: [
+                translation.x,
+                translation.y,
+                translation.z,
+                rotation.x,
+                rotation.y,
+                rotation.z,
+            ],
+        }
+    }
+
+    /// The translation part (first three components).
+    pub fn translation(&self) -> Vec3 {
+        Vec3::new(self.v[0], self.v[1], self.v[2])
+    }
+
+    /// The rotation part (last three components).
+    pub fn rotation(&self) -> Vec3 {
+        Vec3::new(self.v[3], self.v[4], self.v[5])
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<usize> for Vec6 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.v[i]
+    }
+}
+
+impl IndexMut<usize> for Vec6 {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.v[i]
+    }
+}
+
+/// A 6×6 matrix, used as the Gauss-Newton / Levenberg-Marquardt normal
+/// matrix `JᵀJ` of the pose optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat6 {
+    /// Row-major entries: `m[r][c]`.
+    pub m: [[f64; 6]; 6],
+}
+
+impl Default for Mat6 {
+    fn default() -> Self {
+        Mat6::zeros()
+    }
+}
+
+impl Mat6 {
+    /// The zero matrix.
+    pub fn zeros() -> Self {
+        Mat6 { m: [[0.0; 6]; 6] }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut m = Mat6::zeros();
+        for i in 0..6 {
+            m.m[i][i] = 1.0;
+        }
+        m
+    }
+
+    /// Rank-one update `self += w * (g * gᵀ)`, the building block for
+    /// accumulating `JᵀJ` one residual row at a time.
+    pub fn rank_one_update(&mut self, g: &Vec6, w: f64) {
+        for r in 0..6 {
+            for c in 0..6 {
+                self.m[r][c] += w * g.v[r] * g.v[c];
+            }
+        }
+    }
+
+    /// Adds `lambda` to every diagonal entry (Levenberg damping).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        for i in 0..6 {
+            self.m[i][i] += lambda;
+        }
+    }
+
+    /// Multiplies the diagonal by `1 + lambda` (Marquardt scaling).
+    pub fn scale_diagonal(&mut self, lambda: f64) {
+        for i in 0..6 {
+            self.m[i][i] *= 1.0 + lambda;
+        }
+    }
+
+    /// Solves `self * x = b` for symmetric positive-definite `self` via
+    /// Cholesky decomposition.
+    ///
+    /// Returns `None` when the matrix is not positive definite (a
+    /// non-positive pivot appears).
+    pub fn cholesky_solve(&self, b: &Vec6) -> Option<Vec6> {
+        // Decompose A = L Lᵀ.
+        let mut l = [[0.0f64; 6]; 6];
+        for i in 0..6 {
+            for j in 0..=i {
+                let mut sum = self.m[i][j];
+                for k in 0..j {
+                    sum -= l[i][k] * l[j][k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[i][j] = sum.sqrt();
+                } else {
+                    l[i][j] = sum / l[j][j];
+                }
+            }
+        }
+        // Forward substitution: L y = b.
+        let mut y = [0.0f64; 6];
+        for i in 0..6 {
+            let mut sum = b.v[i];
+            for k in 0..i {
+                sum -= l[i][k] * y[k];
+            }
+            y[i] = sum / l[i][i];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = [0.0f64; 6];
+        for i in (0..6).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..6 {
+                sum -= l[k][i] * x[k];
+            }
+            x[i] = sum / l[i][i];
+        }
+        Some(Vec6 { v: x })
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &Vec6) -> Vec6 {
+        let mut out = Vec6::zeros();
+        for r in 0..6 {
+            out.v[r] = (0..6).map(|c| self.m[r][c] * v.v[c]).sum();
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Mat6 {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.m[r][c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat6 {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.m[r][c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_mat3_close(a: &Mat3, b: &Mat3, tol: f64) {
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(
+                    (a.m[r][c] - b.m[r][c]).abs() < tol,
+                    "entry ({r},{c}): {} vs {}",
+                    a.m[r][c],
+                    b.m[r][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.0, 1.0, 4.0),
+            Vec3::new(5.0, 6.0, 0.0),
+        );
+        assert_mat3_close(&(m * Mat3::identity()), &m, 1e-15);
+        assert_mat3_close(&(Mat3::identity() * m), &m, 1e-15);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.0, 1.0, 4.0),
+            Vec3::new(5.0, 6.0, 0.0),
+        );
+        let inv = m.inverse().expect("invertible");
+        assert_mat3_close(&(m * inv), &Mat3::identity(), 1e-12);
+        assert_mat3_close(&(inv * m), &Mat3::identity(), 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(2.0, 4.0, 6.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn skew_matrix_matches_cross_product() {
+        let v = Vec3::new(0.3, -1.2, 2.5);
+        let w = Vec3::new(-0.7, 0.4, 1.1);
+        let lhs = Mat3::skew(v) * w;
+        let rhs = v.cross(w);
+        assert!((lhs - rhs).norm() < 1e-14);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+            Vec3::new(7.0, 8.0, 9.0),
+        );
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn symmetric_eigen_diagonal() {
+        let m = Mat3::from_diagonal(Vec3::new(3.0, 1.0, 2.0));
+        let (vals, vecs) = m.symmetric_eigen();
+        assert!((vals.x - 3.0).abs() < 1e-10);
+        assert!((vals.y - 2.0).abs() < 1e-10);
+        assert!((vals.z - 1.0).abs() < 1e-10);
+        // Eigenvectors satisfy M v = λ v.
+        for (i, lam) in [vals.x, vals.y, vals.z].into_iter().enumerate() {
+            let v = vecs.col(i);
+            assert!(((m * v) - v * lam).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn symmetric_eigen_general() {
+        let m = Mat3 {
+            m: [[4.0, 1.0, 0.5], [1.0, 3.0, -0.5], [0.5, -0.5, 2.0]],
+        };
+        let (vals, vecs) = m.symmetric_eigen();
+        for (i, lam) in [vals.x, vals.y, vals.z].into_iter().enumerate() {
+            let v = vecs.col(i);
+            assert!((v.norm() - 1.0).abs() < 1e-10, "eigenvector not unit");
+            assert!(((m * v) - v * lam).norm() < 1e-9, "Mv != λv for λ={lam}");
+        }
+        // Trace is preserved.
+        assert!((vals.x + vals.y + vals.z - m.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // Build an SPD matrix A = B Bᵀ + I.
+        let mut a = Mat6::identity();
+        let b_rows: [[f64; 6]; 6] = [
+            [1.0, 0.5, 0.0, 0.2, 0.0, 0.1],
+            [0.0, 2.0, 0.3, 0.0, 0.5, 0.0],
+            [0.4, 0.0, 1.5, 0.0, 0.0, 0.6],
+            [0.0, 0.1, 0.0, 1.2, 0.3, 0.0],
+            [0.2, 0.0, 0.0, 0.0, 1.8, 0.4],
+            [0.0, 0.3, 0.2, 0.1, 0.0, 1.1],
+        ];
+        for r in 0..6 {
+            for c in 0..6 {
+                let mut sum = 0.0;
+                for k in 0..6 {
+                    sum += b_rows[r][k] * b_rows[c][k];
+                }
+                a.m[r][c] += sum;
+            }
+        }
+        let x_true = Vec6 {
+            v: [1.0, -2.0, 3.0, -4.0, 5.0, -6.0],
+        };
+        let b = a.mul_vec(&x_true);
+        let x = a.cholesky_solve(&b).expect("SPD solve");
+        for i in 0..6 {
+            assert!((x.v[i] - x_true.v[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = Mat6::identity();
+        a.m[3][3] = -1.0;
+        assert!(a.cholesky_solve(&Vec6::zeros()).is_none());
+    }
+
+    #[test]
+    fn rank_one_update_accumulates() {
+        let mut a = Mat6::zeros();
+        let g = Vec6 {
+            v: [1.0, 2.0, 0.0, 0.0, 0.0, 3.0],
+        };
+        a.rank_one_update(&g, 2.0);
+        assert_eq!(a.m[0][0], 2.0);
+        assert_eq!(a.m[0][1], 4.0);
+        assert_eq!(a.m[1][1], 8.0);
+        assert_eq!(a.m[5][5], 18.0);
+        assert_eq!(a.m[0][5], 6.0);
+        assert_eq!(a.m[5][0], 6.0);
+    }
+
+    #[test]
+    fn vec6_parts_round_trip() {
+        let t = Vec3::new(1.0, 2.0, 3.0);
+        let r = Vec3::new(-0.1, 0.2, -0.3);
+        let v = Vec6::from_parts(t, r);
+        assert_eq!(v.translation(), t);
+        assert_eq!(v.rotation(), r);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        let m = Mat3::outer(a, b);
+        assert_eq!(m.m[0][0], 4.0);
+        assert_eq!(m.m[2][1], 15.0);
+        assert_eq!(m.m[1][2], 12.0);
+    }
+}

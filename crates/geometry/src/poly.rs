@@ -1,0 +1,273 @@
+//! Real-root finding for low-degree polynomials.
+//!
+//! The P3P minimal solver in [`crate::pnp`] reduces to a degree-4
+//! polynomial; its real roots are recovered with the Durand-Kerner
+//! simultaneous iteration followed by a Newton polish, which is simple and
+//! numerically robust for the well-scaled quartics P3P produces.
+
+/// Complex number with just the operations Durand-Kerner needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new((self.re * o.re + self.im * o.im) / d, (self.im * o.re - self.re * o.im) / d)
+    }
+    fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+}
+
+/// Evaluates a polynomial with coefficients in **descending** degree order
+/// at a complex point (Horner's scheme).
+fn poly_eval_complex(coeffs: &[f64], x: Complex) -> Complex {
+    let mut acc = Complex::new(0.0, 0.0);
+    for &c in coeffs {
+        acc = acc.mul(x).add(Complex::new(c, 0.0));
+    }
+    acc
+}
+
+/// Evaluates a real polynomial (descending coefficients) at a real point.
+pub fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Evaluates the derivative of a real polynomial (descending coefficients).
+pub fn poly_eval_derivative(coeffs: &[f64], x: f64) -> f64 {
+    let n = coeffs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (i, &c) in coeffs[..n - 1].iter().enumerate() {
+        let power = (n - 1 - i) as f64;
+        acc = acc * x + c * power;
+    }
+    acc
+}
+
+/// Finds the real roots of a polynomial with real coefficients given in
+/// **descending** degree order (`coeffs[0] x^(n-1) + … + coeffs[n-1]`).
+///
+/// Leading near-zero coefficients are stripped. Roots whose imaginary part
+/// is below a scaled tolerance are reported (deduplicated, sorted
+/// ascending) after a few Newton polish steps on the real axis.
+///
+/// Degree 0 (or an all-zero polynomial) yields an empty vector.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::poly::real_roots;
+/// // (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6
+/// let roots = real_roots(&[1.0, -6.0, 11.0, -6.0]);
+/// assert_eq!(roots.len(), 3);
+/// assert!((roots[0] - 1.0).abs() < 1e-9);
+/// assert!((roots[2] - 3.0).abs() < 1e-9);
+/// ```
+pub fn real_roots(coeffs: &[f64]) -> Vec<f64> {
+    // Strip leading zeros.
+    let mut start = 0;
+    while start < coeffs.len() && coeffs[start].abs() < 1e-300 {
+        start += 1;
+    }
+    let coeffs = &coeffs[start..];
+    let degree = coeffs.len().saturating_sub(1);
+    if degree == 0 {
+        return vec![];
+    }
+    if degree == 1 {
+        return vec![-coeffs[1] / coeffs[0]];
+    }
+    if degree == 2 {
+        let (a, b, c) = (coeffs[0], coeffs[1], coeffs[2]);
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return vec![];
+        }
+        let sq = disc.sqrt();
+        // Numerically stable quadratic formula.
+        let q = -0.5 * (b + b.signum() * sq);
+        let mut roots = if q.abs() < 1e-300 {
+            vec![0.0, 0.0]
+        } else {
+            vec![q / a, c / q]
+        };
+        roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        roots.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        return roots;
+    }
+
+    // Normalize to monic.
+    let lead = coeffs[0];
+    let monic: Vec<f64> = coeffs.iter().map(|c| c / lead).collect();
+
+    // Durand-Kerner with roots initialized on a complex circle.
+    let mut roots: Vec<Complex> = (0..degree)
+        .map(|k| {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / degree as f64 + 0.4;
+            // Radius heuristic: 1 + max |coeff|.
+            let r = 1.0 + monic.iter().skip(1).fold(0.0f64, |m, c| m.max(c.abs()));
+            Complex::new(r.powf(1.0 / degree as f64) * angle.cos(), r.powf(1.0 / degree as f64) * angle.sin())
+        })
+        .collect();
+
+    for _ in 0..200 {
+        let mut max_delta = 0.0f64;
+        for i in 0..degree {
+            let mut denom = Complex::new(1.0, 0.0);
+            for j in 0..degree {
+                if i != j {
+                    denom = denom.mul(roots[i].sub(roots[j]));
+                }
+            }
+            if denom.abs() < 1e-300 {
+                continue;
+            }
+            let delta = poly_eval_complex(&monic, roots[i]).div(denom);
+            roots[i] = roots[i].sub(delta);
+            max_delta = max_delta.max(delta.abs());
+        }
+        if max_delta < 1e-14 {
+            break;
+        }
+    }
+
+    // Keep near-real roots, polish with Newton on the real axis.
+    let scale = 1.0 + roots.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+    let mut real: Vec<f64> = Vec::new();
+    for r in roots {
+        if r.im.abs() < 1e-6 * scale {
+            let mut x = r.re;
+            for _ in 0..16 {
+                let f = poly_eval(&monic, x);
+                let df = poly_eval_derivative(&monic, x);
+                if df.abs() < 1e-300 {
+                    break;
+                }
+                let step = f / df;
+                x -= step;
+                if step.abs() < 1e-15 * (1.0 + x.abs()) {
+                    break;
+                }
+            }
+            // Accept only if residual is genuinely small.
+            if poly_eval(&monic, x).abs() < 1e-6 * scale.powi(degree as i32 - 1).max(1.0) {
+                real.push(x);
+            }
+        }
+    }
+    real.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Double roots converge at ~√ε accuracy under both Durand-Kerner and
+    // Newton, so the merge tolerance must be loose enough to fold them.
+    real.dedup_by(|a, b| (*a - *b).abs() < 1e-6 * scale);
+    real
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roots(coeffs: &[f64], expected: &[f64], tol: f64) {
+        let roots = real_roots(coeffs);
+        assert_eq!(
+            roots.len(),
+            expected.len(),
+            "wanted {expected:?}, got {roots:?}"
+        );
+        for (r, e) in roots.iter().zip(expected) {
+            assert!((r - e).abs() < tol, "root {r} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn linear() {
+        assert_roots(&[2.0, -4.0], &[2.0], 1e-12);
+    }
+
+    #[test]
+    fn quadratic_two_roots() {
+        // (x-3)(x+5) = x² + 2x - 15
+        assert_roots(&[1.0, 2.0, -15.0], &[-5.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert_roots(&[1.0, 0.0, 1.0], &[], 0.0);
+    }
+
+    #[test]
+    fn cubic() {
+        // (x-1)(x-2)(x-3)
+        assert_roots(&[1.0, -6.0, 11.0, -6.0], &[1.0, 2.0, 3.0], 1e-9);
+    }
+
+    #[test]
+    fn cubic_single_real_root() {
+        // (x-2)(x²+1) = x³ - 2x² + x - 2
+        assert_roots(&[1.0, -2.0, 1.0, -2.0], &[2.0], 1e-9);
+    }
+
+    #[test]
+    fn quartic_four_roots() {
+        // (x+2)(x+1)(x-1)(x-2) = x⁴ -5x² + 4
+        assert_roots(&[1.0, 0.0, -5.0, 0.0, 4.0], &[-2.0, -1.0, 1.0, 2.0], 1e-9);
+    }
+
+    #[test]
+    fn quartic_two_real_roots() {
+        // (x²+1)(x-0.5)(x+3) = x⁴ + 2.5x³ - 0.5x² + 2.5x - 1.5
+        assert_roots(&[1.0, 2.5, -0.5, 2.5, -1.5], &[-3.0, 0.5], 1e-8);
+    }
+
+    #[test]
+    fn quartic_no_real_roots() {
+        // (x²+1)(x²+4)
+        assert_roots(&[1.0, 0.0, 5.0, 0.0, 4.0], &[], 0.0);
+    }
+
+    #[test]
+    fn repeated_roots_deduplicated() {
+        // (x-1)²(x+1) = x³ - x² - x + 1
+        let roots = real_roots(&[1.0, -1.0, -1.0, 1.0]);
+        assert!(roots.len() == 2, "got {roots:?}");
+        assert!((roots[0] + 1.0).abs() < 1e-6);
+        assert!((roots[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leading_zeros_stripped() {
+        assert_roots(&[0.0, 0.0, 1.0, -1.0], &[1.0], 1e-12);
+    }
+
+    #[test]
+    fn scaled_coefficients() {
+        // 3(x-4)(x-7) with a non-monic lead.
+        assert_roots(&[3.0, -33.0, 84.0], &[4.0, 7.0], 1e-10);
+    }
+
+    #[test]
+    fn derivative_eval() {
+        // p = x³ - 2x, p' = 3x² - 2.
+        let c = [1.0, 0.0, -2.0, 0.0];
+        assert!((poly_eval_derivative(&c, 2.0) - 10.0).abs() < 1e-12);
+        assert!((poly_eval(&c, 2.0) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,322 @@
+//! Unit quaternions for representing 3-D rotations.
+//!
+//! Used for TUM-format trajectory I/O (the TUM ground-truth format stores
+//! `tx ty tz qx qy qz qw`) and for smooth trajectory interpolation in the
+//! synthetic dataset generator.
+
+use crate::matrix::Mat3;
+use crate::vector::Vec3;
+use std::fmt;
+
+/// A unit quaternion `w + xi + yj + zk` representing a rotation.
+///
+/// Invariant: the stored quaternion has unit norm (all constructors
+/// normalize). The identity rotation is `(w=1, x=y=z=0)`.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::{Quaternion, Vec3};
+/// let q = Quaternion::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2);
+/// let v = q.rotate(Vec3::X);
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quaternion {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, i component.
+    pub x: f64,
+    /// Vector part, j component.
+    pub y: f64,
+    /// Vector part, k component.
+    pub z: f64,
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Quaternion::identity()
+    }
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    pub const fn identity() -> Self {
+        Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+    }
+
+    /// Creates a quaternion from raw components, normalizing to unit length.
+    ///
+    /// Falls back to the identity when the norm is numerically zero.
+    pub fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        let n = (w * w + x * x + y * y + z * z).sqrt();
+        if n <= f64::EPSILON {
+            Quaternion::identity()
+        } else {
+            Quaternion { w: w / n, x: x / n, y: y / n, z: z / n }
+        }
+    }
+
+    /// Builds the rotation of `angle` radians about the (not necessarily
+    /// unit) `axis`.
+    ///
+    /// A zero axis yields the identity rotation.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        match axis.normalized() {
+            None => Quaternion::identity(),
+            Some(u) => {
+                let half = 0.5 * angle;
+                let s = half.sin();
+                Quaternion::new(half.cos(), u.x * s, u.y * s, u.z * s)
+            }
+        }
+    }
+
+    /// Builds a quaternion from a rotation vector (axis scaled by angle).
+    pub fn from_rotation_vector(omega: Vec3) -> Self {
+        let angle = omega.norm();
+        Quaternion::from_axis_angle(omega, angle)
+    }
+
+    /// Converts a rotation matrix to a quaternion (Shepperd's method).
+    ///
+    /// The input must be a proper rotation (orthogonal, det = +1); minor
+    /// numerical drift is tolerated because the result is re-normalized.
+    pub fn from_matrix(m: &Mat3) -> Self {
+        let t = m.trace();
+        if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quaternion::new(
+                0.25 * s,
+                (m.m[2][1] - m.m[1][2]) / s,
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[1][0] - m.m[0][1]) / s,
+            )
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quaternion::new(
+                (m.m[2][1] - m.m[1][2]) / s,
+                0.25 * s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+            )
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quaternion::new(
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                0.25 * s,
+                (m.m[1][2] + m.m[2][1]) / s,
+            )
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quaternion::new(
+                (m.m[1][0] - m.m[0][1]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+                (m.m[1][2] + m.m[2][1]) / s,
+                0.25 * s,
+            )
+        }
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_matrix(&self) -> Mat3 {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Mat3 {
+            m: [
+                [
+                    1.0 - 2.0 * (y * y + z * z),
+                    2.0 * (x * y - w * z),
+                    2.0 * (x * z + w * y),
+                ],
+                [
+                    2.0 * (x * y + w * z),
+                    1.0 - 2.0 * (x * x + z * z),
+                    2.0 * (y * z - w * x),
+                ],
+                [
+                    2.0 * (x * z - w * y),
+                    2.0 * (y * z + w * x),
+                    1.0 - 2.0 * (x * x + y * y),
+                ],
+            ],
+        }
+    }
+
+    /// Hamilton product `self * rhs` (compose rotations; `rhs` acts first).
+    pub fn mul(&self, rhs: &Quaternion) -> Quaternion {
+        Quaternion::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
+    }
+
+    /// The inverse rotation (conjugate, since the quaternion is unit).
+    pub fn conjugate(&self) -> Quaternion {
+        Quaternion { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector.
+    pub fn rotate(&self, v: Vec3) -> Vec3 {
+        // v' = v + 2 q_v × (q_v × v + w v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// The rotation angle in `[0, π]`.
+    pub fn angle(&self) -> f64 {
+        2.0 * self.w.abs().min(1.0).acos()
+    }
+
+    /// Spherical linear interpolation from `self` (t = 0) to `other`
+    /// (t = 1).
+    pub fn slerp(&self, other: &Quaternion, t: f64) -> Quaternion {
+        let mut cos_half = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        // Take the short way round the 4-sphere.
+        let mut b = *other;
+        if cos_half < 0.0 {
+            cos_half = -cos_half;
+            b = Quaternion { w: -b.w, x: -b.x, y: -b.y, z: -b.z };
+        }
+        if cos_half > 0.9995 {
+            // Nearly parallel: linear interpolation is accurate and avoids
+            // division by a tiny sine.
+            return Quaternion::new(
+                self.w + t * (b.w - self.w),
+                self.x + t * (b.x - self.x),
+                self.y + t * (b.y - self.y),
+                self.z + t * (b.z - self.z),
+            );
+        }
+        let half = cos_half.min(1.0).acos();
+        let sin_half = half.sin();
+        let ra = ((1.0 - t) * half).sin() / sin_half;
+        let rb = (t * half).sin() / sin_half;
+        Quaternion::new(
+            self.w * ra + b.w * rb,
+            self.x * ra + b.x * rb,
+            self.y * ra + b.y * rb,
+            self.z * ra + b.z * rb,
+        )
+    }
+
+    /// Squared norm; 1 for a well-formed unit quaternion.
+    pub fn norm_squared(&self) -> f64 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+}
+
+impl fmt::Display for Quaternion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(w={}, x={}, y={}, z={})", self.w, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotates_nothing() {
+        let q = Quaternion::identity();
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert!((q.rotate(v) - v).norm() < 1e-15);
+    }
+
+    #[test]
+    fn axis_angle_quarter_turns() {
+        let q = Quaternion::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!((q.rotate(Vec3::X) - Vec3::Y).norm() < 1e-12);
+        assert!((q.rotate(Vec3::Y) + Vec3::X).norm() < 1e-12);
+        let q = Quaternion::from_axis_angle(Vec3::X, FRAC_PI_2);
+        assert!((q.rotate(Vec3::Y) - Vec3::Z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let cases = [
+            Quaternion::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.7),
+            Quaternion::from_axis_angle(Vec3::new(-1.0, 0.1, 0.5), 2.9),
+            Quaternion::from_axis_angle(Vec3::X, PI - 1e-3),
+            Quaternion::from_axis_angle(Vec3::Y, PI),
+            Quaternion::identity(),
+        ];
+        for q in cases {
+            let m = q.to_matrix();
+            let q2 = Quaternion::from_matrix(&m);
+            // q and -q encode the same rotation; compare matrices.
+            let m2 = q2.to_matrix();
+            assert!((m - m2).frobenius_norm() < 1e-10, "round trip failed for {q}");
+        }
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthogonal() {
+        let q = Quaternion::from_axis_angle(Vec3::new(0.3, -0.4, 0.86), 1.234);
+        let m = q.to_matrix();
+        let should_be_identity = m * m.transpose();
+        assert!((should_be_identity - Mat3::identity()).frobenius_norm() < 1e-12);
+        assert!((m.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_matrix_product() {
+        let a = Quaternion::from_axis_angle(Vec3::X, 0.5);
+        let b = Quaternion::from_axis_angle(Vec3::Y, -0.8);
+        let ab = a.mul(&b);
+        let m = a.to_matrix() * b.to_matrix();
+        assert!((ab.to_matrix() - m).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 1.0, -1.0), 0.9);
+        let v = Vec3::new(0.2, -0.5, 1.5);
+        assert!((q.conjugate().rotate(q.rotate(v)) - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Quaternion::identity();
+        let b = Quaternion::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!((a.slerp(&b, 0.0).to_matrix() - a.to_matrix()).frobenius_norm() < 1e-10);
+        assert!((a.slerp(&b, 1.0).to_matrix() - b.to_matrix()).frobenius_norm() < 1e-10);
+        let mid = a.slerp(&b, 0.5);
+        let expect = Quaternion::from_axis_angle(Vec3::Z, FRAC_PI_2 / 2.0);
+        assert!((mid.to_matrix() - expect.to_matrix()).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn slerp_takes_short_path() {
+        let a = Quaternion::from_axis_angle(Vec3::Z, 0.1);
+        // Same rotation as -q.
+        let b_pos = Quaternion::from_axis_angle(Vec3::Z, 0.3);
+        let b_neg = Quaternion {
+            w: -b_pos.w,
+            x: -b_pos.x,
+            y: -b_pos.y,
+            z: -b_pos.z,
+        };
+        let m1 = a.slerp(&b_pos, 0.5).to_matrix();
+        let m2 = a.slerp(&b_neg, 0.5).to_matrix();
+        assert!((m1 - m2).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn angle_of_axis_angle() {
+        let q = Quaternion::from_axis_angle(Vec3::Y, 0.77);
+        assert!((q.angle() - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_axis_gives_identity() {
+        let q = Quaternion::from_axis_angle(Vec3::ZERO, 1.0);
+        assert_eq!(q, Quaternion::identity());
+        let q = Quaternion::from_rotation_vector(Vec3::ZERO);
+        assert_eq!(q, Quaternion::identity());
+    }
+}

@@ -1,0 +1,365 @@
+//! Rigid-body transforms in SE(3) with exponential/logarithm maps.
+//!
+//! [`Se3`] is the camera pose representation used throughout the SLAM
+//! pipeline: `pose` maps **world** coordinates into **camera** coordinates
+//! (`p_cam = R * p_world + t`), matching the convention of the reprojection
+//! error in Eq. (1) of the paper. The tangent-space parameterization
+//! `[translation | rotation]` matches [`crate::Vec6`] and is what the
+//! Levenberg-Marquardt optimizer increments.
+
+use crate::matrix::{Mat3, Vec6};
+use crate::quaternion::Quaternion;
+use crate::vector::Vec3;
+use std::fmt;
+
+/// A rigid-body transform (rotation + translation).
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::{Se3, Vec3};
+/// let t = Se3::from_translation(Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(t.transform(Vec3::ZERO), Vec3::new(0.0, 0.0, 1.0));
+/// assert!((t.inverse().transform(t.transform(Vec3::X)) - Vec3::X).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Se3 {
+    /// Rotation part.
+    pub rotation: Mat3,
+    /// Translation part.
+    pub translation: Vec3,
+}
+
+impl Default for Se3 {
+    fn default() -> Self {
+        Se3::identity()
+    }
+}
+
+impl Se3 {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Se3 { rotation: Mat3::identity(), translation: Vec3::ZERO }
+    }
+
+    /// Creates a transform from rotation matrix and translation vector.
+    pub fn new(rotation: Mat3, translation: Vec3) -> Self {
+        Se3 { rotation, translation }
+    }
+
+    /// A pure translation.
+    pub fn from_translation(translation: Vec3) -> Self {
+        Se3 { rotation: Mat3::identity(), translation }
+    }
+
+    /// A pure rotation.
+    pub fn from_rotation(rotation: Mat3) -> Self {
+        Se3 { rotation, translation: Vec3::ZERO }
+    }
+
+    /// Builds from a unit quaternion and translation (the TUM convention).
+    pub fn from_quaternion_translation(q: &Quaternion, translation: Vec3) -> Self {
+        Se3 { rotation: q.to_matrix(), translation }
+    }
+
+    /// The rotation as a unit quaternion.
+    pub fn rotation_quaternion(&self) -> Quaternion {
+        Quaternion::from_matrix(&self.rotation)
+    }
+
+    /// Applies the transform to a point: `R p + t`.
+    #[inline]
+    pub fn transform(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Composition: `self ∘ rhs` (apply `rhs` first).
+    pub fn compose(&self, rhs: &Se3) -> Se3 {
+        Se3 {
+            rotation: self.rotation * rhs.rotation,
+            translation: self.rotation * rhs.translation + self.translation,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Se3 {
+        let rt = self.rotation.transpose();
+        Se3 { rotation: rt, translation: -(rt * self.translation) }
+    }
+
+    /// The relative transform taking `self` to `other`: `other ∘ self⁻¹`.
+    pub fn relative_to(&self, other: &Se3) -> Se3 {
+        other.compose(&self.inverse())
+    }
+
+    /// Rotation angle of the rotation part, in radians, in `[0, π]`.
+    pub fn rotation_angle(&self) -> f64 {
+        // trace(R) = 1 + 2 cos θ
+        let c = ((self.rotation.trace() - 1.0) * 0.5).clamp(-1.0, 1.0);
+        c.acos()
+    }
+
+    /// SO(3) exponential map: rotation vector → rotation matrix (Rodrigues).
+    pub fn so3_exp(omega: Vec3) -> Mat3 {
+        let theta = omega.norm();
+        let k = Mat3::skew(omega);
+        if theta < 1e-10 {
+            // Second-order Taylor expansion near zero.
+            return Mat3::identity() + k + k * k * 0.5;
+        }
+        let a = theta.sin() / theta;
+        let b = (1.0 - theta.cos()) / (theta * theta);
+        Mat3::identity() + k * a + (k * k) * b
+    }
+
+    /// SO(3) logarithm map: rotation matrix → rotation vector.
+    pub fn so3_log(r: &Mat3) -> Vec3 {
+        let cos_theta = ((r.trace() - 1.0) * 0.5).clamp(-1.0, 1.0);
+        let theta = cos_theta.acos();
+        if theta < 1e-10 {
+            // Near identity: vee of the skew part.
+            return Vec3::new(
+                0.5 * (r.m[2][1] - r.m[1][2]),
+                0.5 * (r.m[0][2] - r.m[2][0]),
+                0.5 * (r.m[1][0] - r.m[0][1]),
+            );
+        }
+        if (std::f64::consts::PI - theta) < 1e-6 {
+            // Near π the antisymmetric part vanishes; recover the axis from
+            // the symmetric part R = I + 2 aaᵀ - I(1+cosθ)... use the
+            // largest diagonal entry of (R + I)/2.
+            let s = Mat3::identity() + *r;
+            let d = Vec3::new(s.m[0][0], s.m[1][1], s.m[2][2]);
+            let (i, _) = [d.x, d.y, d.z]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            let col = s.col(i);
+            let axis = (col / (2.0 * (1.0 + cos_theta)).max(1e-12).sqrt())
+                .normalized()
+                .unwrap_or(Vec3::X);
+            // Fix the sign using the antisymmetric residue.
+            let w = Vec3::new(
+                r.m[2][1] - r.m[1][2],
+                r.m[0][2] - r.m[2][0],
+                r.m[1][0] - r.m[0][1],
+            );
+            let axis = if w.dot(axis) < 0.0 { -axis } else { axis };
+            return axis * theta;
+        }
+        let factor = theta / (2.0 * theta.sin());
+        Vec3::new(
+            r.m[2][1] - r.m[1][2],
+            r.m[0][2] - r.m[2][0],
+            r.m[1][0] - r.m[0][1],
+        ) * factor
+    }
+
+    /// SE(3) exponential map from a tangent vector
+    /// `ξ = [ρ | ω]` (translation part first, matching [`Vec6`]).
+    pub fn exp(xi: &Vec6) -> Se3 {
+        let rho = xi.translation();
+        let omega = xi.rotation();
+        let theta = omega.norm();
+        let r = Se3::so3_exp(omega);
+        let v = if theta < 1e-10 {
+            let k = Mat3::skew(omega);
+            Mat3::identity() + k * 0.5 + k * k * (1.0 / 6.0)
+        } else {
+            let k = Mat3::skew(omega);
+            let a = (1.0 - theta.cos()) / (theta * theta);
+            let b = (theta - theta.sin()) / (theta * theta * theta);
+            Mat3::identity() + k * a + (k * k) * b
+        };
+        Se3 { rotation: r, translation: v * rho }
+    }
+
+    /// SE(3) logarithm map, inverse of [`Se3::exp`].
+    pub fn log(&self) -> Vec6 {
+        let omega = Se3::so3_log(&self.rotation);
+        let theta = omega.norm();
+        let v_inv = if theta < 1e-10 {
+            let k = Mat3::skew(omega);
+            Mat3::identity() - k * 0.5 + k * k * (1.0 / 12.0)
+        } else {
+            let k = Mat3::skew(omega);
+            let half = 0.5 * theta;
+            let cot_half = half.cos() / half.sin();
+            let coeff = (1.0 - half * cot_half) / (theta * theta);
+            Mat3::identity() - k * 0.5 + (k * k) * coeff
+        };
+        Vec6::from_parts(v_inv * self.translation, omega)
+    }
+
+    /// Left-multiplicative update `exp(ξ) ∘ self`, the increment rule of
+    /// the pose optimizer.
+    pub fn retract(&self, xi: &Vec6) -> Se3 {
+        Se3::exp(xi).compose(self)
+    }
+
+    /// Re-orthonormalizes the rotation part (Gram-Schmidt), fighting drift
+    /// accumulated over long compositions.
+    pub fn orthonormalize(&mut self) {
+        let c0 = self.rotation.col(0).normalized().unwrap_or(Vec3::X);
+        let mut c1 = self.rotation.col(1);
+        c1 = (c1 - c0 * c0.dot(c1)).normalized().unwrap_or(Vec3::Y);
+        let c2 = c0.cross(c1);
+        self.rotation = Mat3::from_cols(c0, c1, c2);
+    }
+}
+
+impl fmt::Display for Se3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = self.rotation_quaternion();
+        write!(
+            f,
+            "t=({:.4}, {:.4}, {:.4}) q=({:.4}, {:.4}, {:.4}, {:.4})",
+            self.translation.x, self.translation.y, self.translation.z, q.x, q.y, q.z, q.w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn random_pose(seed: u64) -> Se3 {
+        // Cheap deterministic pseudo-random pose without pulling in rand.
+        let f = |k: u64| ((seed.wrapping_mul(6364136223846793005).wrapping_add(k) >> 33) as f64
+            / (u32::MAX as f64)
+            - 0.5)
+            * 2.0;
+        let axis = Vec3::new(f(1), f(2), f(3));
+        let angle = f(4) * 2.5;
+        Se3 {
+            rotation: Se3::so3_exp(axis.normalized().unwrap_or(Vec3::X) * angle),
+            translation: Vec3::new(f(5), f(6), f(7)) * 3.0,
+        }
+    }
+
+    #[test]
+    fn identity_transform() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Se3::identity().transform(p), p);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for seed in 1..20u64 {
+            let t = random_pose(seed);
+            let p = Vec3::new(0.5, -1.0, 2.0);
+            let back = t.inverse().transform(t.transform(p));
+            assert!((back - p).norm() < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn compose_then_inverse_is_identity() {
+        let a = random_pose(3);
+        let ainv = a.inverse();
+        let id = a.compose(&ainv);
+        assert!((id.rotation - Mat3::identity()).frobenius_norm() < 1e-12);
+        assert!(id.translation.norm() < 1e-12);
+    }
+
+    #[test]
+    fn so3_exp_log_round_trip() {
+        let cases = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(-1.0, 0.5, 0.25),
+            Vec3::new(0.0, 0.0, 1e-12),
+            Vec3::new(2.0, -1.0, 0.5),
+            Vec3::ZERO,
+        ];
+        for omega in cases {
+            let r = Se3::so3_exp(omega);
+            let back = Se3::so3_log(&r);
+            assert!((back - omega).norm() < 1e-9, "omega {omega}");
+        }
+    }
+
+    #[test]
+    fn so3_log_near_pi() {
+        let omega = Vec3::new(0.0, 0.0, PI - 1e-9);
+        let r = Se3::so3_exp(omega);
+        let back = Se3::so3_log(&r);
+        assert!((back.norm() - omega.norm()).abs() < 1e-6);
+        // Axis is ±z.
+        assert!(back.normalized().unwrap().cross(Vec3::Z).norm() < 1e-6);
+    }
+
+    #[test]
+    fn se3_exp_log_round_trip() {
+        let cases = [
+            Vec6::from_parts(Vec3::new(1.0, -2.0, 0.5), Vec3::new(0.2, 0.1, -0.3)),
+            Vec6::from_parts(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.5, 0.0, 0.0)),
+            Vec6::from_parts(Vec3::new(3.0, 1.0, -1.0), Vec3::ZERO),
+            Vec6::zeros(),
+        ];
+        for xi in cases {
+            let t = Se3::exp(&xi);
+            let back = t.log();
+            for i in 0..6 {
+                assert!((back[i] - xi[i]).abs() < 1e-9, "component {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let t = Se3::exp(&Vec6::zeros());
+        assert!((t.rotation - Mat3::identity()).frobenius_norm() < 1e-15);
+        assert!(t.translation.norm() < 1e-15);
+    }
+
+    #[test]
+    fn retract_small_step_moves_pose() {
+        let t = random_pose(11);
+        let xi = Vec6::from_parts(Vec3::new(1e-3, 0.0, 0.0), Vec3::new(0.0, 1e-3, 0.0));
+        let t2 = t.retract(&xi);
+        let delta = t2.compose(&t.inverse()).log();
+        for i in 0..6 {
+            assert!((delta[i] - xi[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_angle_matches() {
+        let t = Se3::from_rotation(Se3::so3_exp(Vec3::Y * FRAC_PI_2));
+        assert!((t.rotation_angle() - FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(Se3::identity().rotation_angle(), 0.0);
+    }
+
+    #[test]
+    fn relative_transform() {
+        let a = random_pose(5);
+        let b = random_pose(9);
+        let rel = a.relative_to(&b);
+        // rel ∘ a == b
+        let b2 = rel.compose(&a);
+        assert!((b2.rotation - b.rotation).frobenius_norm() < 1e-12);
+        assert!((b2.translation - b.translation).norm() < 1e-12);
+    }
+
+    #[test]
+    fn orthonormalize_restores_rotation() {
+        let mut t = random_pose(7);
+        // Inject drift.
+        t.rotation.m[0][0] += 1e-4;
+        t.rotation.m[1][2] -= 2e-4;
+        t.orthonormalize();
+        let should_be_identity = t.rotation * t.rotation.transpose();
+        assert!((should_be_identity - Mat3::identity()).frobenius_norm() < 1e-12);
+        assert!((t.rotation.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quaternion_construction_matches() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 1.0, 0.0), 0.8);
+        let t = Se3::from_quaternion_translation(&q, Vec3::new(1.0, 2.0, 3.0));
+        let p = Vec3::new(0.4, -0.2, 1.0);
+        assert!((t.transform(p) - (q.rotate(p) + t.translation)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Two-view triangulation (extension).
+//!
+//! The paper's RGB-D pipeline gets 3-D points directly from the depth
+//! sensor, but depth pixels drop out (and a monocular variant — natural
+//! future work for eSLAM — has no depth at all). This module provides
+//! midpoint triangulation of a landmark from two posed observations, used
+//! by `eslam-core` to refine or recover landmark positions.
+
+use crate::camera::PinholeCamera;
+use crate::se3::Se3;
+use crate::vector::{Vec2, Vec3};
+
+/// Result of a two-view triangulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangulatedPoint {
+    /// Estimated world position.
+    pub position: Vec3,
+    /// Gap between the two rays at the midpoint (metres) — a quality
+    /// measure; large gaps mean inconsistent observations.
+    pub ray_gap: f64,
+    /// Parallax angle between the two rays, radians.
+    pub parallax: f64,
+}
+
+/// Triangulates a world point from two pixel observations.
+///
+/// * `pose_a`, `pose_b` — **world-to-camera** transforms of the two views.
+/// * `pixel_a`, `pixel_b` — the observed pixel positions.
+///
+/// Uses the midpoint method: find the closest points on the two
+/// back-projected rays and average them. Returns `None` when the rays
+/// are (numerically) parallel — no parallax, no depth information — or
+/// when the triangulated point lies behind either camera.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::{PinholeCamera, Se3, Vec3, triangulation::triangulate};
+/// let cam = PinholeCamera::tum_fr1();
+/// let pose_a = Se3::identity();
+/// let pose_b = Se3::from_translation(Vec3::new(-0.2, 0.0, 0.0)); // baseline 0.2 m
+/// let world = Vec3::new(0.3, -0.1, 2.5);
+/// let ua = cam.project(pose_a.transform(world)).unwrap();
+/// let ub = cam.project(pose_b.transform(world)).unwrap();
+/// let point = triangulate(&pose_a, ua, &pose_b, ub, &cam).unwrap();
+/// assert!((point.position - world).norm() < 1e-9);
+/// ```
+pub fn triangulate(
+    pose_a: &Se3,
+    pixel_a: Vec2,
+    pose_b: &Se3,
+    pixel_b: Vec2,
+    camera: &PinholeCamera,
+) -> Option<TriangulatedPoint> {
+    // Camera centres and ray directions in world coordinates.
+    let inv_a = pose_a.inverse();
+    let inv_b = pose_b.inverse();
+    let origin_a = inv_a.translation;
+    let origin_b = inv_b.translation;
+    let dir_a = (inv_a.rotation * camera.bearing(pixel_a)).normalized()?;
+    let dir_b = (inv_b.rotation * camera.bearing(pixel_b)).normalized()?;
+
+    // Closest points on the two skew lines: solve
+    //   [ d_a·d_a  -d_a·d_b ] [s]   [ d_a·(o_b - o_a) ]
+    //   [ d_a·d_b  -d_b·d_b ] [t] = [ d_b·(o_b - o_a) ]
+    let w = origin_b - origin_a;
+    let aa = dir_a.dot(dir_a);
+    let ab = dir_a.dot(dir_b);
+    let bb = dir_b.dot(dir_b);
+    let det = aa * bb - ab * ab;
+    let parallax = dir_a.dot(dir_b).clamp(-1.0, 1.0).acos();
+    if det.abs() < 1e-12 {
+        return None; // parallel rays, no parallax
+    }
+    let da = dir_a.dot(w);
+    let db = dir_b.dot(w);
+    let s = (da * bb - db * ab) / det;
+    let t = (da * ab - db * aa) / det;
+
+    let point_a = origin_a + dir_a * s;
+    let point_b = origin_b + dir_b * t;
+    let midpoint = (point_a + point_b) * 0.5;
+
+    // Cheirality: the point must be in front of both cameras.
+    if pose_a.transform(midpoint).z <= 0.0 || pose_b.transform(midpoint).z <= 0.0 {
+        return None;
+    }
+
+    Some(TriangulatedPoint {
+        position: midpoint,
+        ray_gap: (point_a - point_b).norm(),
+        parallax,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quaternion::Quaternion;
+
+    fn cam() -> PinholeCamera {
+        PinholeCamera::tum_fr1()
+    }
+
+    #[test]
+    fn exact_observations_triangulate_exactly() {
+        let camera = cam();
+        let pose_a = Se3::identity();
+        let pose_b = Se3::from_quaternion_translation(
+            &Quaternion::from_axis_angle(Vec3::Y, -0.1),
+            Vec3::new(-0.3, 0.05, 0.02),
+        );
+        for world in [
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(1.0, -0.5, 4.0),
+            Vec3::new(-0.8, 0.6, 3.0),
+        ] {
+            let ua = camera.project(pose_a.transform(world)).unwrap();
+            let ub = camera.project(pose_b.transform(world)).unwrap();
+            let tri = triangulate(&pose_a, ua, &pose_b, ub, &camera).unwrap();
+            assert!((tri.position - world).norm() < 1e-8, "point {world}");
+            assert!(tri.ray_gap < 1e-9);
+            assert!(tri.parallax > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_baseline_rejected() {
+        let camera = cam();
+        let pose = Se3::identity();
+        let uv = Vec2::new(320.0, 240.0);
+        assert!(triangulate(&pose, uv, &pose, uv, &camera).is_none());
+    }
+
+    #[test]
+    fn noisy_observations_report_gap() {
+        let camera = cam();
+        let pose_a = Se3::identity();
+        let pose_b = Se3::from_translation(Vec3::new(-0.4, 0.0, 0.0));
+        let world = Vec3::new(0.2, 0.1, 3.0);
+        let ua = camera.project(pose_a.transform(world)).unwrap();
+        let mut ub = camera.project(pose_b.transform(world)).unwrap();
+        ub.y += 3.0; // vertical disparity error → skew rays
+        let tri = triangulate(&pose_a, ua, &pose_b, ub, &camera).unwrap();
+        assert!(tri.ray_gap > 1e-4, "gap {}", tri.ray_gap);
+        // Still lands near the true point.
+        assert!((tri.position - world).norm() < 0.1);
+    }
+
+    #[test]
+    fn point_behind_camera_rejected() {
+        let camera = cam();
+        let pose_a = Se3::identity();
+        // Construct observations of a point in front, then flip one
+        // camera 180° so the point is behind it.
+        let world = Vec3::new(0.0, 0.0, 2.0);
+        let ua = camera.project(pose_a.transform(world)).unwrap();
+        let flipped = Se3::from_quaternion_translation(
+            &Quaternion::from_axis_angle(Vec3::Y, std::f64::consts::PI),
+            Vec3::new(0.0, 0.0, 4.5),
+        );
+        // The flipped camera at z=4.5 looking back sees the point.
+        let ub = camera.project(flipped.transform(world));
+        if let Some(ub) = ub {
+            if let Some(tri) = triangulate(&pose_a, ua, &flipped, ub, &camera) {
+                // If accepted, it must satisfy cheirality for both views.
+                assert!(pose_a.transform(tri.position).z > 0.0);
+                assert!(flipped.transform(tri.position).z > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallax_grows_with_baseline() {
+        let camera = cam();
+        let world = Vec3::new(0.0, 0.0, 3.0);
+        let pose_a = Se3::identity();
+        let parallax_of = |baseline: f64| {
+            let pose_b = Se3::from_translation(Vec3::new(-baseline, 0.0, 0.0));
+            let ua = camera.project(pose_a.transform(world)).unwrap();
+            let ub = camera.project(pose_b.transform(world)).unwrap();
+            triangulate(&pose_a, ua, &pose_b, ub, &camera).unwrap().parallax
+        };
+        assert!(parallax_of(0.5) > parallax_of(0.1));
+    }
+}

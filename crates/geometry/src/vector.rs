@@ -1,0 +1,400 @@
+//! Fixed-size 2- and 3-dimensional vectors over `f64`.
+//!
+//! These are the workhorse types for pixel coordinates ([`Vec2`]) and
+//! world/camera points ([`Vec3`]). They are deliberately small, `Copy`, and
+//! implement the arithmetic operators one expects from a maths library.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-dimensional vector, typically an image-plane point in pixels.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::Vec2;
+/// let a = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component (image column direction).
+    pub x: f64,
+    /// Vertical component (image row direction).
+    pub y: f64,
+}
+
+/// A 3-dimensional vector, typically a point in camera or world coordinates
+/// (metres).
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::Vec3;
+/// let v = Vec3::new(1.0, 0.0, 0.0).cross(Vec3::new(0.0, 1.0, 0.0));
+/// assert_eq!(v, Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component (optical axis for camera frames).
+    pub z: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its two components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the unit vector pointing in the same direction, or `None`
+    /// for (numerically) zero-length vectors.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its three components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product `self × other`.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the unit vector pointing in the same direction, or `None`
+    /// for (numerically) zero-length vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise multiplication.
+    #[inline]
+    pub fn component_mul(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x * other.x, self.y * other.y, self.z * other.z)
+    }
+
+    /// The first two components as a [`Vec2`] (drops `z`).
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Perspective division: `(x/z, y/z)`.
+    ///
+    /// Returns `None` when `z` is (numerically) zero.
+    pub fn project(self) -> Option<Vec2> {
+        if self.z.abs() <= f64::EPSILON {
+            None
+        } else {
+            Some(Vec2::new(self.x / self.z, self.y / self.z))
+        }
+    }
+
+    /// The components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    fn from(a: [f64; 2]) -> Self {
+        Vec2::new(a[0], a[1])
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec2> for [f64; 2] {
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    /// # Panics
+    /// Panics if `i >= 3`.
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+macro_rules! impl_vec_ops {
+    ($t:ty, $($field:ident),+) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                Self { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                Self { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t {
+                Self { $($field: -self.$field),+ }
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, s: f64) -> $t {
+                Self { $($field: self.$field * s),+ }
+            }
+        }
+        impl Mul<$t> for f64 {
+            type Output = $t;
+            #[inline]
+            fn mul(self, v: $t) -> $t {
+                v * self
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, s: f64) -> $t {
+                Self { $($field: self.$field / s),+ }
+            }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: $t) {
+                $(self.$field += rhs.$field;)+
+            }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $t) {
+                $(self.$field -= rhs.$field;)+
+            }
+        }
+        impl MulAssign<f64> for $t {
+            #[inline]
+            fn mul_assign(&mut self, s: f64) {
+                $(self.$field *= s;)+
+            }
+        }
+        impl DivAssign<f64> for $t {
+            #[inline]
+            fn div_assign(&mut self, s: f64) {
+                $(self.$field /= s;)+
+            }
+        }
+    };
+}
+
+impl_vec_ops!(Vec2, x, y);
+impl_vec_ops!(Vec3, x, y, z);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_dot_and_norm() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dot(a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_squared(), 25.0);
+        let u = a.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_basis_cross_products() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn vec3_projection() {
+        let p = Vec3::new(2.0, 4.0, 2.0);
+        assert_eq!(p.project().unwrap(), Vec2::new(1.0, 2.0));
+        assert!(Vec3::new(1.0, 1.0, 0.0).project().is_none());
+    }
+
+    #[test]
+    fn vec3_indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        v[2] = 9.0;
+        assert_eq!(v.z, 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vec3_index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+        let w = Vec2::new(5.0, 6.0);
+        let b: [f64; 2] = w.into();
+        assert_eq!(Vec2::from(b), w);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::splat(1.0);
+        assert_eq!(v, Vec3::splat(2.0));
+        v -= Vec3::splat(0.5);
+        assert_eq!(v, Vec3::splat(1.5));
+        v *= 2.0;
+        assert_eq!(v, Vec3::splat(3.0));
+        v /= 3.0;
+        assert_eq!(v, Vec3::splat(1.0));
+    }
+}

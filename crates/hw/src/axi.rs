@@ -1,0 +1,144 @@
+//! AXI bus / SDRAM transfer model.
+//!
+//! The ORB Extractor and BRIEF Matcher both read their inputs from SDRAM
+//! and write results back via the AXI interface (§3.1, §3.2). This module
+//! provides a transaction-level timing model: each burst pays a fixed
+//! setup latency, then streams one bus word per cycle.
+
+use crate::clock::Cycles;
+
+/// AXI bus configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiConfig {
+    /// Bus width in bytes per beat (64-bit AXI = 8 bytes).
+    pub bus_bytes: u32,
+    /// Maximum beats per burst (AXI4 INCR burst of 16).
+    pub burst_beats: u32,
+    /// Fixed setup cycles per burst (address phase + SDRAM latency).
+    pub burst_setup: u32,
+}
+
+impl Default for AxiConfig {
+    fn default() -> Self {
+        AxiConfig {
+            bus_bytes: 8,
+            burst_beats: 16,
+            burst_setup: 8,
+        }
+    }
+}
+
+impl AxiConfig {
+    /// Cycles to transfer `bytes` as a sequence of maximal bursts.
+    ///
+    /// Zero bytes cost zero cycles.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        let beats = bytes.div_ceil(self.bus_bytes as u64);
+        let bursts = beats.div_ceil(self.burst_beats as u64);
+        Cycles(beats + bursts * self.burst_setup as u64)
+    }
+
+    /// Effective bandwidth in bytes per cycle for a large transfer.
+    pub fn effective_bandwidth(&self) -> f64 {
+        let bytes = 1 << 20;
+        bytes as f64 / self.transfer_cycles(bytes).0 as f64
+    }
+}
+
+/// Accounting wrapper: tracks total bytes moved and cycles spent on the
+/// bus, as the accelerator simulator executes transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AxiBus {
+    /// Static configuration.
+    pub config: AxiConfig,
+    /// Total bytes read from SDRAM.
+    pub bytes_read: u64,
+    /// Total bytes written to SDRAM.
+    pub bytes_written: u64,
+    /// Total bus-occupied cycles.
+    pub busy_cycles: Cycles,
+}
+
+impl AxiBus {
+    /// Creates a bus with the given configuration.
+    pub fn new(config: AxiConfig) -> Self {
+        AxiBus {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Executes a read of `bytes`, returning its duration.
+    pub fn read(&mut self, bytes: u64) -> Cycles {
+        let c = self.config.transfer_cycles(bytes);
+        self.bytes_read += bytes;
+        self.busy_cycles += c;
+        c
+    }
+
+    /// Executes a write of `bytes`, returning its duration.
+    pub fn write(&mut self, bytes: u64) -> Cycles {
+        let c = self.config.transfer_cycles(bytes);
+        self.bytes_written += bytes;
+        self.busy_cycles += c;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let cfg = AxiConfig::default();
+        assert_eq!(cfg.transfer_cycles(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn single_beat_costs_setup_plus_one() {
+        let cfg = AxiConfig::default();
+        // 1..=8 bytes = 1 beat, 1 burst.
+        assert_eq!(cfg.transfer_cycles(1), Cycles(1 + 8));
+        assert_eq!(cfg.transfer_cycles(8), Cycles(1 + 8));
+        assert_eq!(cfg.transfer_cycles(9), Cycles(2 + 8));
+    }
+
+    #[test]
+    fn full_burst_amortizes_setup() {
+        let cfg = AxiConfig::default();
+        // 128 bytes = 16 beats = exactly one burst.
+        assert_eq!(cfg.transfer_cycles(128), Cycles(16 + 8));
+        // 256 bytes = 2 bursts.
+        assert_eq!(cfg.transfer_cycles(256), Cycles(32 + 16));
+    }
+
+    #[test]
+    fn vga_row_transfer_time() {
+        // One 640-pixel row: 80 beats = 5 bursts → 80 + 40 = 120 cycles.
+        let cfg = AxiConfig::default();
+        assert_eq!(cfg.transfer_cycles(640), Cycles(120));
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let cfg = AxiConfig::default();
+        let bw = cfg.effective_bandwidth();
+        // Peak is 8 B/cycle; setup overhead takes ~33% at burst 16/setup 8.
+        assert!(bw < 8.0);
+        assert!(bw > 5.0, "bandwidth {bw}");
+    }
+
+    #[test]
+    fn bus_accounting_accumulates() {
+        let mut bus = AxiBus::new(AxiConfig::default());
+        let r = bus.read(1024);
+        let w = bus.write(128);
+        assert_eq!(bus.bytes_read, 1024);
+        assert_eq!(bus.bytes_written, 128);
+        assert_eq!(bus.busy_cycles, r + w);
+    }
+}

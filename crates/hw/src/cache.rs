@@ -1,0 +1,276 @@
+//! On-chip caches, including the 3-line ping-pong Image Cache FSM of
+//! Fig. 5.
+//!
+//! The Image Cache holds 3 cache lines of 8 pixel columns each. An FSM
+//! rotates the roles: in every state one line *receives* streaming input
+//! while the other two *send* buffered columns to the datapath. The FSM
+//! initializes by pre-storing 16 columns (two lines) before processing
+//! starts (§3.1).
+
+/// Number of cache lines in the Image Cache (Fig. 5: lines A, B, C).
+pub const CACHE_LINES: usize = 3;
+
+/// Pixel columns per cache line (Fig. 5: "each square represents 8
+/// columns of pixels").
+pub const COLUMNS_PER_LINE: u32 = 8;
+
+/// Role of a cache line in the current FSM state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineRole {
+    /// The line is receiving streamed input columns.
+    Receiving,
+    /// The line is sending buffered columns to the datapath.
+    Sending,
+}
+
+/// One step of the FSM schedule: which block each line holds and the
+/// receiving line's index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmState {
+    /// Block id (8-column group index) resident in each line;
+    /// `None` = not yet loaded.
+    pub resident: [Option<u32>; CACHE_LINES],
+    /// Index of the line currently receiving.
+    pub receiving: usize,
+}
+
+/// The Image Cache ping-pong FSM.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_hw::cache::ImageCacheFsm;
+/// let mut fsm = ImageCacheFsm::new();
+/// fsm.initialize(); // pre-store blocks 0 and 1 (16 columns)
+/// let state = fsm.step();
+/// // While block 2 streams in, blocks 0 and 1 are sent to the datapath.
+/// assert_eq!(state.sending_blocks(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageCacheFsm {
+    resident: [Option<u32>; CACHE_LINES],
+    receiving: usize,
+    next_block: u32,
+    initialized: bool,
+}
+
+impl Default for ImageCacheFsm {
+    fn default() -> Self {
+        ImageCacheFsm::new()
+    }
+}
+
+impl FsmState {
+    /// The blocks being sent to the datapath this state, in ascending
+    /// block order.
+    pub fn sending_blocks(&self) -> Vec<u32> {
+        let mut blocks: Vec<u32> = (0..CACHE_LINES)
+            .filter(|&i| i != self.receiving)
+            .filter_map(|i| self.resident[i])
+            .collect();
+        blocks.sort_unstable();
+        blocks
+    }
+}
+
+impl ImageCacheFsm {
+    /// Creates an uninitialized FSM.
+    pub fn new() -> Self {
+        ImageCacheFsm {
+            resident: [None; CACHE_LINES],
+            receiving: 0,
+            next_block: 0,
+            initialized: false,
+        }
+    }
+
+    /// Pre-stores 16 columns (blocks 0 and 1) into lines A and B, the
+    /// initialization of Fig. 5.
+    pub fn initialize(&mut self) {
+        self.resident = [Some(0), Some(1), None];
+        self.next_block = 2;
+        self.receiving = 2; // line C receives first
+        self.initialized = true;
+    }
+
+    /// Whether [`ImageCacheFsm::initialize`] ran.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Advances one FSM state: the receiving line loads the next block
+    /// while the other two lines send. Returns the state that was just
+    /// executed.
+    ///
+    /// # Panics
+    /// Panics if the FSM was not initialized.
+    pub fn step(&mut self) -> FsmState {
+        assert!(self.initialized, "FSM must be initialized first");
+        // Execute: load next block into the receiving line.
+        self.resident[self.receiving] = Some(self.next_block);
+        let executed = FsmState {
+            resident: self.resident,
+            receiving: self.receiving,
+        };
+        self.next_block += 1;
+        // Rotate: the line holding the oldest block receives next.
+        self.receiving = (self.receiving + 1) % CACHE_LINES;
+        executed
+    }
+
+    /// Runs the FSM over an image of `width` columns and returns the
+    /// executed schedule (one entry per 8-column block beyond the two
+    /// pre-stored ones).
+    pub fn schedule(width: u32) -> Vec<FsmState> {
+        let blocks = width.div_ceil(COLUMNS_PER_LINE);
+        let mut fsm = ImageCacheFsm::new();
+        fsm.initialize();
+        (2..blocks).map(|_| fsm.step()).collect()
+    }
+}
+
+/// Capacity model of the three extractor caches (§3.1): the Image Cache,
+/// Score Cache and Smoothened Image Cache, each sized for the streaming
+/// window rather than the whole frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSizing {
+    /// Image height in pixels (cache lines span full image height).
+    pub image_height: u32,
+    /// Harris score width in bits.
+    pub score_bits: u32,
+}
+
+impl Default for CacheSizing {
+    fn default() -> Self {
+        CacheSizing {
+            image_height: 480,
+            score_bits: 32,
+        }
+    }
+}
+
+impl CacheSizing {
+    /// Image Cache bits: 3 lines × 8 columns × height × 8-bit pixels.
+    pub fn image_cache_bits(&self) -> u64 {
+        (CACHE_LINES as u64) * (COLUMNS_PER_LINE as u64) * self.image_height as u64 * 8
+    }
+
+    /// Smoothened Image Cache bits (same geometry as the Image Cache).
+    pub fn smoothed_cache_bits(&self) -> u64 {
+        self.image_cache_bits()
+    }
+
+    /// Score Cache bits: 3 lines × 8 columns × height × score width.
+    pub fn score_cache_bits(&self) -> u64 {
+        (CACHE_LINES as u64)
+            * (COLUMNS_PER_LINE as u64)
+            * self.image_height as u64
+            * self.score_bits as u64
+    }
+
+    /// Total streaming-cache bits.
+    pub fn total_bits(&self) -> u64 {
+        self.image_cache_bits() + self.smoothed_cache_bits() + self.score_cache_bits()
+    }
+
+    /// Bits a *frame buffer* would need for the same image (the cost the
+    /// original, non-rescheduled workflow pays to hold the smoothened
+    /// frame until filtering finishes — §3.1's memory argument).
+    pub fn full_frame_bits(&self, width: u32) -> u64 {
+        width as u64 * self.image_height as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_prestores_two_blocks() {
+        let mut fsm = ImageCacheFsm::new();
+        assert!(!fsm.is_initialized());
+        fsm.initialize();
+        assert!(fsm.is_initialized());
+        assert_eq!(fsm.resident[0], Some(0));
+        assert_eq!(fsm.resident[1], Some(1));
+        assert_eq!(fsm.resident[2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "initialized")]
+    fn step_before_init_panics() {
+        ImageCacheFsm::new().step();
+    }
+
+    #[test]
+    fn first_state_matches_figure5() {
+        // Fig. 5 state 1: line C receives block 2; lines A, B send 0, 1.
+        let mut fsm = ImageCacheFsm::new();
+        fsm.initialize();
+        let s = fsm.step();
+        assert_eq!(s.receiving, 2);
+        assert_eq!(s.resident[2], Some(2));
+        assert_eq!(s.sending_blocks(), vec![0, 1]);
+    }
+
+    #[test]
+    fn rotation_follows_figure5_order() {
+        // Fig. 5: states rotate A→B→C receiving; the sent pair always
+        // consists of the two most recent *other* blocks.
+        let mut fsm = ImageCacheFsm::new();
+        fsm.initialize();
+        let s1 = fsm.step();
+        let s2 = fsm.step();
+        let s3 = fsm.step();
+        assert_eq!(s1.sending_blocks(), vec![0, 1]);
+        assert_eq!(s2.sending_blocks(), vec![1, 2]);
+        assert_eq!(s3.sending_blocks(), vec![2, 3]);
+        assert_eq!([s1.receiving, s2.receiving, s3.receiving], [2, 0, 1]);
+    }
+
+    #[test]
+    fn every_state_has_one_receiver_two_senders() {
+        for s in ImageCacheFsm::schedule(640) {
+            assert!(s.receiving < CACHE_LINES);
+            assert_eq!(s.sending_blocks().len(), 2);
+        }
+    }
+
+    #[test]
+    fn sent_blocks_are_consecutive() {
+        // The datapath consumes a sliding window: the two sent blocks are
+        // always consecutive 8-column groups.
+        for s in ImageCacheFsm::schedule(640) {
+            let blocks = s.sending_blocks();
+            assert_eq!(blocks[1], blocks[0] + 1, "state {s:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_covers_whole_width() {
+        // 640 columns = 80 blocks; 2 pre-stored + 78 steps.
+        let schedule = ImageCacheFsm::schedule(640);
+        assert_eq!(schedule.len(), 78);
+        // The last loaded block is 79.
+        assert_eq!(schedule.last().unwrap().resident[schedule.last().unwrap().receiving], Some(79));
+    }
+
+    #[test]
+    fn cache_sizing_vga() {
+        let sizing = CacheSizing::default();
+        // 3 × 8 × 480 × 8 bits = 92160 bits ≈ 11.25 KiB per image cache.
+        assert_eq!(sizing.image_cache_bits(), 92_160);
+        assert_eq!(sizing.smoothed_cache_bits(), 92_160);
+        assert_eq!(sizing.score_cache_bits(), 368_640);
+        assert_eq!(sizing.total_bits(), 552_960);
+    }
+
+    #[test]
+    fn streaming_cache_is_far_smaller_than_frame_buffer() {
+        // §3.1: rescheduling reduces on-chip memory dramatically — the
+        // streaming caches hold ~24 columns instead of a whole frame.
+        let sizing = CacheSizing::default();
+        let frame = sizing.full_frame_bits(640);
+        assert!(sizing.image_cache_bits() * 10 < frame);
+    }
+}

@@ -1,0 +1,107 @@
+//! Clock domains and cycle/time conversion.
+//!
+//! The eSLAM accelerating modules run at 100 MHz on the Zynq XCZ7045
+//! fabric; the host ARM Cortex-A9 runs at 767 MHz (§4.1).
+
+/// Clock frequency of the FPGA accelerator fabric (§4.1).
+pub const FPGA_CLOCK_HZ: u64 = 100_000_000;
+
+/// Clock frequency of the host ARM Cortex-A9 (§4.1).
+pub const ARM_CLOCK_HZ: u64 = 767_000_000;
+
+/// Nominal clock of the Intel i7-4700MQ baseline (base frequency; the
+/// paper's runtimes imply operation near base clock).
+pub const I7_CLOCK_HZ: u64 = 2_400_000_000;
+
+/// A cycle count in a specific clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Converts to seconds at the given clock frequency.
+    ///
+    /// # Panics
+    /// Panics if `clock_hz` is zero.
+    pub fn to_seconds(self, clock_hz: u64) -> f64 {
+        assert!(clock_hz > 0, "clock frequency must be positive");
+        self.0 as f64 / clock_hz as f64
+    }
+
+    /// Converts to milliseconds at the given clock frequency.
+    pub fn to_millis(self, clock_hz: u64) -> f64 {
+        self.to_seconds(clock_hz) * 1e3
+    }
+
+    /// Builds a cycle count from a duration in seconds (rounding up — a
+    /// partial cycle still occupies the unit).
+    pub fn from_seconds(seconds: f64, clock_hz: u64) -> Cycles {
+        Cycles((seconds * clock_hz as f64).ceil().max(0.0) as u64)
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl std::fmt::Display for Cycles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_conversion() {
+        let c = Cycles(100_000_000);
+        assert!((c.to_seconds(FPGA_CLOCK_HZ) - 1.0).abs() < 1e-12);
+        assert!((c.to_millis(FPGA_CLOCK_HZ) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fe_budget_matches_paper() {
+        // 9.1 ms at 100 MHz = 910k cycles — the FE latency of Table 2.
+        let c = Cycles::from_seconds(9.1e-3, FPGA_CLOCK_HZ);
+        assert_eq!(c.0, 910_000);
+    }
+
+    #[test]
+    fn from_seconds_rounds_up() {
+        assert_eq!(Cycles::from_seconds(1.5e-8, FPGA_CLOCK_HZ).0, 2);
+        assert_eq!(Cycles::from_seconds(0.0, FPGA_CLOCK_HZ).0, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles(10) + Cycles(32);
+        assert_eq!(a, Cycles(42));
+        let s: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(s, Cycles(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn zero_clock_panics() {
+        let _ = Cycles(1).to_seconds(0);
+    }
+}

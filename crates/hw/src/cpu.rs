@@ -1,0 +1,144 @@
+//! CPU baseline cost models (ARM Cortex-A9 and Intel i7).
+//!
+//! The paper's Table 2 reports per-stage runtimes measured on its
+//! testbed. We reproduce the *model* behind those numbers: per-pixel and
+//! per-descriptor-pair cycle costs calibrated once against Table 2 at the
+//! nominal VGA workload (771 112 pyramid pixels, 1024 × 2304 descriptor
+//! pairs — see DESIGN.md), plus fixed per-frame costs for the geometric
+//! stages. The calibration derivation:
+//!
+//! | quantity | ARM | i7 |
+//! |---|---|---|
+//! | FE cycles/pixel | 291.6 ms × 767 MHz / 771 112 ≈ 290 | 32.5 ms × 2.4 GHz / 771 112 ≈ 101 |
+//! | FM cycles/pair | 246.2 ms × 767 MHz / 2 359 296 ≈ 80 | 19.7 ms × 2.4 GHz / 2 359 296 ≈ 20 |
+//!
+//! With these constants the models regenerate Table 2 to within 1% and
+//! extrapolate to other workload sizes (the crossover benches).
+
+use crate::clock::{ARM_CLOCK_HZ, I7_CLOCK_HZ};
+
+/// A calibrated CPU cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Platform name.
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// Package power draw in watts (Table 3).
+    pub power_w: f64,
+    /// Feature-extraction cycles per pyramid pixel.
+    pub fe_cycles_per_pixel: f64,
+    /// Feature-matching cycles per descriptor pair.
+    pub fm_cycles_per_pair: f64,
+    /// Pose-estimation time per frame, ms.
+    pub pe_ms: f64,
+    /// Pose-optimization time per frame, ms.
+    pub po_ms: f64,
+    /// Map-updating time per key frame, ms.
+    pub mu_ms: f64,
+}
+
+/// The ARM Cortex-A9 host of the Zynq XCZ7045 at 767 MHz (§4.1),
+/// 1.574 W (Table 3).
+pub fn arm_cortex_a9() -> CpuModel {
+    CpuModel {
+        name: "ARM Cortex-A9",
+        clock_hz: ARM_CLOCK_HZ,
+        power_w: 1.574,
+        fe_cycles_per_pixel: 290.0,
+        fm_cycles_per_pair: 80.0,
+        pe_ms: 9.2,
+        po_ms: 8.7,
+        mu_ms: 9.9,
+    }
+}
+
+/// The Intel i7-4700MQ baseline \[9\] at its 2.4 GHz base clock, 47 W TDP
+/// (Table 3).
+pub fn intel_i7() -> CpuModel {
+    CpuModel {
+        name: "Intel i7-4700MQ",
+        clock_hz: I7_CLOCK_HZ,
+        power_w: 47.0,
+        fe_cycles_per_pixel: 101.0,
+        fm_cycles_per_pair: 20.0,
+        pe_ms: 0.9,
+        po_ms: 0.5,
+        mu_ms: 1.2,
+    }
+}
+
+impl CpuModel {
+    /// Feature-extraction time for a pyramid of `pixels`, in ms.
+    pub fn fe_ms(&self, pixels: u64) -> f64 {
+        self.fe_cycles_per_pixel * pixels as f64 / self.clock_hz as f64 * 1e3
+    }
+
+    /// Feature-matching time for `n × m` descriptor pairs, in ms.
+    pub fn fm_ms(&self, pairs: u64) -> f64 {
+        self.fm_cycles_per_pair * pairs as f64 / self.clock_hz as f64 * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VGA_PIXELS: u64 = 771_112;
+    const NOMINAL_PAIRS: u64 = 1024 * 2304;
+
+    #[test]
+    fn arm_fe_matches_table2() {
+        let arm = arm_cortex_a9();
+        let ms = arm.fe_ms(VGA_PIXELS);
+        assert!((ms - 291.6).abs() < 3.0, "ARM FE {ms} ms vs 291.6 ms");
+    }
+
+    #[test]
+    fn arm_fm_matches_table2() {
+        let arm = arm_cortex_a9();
+        let ms = arm.fm_ms(NOMINAL_PAIRS);
+        assert!((ms - 246.2).abs() < 2.5, "ARM FM {ms} ms vs 246.2 ms");
+    }
+
+    #[test]
+    fn i7_fe_matches_table2() {
+        let i7 = intel_i7();
+        let ms = i7.fe_ms(VGA_PIXELS);
+        assert!((ms - 32.5).abs() < 0.4, "i7 FE {ms} ms vs 32.5 ms");
+    }
+
+    #[test]
+    fn i7_fm_matches_table2() {
+        let i7 = intel_i7();
+        let ms = i7.fm_ms(NOMINAL_PAIRS);
+        assert!((ms - 19.7).abs() < 0.3, "i7 FM {ms} ms vs 19.7 ms");
+    }
+
+    #[test]
+    fn geometric_stage_times_match_table2() {
+        let arm = arm_cortex_a9();
+        let i7 = intel_i7();
+        assert_eq!(arm.pe_ms, 9.2);
+        assert_eq!(arm.po_ms, 8.7);
+        assert_eq!(arm.mu_ms, 9.9);
+        assert_eq!(i7.pe_ms, 0.9);
+        assert_eq!(i7.po_ms, 0.5);
+        assert_eq!(i7.mu_ms, 1.2);
+    }
+
+    #[test]
+    fn costs_scale_linearly_with_workload() {
+        let arm = arm_cortex_a9();
+        assert!((arm.fe_ms(2 * VGA_PIXELS) - 2.0 * arm.fe_ms(VGA_PIXELS)).abs() < 1e-9);
+        assert_eq!(arm.fm_ms(0), 0.0);
+    }
+
+    #[test]
+    fn i7_is_faster_but_hungrier() {
+        let arm = arm_cortex_a9();
+        let i7 = intel_i7();
+        assert!(i7.fe_ms(VGA_PIXELS) < arm.fe_ms(VGA_PIXELS));
+        assert!(i7.power_w > arm.power_w * 20.0);
+    }
+}

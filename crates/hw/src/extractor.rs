@@ -1,0 +1,399 @@
+//! Timing and functional model of the ORB Extractor (Fig. 4).
+//!
+//! The extractor is a streaming design: pixels flow through FAST/Harris,
+//! NMS, the smoother and the descriptor units at one pixel per cycle,
+//! fed by the 3-line ping-pong Image Cache. The timing model charges:
+//!
+//! * 1 cycle per pyramid pixel (the paper's Image Resizing module
+//!   generates the next layer *while* the current one is processed, so
+//!   resizing adds no serial time);
+//! * a per-row overhead (AXI burst setup and cache-line turnaround);
+//! * a cache pre-fill of 16 columns per level (Fig. 5 initialization);
+//! * per-candidate stalls in the orientation/BRIEF units (II = 4);
+//! * heap drain and AXI write-back of the kept features.
+//!
+//! For the **original (non-rescheduled) workflow** ablation (§3.1), the
+//! descriptor phase cannot overlap detection, and the smoothened frame no
+//! longer fits on-chip — every kept keypoint pays an SDRAM patch fetch.
+//!
+//! Functional results delegate to [`eslam_features::orb::OrbExtractor`],
+//! making the simulator's features bit-identical to the software
+//! reference by construction (verified end-to-end in `tests/`).
+
+use crate::axi::AxiConfig;
+use crate::clock::{Cycles, FPGA_CLOCK_HZ};
+use eslam_features::orb::{
+    DescriptorKind, OrbConfig, OrbExtractor, OrbFeatures, Workflow,
+};
+use eslam_image::pyramid::PyramidConfig;
+use eslam_image::GrayImage;
+
+/// Bytes stored per extracted feature (256-bit descriptor + coordinates,
+/// level, score).
+pub const FEATURE_RECORD_BYTES: u64 = 40;
+
+/// Per-level image dimensions of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelDims {
+    /// Level width in pixels.
+    pub width: u32,
+    /// Level height in pixels.
+    pub height: u32,
+}
+
+/// A workload description: what the extractor has to chew through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractionWorkload {
+    /// Pyramid level dimensions (base first).
+    pub levels: Vec<LevelDims>,
+    /// NMS-surviving candidate keypoints (the paper's M).
+    pub candidates: u64,
+    /// Features kept by the Heap (the paper's N ≤ 1024).
+    pub kept: u64,
+}
+
+impl ExtractionWorkload {
+    /// The nominal paper workload: VGA input, 4-level ×1.2 pyramid,
+    /// ~2500 candidates filtered to 1024 features (see DESIGN.md).
+    pub fn vga_nominal() -> Self {
+        ExtractionWorkload::from_pyramid(640, 480, &PyramidConfig::default(), 2500, 1024)
+    }
+
+    /// Builds a workload from base dimensions and a pyramid config.
+    pub fn from_pyramid(
+        width: u32,
+        height: u32,
+        config: &PyramidConfig,
+        candidates: u64,
+        kept: u64,
+    ) -> Self {
+        let levels = (0..config.levels)
+            .map(|l| {
+                let s = config.scale_of(l);
+                LevelDims {
+                    width: ((width as f64) / s).round().max(1.0) as u32,
+                    height: ((height as f64) / s).round().max(1.0) as u32,
+                }
+            })
+            .collect();
+        ExtractionWorkload {
+            levels,
+            candidates,
+            kept,
+        }
+    }
+
+    /// Total pixels across all levels.
+    pub fn total_pixels(&self) -> u64 {
+        self.levels.iter().map(|l| l.width as u64 * l.height as u64).sum()
+    }
+
+    /// Total rows across all levels.
+    pub fn total_rows(&self) -> u64 {
+        self.levels.iter().map(|l| l.height as u64).sum()
+    }
+}
+
+/// Calibrated timing parameters of the extractor datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractorModel {
+    /// AXI configuration for SDRAM traffic.
+    pub axi: AxiConfig,
+    /// Non-overlapped cycles per image row (burst address setup, cache
+    /// line turnaround).
+    pub row_overhead: u32,
+    /// Columns pre-filled before processing starts (Fig. 5: 16).
+    pub prefill_columns: u32,
+    /// Extra cycles each NMS-surviving candidate occupies the
+    /// orientation/BRIEF units beyond the pixel stream (II = 4).
+    pub candidate_ii: u32,
+    /// Heap drain cycles per kept feature.
+    pub heap_drain_ii: u32,
+    /// Pipeline flush cycles per level.
+    pub level_flush: u32,
+    /// SDRAM patch-fetch cycles per keypoint in the *original* workflow
+    /// (31 rows of a 31-pixel patch: 31 bursts of 4 beats + setup).
+    pub patch_fetch_cycles: u32,
+}
+
+impl Default for ExtractorModel {
+    fn default() -> Self {
+        ExtractorModel {
+            axi: AxiConfig::default(),
+            row_overhead: 64,
+            prefill_columns: 16,
+            candidate_ii: 4,
+            heap_drain_ii: 2,
+            level_flush: 50,
+            patch_fetch_cycles: 372,
+        }
+    }
+}
+
+/// Cycle breakdown of one extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtractionTiming {
+    /// Streaming pixel cycles (1 px/cycle).
+    pub pixel_cycles: Cycles,
+    /// Per-row overhead cycles.
+    pub row_overhead_cycles: Cycles,
+    /// Cache pre-fill cycles.
+    pub prefill_cycles: Cycles,
+    /// Candidate-induced stall cycles.
+    pub candidate_cycles: Cycles,
+    /// Descriptor-phase cycles (original workflow only).
+    pub descriptor_phase_cycles: Cycles,
+    /// Heap drain cycles.
+    pub drain_cycles: Cycles,
+    /// AXI write-back cycles for the feature records.
+    pub writeback_cycles: Cycles,
+    /// Pipeline flush cycles.
+    pub flush_cycles: Cycles,
+    /// Grand total.
+    pub total: Cycles,
+}
+
+impl ExtractionTiming {
+    /// Total latency in milliseconds at the FPGA clock.
+    pub fn total_ms(&self) -> f64 {
+        self.total.to_millis(FPGA_CLOCK_HZ)
+    }
+}
+
+/// On-chip memory requirement of a workflow, in bits (the §3.1 memory
+/// argument for rescheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Streaming-cache bits (Image + Score + Smoothened caches).
+    pub streaming_bits: u64,
+    /// Additional frame-buffer bits the workflow needs on-chip (0 for the
+    /// rescheduled workflow; the original workflow must either buffer the
+    /// smoothened frame or spill it to SDRAM).
+    pub buffer_bits: u64,
+}
+
+impl ExtractorModel {
+    /// Computes the extraction latency for a workload under the given
+    /// workflow schedule.
+    pub fn extraction_timing(
+        &self,
+        workload: &ExtractionWorkload,
+        workflow: Workflow,
+    ) -> ExtractionTiming {
+        let mut t = ExtractionTiming::default();
+        t.pixel_cycles = Cycles(workload.total_pixels());
+        t.row_overhead_cycles = Cycles(workload.total_rows() * self.row_overhead as u64);
+        t.prefill_cycles = Cycles(
+            workload
+                .levels
+                .iter()
+                .map(|l| self.prefill_columns as u64 * l.height as u64)
+                .sum(),
+        );
+        t.flush_cycles = Cycles(workload.levels.len() as u64 * self.level_flush as u64);
+        t.drain_cycles = Cycles(workload.kept * self.heap_drain_ii as u64);
+        t.writeback_cycles = self
+            .axi
+            .transfer_cycles(workload.kept * FEATURE_RECORD_BYTES);
+
+        match workflow {
+            Workflow::Rescheduled => {
+                // Descriptors computed inline; candidates stall the
+                // keypoint sub-pipeline only.
+                t.candidate_cycles = Cycles(workload.candidates * self.candidate_ii as u64);
+                t.descriptor_phase_cycles = Cycles::ZERO;
+            }
+            Workflow::Original => {
+                // Detection still streams (orientation idle), then a
+                // serial descriptor phase over the kept features, each
+                // paying an SDRAM patch fetch because the smoothened
+                // frame exceeds on-chip capacity.
+                t.candidate_cycles = Cycles::ZERO;
+                t.descriptor_phase_cycles = Cycles(
+                    workload.kept * (self.patch_fetch_cycles as u64 + self.candidate_ii as u64),
+                );
+            }
+        }
+
+        t.total = t.pixel_cycles
+            + t.row_overhead_cycles
+            + t.prefill_cycles
+            + t.candidate_cycles
+            + t.descriptor_phase_cycles
+            + t.drain_cycles
+            + t.writeback_cycles
+            + t.flush_cycles;
+        t
+    }
+
+    /// On-chip memory footprint of a workflow for a base image width
+    /// (heights from the workload's level 0).
+    pub fn memory_footprint(
+        &self,
+        workload: &ExtractionWorkload,
+        workflow: Workflow,
+    ) -> MemoryFootprint {
+        let base = workload.levels[0];
+        let sizing = crate::cache::CacheSizing {
+            image_height: base.height,
+            ..Default::default()
+        };
+        let streaming = sizing.total_bits();
+        let buffer = match workflow {
+            Workflow::Rescheduled => 0,
+            // The original workflow must keep the smoothened pyramid
+            // addressable for the post-filter descriptor phase.
+            Workflow::Original => workload.total_pixels() * 8,
+        };
+        MemoryFootprint {
+            streaming_bits: streaming,
+            buffer_bits: buffer,
+        }
+    }
+}
+
+/// Result of a functional + timed extraction run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedExtraction {
+    /// The extracted features (bit-identical to the software reference).
+    pub features: OrbFeatures,
+    /// The modelled hardware latency.
+    pub timing: ExtractionTiming,
+}
+
+/// Runs the hardware extractor on an image: functional results from the
+/// bit-exact reference datapath, timing from the cycle model using the
+/// *actual* candidate/kept counts of this image.
+pub fn simulate_extraction(image: &GrayImage, model: &ExtractorModel) -> SimulatedExtraction {
+    let config = OrbConfig {
+        descriptor: DescriptorKind::RsBrief,
+        workflow: Workflow::Rescheduled,
+        ..Default::default()
+    };
+    let extractor = OrbExtractor::new(config);
+    let features = extractor.extract(image);
+    let workload = ExtractionWorkload::from_pyramid(
+        image.width(),
+        image.height(),
+        &config.pyramid,
+        features.stats.candidates as u64,
+        features.stats.kept as u64,
+    );
+    let timing = model.extraction_timing(&workload, Workflow::Rescheduled);
+    SimulatedExtraction { features, timing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vga_nominal_matches_table2_fe_latency() {
+        // Table 2: feature extraction on eSLAM takes 9.1 ms.
+        let model = ExtractorModel::default();
+        let timing = model.extraction_timing(&ExtractionWorkload::vga_nominal(), Workflow::Rescheduled);
+        let ms = timing.total_ms();
+        assert!(
+            (ms - 9.1).abs() < 0.1,
+            "FE latency {ms:.3} ms should be ≈ 9.1 ms"
+        );
+    }
+
+    #[test]
+    fn workload_pixel_counts() {
+        let w = ExtractionWorkload::vga_nominal();
+        assert_eq!(w.levels.len(), 4);
+        assert_eq!(w.levels[0], LevelDims { width: 640, height: 480 });
+        assert_eq!(w.levels[1], LevelDims { width: 533, height: 400 });
+        // 640×480 + 533×400 + 444×333 + 370×278 = 771,112.
+        assert_eq!(w.total_pixels(), 771_112);
+        assert_eq!(w.total_rows(), 1491);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let model = ExtractorModel::default();
+        for workflow in [Workflow::Rescheduled, Workflow::Original] {
+            let t = model.extraction_timing(&ExtractionWorkload::vga_nominal(), workflow);
+            let sum = t.pixel_cycles
+                + t.row_overhead_cycles
+                + t.prefill_cycles
+                + t.candidate_cycles
+                + t.descriptor_phase_cycles
+                + t.drain_cycles
+                + t.writeback_cycles
+                + t.flush_cycles;
+            assert_eq!(sum, t.total);
+        }
+    }
+
+    #[test]
+    fn rescheduling_reduces_latency() {
+        // §3.1: "the latency has been optimized significantly due to the
+        // eliminated idle states".
+        let model = ExtractorModel::default();
+        let w = ExtractionWorkload::vga_nominal();
+        let rescheduled = model.extraction_timing(&w, Workflow::Rescheduled);
+        let original = model.extraction_timing(&w, Workflow::Original);
+        assert!(original.total > rescheduled.total);
+        let saving = 1.0 - rescheduled.total.0 as f64 / original.total.0 as f64;
+        assert!(
+            (0.15..0.45).contains(&saving),
+            "latency saving {saving:.2} out of expected band"
+        );
+    }
+
+    #[test]
+    fn rescheduling_eliminates_frame_buffer() {
+        // §3.1: "the required on-chip cache is also reduced dramatically".
+        let model = ExtractorModel::default();
+        let w = ExtractionWorkload::vga_nominal();
+        let resched = model.memory_footprint(&w, Workflow::Rescheduled);
+        let orig = model.memory_footprint(&w, Workflow::Original);
+        assert_eq!(resched.buffer_bits, 0);
+        assert!(orig.buffer_bits > 10 * resched.streaming_bits);
+    }
+
+    #[test]
+    fn more_candidates_cost_more_cycles() {
+        let model = ExtractorModel::default();
+        let mut light = ExtractionWorkload::vga_nominal();
+        light.candidates = 500;
+        let mut heavy = ExtractionWorkload::vga_nominal();
+        heavy.candidates = 5000;
+        let tl = model.extraction_timing(&light, Workflow::Rescheduled);
+        let th = model.extraction_timing(&heavy, Workflow::Rescheduled);
+        assert!(th.total > tl.total);
+        assert_eq!(th.total.0 - tl.total.0, 4500 * 4);
+    }
+
+    #[test]
+    fn two_level_pyramid_pixel_ratio_matches_48_percent() {
+        // §4.4 cross-check: 4 levels process 48% more pixels than 2.
+        let four = ExtractionWorkload::from_pyramid(640, 480, &PyramidConfig::default(), 0, 0);
+        let two = ExtractionWorkload::from_pyramid(
+            640,
+            480,
+            &PyramidConfig { levels: 2, scale_factor: 1.2 },
+            0,
+            0,
+        );
+        let ratio = four.total_pixels() as f64 / two.total_pixels() as f64;
+        assert!((ratio - 1.48).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn simulate_extraction_consistent_with_software() {
+        let img = GrayImage::from_fn(160, 120, |x, y| {
+            let base = if (x / 10 + y / 10) % 2 == 0 { 60 } else { 190 };
+            base + ((x * 7 + y * 13) % 17) as u8
+        });
+        let sim = simulate_extraction(&img, &ExtractorModel::default());
+        // Functional equality with the reference extractor.
+        let reference = OrbExtractor::new(OrbConfig::default()).extract(&img);
+        assert_eq!(sim.features, reference);
+        // Timing reflects the smaller image (< VGA latency).
+        assert!(sim.timing.total_ms() < 9.1);
+        assert!(sim.timing.total.0 > 0);
+    }
+}

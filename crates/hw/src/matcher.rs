@@ -1,0 +1,200 @@
+//! Timing and functional model of the BRIEF Matcher (Fig. 6).
+//!
+//! Architecture (§3.2): current-frame descriptors arrive from the ORB
+//! Extractor; map descriptors stream from SDRAM into the Descriptor
+//! Cache; the Distance Computing module evaluates Hamming distances with
+//! P parallel XOR/popcount units; the Comparator tracks the minimum per
+//! query and results drain to the Result Cache, then SDRAM.
+//!
+//! Timing: map-descriptor loading overlaps with computation (the cache is
+//! double-buffered), so the latency is `⌈n·m/P⌉` compute cycles plus the
+//! query load and result write-back. With the design point P = 6 and a
+//! 2304-point map, the VGA workload reproduces Table 2's 4.0 ms.
+
+use crate::axi::AxiConfig;
+use crate::clock::{Cycles, FPGA_CLOCK_HZ};
+use eslam_features::matcher::{match_brute_force, DescriptorMatch};
+use eslam_features::Descriptor;
+
+/// Bytes per stored descriptor (256 bits).
+pub const DESCRIPTOR_BYTES: u64 = 32;
+
+/// Bytes per match result record (query idx, train idx, distance).
+pub const RESULT_RECORD_BYTES: u64 = 8;
+
+/// Nominal number of query features (the Heap capacity).
+pub const NOMINAL_QUERIES: u64 = 1024;
+
+/// Nominal global-map size: exactly fills the 16-BRAM descriptor cache
+/// (16 × 36 Kb = 72 KiB = 2304 descriptors × 32 B).
+pub const NOMINAL_MAP_POINTS: u64 = 2304;
+
+/// Timing parameters of the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherModel {
+    /// AXI configuration for SDRAM traffic.
+    pub axi: AxiConfig,
+    /// Parallel Hamming distance units (the paper's design point: 6).
+    pub parallel_units: u32,
+    /// Descriptor Cache capacity in descriptors.
+    pub cache_capacity: u64,
+}
+
+impl Default for MatcherModel {
+    fn default() -> Self {
+        MatcherModel {
+            axi: AxiConfig::default(),
+            parallel_units: crate::resource::DEFAULT_MATCHER_PARALLELISM,
+            cache_capacity: NOMINAL_MAP_POINTS,
+        }
+    }
+}
+
+/// Cycle breakdown of one matching pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchingTiming {
+    /// Cycles loading the query descriptors from the extractor/SDRAM.
+    pub query_load_cycles: Cycles,
+    /// Distance-computation cycles: ⌈n·m / P⌉.
+    pub compute_cycles: Cycles,
+    /// Residual map-streaming cycles not hidden behind compute.
+    pub map_stream_residual_cycles: Cycles,
+    /// Result write-back cycles.
+    pub writeback_cycles: Cycles,
+    /// Grand total.
+    pub total: Cycles,
+}
+
+impl MatchingTiming {
+    /// Total latency in milliseconds at the FPGA clock.
+    pub fn total_ms(&self) -> f64 {
+        self.total.to_millis(FPGA_CLOCK_HZ)
+    }
+}
+
+impl MatcherModel {
+    /// Latency of matching `n_query` descriptors against `m_map` map
+    /// points.
+    pub fn matching_timing(&self, n_query: u64, m_map: u64) -> MatchingTiming {
+        let mut t = MatchingTiming::default();
+        t.query_load_cycles = self.axi.transfer_cycles(n_query * DESCRIPTOR_BYTES);
+        let pairs = n_query * m_map;
+        t.compute_cycles = Cycles(pairs.div_ceil(self.parallel_units as u64));
+        // Map descriptors stream into the (double-buffered) cache while
+        // computing; only the part beyond the compute window is exposed.
+        let map_load = self.axi.transfer_cycles(m_map * DESCRIPTOR_BYTES);
+        t.map_stream_residual_cycles = Cycles(map_load.0.saturating_sub(t.compute_cycles.0));
+        t.writeback_cycles = self.axi.transfer_cycles(n_query * RESULT_RECORD_BYTES);
+        t.total = t.query_load_cycles + t.compute_cycles + t.map_stream_residual_cycles + t.writeback_cycles;
+        t
+    }
+}
+
+/// Result of a functional + timed matching run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedMatching {
+    /// Minimum-distance match per query (the Comparator output).
+    pub matches: Vec<DescriptorMatch>,
+    /// Modelled latency.
+    pub timing: MatchingTiming,
+}
+
+/// Runs the hardware matcher: the Comparator performs a pure minimum
+/// search (no threshold — filtering happens on the host), bit-identical
+/// to [`match_brute_force`] with an unbounded distance cap.
+pub fn simulate_matching(
+    query: &[Descriptor],
+    map: &[Descriptor],
+    model: &MatcherModel,
+) -> SimulatedMatching {
+    let matches = match_brute_force(query, map, u32::MAX);
+    let timing = model.matching_timing(query.len() as u64, map.len() as u64);
+    SimulatedMatching { matches, timing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_workload_matches_table2_fm_latency() {
+        // Table 2: feature matching on eSLAM takes 4.0 ms.
+        let model = MatcherModel::default();
+        let t = model.matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS);
+        let ms = t.total_ms();
+        assert!((ms - 4.0).abs() < 0.05, "FM latency {ms:.3} ms should be ≈ 4.0 ms");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let model = MatcherModel::default();
+        let t = model.matching_timing(777, 1500);
+        assert_eq!(
+            t.total,
+            t.query_load_cycles + t.compute_cycles + t.map_stream_residual_cycles + t.writeback_cycles
+        );
+    }
+
+    #[test]
+    fn compute_dominates_at_nominal_point() {
+        let model = MatcherModel::default();
+        let t = model.matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS);
+        assert!(t.compute_cycles.0 > 9 * t.query_load_cycles.0);
+        // Map streaming fully hidden behind compute.
+        assert_eq!(t.map_stream_residual_cycles, Cycles::ZERO);
+    }
+
+    #[test]
+    fn tiny_map_exposes_streaming() {
+        // With almost no compute, the map load residual becomes visible.
+        let model = MatcherModel::default();
+        let t = model.matching_timing(1, 2304);
+        assert!(t.map_stream_residual_cycles.0 > 0);
+    }
+
+    #[test]
+    fn parallelism_scales_compute() {
+        let base = MatcherModel::default();
+        let double = MatcherModel {
+            parallel_units: base.parallel_units * 2,
+            ..base
+        };
+        let t1 = base.matching_timing(1024, 2304);
+        let t2 = double.matching_timing(1024, 2304);
+        assert!((t1.compute_cycles.0 as f64 / t2.compute_cycles.0 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cache_capacity_matches_bram_budget() {
+        // 16 BRAM36 tiles = 72 KiB = 2304 descriptors.
+        assert_eq!(NOMINAL_MAP_POINTS * DESCRIPTOR_BYTES, 16 * 36 * 1024 / 8);
+    }
+
+    #[test]
+    fn simulated_matching_is_bit_exact_minimum_search() {
+        let mk = |seed: u64| {
+            let mut words = [0u64; 4];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add((i as u64).wrapping_mul(0xbf58476d1ce4e5b9));
+            }
+            Descriptor::from_words(words)
+        };
+        let query: Vec<Descriptor> = (0..40).map(|i| mk(i + 1)).collect();
+        let map: Vec<Descriptor> = (0..100).map(|i| mk(i * 3 + 7)).collect();
+        let model = MatcherModel::default();
+        let sim = simulate_matching(&query, &map, &model);
+        assert_eq!(sim.matches, match_brute_force(&query, &map, u32::MAX));
+        assert_eq!(sim.matches.len(), query.len());
+        assert!(sim.timing.total.0 > 0);
+    }
+
+    #[test]
+    fn zero_queries_cost_almost_nothing() {
+        let model = MatcherModel::default();
+        let t = model.matching_timing(0, 2304);
+        assert_eq!(t.compute_cycles, Cycles::ZERO);
+        assert_eq!(t.query_load_cycles, Cycles::ZERO);
+    }
+}

@@ -1,0 +1,95 @@
+//! Power and energy model — the power column of Table 3.
+//!
+//! The paper measures 1.574 W for the ARM-only system and 1.936 W for
+//! eSLAM (ARM + fabric): the accelerators add 0.362 W (+23%). This module
+//! decomposes the fabric power into per-block contributions and computes
+//! per-frame energy as `runtime × power`, exactly as Table 3 does.
+
+/// Power draw of the ARM-only platform, watts (Table 3).
+pub const ARM_POWER_W: f64 = 1.574;
+
+/// Power draw of the Intel i7 platform, watts (Table 3).
+pub const I7_POWER_W: f64 = 47.0;
+
+/// Decomposition of the FPGA fabric power added by the accelerators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaPowerModel {
+    /// Static (leakage + clocking) power of the programmable logic, W.
+    pub static_w: f64,
+    /// Dynamic power of the ORB Extractor datapath, W.
+    pub extractor_w: f64,
+    /// Dynamic power of the BRIEF Matcher, W.
+    pub matcher_w: f64,
+    /// Dynamic power of the AXI interconnect and BRAM traffic, W.
+    pub axi_w: f64,
+}
+
+impl Default for FpgaPowerModel {
+    fn default() -> Self {
+        FpgaPowerModel {
+            static_w: 0.120,
+            extractor_w: 0.150,
+            matcher_w: 0.060,
+            axi_w: 0.032,
+        }
+    }
+}
+
+impl FpgaPowerModel {
+    /// Total fabric power, W.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.extractor_w + self.matcher_w + self.axi_w
+    }
+}
+
+/// Total eSLAM platform power (ARM host + fabric), W.
+pub fn eslam_power_w() -> f64 {
+    ARM_POWER_W + FpgaPowerModel::default().total_w()
+}
+
+/// Energy per frame in millijoules: `runtime_ms × power_w`
+/// (ms × W = mJ), the Table 3 energy rows.
+pub fn energy_per_frame_mj(runtime_ms: f64, power_w: f64) -> f64 {
+    runtime_ms * power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eslam_power_matches_table3() {
+        let p = eslam_power_w();
+        assert!((p - 1.936).abs() < 1e-9, "eSLAM power {p} W vs 1.936 W");
+    }
+
+    #[test]
+    fn fabric_adds_23_percent() {
+        // §4.3: "the power consumption of eSLAM is increased by about 23%
+        // compared with the ARM processor".
+        let increase = (eslam_power_w() - ARM_POWER_W) / ARM_POWER_W;
+        assert!((increase - 0.23).abs() < 0.01, "increase {increase}");
+    }
+
+    #[test]
+    fn energy_rows_of_table3() {
+        // ARM: 555.7 ms × 1.574 W ≈ 875 mJ; 565.6 ms → ≈ 890 mJ.
+        assert!((energy_per_frame_mj(555.7, ARM_POWER_W) - 875.0).abs() < 1.0);
+        assert!((energy_per_frame_mj(565.6, ARM_POWER_W) - 890.0).abs() < 1.0);
+        // i7: 53.6 ms × 47 W ≈ 2519 mJ; 54.8 ms → ≈ 2576 mJ.
+        assert!((energy_per_frame_mj(53.6, I7_POWER_W) - 2519.0).abs() < 1.0);
+        assert!((energy_per_frame_mj(54.8, I7_POWER_W) - 2575.0).abs() < 1.5);
+        // eSLAM: 17.9 ms × 1.936 W ≈ 35 mJ; 31.8 ms → ≈ 62 mJ.
+        assert!((energy_per_frame_mj(17.9, eslam_power_w()) - 35.0).abs() < 0.7);
+        assert!((energy_per_frame_mj(31.8, eslam_power_w()) - 62.0).abs() < 0.7);
+    }
+
+    #[test]
+    fn fabric_breakdown_sums() {
+        let m = FpgaPowerModel::default();
+        assert!((m.total_w() - 0.362).abs() < 1e-12);
+        // Extractor dominates the dynamic share (largest datapath).
+        assert!(m.extractor_w > m.matcher_w);
+        assert!(m.extractor_w > m.axi_w);
+    }
+}

@@ -1,0 +1,237 @@
+//! FPGA resource model — regenerates Table 1.
+//!
+//! Every datapath unit in [`crate::units`] carries a resource estimate
+//! (LUTs, flip-flops, DSP slices, BRAM tiles) derived from its datapath
+//! width and replication count; this module sums them and reports
+//! utilization against the Zynq XCZ7045 device limits, reproducing the
+//! paper's Table 1.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A bundle of FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops (registers).
+    pub ff: u32,
+    /// DSP48 slices.
+    pub dsp: u32,
+    /// 36 Kb block-RAM tiles.
+    pub bram: u32,
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            dsp: self.dsp + rhs.dsp,
+            bram: self.bram + rhs.bram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {} / FF {} / DSP {} / BRAM {}",
+            self.lut, self.ff, self.dsp, self.bram
+        )
+    }
+}
+
+/// Device resource limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Device name.
+    pub name: &'static str,
+    /// Available resources.
+    pub capacity: Resources,
+}
+
+/// The Zynq XCZ7045 used in the paper (§4.1): 218 600 LUTs, 437 200 FFs,
+/// 900 DSP slices, 545 36Kb BRAM tiles.
+pub const XCZ7045: Device = Device {
+    name: "XCZ7045",
+    capacity: Resources {
+        lut: 218_600,
+        ff: 437_200,
+        dsp: 900,
+        bram: 545,
+    },
+};
+
+/// The smaller XCZ7020 the paper suggests as a cheaper target (§4.1).
+pub const XCZ7020: Device = Device {
+    name: "XCZ7020",
+    capacity: Resources {
+        lut: 53_200,
+        ff: 106_400,
+        dsp: 220,
+        bram: 140,
+    },
+};
+
+/// The mid-range XCZ7030.
+pub const XCZ7030: Device = Device {
+    name: "XCZ7030",
+    capacity: Resources {
+        lut: 78_600,
+        ff: 157_200,
+        dsp: 400,
+        bram: 265,
+    },
+};
+
+/// Utilization of a resource bundle against a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Used resources.
+    pub used: Resources,
+    /// Percent of each resource used (LUT, FF, DSP, BRAM).
+    pub percent: [f64; 4],
+    /// Whether the design fits the device.
+    pub fits: bool,
+}
+
+impl Device {
+    /// Computes utilization of `used` on this device.
+    pub fn utilization(&self, used: Resources) -> Utilization {
+        let percent = [
+            100.0 * used.lut as f64 / self.capacity.lut as f64,
+            100.0 * used.ff as f64 / self.capacity.ff as f64,
+            100.0 * used.dsp as f64 / self.capacity.dsp as f64,
+            100.0 * used.bram as f64 / self.capacity.bram as f64,
+        ];
+        Utilization {
+            used,
+            percent,
+            fits: used.lut <= self.capacity.lut
+                && used.ff <= self.capacity.ff
+                && used.dsp <= self.capacity.dsp
+                && used.bram <= self.capacity.bram,
+        }
+    }
+}
+
+/// Total eSLAM fabric resources: the sum of every unit in the design
+/// (ORB Extractor datapath, BRIEF Matcher with `matcher_parallelism`
+/// Hamming units, caches, AXI and control).
+pub fn eslam_total(matcher_parallelism: u32) -> Resources {
+    use crate::units::*;
+    let mut total = Resources::default();
+    for unit in [
+        image_resizing(),
+        fast_detection(),
+        image_smoother(),
+        nms_unit(),
+        orientation_computing(),
+        brief_computing(),
+        brief_rotator(),
+        heap_unit(),
+        extractor_caches(),
+        distance_computing(matcher_parallelism),
+        comparator(),
+        descriptor_cache(),
+        axi_and_control(),
+    ] {
+        total += unit.resources;
+    }
+    total
+}
+
+/// The matcher parallelism of the reproduced design point (see DESIGN.md:
+/// 6 parallel Hamming units against a 2304-point map reproduce the 4.0 ms
+/// matching latency of Table 2).
+pub const DEFAULT_MATCHER_PARALLELISM: u32 = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_reproduce_table1() {
+        // Table 1: LUT 56954 (26.0%), FF 67809 (15.5%), DSP 111 (12.3%),
+        // BRAM 78 (14.3%).
+        let total = eslam_total(DEFAULT_MATCHER_PARALLELISM);
+        assert_eq!(total.lut, 56_954);
+        assert_eq!(total.ff, 67_809);
+        assert_eq!(total.dsp, 111);
+        assert_eq!(total.bram, 78);
+    }
+
+    #[test]
+    fn utilization_percentages_match_table1() {
+        let util = XCZ7045.utilization(eslam_total(DEFAULT_MATCHER_PARALLELISM));
+        assert!((util.percent[0] - 26.0).abs() < 0.1, "LUT {}", util.percent[0]);
+        assert!((util.percent[1] - 15.5).abs() < 0.1, "FF {}", util.percent[1]);
+        assert!((util.percent[2] - 12.3).abs() < 0.1, "DSP {}", util.percent[2]);
+        assert!((util.percent[3] - 14.3).abs() < 0.1, "BRAM {}", util.percent[3]);
+        assert!(util.fits);
+    }
+
+    #[test]
+    fn quarter_of_device_leaves_headroom() {
+        // §4.1: "only about 1/4 resources are utilized", enabling smaller
+        // parts. The dominant utilization axis is LUTs at ~26%.
+        let util = XCZ7045.utilization(eslam_total(DEFAULT_MATCHER_PARALLELISM));
+        let max_pct = util.percent.iter().cloned().fold(0.0, f64::max);
+        assert!(max_pct < 27.0);
+    }
+
+    #[test]
+    fn fits_smaller_devices_as_paper_claims() {
+        // §4.1: "possible to prototype them onto SoCs with less resources
+        // … such as XCZ7030/XCZ7020".
+        let total = eslam_total(DEFAULT_MATCHER_PARALLELISM);
+        assert!(XCZ7030.utilization(total).fits, "XCZ7030 should fit");
+        // XCZ7020: LUT-tight (56954 > 53200) — the paper's claim holds
+        // only with a reduced design point (e.g. fewer matcher units).
+        assert!(!XCZ7020.utilization(total).fits);
+        let reduced = eslam_total(2);
+        assert!(
+            XCZ7020.utilization(reduced).fits,
+            "reduced design should fit XCZ7020: {}",
+            reduced
+        );
+    }
+
+    #[test]
+    fn resources_add() {
+        let a = Resources { lut: 1, ff: 2, dsp: 3, bram: 4 };
+        let b = Resources { lut: 10, ff: 20, dsp: 30, bram: 40 };
+        let c = a + b;
+        assert_eq!(c, Resources { lut: 11, ff: 22, dsp: 33, bram: 44 });
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let util = XCZ7020.utilization(Resources {
+            lut: 100_000,
+            ff: 0,
+            dsp: 0,
+            bram: 0,
+        });
+        assert!(!util.fits);
+        assert!(util.percent[0] > 100.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Resources { lut: 1, ff: 2, dsp: 3, bram: 4 };
+        assert_eq!(r.to_string(), "LUT 1 / FF 2 / DSP 3 / BRAM 4");
+    }
+}

@@ -1,0 +1,249 @@
+//! Datapath unit models of the ORB Extractor (Fig. 4) and BRIEF Matcher
+//! (Fig. 6).
+//!
+//! Each unit carries:
+//! * a **functional model** delegating to the bit-exact reference
+//!   implementations in `eslam-features` (so the simulator's outputs are
+//!   provably identical to software);
+//! * a **timing contract** — pipeline depth (latency) and initiation
+//!   interval (II);
+//! * a **resource estimate** contributing to the Table 1 totals.
+
+use crate::resource::Resources;
+use eslam_features::descriptor::Descriptor;
+use eslam_features::orientation::OrientationLut;
+
+/// Timing contract of a pipelined hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitTiming {
+    /// Pipeline depth: cycles from input to the corresponding output.
+    pub latency: u32,
+    /// Initiation interval: cycles between successive inputs.
+    pub initiation_interval: u32,
+}
+
+/// A named datapath unit with timing and resource estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    /// Unit name as in Fig. 4 / Fig. 6.
+    pub name: &'static str,
+    /// Timing contract.
+    pub timing: UnitTiming,
+    /// Resource estimate.
+    pub resources: Resources,
+}
+
+/// The FAST Detection unit: 7×7 window in, corner flag + Harris score
+/// out, fully pipelined at 1 pixel/cycle.
+pub fn fast_detection() -> Unit {
+    Unit {
+        name: "FAST Detection",
+        timing: UnitTiming { latency: 6, initiation_interval: 1 },
+        resources: Resources { lut: 6800, ff: 7400, dsp: 48, bram: 0 },
+    }
+}
+
+/// The Image Smoother: 7×7 fixed-point Gaussian, 1 pixel/cycle.
+pub fn image_smoother() -> Unit {
+    Unit {
+        name: "Image Smoother",
+        timing: UnitTiming { latency: 8, initiation_interval: 1 },
+        resources: Resources { lut: 5200, ff: 6900, dsp: 14, bram: 0 },
+    }
+}
+
+/// The NMS unit: 3×3 score comparison, 1 pixel/cycle.
+pub fn nms_unit() -> Unit {
+    Unit {
+        name: "NMS",
+        timing: UnitTiming { latency: 3, initiation_interval: 1 },
+        resources: Resources { lut: 1900, ff: 2600, dsp: 0, bram: 0 },
+    }
+}
+
+/// The Orientation Computing unit: circular-patch moments + v/u LUT.
+/// Accepts one keypoint every 4 cycles (the column-parallel moment
+/// accumulators reduce a 31-wide patch in 4 steps).
+pub fn orientation_computing() -> Unit {
+    Unit {
+        name: "Orientation Computing",
+        timing: UnitTiming { latency: 12, initiation_interval: 4 },
+        resources: Resources { lut: 7400, ff: 9200, dsp: 22, bram: 2 },
+    }
+}
+
+/// The BRIEF Computing unit: 256 comparators over the smoothened patch.
+pub fn brief_computing() -> Unit {
+    Unit {
+        name: "BRIEF Computing",
+        timing: UnitTiming { latency: 10, initiation_interval: 4 },
+        resources: Resources { lut: 9800, ff: 11300, dsp: 0, bram: 4 },
+    }
+}
+
+/// The BRIEF Rotator: a 256-bit barrel rotator in steps of 8 bits.
+pub fn brief_rotator() -> Unit {
+    Unit {
+        name: "BRIEF Rotator",
+        timing: UnitTiming { latency: 2, initiation_interval: 1 },
+        resources: Resources { lut: 1300, ff: 1600, dsp: 0, bram: 0 },
+    }
+}
+
+/// The Heap: 1024-entry max-heap insert engine.
+pub fn heap_unit() -> Unit {
+    Unit {
+        name: "Heap",
+        timing: UnitTiming { latency: 11, initiation_interval: 2 },
+        resources: Resources { lut: 4200, ff: 5200, dsp: 0, bram: 8 },
+    }
+}
+
+/// The Image Resizing module (nearest-neighbour downsampler).
+pub fn image_resizing() -> Unit {
+    Unit {
+        name: "Image Resizing",
+        timing: UnitTiming { latency: 4, initiation_interval: 1 },
+        resources: Resources { lut: 2100, ff: 2800, dsp: 8, bram: 2 },
+    }
+}
+
+/// The extractor-side caches (Image, Score, Smoothened Image).
+pub fn extractor_caches() -> Unit {
+    Unit {
+        name: "Extractor Caches",
+        timing: UnitTiming { latency: 1, initiation_interval: 1 },
+        resources: Resources { lut: 3900, ff: 4700, dsp: 0, bram: 20 },
+    }
+}
+
+/// The Distance Computing unit of the BRIEF Matcher: P parallel 256-bit
+/// Hamming units (XOR + popcount tree), each II = 1.
+pub fn distance_computing(parallel_units: u32) -> Unit {
+    Unit {
+        name: "Distance Computing",
+        timing: UnitTiming { latency: 5, initiation_interval: 1 },
+        resources: Resources {
+            lut: 950 * parallel_units,
+            ff: 1100 * parallel_units,
+            dsp: 0,
+            bram: 0,
+        },
+    }
+}
+
+/// The Comparator + Result Cache of the BRIEF Matcher.
+pub fn comparator() -> Unit {
+    Unit {
+        name: "Comparator",
+        timing: UnitTiming { latency: 3, initiation_interval: 1 },
+        resources: Resources { lut: 1000, ff: 1400, dsp: 0, bram: 6 },
+    }
+}
+
+/// The matcher Descriptor Cache.
+pub fn descriptor_cache() -> Unit {
+    Unit {
+        name: "Descriptor Cache",
+        timing: UnitTiming { latency: 1, initiation_interval: 1 },
+        resources: Resources { lut: 0, ff: 0, dsp: 0, bram: 16 },
+    }
+}
+
+/// AXI interface + control logic shared by both accelerators.
+pub fn axi_and_control() -> Unit {
+    Unit {
+        name: "AXI + Control",
+        timing: UnitTiming { latency: 1, initiation_interval: 1 },
+        resources: Resources { lut: 7654, ff: 8109, dsp: 19, bram: 20 },
+    }
+}
+
+/// Functional model of the BRIEF Rotator (§3.1): "moves the 8 × n bits
+/// from the beginning of the descriptor to the end", where n is the
+/// orientation label. Bit-exact with [`Descriptor::steer`].
+pub fn rotator_behaviour(unsteered: Descriptor, orientation_label: u8) -> Descriptor {
+    unsteered.rotate_bits(8 * orientation_label as usize)
+}
+
+/// Functional model of the Orientation Computing LUT stage: label from
+/// the centroid numerators (u, v) — delegates to the shared
+/// [`OrientationLut`] so hardware and software binning are identical.
+pub fn orientation_behaviour(lut: &OrientationLut, u: i64, v: i64) -> u8 {
+    lut.label(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslam_features::orientation::angle_to_label;
+
+    #[test]
+    fn pixel_pipeline_units_have_ii_one() {
+        // The pixel-rate front of the datapath must sustain 1 px/cycle.
+        for unit in [fast_detection(), image_smoother(), nms_unit(), image_resizing()] {
+            assert_eq!(unit.timing.initiation_interval, 1, "{}", unit.name);
+        }
+    }
+
+    #[test]
+    fn keypoint_units_tolerate_higher_ii() {
+        // Keypoints are sparse (≪ 1 per 4 pixels), so II = 4 never stalls
+        // the pixel pipeline in practice.
+        assert_eq!(orientation_computing().timing.initiation_interval, 4);
+        assert_eq!(brief_computing().timing.initiation_interval, 4);
+    }
+
+    #[test]
+    fn rotator_behaviour_matches_descriptor_steer() {
+        let d = Descriptor::from_words([0xdeadbeef12345678, 0x0f0f0f0f0f0f0f0f, 0x1122334455667788, 0xaabbccddeeff0011]);
+        for label in 0..32u8 {
+            assert_eq!(rotator_behaviour(d, label), d.steer(label));
+        }
+    }
+
+    #[test]
+    fn rotator_label_zero_passthrough() {
+        let d = Descriptor::from_words([1, 2, 3, 4]);
+        assert_eq!(rotator_behaviour(d, 0), d);
+    }
+
+    #[test]
+    fn orientation_behaviour_matches_software_binning() {
+        let lut = OrientationLut::new();
+        for (u, v) in [(100i64, 0i64), (0, -50), (-73, 21), (13, 13), (-5, -99)] {
+            let expect = angle_to_label((v as f64).atan2(u as f64));
+            assert_eq!(orientation_behaviour(&lut, u, v), expect, "u={u} v={v}");
+        }
+    }
+
+    #[test]
+    fn distance_units_scale_with_parallelism() {
+        let one = distance_computing(1);
+        let eight = distance_computing(8);
+        assert_eq!(eight.resources.lut, one.resources.lut * 8);
+        assert_eq!(eight.timing.initiation_interval, 1);
+    }
+
+    #[test]
+    fn all_units_have_nonzero_latency() {
+        for unit in [
+            fast_detection(),
+            image_smoother(),
+            nms_unit(),
+            orientation_computing(),
+            brief_computing(),
+            brief_rotator(),
+            heap_unit(),
+            image_resizing(),
+            extractor_caches(),
+            distance_computing(8),
+            comparator(),
+            descriptor_cache(),
+            axi_and_control(),
+        ] {
+            assert!(unit.timing.latency >= 1, "{}", unit.name);
+            assert!(unit.timing.initiation_interval >= 1, "{}", unit.name);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Simple rasterized drawing primitives for figure generation.
+//!
+//! Used by the benchmark harness to render the pattern visualization
+//! (Fig. 2) and trajectory plots (Fig. 9) as PPM files.
+
+use crate::io::RgbImage;
+
+/// Draws a line with Bresenham's algorithm; endpoints outside the image
+/// are clipped pixel-by-pixel.
+pub fn draw_line(img: &mut RgbImage, x0: i64, y0: i64, x1: i64, y1: i64, colour: [u8; 3]) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        img.set(x, y, colour);
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Draws a circle outline (midpoint algorithm).
+pub fn draw_circle(img: &mut RgbImage, cx: i64, cy: i64, radius: i64, colour: [u8; 3]) {
+    if radius < 0 {
+        return;
+    }
+    let mut x = radius;
+    let mut y = 0;
+    let mut err = 1 - radius;
+    while x >= y {
+        for (px, py) in [
+            (cx + x, cy + y),
+            (cx - x, cy + y),
+            (cx + x, cy - y),
+            (cx - x, cy - y),
+            (cx + y, cy + x),
+            (cx - y, cy + x),
+            (cx + y, cy - x),
+            (cx - y, cy - x),
+        ] {
+            img.set(px, py, colour);
+        }
+        y += 1;
+        if err < 0 {
+            err += 2 * y + 1;
+        } else {
+            x -= 1;
+            err += 2 * (y - x) + 1;
+        }
+    }
+}
+
+/// Fills a small axis-aligned square centred at `(cx, cy)`; handy for
+/// marking keypoints.
+pub fn draw_marker(img: &mut RgbImage, cx: i64, cy: i64, half: i64, colour: [u8; 3]) {
+    for y in (cy - half)..=(cy + half) {
+        for x in (cx - half)..=(cx + half) {
+            img.set(x, y, colour);
+        }
+    }
+}
+
+/// Plots a 2-D polyline (e.g. a trajectory) into an image, auto-scaling
+/// the data to fit with a margin. Returns the scale used
+/// (pixels per data unit).
+pub fn plot_polyline(
+    img: &mut RgbImage,
+    points: &[(f64, f64)],
+    colour: [u8; 3],
+    margin: u32,
+) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let (min_x, max_x) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+    let (min_y, max_y) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let avail_x = (img.width().saturating_sub(2 * margin)) as f64;
+    let avail_y = (img.height().saturating_sub(2 * margin)) as f64;
+    let scale = (avail_x / span_x).min(avail_y / span_y);
+
+    let img_height = img.height() as f64;
+    let to_px = move |p: &(f64, f64)| -> (i64, i64) {
+        (
+            (margin as f64 + (p.0 - min_x) * scale) as i64,
+            // Flip the vertical axis: data "up" is image "up".
+            (img_height - margin as f64 - (p.1 - min_y) * scale) as i64,
+        )
+    };
+    for pair in points.windows(2) {
+        let (x0, y0) = to_px(&pair[0]);
+        let (x1, y1) = to_px(&pair[1]);
+        draw_line(img, x0, y0, x1, y1, colour);
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_coloured(img: &RgbImage, colour: [u8; 3]) -> usize {
+        let mut n = 0;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(x, y) == colour {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let mut img = RgbImage::filled(10, 10, [0; 3]);
+        draw_line(&mut img, 1, 5, 8, 5, [255, 0, 0]);
+        for x in 1..=8 {
+            assert_eq!(img.get(x, 5), [255, 0, 0]);
+        }
+        assert_eq!(count_coloured(&img, [255, 0, 0]), 8);
+    }
+
+    #[test]
+    fn diagonal_line_hits_endpoints() {
+        let mut img = RgbImage::filled(10, 10, [0; 3]);
+        draw_line(&mut img, 0, 0, 9, 9, [0, 255, 0]);
+        assert_eq!(img.get(0, 0), [0, 255, 0]);
+        assert_eq!(img.get(9, 9), [0, 255, 0]);
+        assert_eq!(img.get(4, 4), [0, 255, 0]);
+    }
+
+    #[test]
+    fn line_clips_out_of_bounds() {
+        let mut img = RgbImage::filled(5, 5, [0; 3]);
+        // Must not panic even though coordinates leave the canvas.
+        draw_line(&mut img, -10, 2, 20, 2, [1, 2, 3]);
+        assert_eq!(count_coloured(&img, [1, 2, 3]), 5);
+    }
+
+    #[test]
+    fn circle_radius_zero_is_point() {
+        let mut img = RgbImage::filled(5, 5, [0; 3]);
+        draw_circle(&mut img, 2, 2, 0, [9, 9, 9]);
+        assert_eq!(img.get(2, 2), [9, 9, 9]);
+    }
+
+    #[test]
+    fn circle_is_symmetric() {
+        let mut img = RgbImage::filled(21, 21, [0; 3]);
+        draw_circle(&mut img, 10, 10, 6, [255, 255, 255]);
+        for y in 0..21 {
+            for x in 0..21 {
+                let mirrored = img.get(20 - x, y);
+                assert_eq!(img.get(x, y), mirrored, "x-symmetry at ({x},{y})");
+            }
+        }
+        // Circle pixels lie near the ideal radius.
+        for y in 0..21i64 {
+            for x in 0..21i64 {
+                if img.get(x as u32, y as u32) == [255, 255, 255] {
+                    let r = (((x - 10).pow(2) + (y - 10).pow(2)) as f64).sqrt();
+                    assert!((r - 6.0).abs() < 1.0, "pixel ({x},{y}) at radius {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marker_fills_square() {
+        let mut img = RgbImage::filled(10, 10, [0; 3]);
+        draw_marker(&mut img, 5, 5, 1, [7, 7, 7]);
+        assert_eq!(count_coloured(&img, [7, 7, 7]), 9);
+    }
+
+    #[test]
+    fn polyline_scales_into_canvas() {
+        let mut img = RgbImage::filled(100, 100, [0; 3]);
+        let pts = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        let scale = plot_polyline(&mut img, &pts, [255, 0, 0], 10);
+        assert!(scale > 0.0);
+        // Everything stays inside the margin box.
+        for y in 0..100 {
+            for x in 0..100 {
+                if img.get(x, y) == [255, 0, 0] {
+                    assert!((9..=91).contains(&x), "x={x}");
+                    assert!((9..=91).contains(&y), "y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polyline_with_one_point_is_noop() {
+        let mut img = RgbImage::filled(10, 10, [0; 3]);
+        let scale = plot_polyline(&mut img, &[(1.0, 1.0)], [255, 0, 0], 1);
+        assert_eq!(scale, 0.0);
+        assert_eq!(count_coloured(&img, [255, 0, 0]), 0);
+    }
+}

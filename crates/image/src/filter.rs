@@ -1,0 +1,204 @@
+//! Gaussian smoothing.
+//!
+//! The paper's Image Smoother applies a Gaussian blur on 7×7 pixel patches
+//! of the original image (§3.1); the smoothened image feeds descriptor and
+//! orientation computation, exactly as in the original ORB where BRIEF
+//! tests are made on a blurred image.
+//!
+//! Two variants are provided:
+//! * [`gaussian_blur_7x7_fixed`] — the integer-arithmetic kernel the
+//!   hardware datapath uses (power-of-two denominator, bit-exact with the
+//!   `eslam-hw` smoother unit);
+//! * [`gaussian_blur`] — a floating-point separable blur for software
+//!   baselines.
+
+use crate::image::GrayImage;
+
+/// The 7-tap integer kernel used by the hardware smoother. Approximates a
+/// σ = 2 Gaussian; weights sum to 64 so normalization is a 6-bit shift per
+/// axis (12 bits for the separable 2-D pass).
+pub const KERNEL_7_FIXED: [u32; 7] = [2, 6, 12, 24, 12, 6, 2];
+
+/// Denominator of [`KERNEL_7_FIXED`] (sum of the weights).
+pub const KERNEL_7_FIXED_SUM: u32 = 64;
+
+/// Applies the fixed-point separable 7×7 Gaussian blur, replicating the
+/// border. This is the reference model of the hardware Image Smoother: the
+/// `eslam-hw` smoother unit must produce bit-identical output.
+pub fn gaussian_blur_7x7_fixed(src: &GrayImage) -> GrayImage {
+    let w = src.width();
+    let h = src.height();
+
+    // Horizontal pass into 16-bit intermediates (max 255 * 64 = 16320).
+    let mut horizontal: Vec<u16> = vec![0; w as usize * h as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc: u32 = 0;
+            for (k, &weight) in KERNEL_7_FIXED.iter().enumerate() {
+                let sx = x as i64 + k as i64 - 3;
+                acc += weight * src.get_clamped(sx, y as i64) as u32;
+            }
+            horizontal[(y * w + x) as usize] = acc as u16;
+        }
+    }
+
+    // Vertical pass with a single rounding shift at the end.
+    GrayImage::from_fn(w, h, |x, y| {
+        let mut acc: u64 = 0;
+        for (k, &weight) in KERNEL_7_FIXED.iter().enumerate() {
+            let sy = (y as i64 + k as i64 - 3).clamp(0, h as i64 - 1) as u32;
+            acc += weight as u64 * horizontal[(sy * w + x) as usize] as u64;
+        }
+        // Round-to-nearest on the 4096 denominator.
+        ((acc + (KERNEL_7_FIXED_SUM as u64 * KERNEL_7_FIXED_SUM as u64 / 2))
+            / (KERNEL_7_FIXED_SUM as u64 * KERNEL_7_FIXED_SUM as u64))
+            .min(255) as u8
+    })
+}
+
+/// Floating-point separable Gaussian blur with the given σ and a kernel
+/// radius of `⌈3σ⌉`, replicating the border.
+///
+/// # Panics
+/// Panics if `sigma` is not strictly positive.
+pub fn gaussian_blur(src: &GrayImage, sigma: f64) -> GrayImage {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as i64;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let denom = 2.0 * sigma * sigma;
+    for k in -radius..=radius {
+        kernel.push((-((k * k) as f64) / denom).exp());
+    }
+    let sum: f64 = kernel.iter().sum();
+    for v in kernel.iter_mut() {
+        *v /= sum;
+    }
+
+    let w = src.width();
+    let h = src.height();
+    let mut horizontal = vec![0.0f64; w as usize * h as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                let sx = x as i64 + i as i64 - radius;
+                acc += kv * src.get_clamped(sx, y as i64) as f64;
+            }
+            horizontal[(y * w + x) as usize] = acc;
+        }
+    }
+    GrayImage::from_fn(w, h, |x, y| {
+        let mut acc = 0.0;
+        for (i, &kv) in kernel.iter().enumerate() {
+            let sy = (y as i64 + i as i64 - radius).clamp(0, h as i64 - 1) as u32;
+            acc += kv * horizontal[(sy * w + x) as usize];
+        }
+        acc.round().clamp(0.0, 255.0) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_sums_to_declared_denominator() {
+        assert_eq!(KERNEL_7_FIXED.iter().sum::<u32>(), KERNEL_7_FIXED_SUM);
+    }
+
+    #[test]
+    fn constant_image_unchanged_fixed() {
+        let img = GrayImage::from_fn(20, 20, |_, _| 131);
+        let out = gaussian_blur_7x7_fixed(&img);
+        assert!(out.as_raw().iter().all(|&v| v == 131));
+    }
+
+    #[test]
+    fn constant_image_unchanged_float() {
+        let img = GrayImage::from_fn(20, 20, |_, _| 77);
+        let out = gaussian_blur(&img, 2.0);
+        assert!(out.as_raw().iter().all(|&v| v == 77));
+    }
+
+    #[test]
+    fn impulse_spreads_symmetrically() {
+        let mut img = GrayImage::new(15, 15);
+        img.set(7, 7, 255);
+        let out = gaussian_blur_7x7_fixed(&img);
+        // Centre keeps the highest value.
+        let centre = out.get(7, 7);
+        assert!(centre > 0);
+        for (x, y, v) in out.pixels() {
+            assert!(v <= centre, "({x},{y})");
+        }
+        // Horizontal/vertical symmetry.
+        for d in 1..=3u32 {
+            assert_eq!(out.get(7 - d, 7), out.get(7 + d, 7));
+            assert_eq!(out.get(7, 7 - d), out.get(7, 7 + d));
+            assert_eq!(out.get(7 - d, 7), out.get(7, 7 - d));
+        }
+    }
+
+    #[test]
+    fn impulse_energy_outside_radius_is_zero() {
+        let mut img = GrayImage::new(21, 21);
+        img.set(10, 10, 255);
+        let out = gaussian_blur_7x7_fixed(&img);
+        for (x, y, v) in out.pixels() {
+            let dx = (x as i64 - 10).abs();
+            let dy = (y as i64 - 10).abs();
+            if dx > 3 || dy > 3 {
+                assert_eq!(v, 0, "leakage at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn blur_reduces_gradient_magnitude() {
+        // A step edge: blurring must soften the transition.
+        let img = GrayImage::from_fn(32, 8, |x, _| if x < 16 { 0 } else { 255 });
+        let out = gaussian_blur_7x7_fixed(&img);
+        let sharp_step = img.get(16, 4) as i32 - img.get(15, 4) as i32;
+        let soft_step = out.get(16, 4) as i32 - out.get(15, 4) as i32;
+        assert!(soft_step.abs() < sharp_step.abs());
+        // Values in the transition band are intermediate.
+        assert!(out.get(15, 4) > 0 && out.get(16, 4) < 255);
+    }
+
+    #[test]
+    fn fixed_and_float_blur_agree_approximately() {
+        let img = GrayImage::from_fn(40, 30, |x, y| ((x * 13 + y * 29) % 251) as u8);
+        let fixed = gaussian_blur_7x7_fixed(&img);
+        let float = gaussian_blur(&img, 1.5);
+        // Different kernels, same qualitative smoothing: mean abs diff is
+        // small on the interior.
+        let mut total = 0i64;
+        let mut count = 0i64;
+        for y in 4..26 {
+            for x in 4..36 {
+                total += (fixed.get(x, y) as i64 - float.get(x, y) as i64).abs();
+                count += 1;
+            }
+        }
+        let mad = total as f64 / count as f64;
+        assert!(mad < 12.0, "mean abs diff {mad}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn non_positive_sigma_panics() {
+        let img = GrayImage::new(4, 4);
+        gaussian_blur(&img, 0.0);
+    }
+
+    #[test]
+    fn border_replication_no_darkening() {
+        // With replication, a constant image stays constant at corners too
+        // (checked above); also a bright border pixel must not be dimmed
+        // by out-of-bounds zeros.
+        let img = GrayImage::from_fn(10, 10, |_, _| 255);
+        let out = gaussian_blur_7x7_fixed(&img);
+        assert_eq!(out.get(0, 0), 255);
+        assert_eq!(out.get(9, 9), 255);
+    }
+}

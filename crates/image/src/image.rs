@@ -1,0 +1,375 @@
+//! Grayscale and depth image containers.
+//!
+//! The eSLAM pipeline operates on 8-bit grayscale images (ORB works on
+//! intensity only) and 16-bit depth maps in the TUM convention
+//! (5000 units per metre). Storage is row-major, matching the raster order
+//! the streaming hardware consumes.
+
+use std::fmt;
+
+/// Scale factor of TUM depth images: raw `u16` value / 5000 = metres.
+pub const TUM_DEPTH_SCALE: f64 = 5000.0;
+
+/// An 8-bit grayscale image in row-major layout.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_image::GrayImage;
+/// let mut img = GrayImage::new(4, 3);
+/// img.set(2, 1, 200);
+/// assert_eq!(img.get(2, 1), 200);
+/// assert_eq!(img.width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image of the given size.
+    ///
+    /// # Panics
+    /// Panics if `width * height` overflows `usize`.
+    pub fn new(width: u32, height: u32) -> Self {
+        let len = (width as usize)
+            .checked_mul(height as usize)
+            .expect("image dimensions overflow");
+        GrayImage {
+            width,
+            height,
+            data: vec![0; len],
+        }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> u8) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let idx = (y as usize) * width as usize + x as usize;
+                img.data[idx] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// Returns `None` when `data.len() != width * height`.
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Option<Self> {
+        if data.len() == width as usize * height as usize {
+            Some(GrayImage { width, height, data })
+        } else {
+            None
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The raw row-major pixel buffer.
+    #[inline]
+    pub fn as_raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the image, returning the pixel buffer.
+    pub fn into_raw(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Pixel intensity at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y as usize) * self.width as usize + x as usize]
+    }
+
+    /// Pixel intensity at `(x, y)`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, x: i64, y: i64) -> Option<u8> {
+        if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+            Some(self.data[(y as usize) * self.width as usize + x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Pixel intensity with the coordinates clamped into bounds (border
+    /// replication, the behaviour of the hardware line buffers at image
+    /// edges).
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[(y as usize) * self.width as usize + x as usize] = value;
+    }
+
+    /// One row of pixels.
+    ///
+    /// # Panics
+    /// Panics if `y` is out of bounds.
+    pub fn row(&self, y: u32) -> &[u8] {
+        assert!(y < self.height);
+        let start = (y as usize) * self.width as usize;
+        &self.data[start..start + self.width as usize]
+    }
+
+    /// Iterates over `(x, y, intensity)` triples in raster order.
+    pub fn pixels(&self) -> impl Iterator<Item = (u32, u32, u8)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| ((i as u32) % w, (i as u32) / w, v))
+    }
+
+    /// Mean intensity (0 for an empty image).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&v| v as u64).sum::<u64>() as f64 / self.data.len() as f64
+    }
+}
+
+impl fmt::Display for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GrayImage {}x{}", self.width, self.height)
+    }
+}
+
+/// A 16-bit depth image in the TUM convention (value / 5000 = metres,
+/// 0 = missing measurement).
+///
+/// # Examples
+///
+/// ```
+/// use eslam_image::DepthImage;
+/// let mut d = DepthImage::new(2, 2);
+/// d.set_metres(0, 0, 2.0);
+/// assert_eq!(d.get(0, 0), 10000);
+/// assert!((d.metres(0, 0).unwrap() - 2.0).abs() < 1e-4);
+/// assert!(d.metres(1, 1).is_none()); // missing depth
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthImage {
+    width: u32,
+    height: u32,
+    data: Vec<u16>,
+}
+
+impl DepthImage {
+    /// Creates a depth image with all measurements missing (zero).
+    pub fn new(width: u32, height: u32) -> Self {
+        DepthImage {
+            width,
+            height,
+            data: vec![0; width as usize * height as usize],
+        }
+    }
+
+    /// Builds a depth image by evaluating `f(x, y)` (raw units) per pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> u16) -> Self {
+        let mut img = DepthImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let idx = (y as usize) * width as usize + x as usize;
+                img.data[idx] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw depth value at `(x, y)` (TUM units, 0 = missing).
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u16 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y as usize) * self.width as usize + x as usize]
+    }
+
+    /// Sets the raw depth value at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, value: u16) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[(y as usize) * self.width as usize + x as usize] = value;
+    }
+
+    /// Depth in metres at `(x, y)`, or `None` for missing measurements.
+    #[inline]
+    pub fn metres(&self, x: u32, y: u32) -> Option<f64> {
+        let raw = self.get(x, y);
+        if raw == 0 {
+            None
+        } else {
+            Some(raw as f64 / TUM_DEPTH_SCALE)
+        }
+    }
+
+    /// Sets the depth in metres (clamped to the representable range).
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    pub fn set_metres(&mut self, x: u32, y: u32, metres: f64) {
+        let raw = (metres * TUM_DEPTH_SCALE).round().clamp(0.0, u16::MAX as f64) as u16;
+        self.set(x, y, raw);
+    }
+
+    /// The raw row-major depth buffer.
+    #[inline]
+    pub fn as_raw(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Fraction of pixels carrying a valid (non-zero) measurement.
+    pub fn coverage(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&v| v != 0).count() as f64 / self.data.len() as f64
+    }
+}
+
+impl fmt::Display for DepthImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DepthImage {}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_image_is_black() {
+        let img = GrayImage::new(8, 4);
+        assert!(img.as_raw().iter().all(|&v| v == 0));
+        assert_eq!(img.as_raw().len(), 32);
+    }
+
+    #[test]
+    fn from_fn_raster_order() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (y * 10 + x) as u8);
+        assert_eq!(img.as_raw(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(img.get(2, 1), 12);
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(GrayImage::from_raw(2, 2, vec![1, 2, 3, 4]).is_some());
+        assert!(GrayImage::from_raw(2, 2, vec![1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (x + y) as u8);
+        assert_eq!(img.try_get(1, 1), Some(2));
+        assert_eq!(img.try_get(-1, 0), None);
+        assert_eq!(img.try_get(2, 0), None);
+        assert_eq!(img.try_get(0, 2), None);
+    }
+
+    #[test]
+    fn get_clamped_replicates_border() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.get_clamped(-5, -5), 0);
+        assert_eq!(img.get_clamped(10, 10), 8);
+        assert_eq!(img.get_clamped(-1, 1), 3);
+    }
+
+    #[test]
+    fn rows_and_pixels_iterate() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.row(1), &[3, 4, 5]);
+        let collected: Vec<_> = img.pixels().collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(collected[4], (1, 1, 4));
+    }
+
+    #[test]
+    fn mean_intensity() {
+        let img = GrayImage::from_fn(2, 2, |x, _| if x == 0 { 0 } else { 100 });
+        assert_eq!(img.mean(), 50.0);
+        assert_eq!(GrayImage::new(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(2, 0, 1);
+    }
+
+    #[test]
+    fn depth_round_trip_metres() {
+        let mut d = DepthImage::new(4, 4);
+        d.set_metres(1, 2, 1.5);
+        assert_eq!(d.get(1, 2), 7500);
+        assert!((d.metres(1, 2).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_is_missing() {
+        let d = DepthImage::new(2, 2);
+        assert!(d.metres(0, 0).is_none());
+        assert_eq!(d.coverage(), 0.0);
+    }
+
+    #[test]
+    fn depth_coverage_counts_valid() {
+        let d = DepthImage::from_fn(2, 2, |x, y| if x == 0 && y == 0 { 0 } else { 100 });
+        assert!((d.coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_set_metres_clamps() {
+        let mut d = DepthImage::new(1, 1);
+        d.set_metres(0, 0, 1e9);
+        assert_eq!(d.get(0, 0), u16::MAX);
+        d.set_metres(0, 0, -1.0);
+        assert_eq!(d.get(0, 0), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimal PGM/PPM image I/O.
+//!
+//! The reproduction avoids external image codecs; binary PGM (P5) covers
+//! grayscale input/output and binary PPM (P6) covers the colour plots
+//! (trajectory figures, pattern visualizations) emitted by the benchmark
+//! harness.
+
+use crate::image::GrayImage;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors arising from image file I/O.
+#[derive(Debug)]
+pub enum ImageIoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file is not a valid PGM/PPM of the expected flavour.
+    Format(String),
+}
+
+impl fmt::Display for ImageIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageIoError::Io(e) => write!(f, "i/o failure: {e}"),
+            ImageIoError::Format(msg) => write!(f, "invalid image format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageIoError::Io(e) => Some(e),
+            ImageIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageIoError {
+    fn from(e: io::Error) -> Self {
+        ImageIoError::Io(e)
+    }
+}
+
+/// An 8-bit RGB image used only for figure output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    width: u32,
+    height: u32,
+    data: Vec<[u8; 3]>,
+}
+
+impl RgbImage {
+    /// Creates an image filled with the given colour.
+    pub fn filled(width: u32, height: u32, colour: [u8; 3]) -> Self {
+        RgbImage {
+            width,
+            height,
+            data: vec![colour; width as usize * height as usize],
+        }
+    }
+
+    /// Converts a grayscale image to RGB.
+    pub fn from_gray(gray: &GrayImage) -> Self {
+        RgbImage {
+            width: gray.width(),
+            height: gray.height(),
+            data: gray.as_raw().iter().map(|&v| [v, v, v]).collect(),
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Colour at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        assert!(x < self.width && y < self.height);
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Sets the colour at `(x, y)`; out-of-bounds writes are ignored so
+    /// drawing code can clip implicitly.
+    pub fn set(&mut self, x: i64, y: i64, colour: [u8; 3]) {
+        if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+            self.data[(y as u32 * self.width + x as u32) as usize] = colour;
+        }
+    }
+
+    /// Writes a binary PPM (P6) file.
+    ///
+    /// # Errors
+    /// Returns an error if the file cannot be created or written.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> Result<(), ImageIoError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for px in &self.data {
+            w.write_all(px)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes a [`GrayImage`] as binary PGM (P5).
+///
+/// # Errors
+/// Returns an error if the file cannot be created or written.
+pub fn save_pgm(img: &GrayImage, path: impl AsRef<Path>) -> Result<(), ImageIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.as_raw())?;
+    Ok(())
+}
+
+/// Reads a binary PGM (P5) file into a [`GrayImage`].
+///
+/// # Errors
+/// Returns an error for missing files, non-P5 magic numbers, maxval other
+/// than 255 or truncated pixel data.
+pub fn load_pgm(path: impl AsRef<Path>) -> Result<GrayImage, ImageIoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let magic = read_token(&mut reader)?;
+    if magic != "P5" {
+        return Err(ImageIoError::Format(format!("expected P5, found {magic:?}")));
+    }
+    let width: u32 = parse_token(&mut reader)?;
+    let height: u32 = parse_token(&mut reader)?;
+    let maxval: u32 = parse_token(&mut reader)?;
+    if maxval != 255 {
+        return Err(ImageIoError::Format(format!("unsupported maxval {maxval}")));
+    }
+    let mut data = vec![0u8; width as usize * height as usize];
+    reader.read_exact(&mut data)?;
+    GrayImage::from_raw(width, height, data)
+        .ok_or_else(|| ImageIoError::Format("pixel buffer size mismatch".into()))
+}
+
+/// Reads one whitespace-delimited token, skipping `#` comment lines.
+fn read_token<R: BufRead>(reader: &mut R) -> Result<String, ImageIoError> {
+    let mut token = String::new();
+    let mut byte = [0u8; 1];
+    // Skip leading whitespace and comments.
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            return Err(ImageIoError::Format("unexpected end of file".into()));
+        }
+        match byte[0] {
+            b'#' => {
+                let mut line = String::new();
+                reader.read_line(&mut line)?;
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => {
+                token.push(c as char);
+                break;
+            }
+        }
+    }
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            break;
+        }
+        if byte[0].is_ascii_whitespace() {
+            break;
+        }
+        token.push(byte[0] as char);
+    }
+    Ok(token)
+}
+
+fn parse_token<R: BufRead, T: std::str::FromStr>(reader: &mut R) -> Result<T, ImageIoError> {
+    let token = read_token(reader)?;
+    token
+        .parse()
+        .map_err(|_| ImageIoError::Format(format!("bad numeric token {token:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eslam_image_io_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = GrayImage::from_fn(13, 7, |x, y| ((x * 19 + y * 7) % 256) as u8);
+        let path = temp_path("round_trip.pgm");
+        save_pgm(&img, &path).unwrap();
+        let loaded = load_pgm(&path).unwrap();
+        assert_eq!(img, loaded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pgm_with_comment_header() {
+        let path = temp_path("comment.pgm");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"P5\n# a comment line\n2 2\n255\n\x01\x02\x03\x04").unwrap();
+        drop(f);
+        let img = load_pgm(&path).unwrap();
+        assert_eq!(img.as_raw(), &[1, 2, 3, 4]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = temp_path("bad_magic.pgm");
+        std::fs::write(&path, b"P2\n2 2\n255\n1 2 3 4\n").unwrap();
+        let err = load_pgm(&path).unwrap_err();
+        assert!(matches!(err, ImageIoError::Format(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let path = temp_path("truncated.pgm");
+        std::fs::write(&path, b"P5\n4 4\n255\n\x01\x02").unwrap();
+        assert!(load_pgm(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_pgm("/nonexistent/definitely/missing.pgm").unwrap_err();
+        assert!(matches!(err, ImageIoError::Io(_)));
+    }
+
+    #[test]
+    fn rgb_set_clips_out_of_bounds() {
+        let mut img = RgbImage::filled(4, 4, [0, 0, 0]);
+        img.set(-1, 0, [255, 0, 0]);
+        img.set(0, 100, [255, 0, 0]);
+        img.set(2, 2, [9, 8, 7]);
+        assert_eq!(img.get(2, 2), [9, 8, 7]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn rgb_from_gray_replicates_channels() {
+        let g = GrayImage::from_fn(2, 1, |x, _| (x * 100) as u8);
+        let rgb = RgbImage::from_gray(&g);
+        assert_eq!(rgb.get(0, 0), [0, 0, 0]);
+        assert_eq!(rgb.get(1, 0), [100, 100, 100]);
+    }
+
+    #[test]
+    fn ppm_write_produces_header_and_payload() {
+        let img = RgbImage::filled(2, 2, [10, 20, 30]);
+        let path = temp_path("out.ppm");
+        img.save_ppm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n2 2\n255\n".len() + 12);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ImageIoError::Format("boom".into());
+        assert!(err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Image substrate for the eSLAM reproduction.
+//!
+//! Provides the image containers and per-pixel operations the paper's
+//! front-end consumes:
+//!
+//! * [`GrayImage`] / [`DepthImage`] — 8-bit intensity and TUM-convention
+//!   16-bit depth rasters;
+//! * [`pyramid`] — the 4-layer nearest-neighbour image pyramid produced by
+//!   the paper's Image Resizing module (§3);
+//! * [`filter`] — the 7×7 Gaussian Image Smoother (§3.1), in both the
+//!   fixed-point form the hardware datapath uses and a floating-point
+//!   reference;
+//! * [`io`] — dependency-free PGM/PPM reading and writing;
+//! * [`draw`] — rasterized primitives for regenerating the paper's
+//!   figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use eslam_image::{GrayImage, pyramid::{ImagePyramid, PyramidConfig}, filter};
+//!
+//! let frame = GrayImage::from_fn(640, 480, |x, y| ((x ^ y) % 256) as u8);
+//! let smooth = filter::gaussian_blur_7x7_fixed(&frame);
+//! let pyramid = ImagePyramid::build(&smooth, &PyramidConfig::default());
+//! assert_eq!(pyramid.levels(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod draw;
+pub mod filter;
+pub mod image;
+pub mod io;
+pub mod pyramid;
+
+pub use image::{DepthImage, GrayImage, TUM_DEPTH_SCALE};
+pub use io::RgbImage;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pyramid_layers_shrink_monotonically(
+            w in 32u32..200, h in 32u32..200, levels in 1usize..6,
+        ) {
+            let base = GrayImage::new(w, h);
+            let cfg = pyramid::PyramidConfig { levels, scale_factor: 1.2 };
+            let pyr = pyramid::ImagePyramid::build(&base, &cfg);
+            prop_assert_eq!(pyr.levels(), levels);
+            for lvl in 1..levels {
+                prop_assert!(pyr.level(lvl).width() <= pyr.level(lvl - 1).width());
+                prop_assert!(pyr.level(lvl).height() <= pyr.level(lvl - 1).height());
+            }
+        }
+
+        #[test]
+        fn blur_preserves_intensity_range(seed in 0u64..50) {
+            let img = GrayImage::from_fn(24, 24, |x, y| {
+                ((x as u64 * 31 + y as u64 * 17 + seed * 13) % 256) as u8
+            });
+            let lo = *img.as_raw().iter().min().unwrap();
+            let hi = *img.as_raw().iter().max().unwrap();
+            let out = filter::gaussian_blur_7x7_fixed(&img);
+            for &v in out.as_raw() {
+                prop_assert!(v >= lo && v <= hi);
+            }
+        }
+
+        #[test]
+        fn nearest_resize_only_emits_source_values(
+            w in 4u32..40, h in 4u32..40, seed in 0u64..20,
+        ) {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x as u64 * 7 + y as u64 * 11 + seed) % 256) as u8
+            });
+            let out = pyramid::resize_nearest(&img, (w / 2).max(1), (h / 2).max(1));
+            for (_, _, v) in out.pixels() {
+                prop_assert!(img.as_raw().contains(&v));
+            }
+        }
+    }
+}

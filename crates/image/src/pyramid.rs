@@ -1,0 +1,275 @@
+//! Image pyramid generation.
+//!
+//! The paper's Image Resizing module (§3) generates the scale pyramid
+//! "layer by layer" with **nearest-neighbour downsampling**: while the ORB
+//! Extractor processes one layer, the resizer produces the next from it.
+//! eSLAM uses a 4-layer pyramid (§4.4 notes that two extra layers over \[4\]
+//! cost 48% more pixels, which pins the scale factor at the ORB-standard
+//! 1.2).
+
+use crate::image::GrayImage;
+
+/// Standard ORB inter-layer scale factor.
+pub const DEFAULT_SCALE_FACTOR: f64 = 1.2;
+/// Number of pyramid layers used by eSLAM (§2.1: "a 4-layer pyramid").
+pub const DEFAULT_LEVELS: usize = 4;
+
+/// Configuration of the pyramid builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PyramidConfig {
+    /// Number of layers, including the base image. Must be ≥ 1.
+    pub levels: usize,
+    /// Scale between consecutive layers. Must be > 1.
+    pub scale_factor: f64,
+}
+
+impl Default for PyramidConfig {
+    fn default() -> Self {
+        PyramidConfig {
+            levels: DEFAULT_LEVELS,
+            scale_factor: DEFAULT_SCALE_FACTOR,
+        }
+    }
+}
+
+impl PyramidConfig {
+    /// The cumulative scale of layer `level` relative to the base image.
+    pub fn scale_of(&self, level: usize) -> f64 {
+        self.scale_factor.powi(level as i32)
+    }
+
+    /// Total number of pixels across all layers for a `width`×`height`
+    /// base image; the quantity behind the paper's "48% more pixels"
+    /// comparison (§4.4).
+    pub fn total_pixels(&self, width: u32, height: u32) -> u64 {
+        let mut total = 0u64;
+        let mut w = width;
+        let mut h = height;
+        for level in 0..self.levels {
+            total += w as u64 * h as u64;
+            if level + 1 < self.levels {
+                let s = self.scale_of(level + 1);
+                w = ((width as f64) / s).round() as u32;
+                h = ((height as f64) / s).round() as u32;
+            }
+        }
+        total
+    }
+}
+
+/// A multi-scale image pyramid.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_image::{GrayImage, pyramid::{ImagePyramid, PyramidConfig}};
+/// let base = GrayImage::from_fn(640, 480, |x, y| ((x + y) % 256) as u8);
+/// let pyr = ImagePyramid::build(&base, &PyramidConfig::default());
+/// assert_eq!(pyr.levels(), 4);
+/// assert_eq!(pyr.level(0).width(), 640);
+/// assert_eq!(pyr.level(1).width(), 533); // 640 / 1.2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImagePyramid {
+    layers: Vec<GrayImage>,
+    config: PyramidConfig,
+}
+
+impl ImagePyramid {
+    /// Builds a pyramid by repeated nearest-neighbour downsampling of the
+    /// base image, mirroring the streaming Image Resizing hardware (each
+    /// layer is produced from the *previous layer*, not from the base).
+    ///
+    /// # Panics
+    /// Panics if `config.levels == 0` or `config.scale_factor <= 1.0`.
+    pub fn build(base: &GrayImage, config: &PyramidConfig) -> Self {
+        assert!(config.levels >= 1, "pyramid needs at least one level");
+        assert!(config.scale_factor > 1.0, "scale factor must exceed 1");
+        let mut layers = Vec::with_capacity(config.levels);
+        layers.push(base.clone());
+        for level in 1..config.levels {
+            // Target size derives from the *base* to avoid compounding
+            // rounding, but pixels are sampled from the previous layer as
+            // the hardware does.
+            let s = config.scale_of(level);
+            let w = ((base.width() as f64) / s).round().max(1.0) as u32;
+            let h = ((base.height() as f64) / s).round().max(1.0) as u32;
+            let prev = &layers[level - 1];
+            layers.push(resize_nearest(prev, w, h));
+        }
+        ImagePyramid {
+            layers,
+            config: *config,
+        }
+    }
+
+    /// Number of layers.
+    pub fn levels(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The configuration the pyramid was built with.
+    pub fn config(&self) -> &PyramidConfig {
+        &self.config
+    }
+
+    /// The image at `level` (0 = full resolution).
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    pub fn level(&self, level: usize) -> &GrayImage {
+        &self.layers[level]
+    }
+
+    /// Cumulative scale of `level` relative to the base.
+    pub fn scale_of(&self, level: usize) -> f64 {
+        self.config.scale_of(level)
+    }
+
+    /// Iterates over `(level, image)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &GrayImage)> {
+        self.layers.iter().enumerate()
+    }
+
+    /// Total pixel count across all layers.
+    pub fn total_pixels(&self) -> u64 {
+        self.layers.iter().map(|l| l.width() as u64 * l.height() as u64).sum()
+    }
+}
+
+/// Nearest-neighbour resize, the downsampling the paper's Image Resizing
+/// module applies (§3).
+pub fn resize_nearest(src: &GrayImage, width: u32, height: u32) -> GrayImage {
+    let sx = src.width() as f64 / width as f64;
+    let sy = src.height() as f64 / height as f64;
+    GrayImage::from_fn(width, height, |x, y| {
+        let src_x = ((x as f64 + 0.5) * sx - 0.5).round().clamp(0.0, src.width() as f64 - 1.0) as u32;
+        let src_y = ((y as f64 + 0.5) * sy - 0.5).round().clamp(0.0, src.height() as f64 - 1.0) as u32;
+        src.get(src_x, src_y)
+    })
+}
+
+/// Bilinear resize, provided as the software-quality baseline for the
+/// nearest-vs-bilinear ablation.
+pub fn resize_bilinear(src: &GrayImage, width: u32, height: u32) -> GrayImage {
+    let sx = src.width() as f64 / width as f64;
+    let sy = src.height() as f64 / height as f64;
+    GrayImage::from_fn(width, height, |x, y| {
+        let fx = ((x as f64 + 0.5) * sx - 0.5).max(0.0);
+        let fy = ((y as f64 + 0.5) * sy - 0.5).max(0.0);
+        let x0 = fx.floor() as i64;
+        let y0 = fy.floor() as i64;
+        let dx = fx - x0 as f64;
+        let dy = fy - y0 as f64;
+        let p00 = src.get_clamped(x0, y0) as f64;
+        let p10 = src.get_clamped(x0 + 1, y0) as f64;
+        let p01 = src.get_clamped(x0, y0 + 1) as f64;
+        let p11 = src.get_clamped(x0 + 1, y0 + 1) as f64;
+        let top = p00 * (1.0 - dx) + p10 * dx;
+        let bottom = p01 * (1.0 - dx) + p11 * dx;
+        (top * (1.0 - dy) + bottom * dy).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_level_pyramid_sizes() {
+        let base = GrayImage::new(640, 480);
+        let pyr = ImagePyramid::build(&base, &PyramidConfig::default());
+        let sizes: Vec<_> = pyr.iter().map(|(_, l)| (l.width(), l.height())).collect();
+        assert_eq!(sizes[0], (640, 480));
+        assert_eq!(sizes[1], (533, 400));
+        assert_eq!(sizes[2], (444, 333));
+        assert_eq!(sizes[3], (370, 278));
+    }
+
+    #[test]
+    fn pyramid_pixel_count_matches_paper_48_percent_claim() {
+        // §4.4: 4 layers process ~48% more pixels than 2 layers.
+        let four = PyramidConfig { levels: 4, scale_factor: 1.2 };
+        let two = PyramidConfig { levels: 2, scale_factor: 1.2 };
+        let p4 = four.total_pixels(640, 480) as f64;
+        let p2 = two.total_pixels(640, 480) as f64;
+        let ratio = p4 / p2;
+        assert!(
+            (ratio - 1.48).abs() < 0.02,
+            "pixel ratio {ratio} should be ≈ 1.48"
+        );
+    }
+
+    #[test]
+    fn scale_of_level() {
+        let cfg = PyramidConfig::default();
+        assert!((cfg.scale_of(0) - 1.0).abs() < 1e-12);
+        assert!((cfg.scale_of(2) - 1.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let base = GrayImage::from_fn(100, 80, |_, _| 77);
+        let pyr = ImagePyramid::build(&base, &PyramidConfig::default());
+        for (_, layer) in pyr.iter() {
+            assert!(layer.as_raw().iter().all(|&v| v == 77));
+        }
+    }
+
+    #[test]
+    fn nearest_resize_identity() {
+        let img = GrayImage::from_fn(10, 10, |x, y| (x * 10 + y) as u8);
+        let same = resize_nearest(&img, 10, 10);
+        assert_eq!(img, same);
+    }
+
+    #[test]
+    fn nearest_resize_half() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (y * 4 + x) as u8 * 10);
+        let half = resize_nearest(&img, 2, 2);
+        assert_eq!(half.width(), 2);
+        assert_eq!(half.height(), 2);
+        // Each output pixel picks one source pixel (no averaging).
+        for (_, _, v) in half.pixels() {
+            assert!(img.as_raw().contains(&v));
+        }
+    }
+
+    #[test]
+    fn bilinear_resize_smooths() {
+        let img = GrayImage::from_fn(4, 1, |x, _| if x < 2 { 0 } else { 200 });
+        let out = resize_bilinear(&img, 2, 1);
+        // The downsampled edge pixel blends black and white.
+        assert!(out.get(0, 0) < 100);
+        assert!(out.get(1, 0) > 100);
+    }
+
+    #[test]
+    fn bilinear_identity_preserves_pixels() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 31 + y * 17) % 256) as u8);
+        let same = resize_bilinear(&img, 7, 5);
+        assert_eq!(img, same);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let base = GrayImage::new(10, 10);
+        ImagePyramid::build(&base, &PyramidConfig { levels: 0, scale_factor: 1.2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn bad_scale_panics() {
+        let base = GrayImage::new(10, 10);
+        ImagePyramid::build(&base, &PyramidConfig { levels: 2, scale_factor: 1.0 });
+    }
+
+    #[test]
+    fn total_pixels_consistent() {
+        let base = GrayImage::new(640, 480);
+        let cfg = PyramidConfig::default();
+        let pyr = ImagePyramid::build(&base, &cfg);
+        assert_eq!(pyr.total_pixels(), cfg.total_pixels(640, 480));
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run the eSLAM pipeline on a synthetic TUM-like sequence
+//! and print the per-frame tracking reports plus the final trajectory
+//! error.
+//!
+//! ```text
+//! cargo run --release -p eslam-core --example quickstart
+//! ```
+
+use eslam_core::{Slam, SlamConfig};
+use eslam_dataset::absolute_trajectory_error;
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_dataset::Trajectory;
+
+fn main() {
+    // Half-resolution fr1/desk stand-in: 30 frames of a desk sweep.
+    let image_scale = 0.5;
+    let spec = &SequenceSpec::paper_sequences(30, image_scale)[2];
+    let sequence = spec.build();
+    println!(
+        "sequence {} · {} frames · camera {}x{}",
+        sequence.name,
+        sequence.len(),
+        sequence.camera.width,
+        sequence.camera.height
+    );
+
+    let config = SlamConfig::scaled_for_tests(1.0 / image_scale);
+    let mut slam = Slam::new(config);
+
+    println!("frame  kf  matches  inliers  map    FE(model)  FM(model)");
+    for frame in sequence.frames() {
+        let r = slam.process(frame.timestamp, &frame.gray, &frame.depth);
+        let hw = r.hw_timing.unwrap_or_default();
+        println!(
+            "{:>5}  {}  {:>7}  {:>7}  {:>5}  {:>7.2}ms  {:>7.2}ms{}",
+            r.index,
+            if r.is_keyframe { "K" } else { "·" },
+            r.raw_matches,
+            r.inliers,
+            r.map_size,
+            hw.fe_ms,
+            hw.fm_ms,
+            if r.tracking_ok { "" } else { "   <-- tracking lost" },
+        );
+    }
+
+    // Evaluate against ground truth (rebased to the first frame, which
+    // the SLAM run uses as its world origin).
+    let first = sequence.trajectory.poses()[0].pose;
+    let mut truth = Trajectory::new();
+    for tp in sequence.trajectory.poses() {
+        truth.push(tp.timestamp, first.inverse().compose(&tp.pose));
+    }
+    match absolute_trajectory_error(slam.trajectory(), &truth) {
+        Some(ate) => println!(
+            "\nATE over {} poses: rmse {:.2} cm · mean {:.2} cm · max {:.2} cm",
+            ate.stats.count,
+            ate.stats.rmse * 100.0,
+            ate.stats.mean * 100.0,
+            ate.stats.max * 100.0
+        ),
+        None => println!("\nATE not computable (too few poses)"),
+    }
+    println!("keyframes: {}", slam.keyframes());
+}

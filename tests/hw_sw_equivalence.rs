@@ -1,0 +1,95 @@
+//! Hardware/software contract tests: the `eslam-hw` simulator must be
+//! bit-exact against the `eslam-features` reference on real rendered
+//! frames — the property that makes the accuracy results of Fig. 8/9
+//! transfer to the accelerated system.
+
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_features::brief::RsBrief;
+use eslam_features::matcher::match_brute_force;
+use eslam_features::orb::{OrbConfig, OrbExtractor};
+use eslam_features::Descriptor;
+use eslam_hw::extractor::ExtractorModel;
+use eslam_hw::matcher::MatcherModel;
+use eslam_hw::units::rotator_behaviour;
+use eslam_hw::{simulate_extraction, simulate_matching};
+
+fn rendered_frame(seq_idx: usize, frame_idx: usize) -> eslam_dataset::Frame {
+    let spec = &SequenceSpec::paper_sequences(frame_idx + 1, 0.25)[seq_idx];
+    spec.build().frame(frame_idx)
+}
+
+#[test]
+fn extractor_simulation_is_bit_exact_on_rendered_frames() {
+    for seq in [0, 2, 4] {
+        let frame = rendered_frame(seq, 0);
+        let sim = simulate_extraction(&frame.gray, &ExtractorModel::default());
+        let reference = OrbExtractor::new(OrbConfig::default()).extract(&frame.gray);
+        assert_eq!(
+            sim.features, reference,
+            "sequence {seq}: simulator and reference disagree"
+        );
+        assert!(sim.timing.total.0 > 0);
+    }
+}
+
+#[test]
+fn matcher_simulation_is_bit_exact_on_extracted_descriptors() {
+    let a = rendered_frame(2, 0);
+    let b = rendered_frame(2, 1);
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    let fa = extractor.extract(&a.gray);
+    let fb = extractor.extract(&b.gray);
+    assert!(!fa.is_empty() && !fb.is_empty());
+
+    let sim = simulate_matching(&fa.descriptors, &fb.descriptors, &MatcherModel::default());
+    let reference = match_brute_force(&fa.descriptors, &fb.descriptors, u32::MAX);
+    assert_eq!(sim.matches, reference);
+}
+
+#[test]
+fn brief_rotator_unit_matches_software_steering_on_real_patches() {
+    // The hardware BRIEF Rotator (shift by 8×n bits) must equal software
+    // steering for descriptors computed on real image content.
+    let frame = rendered_frame(3, 0);
+    let smoothed = eslam_image::filter::gaussian_blur_7x7_fixed(&frame.gray);
+    let engine = RsBrief::new(OrbConfig::default().pattern_seed);
+    for (x, y) in [(40u32, 40u32), (80, 60), (100, 90), (60, 30)] {
+        let unsteered = eslam_features::brief::compute_descriptor(&smoothed, x, y, engine.pattern());
+        for label in 0..32u8 {
+            let hw: Descriptor = rotator_behaviour(unsteered, label);
+            let sw = engine.compute(&smoothed, x, y, label);
+            assert_eq!(hw, sw, "({x},{y}) label {label}");
+        }
+    }
+}
+
+#[test]
+fn simulated_timing_tracks_workload_monotonically() {
+    // Larger frames must never be modelled as faster.
+    let small = rendered_frame(0, 0); // 160×120
+    let spec_large = &SequenceSpec::paper_sequences(1, 0.5)[0]; // 320×240
+    let large = spec_large.build().frame(0);
+    let model = ExtractorModel::default();
+    let t_small = simulate_extraction(&small.gray, &model).timing.total;
+    let t_large = simulate_extraction(&large.gray, &model).timing.total;
+    assert!(t_large > t_small);
+}
+
+#[test]
+fn hamming_distances_of_matches_are_true_minima() {
+    let a = rendered_frame(1, 0);
+    let b = rendered_frame(1, 1);
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    let fa = extractor.extract(&a.gray);
+    let fb = extractor.extract(&b.gray);
+    let sim = simulate_matching(&fa.descriptors, &fb.descriptors, &MatcherModel::default());
+    for m in sim.matches.iter().take(50) {
+        let naive = fb
+            .descriptors
+            .iter()
+            .map(|t| fa.descriptors[m.query].hamming(t))
+            .min()
+            .unwrap();
+        assert_eq!(m.distance, naive);
+    }
+}

@@ -1,0 +1,125 @@
+//! Arithmetic identities mined from the paper, used as integration-level
+//! oracles: Table 2's stage times must compose into Table 3's runtimes,
+//! frame rates, and energies, and the resource/power models must match
+//! Table 1 and the §4.3/§4.4 claims.
+
+use eslam_hw::power::{energy_per_frame_mj, eslam_power_w, ARM_POWER_W, I7_POWER_W};
+use eslam_hw::resource::{eslam_total, DEFAULT_MATCHER_PARALLELISM, XCZ7045};
+use eslam_hw::system::{eslam_stage_times, platform_reports, PriorExtractorModel};
+use eslam_image::pyramid::PyramidConfig;
+
+#[test]
+fn table2_stage_times_reproduce() {
+    let [arm, i7, eslam] = platform_reports();
+    // eSLAM column.
+    assert!((eslam.stages.fe - 9.1).abs() < 0.1, "eSLAM FE {}", eslam.stages.fe);
+    assert!((eslam.stages.fm - 4.0).abs() < 0.05, "eSLAM FM {}", eslam.stages.fm);
+    assert_eq!(eslam.stages.pe, 9.2);
+    assert_eq!(eslam.stages.po, 8.7);
+    assert_eq!(eslam.stages.mu, 9.9);
+    // ARM column.
+    assert!((arm.stages.fe - 291.6).abs() < 3.0, "ARM FE {}", arm.stages.fe);
+    assert!((arm.stages.fm - 246.2).abs() < 2.5, "ARM FM {}", arm.stages.fm);
+    // i7 column.
+    assert!((i7.stages.fe - 32.5).abs() < 0.4, "i7 FE {}", i7.stages.fe);
+    assert!((i7.stages.fm - 19.7).abs() < 0.3, "i7 FM {}", i7.stages.fm);
+    assert_eq!(i7.stages.pe, 0.9);
+    assert_eq!(i7.stages.po, 0.5);
+    assert_eq!(i7.stages.mu, 1.2);
+}
+
+#[test]
+fn table2_composes_into_table3() {
+    // §4.3's stated identities.
+    let [arm, i7, eslam] = platform_reports();
+    // eSLAM N-frame = PE + PO; K-frame = FM + PE + PO + MU.
+    let s = eslam.stages;
+    assert!((eslam.frames.normal_ms - (s.pe + s.po)).abs() < 1e-9);
+    assert!((eslam.frames.keyframe_ms - (s.fm + s.pe + s.po + s.mu)).abs() < 1e-9);
+    // CPU rows are plain sums.
+    let a = arm.stages;
+    assert!((arm.frames.normal_ms - (a.fe + a.fm + a.pe + a.po)).abs() < 1e-9);
+    assert!((arm.frames.keyframe_ms - (a.fe + a.fm + a.pe + a.po + a.mu)).abs() < 1e-9);
+    let i = i7.stages;
+    assert!((i7.frames.normal_ms - (i.fe + i.fm + i.pe + i.po)).abs() < 1e-9);
+}
+
+#[test]
+fn table3_energy_is_runtime_times_power() {
+    let [arm, i7, eslam] = platform_reports();
+    for report in [&arm, &i7, &eslam] {
+        let expect_n = energy_per_frame_mj(report.frames.normal_ms, report.power_w);
+        assert!((report.energy_normal_mj - expect_n).abs() < 1e-9);
+        let expect_k = energy_per_frame_mj(report.frames.keyframe_ms, report.power_w);
+        assert!((report.energy_keyframe_mj - expect_k).abs() < 1e-9);
+    }
+    // Paper's power row.
+    assert_eq!(arm.power_w, ARM_POWER_W);
+    assert_eq!(i7.power_w, I7_POWER_W);
+    assert!((eslam.power_w - eslam_power_w()).abs() < 1e-12);
+    assert!((eslam.power_w - 1.936).abs() < 1e-9);
+}
+
+#[test]
+fn abstract_headline_numbers() {
+    // "up to 3× and 31× frame rate improvement, as well as up to 71× and
+    // 25× energy efficiency improvement" vs i7 and ARM.
+    let [arm, i7, eslam] = platform_reports();
+    assert!((eslam.frames.normal_fps / i7.frames.normal_fps - 3.0).abs() < 0.2);
+    assert!((eslam.frames.normal_fps / arm.frames.normal_fps - 31.0).abs() < 1.5);
+    assert!((i7.energy_normal_mj / eslam.energy_normal_mj - 71.0).abs() < 4.0);
+    assert!((arm.energy_normal_mj / eslam.energy_normal_mj - 25.0).abs() < 1.5);
+    // Speedup brackets of §4.3: 17.8× (key) to 31× (normal) vs ARM,
+    // 1.7× to 3× vs i7.
+    assert!((arm.frames.keyframe_ms / eslam.frames.keyframe_ms - 17.8).abs() < 0.6);
+    assert!((i7.frames.keyframe_ms / eslam.frames.keyframe_ms - 1.7).abs() < 0.15);
+}
+
+#[test]
+fn table1_resources_and_utilization() {
+    let total = eslam_total(DEFAULT_MATCHER_PARALLELISM);
+    assert_eq!(
+        (total.lut, total.ff, total.dsp, total.bram),
+        (56_954, 67_809, 111, 78)
+    );
+    let util = XCZ7045.utilization(total);
+    let expect = [26.0, 15.5, 12.3, 14.3];
+    for (got, want) in util.percent.iter().zip(expect) {
+        assert!((got - want).abs() < 0.1, "{got} vs {want}");
+    }
+}
+
+#[test]
+fn discussion_pixel_and_latency_claims() {
+    // §4.4: 4-level pyramid processes 48% more pixels than [4]'s 2-level;
+    // eSLAM FE latency is ≈39% lower nonetheless.
+    let four = PyramidConfig { levels: 4, scale_factor: 1.2 }.total_pixels(640, 480) as f64;
+    let two = PyramidConfig { levels: 2, scale_factor: 1.2 }.total_pixels(640, 480) as f64;
+    assert!((four / two - 1.48).abs() < 0.02);
+
+    let ours = eslam_stage_times().fe;
+    let prior = PriorExtractorModel::default().latency_ms(1024);
+    assert!(((1.0 - ours / prior) - 0.39).abs() < 0.03);
+}
+
+#[test]
+fn fabric_power_increase_claim() {
+    // §4.3: "power consumption of eSLAM is increased by about 23%".
+    let increase = (eslam_power_w() - ARM_POWER_W) / ARM_POWER_W;
+    assert!((increase - 0.23).abs() < 0.01);
+}
+
+#[test]
+fn energy_reduction_brackets() {
+    // §4.3: energy per frame reduced 14×-25× vs ARM, 41×-71× vs i7
+    // (normal frames give the upper bound, key frames the lower).
+    let [arm, i7, eslam] = platform_reports();
+    let vs_arm_normal = arm.energy_normal_mj / eslam.energy_normal_mj;
+    let vs_arm_key = arm.energy_keyframe_mj / eslam.energy_keyframe_mj;
+    assert!(vs_arm_key > 13.5 && vs_arm_key < 16.0, "key {vs_arm_key}");
+    assert!(vs_arm_normal > 23.5 && vs_arm_normal < 26.5, "normal {vs_arm_normal}");
+    let vs_i7_normal = i7.energy_normal_mj / eslam.energy_normal_mj;
+    let vs_i7_key = i7.energy_keyframe_mj / eslam.energy_keyframe_mj;
+    assert!(vs_i7_key > 39.0 && vs_i7_key < 44.0, "key {vs_i7_key}");
+    assert!(vs_i7_normal > 67.0 && vs_i7_normal < 75.0, "normal {vs_i7_normal}");
+}

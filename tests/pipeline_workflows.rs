@@ -1,0 +1,85 @@
+//! Integration tests of the §3.1 workflow rescheduling on real rendered
+//! frames: identical outputs, different latency and memory, as the paper
+//! argues.
+
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_features::orb::{OrbConfig, OrbExtractor, Workflow};
+use eslam_hw::extractor::{ExtractionWorkload, ExtractorModel};
+
+fn rendered_gray() -> eslam_image::GrayImage {
+    SequenceSpec::paper_sequences(1, 0.5)[2].build().frame(0).gray
+}
+
+#[test]
+fn workflows_identical_outputs_on_rendered_frame() {
+    let gray = rendered_gray();
+    let original = OrbExtractor::new(OrbConfig {
+        workflow: Workflow::Original,
+        ..Default::default()
+    })
+    .extract(&gray);
+    let rescheduled = OrbExtractor::new(OrbConfig {
+        workflow: Workflow::Rescheduled,
+        ..Default::default()
+    })
+    .extract(&gray);
+    assert!(!original.is_empty());
+    assert_eq!(original.keypoints, rescheduled.keypoints);
+    assert_eq!(original.descriptors, rescheduled.descriptors);
+}
+
+#[test]
+fn rescheduled_workflow_computes_extra_descriptors() {
+    // The M − N overhead of §3.1, measured on real content.
+    let gray = rendered_gray();
+    let features = OrbExtractor::new(OrbConfig {
+        workflow: Workflow::Rescheduled,
+        ..Default::default()
+    })
+    .extract(&gray);
+    assert_eq!(
+        features.stats.descriptors_computed,
+        features.stats.candidates
+    );
+    assert!(features.stats.candidates >= features.stats.kept);
+}
+
+#[test]
+fn rescheduled_timing_beats_original_on_measured_workload() {
+    let gray = rendered_gray();
+    let features = OrbExtractor::new(OrbConfig::default()).extract(&gray);
+    let workload = ExtractionWorkload::from_pyramid(
+        gray.width(),
+        gray.height(),
+        &OrbConfig::default().pyramid,
+        features.stats.candidates as u64,
+        features.stats.kept as u64,
+    );
+    let model = ExtractorModel::default();
+    let rescheduled = model.extraction_timing(&workload, Workflow::Rescheduled);
+    let original = model.extraction_timing(&workload, Workflow::Original);
+    assert!(
+        rescheduled.total < original.total,
+        "rescheduled {} vs original {}",
+        rescheduled.total,
+        original.total
+    );
+}
+
+#[test]
+fn rescheduled_memory_footprint_is_streaming_only() {
+    let gray = rendered_gray();
+    let workload = ExtractionWorkload::from_pyramid(
+        gray.width(),
+        gray.height(),
+        &OrbConfig::default().pyramid,
+        2000,
+        1024,
+    );
+    let model = ExtractorModel::default();
+    let r = model.memory_footprint(&workload, Workflow::Rescheduled);
+    let o = model.memory_footprint(&workload, Workflow::Original);
+    assert_eq!(r.buffer_bits, 0);
+    assert!(o.buffer_bits > 0);
+    assert_eq!(r.streaming_bits, o.streaming_bits);
+}
