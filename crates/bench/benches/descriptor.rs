@@ -65,5 +65,31 @@ fn bench_hamming(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_steering, bench_rotator_alone, bench_hamming);
+/// Micro-bench guard for the word-parallel `hamming`/`count_ones` paths:
+/// a 1024-descriptor reduction cannot be constant-folded away (unlike
+/// the single-pair bench above), so a regression to per-bit loops shows
+/// up as a ~50× blowup here. Expected: ~1-2 ns per pair.
+fn bench_hamming_batch(c: &mut Criterion) {
+    let set: Vec<Descriptor> = (0..1024u64)
+        .map(|i| {
+            let s = (i + 1).wrapping_mul(0x9e3779b97f4a7c15);
+            Descriptor::from_words([s, s.rotate_left(17), s.rotate_left(31), s.rotate_left(47)])
+        })
+        .collect();
+    let probe = Descriptor::from_words([0x0123456789abcdef, 0x55aa55aa55aa55aa, 0xff00ff00ff00ff00, 0x1]);
+    c.bench_function("descriptor/hamming_batch_1024", |b| {
+        b.iter(|| {
+            let total: u32 = set.iter().map(|d| probe.hamming(black_box(d))).sum();
+            black_box(total)
+        })
+    });
+    c.bench_function("descriptor/count_ones_batch_1024", |b| {
+        b.iter(|| {
+            let total: u32 = set.iter().map(|d| black_box(d).count_ones()).sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_steering, bench_rotator_alone, bench_hamming, bench_hamming_batch);
 criterion_main!(benches);

@@ -63,11 +63,9 @@ fn main() {
     println!(
         "rescheduled workflow computes {} extra descriptors ({}% overhead) to eliminate idle states",
         f.stats.candidates.saturating_sub(f.stats.kept),
-        if f.stats.kept > 0 {
-            100 * f.stats.candidates.saturating_sub(f.stats.kept) / f.stats.kept
-        } else {
-            0
-        }
+        (100 * f.stats.candidates.saturating_sub(f.stats.kept))
+            .checked_div(f.stats.kept)
+            .unwrap_or(0)
     );
     assert!(resched.total < orig.total);
 }

@@ -25,6 +25,115 @@ pub fn compute_descriptor(img: &GrayImage, x: u32, y: u32, pattern: &BriefPatter
     d
 }
 
+/// A pattern compiled to linear pixel offsets for one image stride: the
+/// per-sample coordinate arithmetic and border clamping of
+/// [`compute_descriptor`] collapse to a single indexed load per test
+/// location. Built once per pyramid level per frame geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternOffsets {
+    width: u32,
+    /// Per-pair `(S, D)` linear offsets relative to the centre pixel.
+    offsets: Vec<(i32, i32)>,
+    /// Maximum |dx| / |dy| over all test locations (the interior margin).
+    margin: u32,
+    /// Fingerprint of the source pattern (see [`pattern_fingerprint`]).
+    fingerprint: u64,
+}
+
+/// A cheap content fingerprint of a pattern's rounded test locations,
+/// used to validate cached [`PatternOffsets`] tables against the pattern
+/// they were compiled from (a width check alone cannot detect a pattern
+/// change, e.g. a scratch buffer reused across extractors).
+pub fn pattern_fingerprint(pattern: &BriefPattern) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: i32| {
+        h ^= v as u32 as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for pair in pattern.pairs() {
+        let (sx, sy) = pair.s.to_offset();
+        let (dx, dy) = pair.d.to_offset();
+        mix(sx);
+        mix(sy);
+        mix(dx);
+        mix(dy);
+    }
+    h
+}
+
+impl PatternOffsets {
+    /// Compiles `pattern` for images of the given `width`.
+    pub fn new(pattern: &BriefPattern, width: u32) -> Self {
+        let w = width as i64;
+        let mut margin = 0i32;
+        let offsets = pattern
+            .pairs()
+            .iter()
+            .map(|pair| {
+                let (sx, sy) = pair.s.to_offset();
+                let (dx, dy) = pair.d.to_offset();
+                margin = margin.max(sx.abs()).max(sy.abs()).max(dx.abs()).max(dy.abs());
+                (
+                    (sy as i64 * w + sx as i64) as i32,
+                    (dy as i64 * w + dx as i64) as i32,
+                )
+            })
+            .collect();
+        PatternOffsets {
+            width,
+            offsets,
+            margin: margin as u32,
+            fingerprint: pattern_fingerprint(pattern),
+        }
+    }
+
+    /// The image width this table was compiled for.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The interior margin a centre pixel must keep from every border.
+    pub fn margin(&self) -> u32 {
+        self.margin
+    }
+
+    /// Fingerprint of the pattern this table was compiled from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// Descriptor computation through a compiled [`PatternOffsets`] table.
+/// Bit-identical to [`compute_descriptor`] with the source pattern, for
+/// centres at least [`PatternOffsets::margin`] pixels from every border
+/// (clamping never engages there).
+///
+/// # Panics
+/// Panics if the centre violates the interior margin or the table was
+/// compiled for a different width.
+pub fn compute_descriptor_interior(
+    img: &GrayImage,
+    x: u32,
+    y: u32,
+    table: &PatternOffsets,
+) -> Descriptor {
+    let m = table.margin;
+    assert_eq!(img.width(), table.width, "offset table compiled for another stride");
+    assert!(
+        x >= m && y >= m && x + m < img.width() && y + m < img.height(),
+        "centre ({x},{y}) too close to the border for the offset table"
+    );
+    let base = (y as usize) * img.width() as usize + x as usize;
+    let data = img.as_raw();
+    let mut words = [0u64; 4];
+    for (i, &(so, d_o)) in table.offsets.iter().enumerate() {
+        let is = data[(base as i64 + so as i64) as usize];
+        let id = data[(base as i64 + d_o as i64) as usize];
+        words[i / 64] |= ((is > id) as u64) << (i % 64);
+    }
+    Descriptor::from_words(words)
+}
+
 /// RS-BRIEF descriptor engine: one fixed pattern; steering by orientation
 /// label is the BRIEF Rotator byte-rotation.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,6 +345,33 @@ mod tests {
         let lut = engine.compute_lut(&img, 48, 48, 0.0);
         let base = compute_descriptor(&img, 48, 48, engine.pattern());
         assert_eq!(lut, base);
+    }
+
+    #[test]
+    fn offset_table_matches_clamped_sampling_in_interior() {
+        let img = textured_image(6);
+        for engine_seed in [0u64, 17, 42] {
+            let rs = RsBrief::new(engine_seed);
+            let table = PatternOffsets::new(rs.pattern(), img.width());
+            let m = table.margin();
+            assert!(m <= 15);
+            for (x, y) in [(m, m), (48, 48), (95 - m, 95 - m), (m, 60), (70, m)] {
+                assert_eq!(
+                    compute_descriptor_interior(&img, x, y, &table),
+                    compute_descriptor(&img, x, y, rs.pattern()),
+                    "seed {engine_seed} at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too close to the border")]
+    fn offset_table_rejects_border_centres() {
+        let img = textured_image(0);
+        let rs = RsBrief::new(1);
+        let table = PatternOffsets::new(rs.pattern(), img.width());
+        let _ = compute_descriptor_interior(&img, 0, 0, &table);
     }
 
     #[test]

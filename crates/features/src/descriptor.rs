@@ -63,21 +63,25 @@ impl Descriptor {
         }
     }
 
-    /// Population count.
+    /// Population count — word-parallel: four `u64::count_ones`, never a
+    /// per-bit loop.
     #[inline]
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        let w = &self.words;
+        w[0].count_ones() + w[1].count_ones() + w[2].count_ones() + w[3].count_ones()
     }
 
     /// Hamming distance to another descriptor (0..=256), the matching
-    /// metric of the paper's Distance Computing module.
+    /// metric of the paper's Distance Computing module. Word-parallel:
+    /// four xor + popcount pairs, explicitly unrolled.
     #[inline]
     pub fn hamming(&self, other: &Descriptor) -> u32 {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        let a = &self.words;
+        let b = &other.words;
+        (a[0] ^ b[0]).count_ones()
+            + (a[1] ^ b[1]).count_ones()
+            + (a[2] ^ b[2]).count_ones()
+            + (a[3] ^ b[3]).count_ones()
     }
 
     /// Circularly rotates the descriptor **toward the beginning** by
@@ -85,8 +89,34 @@ impl Descriptor {
     ///
     /// Equivalently, the first `bits` bits are moved to the end — exactly
     /// the BRIEF Rotator operation with `bits = 8 × orientation`.
+    ///
+    /// Word-parallel: a 256-bit right rotation decomposes into a word
+    /// rotation plus a cross-word double shift — 4 shift/or pairs instead
+    /// of 256 bit probes (see [`Descriptor::rotate_bits_reference`]).
     #[must_use]
+    #[inline]
     pub fn rotate_bits(&self, bits: usize) -> Descriptor {
+        let bits = bits % DESCRIPTOR_BITS;
+        let word_shift = bits / 64;
+        let bit_shift = (bits % 64) as u32;
+        let w = &self.words;
+        let mut out = Descriptor::ZERO;
+        for (k, o) in out.words.iter_mut().enumerate() {
+            let lo = w[(k + word_shift) % 4];
+            let hi = w[(k + word_shift + 1) % 4];
+            *o = if bit_shift == 0 {
+                lo
+            } else {
+                (lo >> bit_shift) | (hi << (64 - bit_shift))
+            };
+        }
+        out
+    }
+
+    /// Per-bit reference of [`Descriptor::rotate_bits`], retained as the
+    /// equivalence oracle for the word-parallel rotation.
+    #[must_use]
+    pub fn rotate_bits_reference(&self, bits: usize) -> Descriptor {
         let bits = bits % DESCRIPTOR_BITS;
         if bits == 0 {
             return *self;
@@ -231,6 +261,25 @@ mod tests {
     #[should_panic(expected = "orientation label")]
     fn steer_rejects_large_label() {
         let _ = Descriptor::ZERO.steer(32);
+    }
+
+    #[test]
+    fn word_parallel_rotation_matches_reference() {
+        let seeds = [
+            Descriptor::ZERO,
+            Descriptor::from_words([u64::MAX; 4]),
+            Descriptor::from_words([0x0123456789abcdef, 0xfedcba9876543210, 0xaaaa5555aaaa5555, 0x1]),
+            Descriptor::from_words([1, 0, 0, 0x8000000000000000]),
+        ];
+        for d in seeds {
+            for bits in 0..=DESCRIPTOR_BITS {
+                assert_eq!(
+                    d.rotate_bits(bits),
+                    d.rotate_bits_reference(bits),
+                    "{d} rotated by {bits}"
+                );
+            }
+        }
     }
 
     #[test]

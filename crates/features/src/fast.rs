@@ -5,8 +5,22 @@
 //! Bresenham circle of radius 3 are all brighter than centre + threshold
 //! or all darker than centre − threshold (FAST-9/16, the variant ORB
 //! uses).
+//!
+//! Two implementations coexist:
+//!
+//! * [`is_fast_corner`] — the per-pixel scalar reference (bit-exact
+//!   contract for the hardware FAST unit and the oracle for the fast
+//!   path);
+//! * [`detect`] / [`detect_into`] — the production scanner: row-sliced
+//!   addressing, the compass-point early reject, and a `u16` bright/dark
+//!   bitmask classified through a precomputed 65536-entry
+//!   [`arc length LUT`](arc_lut) instead of the 32-iteration run walk.
+//!
+//! `tests` and `crates/features/tests/fast_path_equivalence.rs` prove the
+//! two agree bit-for-bit.
 
 use eslam_image::GrayImage;
+use std::sync::OnceLock;
 
 /// The 16 offsets of the radius-3 Bresenham circle, clockwise from
 /// 12 o'clock. Index order matters for the contiguity test.
@@ -100,6 +114,42 @@ fn has_arc(classes: &[Tri], want: Tri) -> bool {
     false
 }
 
+/// The longest circular run of set bits in a 16-bit circle mask,
+/// computed the slow way (used to build and cross-check the LUT).
+fn circular_run_length(mask: u16) -> u8 {
+    if mask == u16::MAX {
+        return 16;
+    }
+    let mut best = 0u8;
+    let mut run = 0u8;
+    // Two laps capture wrap-around runs; `mask != 0xffff` bounds them.
+    for i in 0..32 {
+        if mask >> (i % 16) & 1 == 1 {
+            run += 1;
+            best = best.max(run.min(16));
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+/// The 65536-entry arc-length LUT: `arc_lut()[mask]` is the longest
+/// circular run of set bits in `mask`, so the FAST-9 segment test is a
+/// single table lookup (`arc_lut()[mask] >= FAST_ARC as u8`).
+///
+/// Built once per process (~2 M cheap operations) and shared.
+pub fn arc_lut() -> &'static [u8; 65536] {
+    static LUT: OnceLock<Box<[u8; 65536]>> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let mut lut = vec![0u8; 65536].into_boxed_slice();
+        for (mask, slot) in lut.iter_mut().enumerate() {
+            *slot = circular_run_length(mask as u16);
+        }
+        lut.try_into().expect("65536 entries")
+    })
+}
+
 /// A raw FAST detection prior to scoring/NMS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FastDetection {
@@ -128,6 +178,15 @@ pub struct FastDetection {
 /// ```
 pub fn detect(img: &GrayImage, threshold: u8) -> Vec<FastDetection> {
     let mut out = Vec::new();
+    detect_into(img, threshold, &mut out);
+    out
+}
+
+/// Scalar reference detector: calls [`is_fast_corner`] on every pixel.
+/// Kept as the bit-exact oracle for [`detect`]; prefer [`detect`] in
+/// production code.
+pub fn detect_reference(img: &GrayImage, threshold: u8) -> Vec<FastDetection> {
+    let mut out = Vec::new();
     for y in 3..img.height().saturating_sub(3) {
         for x in 3..img.width().saturating_sub(3) {
             if is_fast_corner(img, x, y, threshold) {
@@ -136,6 +195,86 @@ pub fn detect(img: &GrayImage, threshold: u8) -> Vec<FastDetection> {
         }
     }
     out
+}
+
+/// Detects all FAST-9 corners into a caller-owned buffer (cleared
+/// first), performing no other allocation. Output is bit-identical to
+/// [`detect_reference`]: raster order, same corner set.
+pub fn detect_into(img: &GrayImage, threshold: u8, out: &mut Vec<FastDetection>) {
+    out.clear();
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    if w < 7 || h < 7 {
+        return;
+    }
+    let data = img.as_raw();
+    let lut = arc_lut();
+    let t = threshold as i32;
+
+    for y in 3..h - 3 {
+        // The seven rows the radius-3 circle touches.
+        let rm3 = &data[(y - 3) * w..(y - 3) * w + w];
+        let rm2 = &data[(y - 2) * w..(y - 2) * w + w];
+        let rm1 = &data[(y - 1) * w..(y - 1) * w + w];
+        let r0 = &data[y * w..y * w + w];
+        let rp1 = &data[(y + 1) * w..(y + 1) * w + w];
+        let rp2 = &data[(y + 2) * w..(y + 2) * w + w];
+        let rp3 = &data[(y + 3) * w..(y + 3) * w + w];
+
+        for x in 3..w - 3 {
+            let c = r0[x] as i32;
+            let hi = c + t;
+            let lo = c - t;
+
+            // Compass-point early reject (§fast.rs reference): any 9-arc
+            // covers ≥ 2 of the 4 compass points.
+            let p0 = rm3[x] as i32;
+            let p4 = r0[x + 3] as i32;
+            let p8 = rp3[x] as i32;
+            let p12 = r0[x - 3] as i32;
+            let bright_compass =
+                (p0 > hi) as u32 + (p4 > hi) as u32 + (p8 > hi) as u32 + (p12 > hi) as u32;
+            let dark_compass =
+                (p0 < lo) as u32 + (p4 < lo) as u32 + (p8 < lo) as u32 + (p12 < lo) as u32;
+            if bright_compass < 2 && dark_compass < 2 {
+                continue;
+            }
+
+            // Classify the 16 circle pixels into bright/dark bitmasks
+            // (bit i corresponds to CIRCLE_OFFSETS[i]) — branchless.
+            let circle = [
+                p0,                 //  0: ( 0, -3)
+                rm3[x + 1] as i32,  //  1: ( 1, -3)
+                rm2[x + 2] as i32,  //  2: ( 2, -2)
+                rm1[x + 3] as i32,  //  3: ( 3, -1)
+                p4,                 //  4: ( 3,  0)
+                rp1[x + 3] as i32,  //  5: ( 3,  1)
+                rp2[x + 2] as i32,  //  6: ( 2,  2)
+                rp3[x + 1] as i32,  //  7: ( 1,  3)
+                p8,                 //  8: ( 0,  3)
+                rp3[x - 1] as i32,  //  9: (-1,  3)
+                rp2[x - 2] as i32,  // 10: (-2,  2)
+                rp1[x - 3] as i32,  // 11: (-3,  1)
+                p12,                // 12: (-3,  0)
+                rm1[x - 3] as i32,  // 13: (-3, -1)
+                rm2[x - 2] as i32,  // 14: (-2, -2)
+                rm3[x - 1] as i32,  // 15: (-1, -3)
+            ];
+            let mut bright = 0u16;
+            let mut dark = 0u16;
+            for (i, &p) in circle.iter().enumerate() {
+                bright |= ((p > hi) as u16) << i;
+                dark |= ((p < lo) as u16) << i;
+            }
+
+            if lut[bright as usize] >= FAST_ARC as u8 || lut[dark as usize] >= FAST_ARC as u8 {
+                out.push(FastDetection {
+                    x: x as u32,
+                    y: y as u32,
+                });
+            }
+        }
+    }
 }
 
 /// Two-tier adaptive detection (extension, mirroring ORB-SLAM's
@@ -324,5 +463,71 @@ mod tests {
     fn adaptive_rejects_inverted_thresholds() {
         let img = GrayImage::new(8, 8);
         detect_adaptive(&img, 10, 20, 1);
+    }
+
+    #[test]
+    fn arc_lut_matches_has_arc_exhaustively() {
+        // For every 16-bit mask, the LUT's ≥9 decision must equal the
+        // reference run-walk over the equivalent classification array.
+        let lut = arc_lut();
+        for mask in 0..=u16::MAX {
+            let classes: Vec<Tri> = (0..16)
+                .map(|i| if mask >> i & 1 == 1 { Tri::Brighter } else { Tri::Similar })
+                .collect();
+            let expect = has_arc(&classes, Tri::Brighter);
+            assert_eq!(
+                lut[mask as usize] >= FAST_ARC as u8,
+                expect,
+                "mask {mask:#06x}: lut={} expect_arc={expect}",
+                lut[mask as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn arc_lut_extremes() {
+        let lut = arc_lut();
+        assert_eq!(lut[0], 0);
+        assert_eq!(lut[0xffff], 16);
+        assert_eq!(lut[0b1], 1);
+        // Wrap-around run: bits 14,15,0,1 → length 4.
+        assert_eq!(lut[0b1100_0000_0000_0011], 4);
+    }
+
+    #[test]
+    fn detect_matches_reference_on_textures() {
+        for seed in 0..6u64 {
+            let img = GrayImage::from_fn(97, 73, |x, y| {
+                let h = (x as u64)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((y as u64).wrapping_mul(40503))
+                    .wrapping_add(seed.wrapping_mul(0x9e3779b9));
+                ((h >> 7) % 256) as u8
+            });
+            for threshold in [5u8, 20, 60] {
+                assert_eq!(
+                    detect(&img, threshold),
+                    detect_reference(&img, threshold),
+                    "seed {seed} threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detect_into_reuses_buffer() {
+        let img = bright_square(40, 20, 220);
+        let mut buf = vec![FastDetection { x: 0, y: 0 }; 3];
+        detect_into(&img, 30, &mut buf);
+        assert_eq!(buf, detect_reference(&img, 30));
+    }
+
+    #[test]
+    fn tiny_images_have_no_corners() {
+        for (w, h) in [(0u32, 0u32), (1, 1), (6, 6), (6, 40), (40, 6)] {
+            let img = GrayImage::from_fn(w, h, |x, y| ((x * 41 + y * 13) % 251) as u8);
+            assert!(detect(&img, 5).is_empty());
+            assert_eq!(detect(&img, 5), detect_reference(&img, 5));
+        }
     }
 }

@@ -24,19 +24,46 @@ pub const BLOCK_HALF: i64 = 3;
 /// matters for NMS/heap filtering, but a stable scale keeps scores
 /// readable.
 pub fn harris_score(img: &GrayImage, x: u32, y: u32) -> f64 {
+    // The Sobel taps of the 7×7 block reach ±4 pixels; inside that
+    // margin the hot path indexes rows directly instead of clamping
+    // every sample. Identical arithmetic in identical order, so the two
+    // paths are bit-exact (proven by `interior_fast_path_is_bit_exact`).
+    let (cx, cy) = (x as i64, y as i64);
+    let reach = BLOCK_HALF + 1;
+    let interior = cx >= reach
+        && cy >= reach
+        && cx + reach < img.width() as i64
+        && cy + reach < img.height() as i64;
+
     let mut sum_xx = 0.0f64;
     let mut sum_yy = 0.0f64;
     let mut sum_xy = 0.0f64;
-    let (cx, cy) = (x as i64, y as i64);
-    for dy in -BLOCK_HALF..=BLOCK_HALF {
-        for dx in -BLOCK_HALF..=BLOCK_HALF {
-            let px = cx + dx;
-            let py = cy + dy;
-            let ix = sobel_x(img, px, py);
-            let iy = sobel_y(img, px, py);
-            sum_xx += ix * ix;
-            sum_yy += iy * iy;
-            sum_xy += ix * iy;
+    if interior {
+        let w = img.width() as usize;
+        let data = img.as_raw();
+        let base = cy as usize * w + cx as usize;
+        for dy in -BLOCK_HALF..=BLOCK_HALF {
+            for dx in -BLOCK_HALF..=BLOCK_HALF {
+                let centre = (base as i64 + dy * w as i64 + dx) as usize;
+                let g = |ox: i64, oy: i64| data[(centre as i64 + oy * w as i64 + ox) as usize] as f64;
+                let ix = (g(1, -1) + 2.0 * g(1, 0) + g(1, 1)) - (g(-1, -1) + 2.0 * g(-1, 0) + g(-1, 1));
+                let iy = (g(-1, 1) + 2.0 * g(0, 1) + g(1, 1)) - (g(-1, -1) + 2.0 * g(0, -1) + g(1, -1));
+                sum_xx += ix * ix;
+                sum_yy += iy * iy;
+                sum_xy += ix * iy;
+            }
+        }
+    } else {
+        for dy in -BLOCK_HALF..=BLOCK_HALF {
+            for dx in -BLOCK_HALF..=BLOCK_HALF {
+                let px = cx + dx;
+                let py = cy + dy;
+                let ix = sobel_x(img, px, py);
+                let iy = sobel_y(img, px, py);
+                sum_xx += ix * ix;
+                sum_yy += iy * iy;
+                sum_xy += ix * iy;
+            }
         }
     }
     let norm = 1.0 / ((4 * (2 * BLOCK_HALF + 1).pow(2)) as f64);
@@ -115,5 +142,43 @@ mod tests {
         let img = corner_image();
         let _ = harris_score(&img, 0, 0);
         let _ = harris_score(&img, 31, 31);
+    }
+
+    /// Clamped-path evaluation of the score (the pre-fast-path formula),
+    /// used to prove the interior fast path bit-exact.
+    fn harris_score_clamped(img: &GrayImage, x: u32, y: u32) -> f64 {
+        let mut sum_xx = 0.0f64;
+        let mut sum_yy = 0.0f64;
+        let mut sum_xy = 0.0f64;
+        let (cx, cy) = (x as i64, y as i64);
+        for dy in -BLOCK_HALF..=BLOCK_HALF {
+            for dx in -BLOCK_HALF..=BLOCK_HALF {
+                let ix = sobel_x(img, cx + dx, cy + dy);
+                let iy = sobel_y(img, cx + dx, cy + dy);
+                sum_xx += ix * ix;
+                sum_yy += iy * iy;
+                sum_xy += ix * iy;
+            }
+        }
+        let norm = 1.0 / ((4 * (2 * BLOCK_HALF + 1).pow(2)) as f64);
+        let (a, b, c) = (sum_xx * norm * norm, sum_xy * norm * norm, sum_yy * norm * norm);
+        a * c - b * b - HARRIS_K * (a + c) * (a + c)
+    }
+
+    #[test]
+    fn interior_fast_path_is_bit_exact() {
+        let img = GrayImage::from_fn(48, 40, |x, y| {
+            ((x as u64 * 2654435761 + y as u64 * 40503) >> 6) as u8
+        });
+        for y in 0..40 {
+            for x in 0..48 {
+                let fast = harris_score(&img, x, y);
+                let reference = harris_score_clamped(&img, x, y);
+                assert!(
+                    fast == reference,
+                    "({x},{y}): fast {fast} vs reference {reference}"
+                );
+            }
+        }
     }
 }

@@ -6,8 +6,27 @@
 //! Lowe ratio, cross-check) are provided for the software pipeline; the
 //! hardware unit implements only the plain minimum search, as described in
 //! the paper.
+//!
+//! The production kernels ([`match_brute_force`], [`match_with_ratio`])
+//! are cache-tiled over the `[u64; 4]` descriptor words — train tiles
+//! stay L1-resident while a block of query rows streams over them — and
+//! split the query rows across scoped threads on multicore hosts. On
+//! x86-64 the inner loop is compiled with the `popcnt` feature when the
+//! CPU supports it (runtime-detected). The straightforward scalar loops
+//! are retained as [`match_brute_force_reference`] /
+//! [`match_with_ratio_reference`]; results are bit-identical (proven by
+//! unit and property tests).
 
 use crate::descriptor::Descriptor;
+
+/// Train descriptors per tile: 128 × 32 B = 4 KiB, comfortably
+/// L1-resident together with a query block.
+const TRAIN_TILE: usize = 128;
+/// Query rows per block inside one tile pass.
+const QUERY_BLOCK: usize = 8;
+/// Minimum query rows per additional thread — below this the spawn
+/// overhead outweighs the parallelism.
+const MIN_ROWS_PER_THREAD: usize = 64;
 
 /// A correspondence between a query descriptor and a train descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +66,32 @@ pub fn match_brute_force(
     train: &[Descriptor],
     max_distance: u32,
 ) -> Vec<DescriptorMatch> {
+    if query.is_empty() || train.is_empty() {
+        return Vec::new();
+    }
+    // (distance, train index) per query; train is non-empty, so every
+    // query has a nearest neighbour.
+    let mut best = vec![(u32::MAX, 0u32); query.len()];
+    run_rows(query, &mut best, |rows, out| nearest_rows(rows, train, out));
+
+    best.iter()
+        .enumerate()
+        .filter(|(_, &(d, _))| d <= max_distance)
+        .map(|(qi, &(d, ti))| DescriptorMatch {
+            query: qi,
+            train: ti as usize,
+            distance: d,
+        })
+        .collect()
+}
+
+/// Scalar reference of [`match_brute_force`] (one query at a time, no
+/// tiling/threading); the bit-exact oracle for the production kernel.
+pub fn match_brute_force_reference(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    max_distance: u32,
+) -> Vec<DescriptorMatch> {
     let mut out = Vec::with_capacity(query.len());
     for (qi, q) in query.iter().enumerate() {
         let mut best: Option<(usize, u32)> = None;
@@ -70,12 +115,168 @@ pub fn match_brute_force(
     out
 }
 
+/// Splits `out` (one slot per query row) across scoped threads and runs
+/// `kernel` on each piece. Row order inside a piece is preserved and
+/// pieces are disjoint, so the result is independent of the split.
+fn run_rows<T: Send>(
+    query: &[Descriptor],
+    out: &mut [T],
+    kernel: impl Fn(&[Descriptor], &mut [T]) + Sync,
+) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.min(query.len() / MIN_ROWS_PER_THREAD).max(1);
+    if threads == 1 {
+        kernel(query, out);
+        return;
+    }
+    let chunk = query.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (q_chunk, o_chunk) in query.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| kernel(q_chunk, o_chunk));
+        }
+    });
+}
+
+/// Cache-tiled nearest-neighbour search: `out[i]` becomes the minimum
+/// `(distance, train index)` for `query[i]`, ties keeping the lowest
+/// train index (train scanned in ascending order).
+///
+/// Inside a tile, query rows are register-blocked in pairs: each train
+/// descriptor's four words are loaded once and xor-popcounted against
+/// both queries, halving the load traffic and doubling the independent
+/// instruction streams.
+#[inline(always)]
+fn nearest_rows_inner(query: &[Descriptor], train: &[Descriptor], out: &mut [(u32, u32)]) {
+    for (tile_idx, tile) in train.chunks(TRAIN_TILE).enumerate() {
+        let base = (tile_idx * TRAIN_TILE) as u32;
+        for (q_block, o_block) in query.chunks(QUERY_BLOCK).zip(out.chunks_mut(QUERY_BLOCK)) {
+            let even = q_block.len() & !1;
+            let (q_even, q_rem) = q_block.split_at(even);
+            let (o_even, o_rem) = o_block.split_at_mut(even);
+            for (qs, os) in q_even.chunks_exact(2).zip(o_even.chunks_exact_mut(2)) {
+                let (q0, q1) = (&qs[0], &qs[1]);
+                let (mut b0, mut b1) = (os[0], os[1]);
+                for (j, t) in tile.iter().enumerate() {
+                    let d0 = q0.hamming(t);
+                    let d1 = q1.hamming(t);
+                    if d0 < b0.0 {
+                        b0 = (d0, base + j as u32);
+                    }
+                    if d1 < b1.0 {
+                        b1 = (d1, base + j as u32);
+                    }
+                }
+                os[0] = b0;
+                os[1] = b1;
+            }
+            // Odd trailing query row of the block.
+            for (q, o) in q_rem.iter().zip(o_rem.iter_mut()) {
+                let mut best = *o;
+                for (j, t) in tile.iter().enumerate() {
+                    let d = q.hamming(t);
+                    if d < best.0 {
+                        best = (d, base + j as u32);
+                    }
+                }
+                *o = best;
+            }
+        }
+    }
+}
+
+/// Like [`nearest_rows_inner`], additionally tracking the second-best
+/// distance for the Lowe ratio test, with the reference's update rule.
+#[inline(always)]
+fn nearest2_rows_inner(query: &[Descriptor], train: &[Descriptor], out: &mut [(u32, u32, u32)]) {
+    for (tile_idx, tile) in train.chunks(TRAIN_TILE).enumerate() {
+        let base = (tile_idx * TRAIN_TILE) as u32;
+        for (q_block, o_block) in query.chunks(QUERY_BLOCK).zip(out.chunks_mut(QUERY_BLOCK)) {
+            for (q, o) in q_block.iter().zip(o_block.iter_mut()) {
+                let (mut best_d, mut best_i, mut second) = *o;
+                for (j, t) in tile.iter().enumerate() {
+                    let d = q.hamming(t);
+                    if d < best_d {
+                        second = best_d;
+                        best_d = d;
+                        best_i = base + j as u32;
+                    } else {
+                        second = second.min(d);
+                    }
+                }
+                *o = (best_d, best_i, second);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn nearest_rows_popcnt(query: &[Descriptor], train: &[Descriptor], out: &mut [(u32, u32)]) {
+    nearest_rows_inner(query, train, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn nearest2_rows_popcnt(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    out: &mut [(u32, u32, u32)],
+) {
+    nearest2_rows_inner(query, train, out)
+}
+
+fn nearest_rows(query: &[Descriptor], train: &[Descriptor], out: &mut [(u32, u32)]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: the CPU supports popcnt (just detected).
+        return unsafe { nearest_rows_popcnt(query, train, out) };
+    }
+    nearest_rows_inner(query, train, out)
+}
+
+fn nearest2_rows(query: &[Descriptor], train: &[Descriptor], out: &mut [(u32, u32, u32)]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: the CPU supports popcnt (just detected).
+        return unsafe { nearest2_rows_popcnt(query, train, out) };
+    }
+    nearest2_rows_inner(query, train, out)
+}
+
 /// Nearest-neighbour matching with Lowe's ratio test: a match survives iff
 /// `best < ratio × second_best`. `ratio` ∈ (0, 1]; smaller is stricter.
 ///
 /// # Panics
 /// Panics if `ratio` is not within `(0, 1]`.
 pub fn match_with_ratio(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    ratio: f64,
+    max_distance: u32,
+) -> Vec<DescriptorMatch> {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    if query.is_empty() || train.is_empty() {
+        return Vec::new();
+    }
+    let mut best = vec![(u32::MAX, 0u32, u32::MAX); query.len()];
+    run_rows(query, &mut best, |rows, out| nearest2_rows(rows, train, out));
+
+    best.iter()
+        .enumerate()
+        .filter(|(_, &(d, _, second))| {
+            d <= max_distance && (second == u32::MAX || (d as f64) < ratio * second as f64)
+        })
+        .map(|(qi, &(d, ti, _))| DescriptorMatch {
+            query: qi,
+            train: ti as usize,
+            distance: d,
+        })
+        .collect()
+}
+
+/// Scalar reference of [`match_with_ratio`]; the bit-exact oracle for
+/// the production kernel.
+pub fn match_with_ratio_reference(
     query: &[Descriptor],
     train: &[Descriptor],
     ratio: f64,
@@ -231,6 +432,50 @@ mod tests {
         let kept = cross_check(&fwd, &bwd);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].query, 0);
+    }
+
+    fn pseudo_random_descriptors(n: usize, salt: u64) -> Vec<Descriptor> {
+        (0..n)
+            .map(|i| {
+                let s = (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) ^ salt;
+                Descriptor::from_words([s, s.rotate_left(17), s.rotate_left(31), s.rotate_left(47)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matcher_matches_reference_across_shapes() {
+        // Sweep sizes around the tile/block boundaries and duplicate-heavy
+        // sets (forcing tie-breaks) against the scalar reference.
+        for (nq, nt) in [
+            (1usize, 1usize),
+            (3, 7),
+            (8, 128),
+            (9, 129),
+            (64, 300),
+            (200, 1000),
+        ] {
+            let query = pseudo_random_descriptors(nq, 0xAA);
+            let mut train = pseudo_random_descriptors(nt, 0xBB);
+            // Inject duplicates so ties exercise the lowest-index rule.
+            if nt > 4 {
+                let d = train[2];
+                train[nt - 1] = d;
+                train[nt / 2] = d;
+            }
+            for max_d in [u32::MAX, 128, 40] {
+                assert_eq!(
+                    match_brute_force(&query, &train, max_d),
+                    match_brute_force_reference(&query, &train, max_d),
+                    "brute force {nq}x{nt} max {max_d}"
+                );
+                assert_eq!(
+                    match_with_ratio(&query, &train, 0.8, max_d),
+                    match_with_ratio_reference(&query, &train, 0.8, max_d),
+                    "ratio {nq}x{nt} max {max_d}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,15 +19,18 @@
 //! only in work/latency/memory, which [`ExtractionStats`] records and the
 //! `eslam-hw` timing model consumes.
 
-use crate::brief::{compute_descriptor, OriginalBrief, RsBrief};
+use crate::brief::{
+    compute_descriptor, compute_descriptor_interior, pattern_fingerprint, OriginalBrief,
+    PatternOffsets, RsBrief,
+};
 use crate::descriptor::Descriptor;
-use crate::fast;
+use crate::fast::{self, FastDetection};
 use crate::harris::harris_score;
 use crate::heap::{BestHeap, DEFAULT_HEAP_CAPACITY};
-use crate::nms::{suppress, ScoredPoint};
+use crate::nms::{suppress, suppress_sorted_into, NmsScratch, ScoredPoint};
 use crate::orientation::{angle_to_label, label_to_angle, patch_moments, OrientationLut};
-use eslam_image::filter::gaussian_blur_7x7_fixed;
-use eslam_image::pyramid::{ImagePyramid, PyramidConfig};
+use eslam_image::filter::{gaussian_blur_7x7_fixed_into, gaussian_blur_7x7_fixed_reference};
+use eslam_image::pyramid::{ImagePyramid, PyramidConfig, PyramidScratch};
 use eslam_image::GrayImage;
 
 /// Margin (pixels) a keypoint must keep from the level border so that the
@@ -155,6 +158,36 @@ enum Engine {
     Direct(OriginalBrief),
 }
 
+/// Per-pyramid-level scratch of the frame loop: detection, scoring, NMS,
+/// smoothing and descriptor buffers, all reused across frames.
+#[derive(Debug, Default)]
+struct LevelScratch {
+    detections: Vec<FastDetection>,
+    scored: Vec<ScoredPoint>,
+    surviving: Vec<ScoredPoint>,
+    candidates: Vec<ScoredPoint>,
+    nms: NmsScratch,
+    smoothed: GrayImage,
+    blur_scratch: Vec<u16>,
+    /// RS-BRIEF sampling table compiled for this level's stride.
+    offsets: Option<PatternOffsets>,
+    /// Oriented + described candidates ([`Workflow::Rescheduled`]).
+    results: Vec<(Keypoint, Descriptor)>,
+    /// Oriented candidates ([`Workflow::Original`]).
+    keypoints: Vec<Keypoint>,
+}
+
+/// Caller-owned scratch for [`OrbExtractor::extract_with`]: holds the
+/// pyramid, smoothed levels and every intermediate buffer, so
+/// steady-state frame extraction performs **zero heap allocations**
+/// (after the first frame of a given geometry).
+#[derive(Debug, Default)]
+pub struct OrbScratch {
+    pyramid: ImagePyramid,
+    pyramid_scratch: PyramidScratch,
+    levels: Vec<LevelScratch>,
+}
+
 /// The ORB feature extractor (software reference of the FPGA datapath).
 ///
 /// # Examples
@@ -203,7 +236,176 @@ impl OrbExtractor {
     }
 
     /// Extracts up to `max_features` oriented, described keypoints.
+    ///
+    /// Convenience wrapper over [`OrbExtractor::extract_with`] with
+    /// throwaway scratch; frame loops should hold an [`OrbScratch`] and
+    /// call `extract_with` to avoid per-frame allocations.
     pub fn extract(&self, image: &GrayImage) -> OrbFeatures {
+        self.extract_with(image, &mut OrbScratch::default())
+    }
+
+    /// Extracts features using caller-owned scratch buffers.
+    ///
+    /// Pyramid levels are processed **in parallel** (one scoped thread
+    /// per level when the host has more than one core) and merged in
+    /// deterministic level order, so the result — keypoints,
+    /// descriptors, and [`ExtractionStats`] — is identical to the
+    /// sequential scalar reference ([`OrbExtractor::extract_reference`])
+    /// regardless of thread count.
+    pub fn extract_with(&self, image: &GrayImage, scratch: &mut OrbScratch) -> OrbFeatures {
+        let OrbScratch {
+            pyramid,
+            pyramid_scratch,
+            levels,
+        } = scratch;
+        pyramid.build_into(image, &self.config.pyramid, pyramid_scratch);
+        let nlevels = pyramid.levels();
+        levels.truncate(nlevels);
+        while levels.len() < nlevels {
+            levels.push(LevelScratch::default());
+        }
+
+        // Stage 1, per level (independent): detect → score → NMS →
+        // margin filter → smooth → orient (→ describe).
+        let parallel =
+            nlevels > 1 && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        if parallel {
+            std::thread::scope(|scope| {
+                for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
+                    let scale = self.config.pyramid.scale_of(level);
+                    scope.spawn(move || self.process_level(img, level, scale, ls));
+                }
+            });
+        } else {
+            for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
+                let scale = self.config.pyramid.scale_of(level);
+                self.process_level(img, level, scale, ls);
+            }
+        }
+
+        // Stage 2: deterministic merge in level order — the heap sees
+        // candidates in exactly the sequential order, so tie-breaking by
+        // arrival matches the reference bit-for-bit.
+        let mut stats = ExtractionStats {
+            pixels_processed: pyramid.total_pixels(),
+            ..Default::default()
+        };
+        for ls in levels.iter() {
+            stats.fast_detections += ls.detections.len();
+            stats.candidates += ls.candidates.len();
+        }
+
+        let (keypoints, descriptors) = match self.config.workflow {
+            Workflow::Rescheduled => {
+                let mut heap: BestHeap<(Keypoint, Descriptor)> =
+                    BestHeap::new(self.config.max_features);
+                for ls in levels.iter() {
+                    for &(kp, desc) in &ls.results {
+                        stats.descriptors_computed += 1;
+                        heap.push(kp.score, (kp, desc));
+                    }
+                }
+                let mut kps = Vec::with_capacity(heap.len());
+                let mut descs = Vec::with_capacity(heap.len());
+                for (_, (kp, d)) in heap.into_sorted_vec() {
+                    kps.push(kp);
+                    descs.push(d);
+                }
+                (kps, descs)
+            }
+            Workflow::Original => {
+                let mut heap: BestHeap<Keypoint> = BestHeap::new(self.config.max_features);
+                for ls in levels.iter() {
+                    for &kp in &ls.keypoints {
+                        heap.push(kp.score, kp);
+                    }
+                }
+                let mut kps = Vec::with_capacity(heap.len());
+                let mut descs = Vec::with_capacity(heap.len());
+                for (_, kp) in heap.into_sorted_vec() {
+                    let ls = &levels[kp.level];
+                    let desc = self.describe_level(&ls.smoothed, &kp, ls.offsets.as_ref());
+                    stats.descriptors_computed += 1;
+                    kps.push(kp);
+                    descs.push(desc);
+                }
+                (kps, descs)
+            }
+        };
+
+        stats.kept = keypoints.len();
+        OrbFeatures {
+            keypoints,
+            descriptors,
+            stats,
+        }
+    }
+
+    /// The per-level pipeline stage; independent across levels.
+    fn process_level(&self, img: &GrayImage, level: usize, scale: f64, ls: &mut LevelScratch) {
+        fast::detect_into(img, self.config.fast_threshold, &mut ls.detections);
+        ls.scored.clear();
+        for d in &ls.detections {
+            ls.scored.push(ScoredPoint {
+                x: d.x,
+                y: d.y,
+                score: harris_score(img, d.x, d.y),
+            });
+        }
+        suppress_sorted_into(&ls.scored, &mut ls.surviving, &mut ls.nms);
+        ls.candidates.clear();
+        ls.candidates.extend(ls.surviving.iter().filter(|p| {
+            p.x >= EDGE_MARGIN
+                && p.y >= EDGE_MARGIN
+                && p.x + EDGE_MARGIN < img.width()
+                && p.y + EDGE_MARGIN < img.height()
+        }));
+        gaussian_blur_7x7_fixed_into(img, &mut ls.smoothed, &mut ls.blur_scratch);
+
+        // Compile the RS-BRIEF sampling table for this level's stride
+        // (only when the geometry or the pattern changed since the last
+        // frame — the fingerprint guards scratch buffers shared across
+        // extractors with different engines or pattern seeds).
+        if let Engine::Rs(rs) = &self.engine {
+            let fp = pattern_fingerprint(rs.pattern());
+            if ls
+                .offsets
+                .as_ref()
+                .is_none_or(|t| t.width() != img.width() || t.fingerprint() != fp)
+            {
+                ls.offsets = Some(PatternOffsets::new(rs.pattern(), img.width()));
+            }
+        } else {
+            // A stale RS table must never survive into a non-RS engine.
+            ls.offsets = None;
+        }
+
+        ls.results.clear();
+        ls.keypoints.clear();
+        match self.config.workflow {
+            Workflow::Rescheduled => {
+                for i in 0..ls.candidates.len() {
+                    let c = ls.candidates[i];
+                    let kp = self.orient(&ls.smoothed, &c, level, scale);
+                    let desc = self.describe_level(&ls.smoothed, &kp, ls.offsets.as_ref());
+                    ls.results.push((kp, desc));
+                }
+            }
+            Workflow::Original => {
+                for i in 0..ls.candidates.len() {
+                    let c = ls.candidates[i];
+                    ls.keypoints.push(self.orient(&ls.smoothed, &c, level, scale));
+                }
+            }
+        }
+    }
+
+    /// Sequential scalar reference of [`OrbExtractor::extract`]: the
+    /// original per-pixel implementation built from the reference kernels
+    /// ([`fast::detect_reference`], [`gaussian_blur_7x7_fixed_reference`],
+    /// [`suppress`], clamped descriptor sampling). Retained as the
+    /// bit-exact oracle the optimized path is tested against.
+    pub fn extract_reference(&self, image: &GrayImage) -> OrbFeatures {
         let pyramid = ImagePyramid::build(image, &self.config.pyramid);
         let mut stats = ExtractionStats {
             pixels_processed: pyramid.total_pixels(),
@@ -215,7 +417,7 @@ impl OrbExtractor {
         let mut level_candidates: Vec<Vec<ScoredPoint>> = Vec::with_capacity(pyramid.levels());
         let mut smoothed: Vec<GrayImage> = Vec::with_capacity(pyramid.levels());
         for (_, img) in pyramid.iter() {
-            let detections = fast::detect(img, self.config.fast_threshold);
+            let detections = fast::detect_reference(img, self.config.fast_threshold);
             stats.fast_detections += detections.len();
             let scored: Vec<ScoredPoint> = detections
                 .iter()
@@ -236,7 +438,7 @@ impl OrbExtractor {
                 .collect();
             stats.candidates += surviving.len();
             level_candidates.push(surviving);
-            smoothed.push(gaussian_blur_7x7_fixed(img));
+            smoothed.push(gaussian_blur_7x7_fixed_reference(img));
         }
 
         let (keypoints, descriptors) = match self.config.workflow {
@@ -320,6 +522,23 @@ impl OrbExtractor {
             Engine::Rs(rs) => rs.compute(smoothed, kp.level_x, kp.level_y, kp.label),
             Engine::Original(orig) => orig.compute_lut(smoothed, kp.level_x, kp.level_y, kp.angle),
             Engine::Direct(orig) => orig.compute_direct(smoothed, kp.level_x, kp.level_y, kp.angle),
+        }
+    }
+
+    /// Hot-path descriptor: RS-BRIEF keypoints sample through the
+    /// compiled per-level offset table (the keypoint margin of 16 pixels
+    /// exceeds the 15-pixel patch radius, so clamping never engages and
+    /// the result is bit-identical to [`OrbExtractor::describe`]).
+    fn describe_level(
+        &self,
+        smoothed: &GrayImage,
+        kp: &Keypoint,
+        offsets: Option<&PatternOffsets>,
+    ) -> Descriptor {
+        if let Some(table) = offsets {
+            compute_descriptor_interior(smoothed, kp.level_x, kp.level_y, table).steer(kp.label)
+        } else {
+            self.describe(smoothed, kp)
         }
     }
 
@@ -496,6 +715,70 @@ mod tests {
         let a = e.extract(&img);
         let b = e.extract(&img);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimized_extractor_matches_scalar_reference() {
+        // The headline equivalence: bitmask FAST + row-sliced kernels +
+        // offset-table descriptors + parallel levels vs the sequential
+        // per-pixel reference, bit for bit — features AND stats.
+        for seed in 0..3u64 {
+            let img = test_image(200, 150, seed);
+            for kind in [
+                DescriptorKind::RsBrief,
+                DescriptorKind::OriginalLut,
+                DescriptorKind::OriginalDirect,
+            ] {
+                for workflow in [Workflow::Rescheduled, Workflow::Original] {
+                    let e = OrbExtractor::new(OrbConfig {
+                        descriptor: kind,
+                        workflow,
+                        max_features: 200,
+                        ..Default::default()
+                    });
+                    let fast_path = e.extract(&img);
+                    let reference = e.extract_reference(&img);
+                    assert_eq!(fast_path, reference, "seed {seed} {kind:?} {workflow:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_shared_across_extractors_stays_correct() {
+        // Regression: a scratch previously used by an RS-BRIEF extractor
+        // must not leak its offset table into another engine (or an RS
+        // engine with a different pattern seed) on same-width frames.
+        let img = test_image(160, 120, 3);
+        let mut scratch = OrbScratch::default();
+        let rs = OrbExtractor::new(OrbConfig::default());
+        let _ = rs.extract_with(&img, &mut scratch);
+
+        let lut = OrbExtractor::new(OrbConfig {
+            descriptor: DescriptorKind::OriginalLut,
+            ..Default::default()
+        });
+        assert_eq!(lut.extract_with(&img, &mut scratch), lut.extract(&img));
+
+        let rs_other = OrbExtractor::new(OrbConfig {
+            pattern_seed: 0x1234,
+            ..Default::default()
+        });
+        assert_eq!(rs_other.extract_with(&img, &mut scratch), rs_other.extract(&img));
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_across_frames() {
+        let e = OrbExtractor::new(OrbConfig::default());
+        let mut scratch = OrbScratch::default();
+        for seed in 0..4u64 {
+            let img = test_image(160, 120, seed);
+            let with_scratch = e.extract_with(&img, &mut scratch);
+            assert_eq!(with_scratch, e.extract(&img), "frame {seed}");
+        }
+        // Geometry changes mid-stream must also be handled.
+        let small = test_image(96, 80, 9);
+        assert_eq!(e.extract_with(&small, &mut scratch), e.extract(&small));
     }
 
     #[test]

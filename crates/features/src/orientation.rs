@@ -35,22 +35,71 @@ impl Moments {
     }
 }
 
+/// Per-row half-width of the radius-15 circular patch:
+/// `CIRCLE_EXTENT[dy + 15] = ⌊√(15² − dy²)⌋`.
+const CIRCLE_EXTENT: [i64; 31] = circle_extents();
+
+const fn circle_extents() -> [i64; 31] {
+    let r = ORIENTATION_RADIUS;
+    let mut ext = [0i64; 31];
+    let mut dy = -r;
+    while dy <= r {
+        let rem = r * r - dy * dy;
+        let mut e = 0i64;
+        while (e + 1) * (e + 1) <= rem {
+            e += 1;
+        }
+        ext[(dy + r) as usize] = e;
+        dy += 1;
+    }
+    ext
+}
+
 /// Computes the patch moments at `(x, y)`. Pixels outside the image are
 /// clamped (border replication), matching the hardware line buffers.
+///
+/// Interior patches (≥ 15 pixels from every border — always true for
+/// keypoints behind the extractor's 16-pixel margin) take a row-sliced
+/// hot path; the sums are exact integers, so both paths are identical.
 pub fn patch_moments(img: &GrayImage, x: u32, y: u32) -> Moments {
+    let r = ORIENTATION_RADIUS;
+    let (cx, cy) = (x as i64, y as i64);
+    let interior =
+        cx >= r && cy >= r && cx + r < img.width() as i64 && cy + r < img.height() as i64;
+
     let mut m10 = 0i64;
     let mut m01 = 0i64;
     let mut m00 = 0i64;
-    let r2 = ORIENTATION_RADIUS * ORIENTATION_RADIUS;
-    for dy in -ORIENTATION_RADIUS..=ORIENTATION_RADIUS {
-        for dx in -ORIENTATION_RADIUS..=ORIENTATION_RADIUS {
-            if dx * dx + dy * dy > r2 {
-                continue;
+    if interior {
+        let w = img.width() as usize;
+        let data = img.as_raw();
+        for dy in -r..=r {
+            let ext = CIRCLE_EXTENT[(dy + r) as usize];
+            let start = ((cy + dy) as usize) * w + (cx - ext) as usize;
+            let row = &data[start..start + (2 * ext + 1) as usize];
+            let mut row_sum = 0i64;
+            let mut row_weighted = 0i64;
+            for (k, &v) in row.iter().enumerate() {
+                let i = v as i64;
+                row_sum += i;
+                row_weighted += i * (k as i64 - ext);
             }
-            let i = img.get_clamped(x as i64 + dx, y as i64 + dy) as i64;
-            m10 += i * dx;
-            m01 += i * dy;
-            m00 += i;
+            m10 += row_weighted;
+            m01 += dy * row_sum;
+            m00 += row_sum;
+        }
+    } else {
+        let r2 = r * r;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx * dx + dy * dy > r2 {
+                    continue;
+                }
+                let i = img.get_clamped(cx + dx, cy + dy) as i64;
+                m10 += i * dx;
+                m01 += i * dy;
+                m00 += i;
+            }
         }
     }
     Moments { m10, m01, m00 }
@@ -231,6 +280,48 @@ mod tests {
         let l_right = lut.label(m_right.m10, m_right.m01);
         let l_down = lut.label(m_down.m10, m_down.m01);
         assert_eq!((l_right + 8) % 32, l_down);
+    }
+
+    #[test]
+    fn circle_extents_match_mask() {
+        let r = ORIENTATION_RADIUS;
+        for dy in -r..=r {
+            let ext = CIRCLE_EXTENT[(dy + r) as usize];
+            assert!(ext * ext + dy * dy <= r * r);
+            assert!((ext + 1) * (ext + 1) + dy * dy > r * r);
+        }
+    }
+
+    #[test]
+    fn interior_fast_path_matches_clamped_path() {
+        // A 64×64 texture: probe interior points (fast path) against a
+        // shifted copy where the same patch is border-adjacent (clamped
+        // path never clamps for these coordinates, so values must agree).
+        let img = GrayImage::from_fn(64, 64, |x, y| {
+            ((x as u64 * 2654435761 + y as u64 * 40503) >> 5) as u8
+        });
+        let clamped_reference = |x: u32, y: u32| {
+            let r = ORIENTATION_RADIUS;
+            let r2 = r * r;
+            let mut m = Moments { m10: 0, m01: 0, m00: 0 };
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx * dx + dy * dy > r2 {
+                        continue;
+                    }
+                    let i = img.get_clamped(x as i64 + dx, y as i64 + dy) as i64;
+                    m.m10 += i * dx;
+                    m.m01 += i * dy;
+                    m.m00 += i;
+                }
+            }
+            m
+        };
+        for y in 0..64 {
+            for x in 0..64 {
+                assert_eq!(patch_moments(&img, x, y), clamped_reference(x, y), "({x},{y})");
+            }
+        }
     }
 
     #[test]

@@ -168,8 +168,8 @@ fn build_normal_equations(
         for (j_row, res) in j_rows.iter().zip(residual) {
             let g_vec = Vec6 { v: *j_row };
             h.rank_one_update(&g_vec, w);
-            for k in 0..6 {
-                b.v[k] += w * j_row[k] * res;
+            for (bk, jk) in b.v.iter_mut().zip(j_row) {
+                *bk += w * jk * res;
             }
         }
     }

@@ -428,10 +428,11 @@ impl Mat6 {
         let mut l = [[0.0f64; 6]; 6];
         for i in 0..6 {
             for j in 0..=i {
-                let mut sum = self.m[i][j];
-                for k in 0..j {
-                    sum -= l[i][k] * l[j][k];
-                }
+                // Sequential fold keeps the exact FP accumulation order.
+                let sum = l[i][..j]
+                    .iter()
+                    .zip(&l[j][..j])
+                    .fold(self.m[i][j], |acc, (a, b)| acc - a * b);
                 if i == j {
                     if sum <= 0.0 {
                         return None;
@@ -598,10 +599,10 @@ mod tests {
         ];
         for r in 0..6 {
             for c in 0..6 {
-                let mut sum = 0.0;
-                for k in 0..6 {
-                    sum += b_rows[r][k] * b_rows[c][k];
-                }
+                let sum = b_rows[r]
+                    .iter()
+                    .zip(&b_rows[c])
+                    .fold(0.0, |acc, (x, y)| acc + x * y);
                 a.m[r][c] += sum;
             }
         }

@@ -175,6 +175,8 @@ pub struct MemoryFootprint {
 impl ExtractorModel {
     /// Computes the extraction latency for a workload under the given
     /// workflow schedule.
+    // Timing fields are filled stage by stage, mirroring the datapath.
+    #[allow(clippy::field_reassign_with_default)]
     pub fn extraction_timing(
         &self,
         workload: &ExtractionWorkload,

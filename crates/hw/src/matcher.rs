@@ -75,6 +75,8 @@ impl MatchingTiming {
 impl MatcherModel {
     /// Latency of matching `n_query` descriptors against `m_map` map
     /// points.
+    // Timing fields are filled stage by stage, mirroring the datapath.
+    #[allow(clippy::field_reassign_with_default)]
     pub fn matching_timing(&self, n_query: u64, m_map: u64) -> MatchingTiming {
         let mut t = MatchingTiming::default();
         t.query_load_cycles = self.axi.transfer_cycles(n_query * DESCRIPTOR_BYTES);

@@ -25,7 +25,22 @@ pub const KERNEL_7_FIXED_SUM: u32 = 64;
 /// Applies the fixed-point separable 7×7 Gaussian blur, replicating the
 /// border. This is the reference model of the hardware Image Smoother: the
 /// `eslam-hw` smoother unit must produce bit-identical output.
+///
+/// Production code path: allocates fresh output/scratch buffers and
+/// delegates to [`gaussian_blur_7x7_fixed_into`]. Pipelines that smooth
+/// every frame should hold the buffers and call the `_into` variant
+/// directly.
 pub fn gaussian_blur_7x7_fixed(src: &GrayImage) -> GrayImage {
+    let mut out = GrayImage::new(src.width(), src.height());
+    let mut scratch = Vec::new();
+    gaussian_blur_7x7_fixed_into(src, &mut out, &mut scratch);
+    out
+}
+
+/// Scalar reference of the fixed-point blur (per-pixel clamped
+/// addressing). Kept as the bit-exact oracle for the row-sliced
+/// [`gaussian_blur_7x7_fixed_into`]; prefer the production variants.
+pub fn gaussian_blur_7x7_fixed_reference(src: &GrayImage) -> GrayImage {
     let w = src.width();
     let h = src.height();
 
@@ -54,6 +69,85 @@ pub fn gaussian_blur_7x7_fixed(src: &GrayImage) -> GrayImage {
             / (KERNEL_7_FIXED_SUM as u64 * KERNEL_7_FIXED_SUM as u64))
             .min(255) as u8
     })
+}
+
+/// Fixed-point 7×7 blur into caller-owned buffers: `dst` receives the
+/// smoothed image, `scratch` holds the 16-bit horizontal intermediates.
+/// Both are reshaped/resized as needed and reused across calls, so
+/// steady-state frame smoothing performs **zero heap allocations**.
+///
+/// Interior pixels use row-sliced direct addressing; only the 3-pixel
+/// borders take the clamped path. Output is bit-identical to
+/// [`gaussian_blur_7x7_fixed_reference`] (the sums are exact integer
+/// arithmetic, so only addressing differs).
+pub fn gaussian_blur_7x7_fixed_into(src: &GrayImage, dst: &mut GrayImage, scratch: &mut Vec<u16>) {
+    let w = src.width() as usize;
+    let h = src.height() as usize;
+    dst.reshape(src.width(), src.height());
+    scratch.resize(w * h, 0);
+    if w == 0 || h == 0 {
+        return;
+    }
+    let data = src.as_raw();
+
+    // Horizontal pass.
+    let interior_end = w.saturating_sub(3);
+    for y in 0..h {
+        let row = &data[y * w..(y + 1) * w];
+        let hrow = &mut scratch[y * w..(y + 1) * w];
+        let clamped_tap = |x: usize| -> u16 {
+            let mut acc: u32 = 0;
+            for (k, &weight) in KERNEL_7_FIXED.iter().enumerate() {
+                let sx = (x as i64 + k as i64 - 3).clamp(0, w as i64 - 1) as usize;
+                acc += weight * row[sx] as u32;
+            }
+            acc as u16
+        };
+        // Left border (clamped).
+        for (x, o) in hrow.iter_mut().enumerate().take(w.min(3)) {
+            *o = clamped_tap(x);
+        }
+        // Interior: direct 7-tap window (empty when w < 7).
+        let interior = 3.min(w)..interior_end.max(3).min(w);
+        for (win, o) in row.windows(7).zip(hrow[interior].iter_mut()) {
+            let acc = KERNEL_7_FIXED[0] * win[0] as u32
+                + KERNEL_7_FIXED[1] * win[1] as u32
+                + KERNEL_7_FIXED[2] * win[2] as u32
+                + KERNEL_7_FIXED[3] * win[3] as u32
+                + KERNEL_7_FIXED[4] * win[4] as u32
+                + KERNEL_7_FIXED[5] * win[5] as u32
+                + KERNEL_7_FIXED[6] * win[6] as u32;
+            *o = acc as u16;
+        }
+        // Right border (clamped).
+        for (x, o) in hrow.iter_mut().enumerate().skip(interior_end.max(w.min(3))) {
+            *o = clamped_tap(x);
+        }
+    }
+
+    // Vertical pass: for each output row, combine the 7 (clamped)
+    // horizontal rows column-wise.
+    const ROUND: u32 = (KERNEL_7_FIXED_SUM * KERNEL_7_FIXED_SUM) / 2;
+    const DENOM: u32 = KERNEL_7_FIXED_SUM * KERNEL_7_FIXED_SUM;
+    let out = dst.as_raw_mut();
+    for y in 0..h {
+        let rows: [&[u16]; 7] = std::array::from_fn(|k| {
+            let sy = (y as i64 + k as i64 - 3).clamp(0, h as i64 - 1) as usize;
+            &scratch[sy * w..(sy + 1) * w]
+        });
+        let orow = &mut out[y * w..(y + 1) * w];
+        for (x, o) in orow.iter_mut().enumerate() {
+            // Max 16320 * 64 = 1 044 480 < u32::MAX: exact in u32.
+            let acc = KERNEL_7_FIXED[0] * rows[0][x] as u32
+                + KERNEL_7_FIXED[1] * rows[1][x] as u32
+                + KERNEL_7_FIXED[2] * rows[2][x] as u32
+                + KERNEL_7_FIXED[3] * rows[3][x] as u32
+                + KERNEL_7_FIXED[4] * rows[4][x] as u32
+                + KERNEL_7_FIXED[5] * rows[5][x] as u32
+                + KERNEL_7_FIXED[6] * rows[6][x] as u32;
+            *o = ((acc + ROUND) / DENOM).min(255) as u8;
+        }
+    }
 }
 
 /// Floating-point separable Gaussian blur with the given σ and a kernel
@@ -189,6 +283,38 @@ mod tests {
     fn non_positive_sigma_panics() {
         let img = GrayImage::new(4, 4);
         gaussian_blur(&img, 0.0);
+    }
+
+    #[test]
+    fn fast_blur_matches_reference_on_textures() {
+        for seed in 0..5u64 {
+            for (w, h) in [(1u32, 1u32), (2, 9), (6, 6), (7, 7), (40, 31), (65, 9)] {
+                let img = GrayImage::from_fn(w, h, |x, y| {
+                    ((x as u64 * 31 + y as u64 * 17 + seed * 101) % 256) as u8
+                });
+                assert_eq!(
+                    gaussian_blur_7x7_fixed(&img),
+                    gaussian_blur_7x7_fixed_reference(&img),
+                    "seed {seed} size {w}x{h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blur_into_reuses_buffers_without_reallocating() {
+        let a = GrayImage::from_fn(30, 20, |x, y| (x * y) as u8);
+        let b = GrayImage::from_fn(28, 18, |x, y| (x + y) as u8);
+        let mut out = GrayImage::new(30, 20);
+        let mut scratch = Vec::new();
+        gaussian_blur_7x7_fixed_into(&a, &mut out, &mut scratch);
+        let cap = scratch.capacity();
+        let ptr = out.as_raw().as_ptr();
+        // Smaller image must reuse both allocations.
+        gaussian_blur_7x7_fixed_into(&b, &mut out, &mut scratch);
+        assert_eq!(out, gaussian_blur_7x7_fixed_reference(&b));
+        assert_eq!(scratch.capacity(), cap);
+        assert_eq!(out.as_raw().as_ptr(), ptr);
     }
 
     #[test]

@@ -85,6 +85,35 @@ impl GrayImage {
         &self.data
     }
 
+    /// Mutable access to the raw row-major pixel buffer.
+    #[inline]
+    pub fn as_raw_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Resizes the image to `width × height` in place, reusing the
+    /// existing allocation when its capacity suffices. Pixel contents
+    /// after the call are unspecified; callers are expected to overwrite
+    /// them. This is the zero-steady-state-allocation primitive behind
+    /// [`crate::pyramid::ImagePyramid::build_into`].
+    ///
+    /// # Panics
+    /// Panics if `width * height` overflows `usize`.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        let len = (width as usize)
+            .checked_mul(height as usize)
+            .expect("image dimensions overflow");
+        self.data.resize(len, 0);
+        self.width = width;
+        self.height = height;
+    }
+
+    /// Copies `src` into `self`, reusing the allocation when possible.
+    pub fn copy_from(&mut self, src: &GrayImage) {
+        self.reshape(src.width, src.height);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Consumes the image, returning the pixel buffer.
     pub fn into_raw(self) -> Vec<u8> {
         self.data
@@ -155,6 +184,13 @@ impl GrayImage {
             return 0.0;
         }
         self.data.iter().map(|&v| v as u64).sum::<u64>() as f64 / self.data.len() as f64
+    }
+}
+
+impl Default for GrayImage {
+    /// An empty 0×0 image (useful as reusable scratch storage).
+    fn default() -> Self {
+        GrayImage::new(0, 0)
     }
 }
 
@@ -341,6 +377,28 @@ mod tests {
     fn set_out_of_bounds_panics() {
         let mut img = GrayImage::new(2, 2);
         img.set(2, 0, 1);
+    }
+
+    #[test]
+    fn reshape_reuses_capacity() {
+        let mut img = GrayImage::new(8, 8);
+        let cap_before = img.data.capacity();
+        let ptr_before = img.data.as_ptr();
+        img.reshape(4, 4);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.as_raw().len(), 16);
+        assert_eq!(img.data.capacity(), cap_before);
+        assert_eq!(img.data.as_ptr(), ptr_before);
+        img.reshape(8, 8);
+        assert_eq!(img.data.as_ptr(), ptr_before);
+    }
+
+    #[test]
+    fn copy_from_matches_source() {
+        let src = GrayImage::from_fn(5, 3, |x, y| (x * 7 + y) as u8);
+        let mut dst = GrayImage::new(50, 50);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -75,6 +75,25 @@ pub struct ImagePyramid {
     config: PyramidConfig,
 }
 
+impl Default for ImagePyramid {
+    /// An empty pyramid, ready to be filled by
+    /// [`ImagePyramid::build_into`].
+    fn default() -> Self {
+        ImagePyramid {
+            layers: Vec::new(),
+            config: PyramidConfig::default(),
+        }
+    }
+}
+
+/// Caller-owned scratch for [`ImagePyramid::build_into`]: holds the
+/// nearest-neighbour source-column map so steady-state pyramid builds
+/// allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PyramidScratch {
+    xmap: Vec<u32>,
+}
+
 impl ImagePyramid {
     /// Builds a pyramid by repeated nearest-neighbour downsampling of the
     /// base image, mirroring the streaming Image Resizing hardware (each
@@ -83,10 +102,32 @@ impl ImagePyramid {
     /// # Panics
     /// Panics if `config.levels == 0` or `config.scale_factor <= 1.0`.
     pub fn build(base: &GrayImage, config: &PyramidConfig) -> Self {
+        let mut pyramid = ImagePyramid {
+            layers: Vec::new(),
+            config: *config,
+        };
+        pyramid.build_into(base, config, &mut PyramidScratch::default());
+        pyramid
+    }
+
+    /// Rebuilds this pyramid in place for a new base frame, reusing the
+    /// existing layer buffers and `scratch`. After the first call with a
+    /// given frame geometry, subsequent calls perform **zero heap
+    /// allocations** — the steady-state path of the frame loop.
+    ///
+    /// Results are identical to [`ImagePyramid::build`].
+    ///
+    /// # Panics
+    /// Panics if `config.levels == 0` or `config.scale_factor <= 1.0`.
+    pub fn build_into(&mut self, base: &GrayImage, config: &PyramidConfig, scratch: &mut PyramidScratch) {
         assert!(config.levels >= 1, "pyramid needs at least one level");
         assert!(config.scale_factor > 1.0, "scale factor must exceed 1");
-        let mut layers = Vec::with_capacity(config.levels);
-        layers.push(base.clone());
+        self.config = *config;
+        self.layers.truncate(config.levels);
+        while self.layers.len() < config.levels {
+            self.layers.push(GrayImage::new(0, 0));
+        }
+        self.layers[0].copy_from(base);
         for level in 1..config.levels {
             // Target size derives from the *base* to avoid compounding
             // rounding, but pixels are sampled from the previous layer as
@@ -94,12 +135,8 @@ impl ImagePyramid {
             let s = config.scale_of(level);
             let w = ((base.width() as f64) / s).round().max(1.0) as u32;
             let h = ((base.height() as f64) / s).round().max(1.0) as u32;
-            let prev = &layers[level - 1];
-            layers.push(resize_nearest(prev, w, h));
-        }
-        ImagePyramid {
-            layers,
-            config: *config,
+            let (prev, rest) = self.layers[level - 1..].split_first_mut().expect("levels");
+            resize_nearest_into(prev, &mut rest[0], w, h, &mut scratch.xmap);
         }
     }
 
@@ -140,6 +177,14 @@ impl ImagePyramid {
 /// Nearest-neighbour resize, the downsampling the paper's Image Resizing
 /// module applies (§3).
 pub fn resize_nearest(src: &GrayImage, width: u32, height: u32) -> GrayImage {
+    let mut out = GrayImage::new(width, height);
+    resize_nearest_into(src, &mut out, width, height, &mut Vec::new());
+    out
+}
+
+/// Scalar reference resize (per-pixel coordinate math through
+/// [`GrayImage::get`]); the oracle for [`resize_nearest_into`].
+pub fn resize_nearest_reference(src: &GrayImage, width: u32, height: u32) -> GrayImage {
     let sx = src.width() as f64 / width as f64;
     let sy = src.height() as f64 / height as f64;
     GrayImage::from_fn(width, height, |x, y| {
@@ -147,6 +192,41 @@ pub fn resize_nearest(src: &GrayImage, width: u32, height: u32) -> GrayImage {
         let src_y = ((y as f64 + 0.5) * sy - 0.5).round().clamp(0.0, src.height() as f64 - 1.0) as u32;
         src.get(src_x, src_y)
     })
+}
+
+/// Nearest-neighbour resize into a caller-owned image, with the
+/// source-column map kept in `xmap` scratch: the per-pixel coordinate
+/// math of the reference runs once per row/column instead of once per
+/// pixel, and row gathers use direct slices. Bit-identical to
+/// [`resize_nearest_reference`].
+pub fn resize_nearest_into(
+    src: &GrayImage,
+    dst: &mut GrayImage,
+    width: u32,
+    height: u32,
+    xmap: &mut Vec<u32>,
+) {
+    let sx = src.width() as f64 / width as f64;
+    let sy = src.height() as f64 / height as f64;
+    dst.reshape(width, height);
+
+    xmap.clear();
+    xmap.extend((0..width).map(|x| {
+        ((x as f64 + 0.5) * sx - 0.5).round().clamp(0.0, src.width() as f64 - 1.0) as u32
+    }));
+
+    let sw = src.width() as usize;
+    let data = src.as_raw();
+    let out = dst.as_raw_mut();
+    let w = width as usize;
+    for y in 0..height as usize {
+        let src_y = ((y as f64 + 0.5) * sy - 0.5).round().clamp(0.0, src.height() as f64 - 1.0) as usize;
+        let srow = &data[src_y * sw..src_y * sw + sw];
+        let orow = &mut out[y * w..(y + 1) * w];
+        for (o, &sx_idx) in orow.iter_mut().zip(xmap.iter()) {
+            *o = srow[sx_idx as usize];
+        }
+    }
 }
 
 /// Bilinear resize, provided as the software-quality baseline for the
@@ -271,5 +351,53 @@ mod tests {
         let cfg = PyramidConfig::default();
         let pyr = ImagePyramid::build(&base, &cfg);
         assert_eq!(pyr.total_pixels(), cfg.total_pixels(640, 480));
+    }
+
+    #[test]
+    fn resize_into_matches_reference() {
+        for seed in 0..4u64 {
+            let img = GrayImage::from_fn(37, 23, |x, y| {
+                ((x as u64 * 31 + y as u64 * 17 + seed * 7) % 256) as u8
+            });
+            for (w, h) in [(37u32, 23u32), (31, 19), (18, 11), (5, 3), (1, 1), (74, 46)] {
+                assert_eq!(
+                    resize_nearest(&img, w, h),
+                    resize_nearest_reference(&img, w, h),
+                    "seed {seed} target {w}x{h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_into_matches_build_and_reuses_buffers() {
+        let cfg = PyramidConfig::default();
+        let frame_a = GrayImage::from_fn(160, 120, |x, y| ((x * 13 + y * 7) % 256) as u8);
+        let frame_b = GrayImage::from_fn(160, 120, |x, y| ((x * 5 + y * 29) % 256) as u8);
+
+        let mut pyr = ImagePyramid::build(&frame_a, &cfg);
+        assert_eq!(pyr, ImagePyramid::build(&frame_a, &cfg));
+
+        let ptrs: Vec<*const u8> = pyr.layers.iter().map(|l| l.as_raw().as_ptr()).collect();
+        let mut scratch = PyramidScratch::default();
+        pyr.build_into(&frame_b, &cfg, &mut scratch);
+        assert_eq!(pyr, ImagePyramid::build(&frame_b, &cfg));
+        // Same geometry ⇒ every layer buffer was reused in place.
+        let ptrs_after: Vec<*const u8> = pyr.layers.iter().map(|l| l.as_raw().as_ptr()).collect();
+        assert_eq!(ptrs, ptrs_after);
+    }
+
+    #[test]
+    fn build_into_handles_level_count_changes() {
+        let frame = GrayImage::from_fn(100, 80, |x, y| ((x ^ y) % 256) as u8);
+        let mut scratch = PyramidScratch::default();
+        let mut pyr = ImagePyramid::build(&frame, &PyramidConfig { levels: 2, scale_factor: 1.2 });
+        pyr.build_into(&frame, &PyramidConfig { levels: 5, scale_factor: 1.3 }, &mut scratch);
+        assert_eq!(
+            pyr,
+            ImagePyramid::build(&frame, &PyramidConfig { levels: 5, scale_factor: 1.3 })
+        );
+        pyr.build_into(&frame, &PyramidConfig { levels: 1, scale_factor: 1.2 }, &mut scratch);
+        assert_eq!(pyr.levels(), 1);
     }
 }

@@ -1,0 +1,542 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! numeric-range / `any::<T>()` / tuple / `prop_map` / `collection::vec`
+//! strategies, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` assertion macros.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test PRNG (seeded from the test name), there is **no shrinking**,
+//! and failures report the case index instead of a minimized input. That
+//! is enough for the equivalence/property suites here, which exist to
+//! sweep many random inputs rather than to minimize counterexamples.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Deterministic xoshiro256++ generator driving input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates the RNG for `(test_name, case_index)`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut state = h ^ ((case as u64) << 32) ^ 0x9e3779b97f4a7c15;
+        let mut next = || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Error raised by a failing or rejected test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case's assumptions did not hold (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (the `ProptestConfig` of upstream).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the 1-core CI budget sane
+        // while still sweeping a meaningful input volume.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Generation strategies (simplified: a strategy samples a value).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_strategy_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+    }
+}
+
+macro_rules! tuple_strategy_impl {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy_impl!(A);
+tuple_strategy_impl!(A, B);
+tuple_strategy_impl!(A, B, C);
+tuple_strategy_impl!(A, B, C, D);
+tuple_strategy_impl!(A, B, C, D, E);
+tuple_strategy_impl!(A, B, C, D, E, F);
+tuple_strategy_impl!(A, B, C, D, E, F, G);
+tuple_strategy_impl!(A, B, C, D, E, F, G, H);
+tuple_strategy_impl!(A, B, C, D, E, F, G, H, I);
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int_impl {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (the `proptest::collection` module).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + if span == 0 { 0 } else { rng.below(span) as usize };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)`: vectors of `element` samples.
+    ///
+    /// # Panics
+    /// Panics (at sample time) if the length range is empty.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] expansion.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+    /// Drives the per-case loop of one property test.
+    #[derive(Debug)]
+    pub struct Runner {
+        config: ProptestConfig,
+        name: &'static str,
+        rejects: u32,
+    }
+
+    impl Runner {
+        /// Creates a runner for the named test.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            Runner {
+                config,
+                name,
+                rejects: 0,
+            }
+        }
+
+        /// Number of cases to attempt.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// RNG for case `case`.
+        pub fn rng(&self, case: u32) -> TestRng {
+            TestRng::for_case(self.name, case)
+        }
+
+        /// Handles one case outcome; panics on failure.
+        pub fn handle(&mut self, case: u32, result: TestCaseResult) {
+            match result {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    self.rejects += 1;
+                    let limit = self.config.cases.saturating_mul(16).max(256);
+                    assert!(
+                        self.rejects <= limit,
+                        "{}: too many rejected cases ({})",
+                        self.name,
+                        self.rejects
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{} failed at case {case}: {msg}", self.name)
+                }
+            }
+        }
+    }
+}
+
+/// The proptest prelude: everything the `proptest!` grammar needs.
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop` module alias of the upstream prelude
+    /// (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher behind [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::Runner::new($cfg, stringify!($name));
+            let mut case = 0u32;
+            let mut done = 0u32;
+            while done < runner.cases() {
+                let mut rng = runner.rng(case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                let rejected = matches!(
+                    &outcome,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_))
+                );
+                runner.handle(case, outcome);
+                if !rejected {
+                    done += 1;
+                }
+                case += 1;
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::sample(&(-1.0..1.0f64), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::TestRng::for_case("vecs", 0);
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&prop::collection::vec(any::<u64>(), 2..9), &mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_basic(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_assume_rejects(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn macro_map_and_tuple(
+            pair in (any::<u64>(), 1u64..5).prop_map(|(a, b)| (a % b, b)),
+        ) {
+            prop_assert!(pair.0 < pair.1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_with_config(x in 0u8..4) {
+            prop_assert!(x < 4);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the eSLAM reproduction workspace.
+//!
+//! The actual implementation lives in the `crates/` members; this crate
+//! re-exports them under one roof and hosts the repo-level integration
+//! tests (`tests/`) and examples (`examples/`).
+
+#![warn(missing_docs)]
+
+pub use eslam_core as core;
+pub use eslam_dataset as dataset;
+pub use eslam_features as features;
+pub use eslam_geometry as geometry;
+pub use eslam_hw as hw;
+pub use eslam_image as image;
