@@ -47,7 +47,12 @@ fn bench_steering(c: &mut Criterion) {
 fn bench_rotator_alone(c: &mut Criterion) {
     // The pure BRIEF Rotator operation: what the hardware does per
     // feature instead of any trigonometry.
-    let d = Descriptor::from_words([0x0123456789abcdef, 0xfedcba9876543210, 0x55aa55aa55aa55aa, 0x1122334455667788]);
+    let d = Descriptor::from_words([
+        0x0123456789abcdef,
+        0xfedcba9876543210,
+        0x55aa55aa55aa55aa,
+        0x1122334455667788,
+    ]);
     c.bench_function("descriptor/rotate_256bit", |b| {
         b.iter(|| {
             for label in 0..32u8 {
@@ -76,7 +81,12 @@ fn bench_hamming_batch(c: &mut Criterion) {
             Descriptor::from_words([s, s.rotate_left(17), s.rotate_left(31), s.rotate_left(47)])
         })
         .collect();
-    let probe = Descriptor::from_words([0x0123456789abcdef, 0x55aa55aa55aa55aa, 0xff00ff00ff00ff00, 0x1]);
+    let probe = Descriptor::from_words([
+        0x0123456789abcdef,
+        0x55aa55aa55aa55aa,
+        0xff00ff00ff00ff00,
+        0x1,
+    ]);
     c.bench_function("descriptor/hamming_batch_1024", |b| {
         b.iter(|| {
             let total: u32 = set.iter().map(|d| probe.hamming(black_box(d))).sum();
@@ -91,5 +101,11 @@ fn bench_hamming_batch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_steering, bench_rotator_alone, bench_hamming, bench_hamming_batch);
+criterion_group!(
+    benches,
+    bench_steering,
+    bench_rotator_alone,
+    bench_hamming,
+    bench_hamming_batch
+);
 criterion_main!(benches);

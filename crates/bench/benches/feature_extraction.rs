@@ -11,7 +11,11 @@ use std::hint::black_box;
 
 fn test_image(w: u32, h: u32) -> GrayImage {
     GrayImage::from_fn(w, h, |x, y| {
-        let base = if ((x / 12) + (y / 12)) % 2 == 0 { 50 } else { 190 };
+        let base = if ((x / 12) + (y / 12)) % 2 == 0 {
+            50
+        } else {
+            190
+        };
         base + ((x * 31 + y * 17) % 23) as u8
     })
 }
@@ -21,9 +25,11 @@ fn bench_extraction_sizes(c: &mut Criterion) {
     for (w, h) in [(160u32, 120u32), (320, 240), (640, 480)] {
         let img = test_image(w, h);
         let extractor = OrbExtractor::new(OrbConfig::default());
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{w}x{h}")), &img, |b, img| {
-            b.iter(|| black_box(extractor.extract(img)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &img,
+            |b, img| b.iter(|| black_box(extractor.extract(img))),
+        );
     }
     group.finish();
 }
@@ -34,7 +40,10 @@ fn bench_extraction_pyramid_depth(c: &mut Criterion) {
     let img = test_image(320, 240);
     for levels in [1usize, 2, 4] {
         let cfg = OrbConfig {
-            pyramid: PyramidConfig { levels, scale_factor: 1.2 },
+            pyramid: PyramidConfig {
+                levels,
+                scale_factor: 1.2,
+            },
             ..Default::default()
         };
         let extractor = OrbExtractor::new(cfg);
@@ -45,5 +54,9 @@ fn bench_extraction_pyramid_depth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extraction_sizes, bench_extraction_pyramid_depth);
+criterion_group!(
+    benches,
+    bench_extraction_sizes,
+    bench_extraction_pyramid_depth
+);
 criterion_main!(benches);

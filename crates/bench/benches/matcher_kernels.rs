@@ -1,0 +1,78 @@
+//! Criterion bench: one matcher workload per dispatch rung of the
+//! Hamming kernel ladder (scalar → popcnt → avx2 → avx512), pinned via
+//! [`match_brute_force_with_kernel`] so the comparison is independent of
+//! `ESLAM_MATCH_KERNEL` and of runtime auto-detection. Single-threaded
+//! by construction: this measures the kernels, not the pool.
+//!
+//! Rungs the host CPU cannot run print a `<name>: skipped` line (on
+//! stdout, where the bench-regression tool can see it) instead of a
+//! timing, so the CI gate knows a missing entry is "unsupported here",
+//! not "silently dropped". The bench-smoke job tracks these timings in
+//! its regression baseline (see `crates/bench/src/regress.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslam_features::matcher::{match_brute_force_with_kernel, MatchKernel};
+use eslam_features::Descriptor;
+use std::hint::black_box;
+
+fn descriptors(n: usize, salt: u64) -> Vec<Descriptor> {
+    (0..n)
+        .map(|i| {
+            let s = (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) ^ salt;
+            Descriptor::from_words([
+                s,
+                s.rotate_left(17),
+                s.rotate_left(31) ^ 0xabcdef,
+                s.rotate_left(47),
+            ])
+        })
+        .collect()
+}
+
+/// Runs one `group_name/<rung>` bench per supported dispatch rung,
+/// printing a stdout skip marker (which `eslam_bench::regress` parses)
+/// for rungs the host CPU cannot execute.
+fn bench_kernel_group(c: &mut Criterion, group_name: &str, nq: usize, nt: usize, salt: u64) {
+    let query = descriptors(nq, salt);
+    let train = descriptors(nt, salt + 1);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for kernel in MatchKernel::ALL {
+        if !kernel.is_supported() {
+            println!(
+                "{group_name}/{}: skipped (kernel unsupported on this CPU)",
+                kernel.name()
+            );
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &kernel| {
+                b.iter(|| {
+                    black_box(match_brute_force_with_kernel(
+                        kernel,
+                        &query,
+                        &train,
+                        u32::MAX,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // The paper's design point: 1024 features against a 2304-point map.
+    bench_kernel_group(c, "matcher_kernel", 1024, 2304, 1);
+}
+
+fn bench_kernels_small_map(c: &mut Criterion) {
+    // Small-map regime (bootstrap frames): reduction overhead per pair
+    // weighs more here, so track it separately.
+    bench_kernel_group(c, "matcher_kernel_small", 512, 576, 3);
+}
+
+criterion_group!(benches, bench_kernels, bench_kernels_small_map);
+criterion_main!(benches);

@@ -51,5 +51,10 @@ fn bench_rendering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slam_frame, bench_schedule_eval, bench_rendering);
+criterion_group!(
+    benches,
+    bench_slam_frame,
+    bench_schedule_eval,
+    bench_rendering
+);
 criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: per-call cost of the two parallel-section dispatch
+//! mechanisms — `std::thread::scope` (spawn + join per call, the old
+//! hot-loop behaviour) versus [`WorkerPool::scope_run`] (persistent
+//! workers, the new behaviour). The work inside each task is trivial,
+//! so the measured time is almost pure dispatch overhead: exactly the
+//! recurring cost the pool removes from every steady-state frame
+//! (extraction levels + matcher rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslam_features::pool::WorkerPool;
+use std::hint::black_box;
+
+const TASKS: usize = 4;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::from_parameter("scoped_spawn"), |b| {
+        b.iter(|| {
+            let mut outs = [0u64; TASKS];
+            std::thread::scope(|scope| {
+                for (i, o) in outs.iter_mut().enumerate() {
+                    scope.spawn(move || *o = i as u64 + 1);
+                }
+            });
+            black_box(outs)
+        })
+    });
+
+    // Pool wider than one so dispatch actually crosses threads even on
+    // a single-core host (WorkerPool::new is exact, not clamped).
+    let pool = WorkerPool::new(TASKS);
+    group.bench_function(BenchmarkId::from_parameter("worker_pool"), |b| {
+        b.iter(|| {
+            let mut outs = [0u64; TASKS];
+            {
+                let tasks: Vec<Box<dyn FnOnce() + Send>> = outs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, o)| Box::new(move || *o = i as u64 + 1) as Box<dyn FnOnce() + Send>)
+                    .collect();
+                pool.scope_run(tasks);
+            }
+            black_box(outs)
+        })
+    });
+
+    // The single-thread pool runs batches inline: the lower bound.
+    let inline_pool = WorkerPool::new(1);
+    group.bench_function(BenchmarkId::from_parameter("pool_inline"), |b| {
+        b.iter(|| {
+            let mut outs = [0u64; TASKS];
+            {
+                let tasks: Vec<Box<dyn FnOnce() + Send>> = outs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, o)| Box::new(move || *o = i as u64 + 1) as Box<dyn FnOnce() + Send>)
+                    .collect();
+                inline_pool.scope_run(tasks);
+            }
+            black_box(outs)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

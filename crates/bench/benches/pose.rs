@@ -43,7 +43,9 @@ fn bench_p3p(c: &mut Criterion) {
         truth.transform(w[1]).normalized().unwrap(),
         truth.transform(w[2]).normalized().unwrap(),
     ];
-    c.bench_function("pose/p3p_minimal", |b| b.iter(|| black_box(solve_p3p(&w, &f))));
+    c.bench_function("pose/p3p_minimal", |b| {
+        b.iter(|| black_box(solve_p3p(&w, &f)))
+    });
 }
 
 fn bench_pnp_ransac(c: &mut Criterion) {
@@ -53,7 +55,12 @@ fn bench_pnp_ransac(c: &mut Criterion) {
         let (world, _, camera, pixels) = scene(2, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(solve_pnp_ransac(&world, &pixels, &camera, &PnpParams::default()))
+                black_box(solve_pnp_ransac(
+                    &world,
+                    &pixels,
+                    &camera,
+                    &PnpParams::default(),
+                ))
             })
         });
     }

@@ -15,7 +15,11 @@ use std::hint::black_box;
 
 fn frame() -> GrayImage {
     GrayImage::from_fn(320, 240, |x, y| {
-        let base = if ((x / 10) + (y / 10)) % 2 == 0 { 55 } else { 200 };
+        let base = if ((x / 10) + (y / 10)) % 2 == 0 {
+            55
+        } else {
+            200
+        };
         base + ((x * 13 + y * 29) % 19) as u8
     })
 }
@@ -23,7 +27,10 @@ fn frame() -> GrayImage {
 fn bench_workflows(c: &mut Criterion) {
     let img = frame();
     let mut group = c.benchmark_group("workflow/software");
-    for (name, workflow) in [("original", Workflow::Original), ("rescheduled", Workflow::Rescheduled)] {
+    for (name, workflow) in [
+        ("original", Workflow::Original),
+        ("rescheduled", Workflow::Rescheduled),
+    ] {
         let extractor = OrbExtractor::new(OrbConfig {
             workflow,
             ..Default::default()
@@ -42,7 +49,10 @@ fn bench_workflows(c: &mut Criterion) {
         features.stats.kept as u64,
     );
     let model = ExtractorModel::default();
-    for (name, wf) in [("original", Workflow::Original), ("rescheduled", Workflow::Rescheduled)] {
+    for (name, wf) in [
+        ("original", Workflow::Original),
+        ("rescheduled", Workflow::Rescheduled),
+    ] {
         let t = model.extraction_timing(&workload, wf);
         eprintln!("hw model {name}: {:.3} ms @100MHz", t.total_ms());
     }

@@ -37,7 +37,10 @@ fn main() {
             cov.occupied_cells,
             cov.max_per_cell,
         );
-        assert!(features.stats.kept >= previous_kept, "kept must grow with N");
+        assert!(
+            features.stats.kept >= previous_kept,
+            "kept must grow with N"
+        );
         previous_kept = features.stats.kept;
         assert!(features.stats.kept <= n);
     }

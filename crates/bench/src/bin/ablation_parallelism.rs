@@ -19,7 +19,9 @@ fn main() {
             parallel_units: p,
             ..Default::default()
         };
-        let fm = model.matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS).total_ms();
+        let fm = model
+            .matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS)
+            .total_ms();
         let stages = StageTimesMs {
             fe,
             fm,
@@ -55,8 +57,17 @@ fn main() {
         }
         .matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS)
         .total_ms();
-        let stages = StageTimesMs { fe, fm, pe: arm.pe_ms, po: arm.po_ms, mu: arm.mu_ms };
+        let stages = StageTimesMs {
+            fe,
+            fm,
+            pe: arm.pe_ms,
+            po: arm.po_ms,
+            mu: arm.mu_ms,
+        };
         let ft = frame_timing(&stages, Schedule::EslamPipeline);
-        assert!((ft.normal_ms - (arm.pe_ms + arm.po_ms)).abs() < 1e-9, "P={p} not ARM-bound");
+        assert!(
+            (ft.normal_ms - (arm.pe_ms + arm.po_ms)).abs() < 1e-9,
+            "P={p} not ARM-bound"
+        );
     }
 }

@@ -31,7 +31,10 @@ fn main() {
         Row::text(
             "latency saving",
             "\"significant\"",
-            format!("{:.0}%", (1.0 - resched.total_ms() / orig.total_ms()) * 100.0),
+            format!(
+                "{:.0}%",
+                (1.0 - resched.total_ms() / orig.total_ms()) * 100.0
+            ),
         ),
         Row::text(
             "on-chip buffer (rescheduled)",
@@ -51,7 +54,10 @@ fn main() {
     print_table("Ablation: workflow rescheduling (§3.1)", &rows);
 
     // Measured M vs N on a rendered frame: the price of streaming.
-    let gray = SequenceSpec::paper_sequences(1, 0.5)[2].build().frame(0).gray;
+    let gray = SequenceSpec::paper_sequences(1, 0.5)[2]
+        .build()
+        .frame(0)
+        .gray;
     let f = OrbExtractor::new(OrbConfig::default()).extract(&gray);
     println!(
         "\nmeasured on a rendered {}x{} desk frame: M = {} candidates, N = {} kept",

@@ -1,0 +1,134 @@
+//! CI bench-regression gate.
+//!
+//! Reads the vendored-criterion harness output (a file or stdin),
+//! writes the parsed timings as a JSON artifact, and compares them
+//! against a checked-in baseline, failing (exit 1) when any tracked
+//! bench regressed beyond the tolerance (default +25%, override with
+//! `BENCH_REGRESS_TOLERANCE`, e.g. `0.40`) on **both** its median and
+//! its minimum sample (one-sided spikes are runner noise — see
+//! `eslam_bench::regress`). Baseline entries whose bench printed a
+//! `: skipped` marker (kernel rung unsupported on the runner's CPU)
+//! are ignored rather than failed.
+//!
+//! ```text
+//! bench_regress --input bench_out.txt --out BENCH_ci.json \
+//!     --baseline crates/bench/BENCH_baseline.json
+//! bench_regress --input bench_out.txt --write-baseline crates/bench/BENCH_baseline.json
+//! ```
+//!
+//! `--write-baseline` refreshes the baseline file instead of comparing —
+//! run it (with the same quick-mode env knobs CI uses) after an
+//! intentional performance change or a runner-hardware change.
+
+use eslam_bench::regress::{
+    compare, has_failures, parse_harness_output, parse_json, to_json, Verdict,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_regress --input <harness-output|-> [--out <artifact.json>] \
+         (--baseline <baseline.json> | --write-baseline <baseline.json>)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--input" => input = it.next().cloned(),
+            "--out" => out = it.next().cloned(),
+            "--baseline" => baseline = it.next().cloned(),
+            "--write-baseline" => write_baseline = it.next().cloned(),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let text = if input == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&input).unwrap_or_else(|e| panic!("read {input}: {e}"))
+    };
+
+    let run = parse_harness_output(&text);
+    if run.records.is_empty() {
+        eprintln!("bench_regress: no benchmark lines found in {input}");
+        std::process::exit(1);
+    }
+    println!(
+        "parsed {} benchmark timings ({} skipped) from {input}",
+        run.records.len(),
+        run.skipped.len()
+    );
+
+    let note = format!(
+        "[min_ns, median_ns]; quick mode BENCH_SAMPLE_MS={} BENCH_WARMUP_MS={}",
+        std::env::var("BENCH_SAMPLE_MS").unwrap_or_else(|_| "default".into()),
+        std::env::var("BENCH_WARMUP_MS").unwrap_or_else(|_| "default".into()),
+    );
+    let json = to_json(&run.records, &note);
+    if let Some(out) = &out {
+        std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        println!("wrote artifact {out}");
+    }
+
+    if let Some(path) = &write_baseline {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("refreshed baseline {path}");
+        return;
+    }
+
+    let Some(baseline_path) = baseline else {
+        usage()
+    };
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline_records =
+        parse_json(&baseline_text).unwrap_or_else(|| panic!("malformed baseline {baseline_path}"));
+
+    let tolerance: f64 = std::env::var("BENCH_REGRESS_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let verdicts = compare(&baseline_records, &run, tolerance);
+    for (name, verdict) in &verdicts {
+        match verdict {
+            Verdict::Ok(min_r, med_r) => println!(
+                "  ok        {name}  (min {:+.1}%, median {:+.1}%)",
+                (min_r - 1.0) * 100.0,
+                (med_r - 1.0) * 100.0
+            ),
+            Verdict::Regressed(min_r, med_r) => println!(
+                "  REGRESSED {name}  (min {:+.1}%, median {:+.1}%)",
+                (min_r - 1.0) * 100.0,
+                (med_r - 1.0) * 100.0
+            ),
+            Verdict::Skipped => println!("  skipped   {name}  (kernel unsupported on this runner)"),
+            Verdict::Missing => println!("  MISSING   {name}"),
+            Verdict::New => println!("  new       {name}  (no baseline)"),
+        }
+    }
+    if has_failures(&verdicts) {
+        eprintln!(
+            "bench_regress: regression beyond +{:.0}% (or missing bench) vs {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "all tracked benches within +{:.0}% of baseline",
+        tolerance * 100.0
+    );
+}

@@ -7,8 +7,14 @@ use eslam_hw::system::{eslam_stage_times, platform_reports, PriorExtractorModel}
 use eslam_image::pyramid::PyramidConfig;
 
 fn main() {
-    let four = PyramidConfig { levels: 4, scale_factor: 1.2 };
-    let two = PyramidConfig { levels: 2, scale_factor: 1.2 };
+    let four = PyramidConfig {
+        levels: 4,
+        scale_factor: 1.2,
+    };
+    let two = PyramidConfig {
+        levels: 2,
+        scale_factor: 1.2,
+    };
     let px4 = four.total_pixels(640, 480) as f64;
     let px2 = two.total_pixels(640, 480) as f64;
 
@@ -20,8 +26,17 @@ fn main() {
         Row::numeric("pixels, 4-level pyramid", 771_112.0, px4, "px"),
         Row::numeric("pixel ratio vs [4] (2 levels)", 1.48, px4 / px2, "x"),
         Row::numeric("FE latency, eSLAM", 9.1, ours, "ms"),
-        Row::text("FE latency, [4] (model)", "~14.9 ms (implied)", format!("{prior_ms:.2} ms")),
-        Row::numeric("latency reduction vs [4]", 39.0, (1.0 - ours / prior_ms) * 100.0, "%"),
+        Row::text(
+            "FE latency, [4] (model)",
+            "~14.9 ms (implied)",
+            format!("{prior_ms:.2} ms"),
+        ),
+        Row::numeric(
+            "latency reduction vs [4]",
+            39.0,
+            (1.0 - ours / prior_ms) * 100.0,
+            "%",
+        ),
     ];
     print_table("§4.4: comparison with the FPGA ORB extractor [4]", &rows);
     println!("\n[4] model: 2-level pyramid, no ping-pong cache (2.7 cycles/px effective),");
@@ -34,6 +49,8 @@ fn main() {
         eslam.frames.normal_fps, eslam.frames.keyframe_fps
     );
     println!("  gap is algorithmic: Navion's optical flow skips descriptors + matching,");
-    println!("  but fails under illumination change / large motion (the paper's robustness argument).");
+    println!(
+        "  but fails under illumination change / large motion (the paper's robustness argument)."
+    );
     assert!(eslam.frames.normal_fps < 171.0);
 }

@@ -2,7 +2,9 @@
 //! visualization, as PPM plots plus a quantitative symmetry check.
 
 use eslam_bench::out_dir;
-use eslam_features::pattern::{BriefPattern, PATCH_RADIUS, RS_SEED_PAIRS, RS_STEPS, RS_STEP_RADIANS};
+use eslam_features::pattern::{
+    BriefPattern, PATCH_RADIUS, RS_SEED_PAIRS, RS_STEPS, RS_STEP_RADIANS,
+};
 use eslam_image::draw::{draw_circle, draw_line};
 use eslam_image::RgbImage;
 
@@ -12,7 +14,13 @@ fn render(pattern: &BriefPattern, path: &std::path::Path) {
     let scale = (size as f64 / 2.0 - 10.0) / PATCH_RADIUS;
     let centre = size as i64 / 2;
     let to_px = |v: f64| (v * scale) as i64 + centre;
-    draw_circle(&mut img, centre, centre, (PATCH_RADIUS * scale) as i64, [0, 0, 0]);
+    draw_circle(
+        &mut img,
+        centre,
+        centre,
+        (PATCH_RADIUS * scale) as i64,
+        [0, 0, 0],
+    );
     for pair in pattern.pairs() {
         draw_line(
             &mut img,
@@ -32,7 +40,10 @@ fn main() {
     let orig = BriefPattern::original(42);
     render(&rs, &dir.join("fig2_rs_brief.ppm"));
     render(&orig, &dir.join("fig2_brief.ppm"));
-    println!("wrote fig2_rs_brief.ppm / fig2_brief.ppm to {}", dir.display());
+    println!(
+        "wrote fig2_rs_brief.ppm / fig2_brief.ppm to {}",
+        dir.display()
+    );
 
     // Quantitative: RS-BRIEF is exactly 32-fold rotationally symmetric;
     // the original pattern is not.
@@ -51,7 +62,10 @@ fn main() {
         worst
     };
     println!("\n32-fold symmetry residual (max location error after one 11.25 deg step):");
-    println!("  RS-BRIEF : {:.2e} px (exact up to float rounding)", sym_err(&rs));
+    println!(
+        "  RS-BRIEF : {:.2e} px (exact up to float rounding)",
+        sym_err(&rs)
+    );
     println!("  original : {:.2} px (no symmetry)", sym_err(&orig));
     println!(
         "\npattern stats: {} pairs = {} seed pairs x {} rotations · max radius {:.2} px (paper: 15 px patch)",

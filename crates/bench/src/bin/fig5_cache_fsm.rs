@@ -4,7 +4,9 @@
 use eslam_hw::cache::{CacheSizing, ImageCacheFsm, COLUMNS_PER_LINE};
 
 fn main() {
-    println!("Image Cache FSM schedule (Fig. 5) — 640-column image, {COLUMNS_PER_LINE}-column blocks\n");
+    println!(
+        "Image Cache FSM schedule (Fig. 5) — 640-column image, {COLUMNS_PER_LINE}-column blocks\n"
+    );
     println!("state | line A    | line B    | line C    | sending");
     println!("------+-----------+-----------+-----------+---------");
     let mut fsm = ImageCacheFsm::new();
@@ -31,7 +33,10 @@ fn main() {
     }
 
     let schedule = ImageCacheFsm::schedule(640);
-    println!("\nfull VGA row: {} FSM states cover 80 blocks (2 pre-stored)", schedule.len());
+    println!(
+        "\nfull VGA row: {} FSM states cover 80 blocks (2 pre-stored)",
+        schedule.len()
+    );
     assert_eq!(schedule.len(), 78);
     // Invariants of the figure.
     for s in &schedule {

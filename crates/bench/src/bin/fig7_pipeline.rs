@@ -27,7 +27,12 @@ fn gantt(keyframe: bool) {
             // Put the stage label at the start of its bar.
             labels.push_str(&format!("{}@{:.1}ms ", e.stage, e.start_ms));
         }
-        println!("  {:>4} |{}| {}", lane, String::from_utf8_lossy(&line), labels);
+        println!(
+            "  {:>4} |{}| {}",
+            lane,
+            String::from_utf8_lossy(&line),
+            labels
+        );
     }
 }
 

@@ -77,7 +77,9 @@ fn main() {
         format!("{:.2} cm", orig_sum / n),
     ));
     print_table("Fig. 8: average trajectory error (ATE rmse)", &rows);
-    println!("* per-sequence paper values read off the bar chart; sequences are synthetic stand-ins,");
+    println!(
+        "* per-sequence paper values read off the bar chart; sequences are synthetic stand-ins,"
+    );
     println!("  so only the *comparability* of RS-BRIEF vs original ORB is expected to reproduce.");
 
     let ratio = (rs_sum / n) / (orig_sum / n).max(1e-9);

@@ -71,7 +71,10 @@ fn main() {
 
     let ate_rs = absolute_trajectory_error(&est_rs, &truth).expect("ate");
     let ate_orig = absolute_trajectory_error(&est_orig, &truth).expect("ate");
-    println!("wrote fig9_trajectory.ppm / fig9_trajectory.csv to {}", dir.display());
+    println!(
+        "wrote fig9_trajectory.ppm / fig9_trajectory.csv to {}",
+        dir.display()
+    );
     println!(
         "ATE rmse: RS-BRIEF {:.2} cm · original ORB {:.2} cm (paper shows both hugging ground truth)",
         ate_rs.stats.rmse * 100.0,

@@ -19,18 +19,27 @@ fn main() {
     let result = run_sequence(&seq, SlamConfig::scaled_for_tests(1.0 / scale));
 
     let s = &result.stats;
-    println!("tracking   : {}/{} frames ok ({} keyframes, {} relocalizations)",
-        s.tracked, s.frames, s.keyframes, s.relocalizations);
-    println!("workload   : mean M = {:.0} candidates, mean N = {:.0} kept, map {} (peak {})",
-        s.mean_candidates, s.mean_kept, s.final_map_size, s.peak_map_size);
-    println!("matching   : mean {:.0} raw matches -> {:.0} inliers",
-        s.mean_matches, s.mean_inliers);
+    println!(
+        "tracking   : {}/{} frames ok ({} keyframes, {} relocalizations)",
+        s.tracked, s.frames, s.keyframes, s.relocalizations
+    );
+    println!(
+        "workload   : mean M = {:.0} candidates, mean N = {:.0} kept, map {} (peak {})",
+        s.mean_candidates, s.mean_kept, s.final_map_size, s.peak_map_size
+    );
+    println!(
+        "matching   : mean {:.0} raw matches -> {:.0} inliers",
+        s.mean_matches, s.mean_inliers
+    );
     if let Some(ate) = result.ate_rmse_cm() {
         println!("accuracy   : ATE rmse {ate:.2} cm");
     }
 
     println!("\nplatform projection over this sequence (per-frame workloads through the models):");
-    println!("{:<10} {:>11} {:>12} {:>8} {:>12}", "platform", "total", "mean/frame", "fps", "energy");
+    println!(
+        "{:<10} {:>11} {:>12} {:>8} {:>12}",
+        "platform", "total", "mean/frame", "fps", "energy"
+    );
     for p in result.platform_timing() {
         println!(
             "{:<10} {:>9.1}ms {:>10.1}ms {:>8.2} {:>10.1}mJ",

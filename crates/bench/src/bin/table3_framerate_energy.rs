@@ -10,16 +10,36 @@ fn main() {
     let rows = vec![
         Row::numeric("Runtime N-frame (ARM)", 555.7, arm.frames.normal_ms, "ms"),
         Row::numeric("Runtime N-frame (i7)", 53.6, i7.frames.normal_ms, "ms"),
-        Row::numeric("Runtime N-frame (eSLAM)", 17.9, eslam.frames.normal_ms, "ms"),
+        Row::numeric(
+            "Runtime N-frame (eSLAM)",
+            17.9,
+            eslam.frames.normal_ms,
+            "ms",
+        ),
         Row::numeric("Runtime K-frame (ARM)", 565.6, arm.frames.keyframe_ms, "ms"),
         Row::numeric("Runtime K-frame (i7)", 54.8, i7.frames.keyframe_ms, "ms"),
-        Row::numeric("Runtime K-frame (eSLAM)", 31.8, eslam.frames.keyframe_ms, "ms"),
+        Row::numeric(
+            "Runtime K-frame (eSLAM)",
+            31.8,
+            eslam.frames.keyframe_ms,
+            "ms",
+        ),
         Row::numeric("Rate N-frame (ARM)", 1.8, arm.frames.normal_fps, "fps"),
         Row::numeric("Rate N-frame (i7)", 18.66, i7.frames.normal_fps, "fps"),
-        Row::numeric("Rate N-frame (eSLAM)", 55.87, eslam.frames.normal_fps, "fps"),
+        Row::numeric(
+            "Rate N-frame (eSLAM)",
+            55.87,
+            eslam.frames.normal_fps,
+            "fps",
+        ),
         Row::numeric("Rate K-frame (ARM)", 1.77, arm.frames.keyframe_fps, "fps"),
         Row::numeric("Rate K-frame (i7)", 18.25, i7.frames.keyframe_fps, "fps"),
-        Row::numeric("Rate K-frame (eSLAM)", 31.45, eslam.frames.keyframe_fps, "fps"),
+        Row::numeric(
+            "Rate K-frame (eSLAM)",
+            31.45,
+            eslam.frames.keyframe_fps,
+            "fps",
+        ),
         Row::numeric("Power (ARM)", 1.574, arm.power_w, "W"),
         Row::numeric("Power (i7)", 47.0, i7.power_w, "W"),
         Row::numeric("Power (eSLAM)", 1.936, eslam.power_w, "W"),
@@ -28,7 +48,12 @@ fn main() {
         Row::numeric("Energy N-frame (eSLAM)", 35.0, eslam.energy_normal_mj, "mJ"),
         Row::numeric("Energy K-frame (ARM)", 890.0, arm.energy_keyframe_mj, "mJ"),
         Row::numeric("Energy K-frame (i7)", 2575.0, i7.energy_keyframe_mj, "mJ"),
-        Row::numeric("Energy K-frame (eSLAM)", 62.0, eslam.energy_keyframe_mj, "mJ"),
+        Row::numeric(
+            "Energy K-frame (eSLAM)",
+            62.0,
+            eslam.energy_keyframe_mj,
+            "mJ",
+        ),
     ];
     print_table("Table 3: frame rate and energy efficiency", &rows);
     assert!(max_abs_deviation(&rows) < 3.0, "platform model drifted >3%");

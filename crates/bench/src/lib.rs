@@ -5,6 +5,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod regress;
+
 use std::fmt::Display;
 use std::path::PathBuf;
 
@@ -58,14 +60,20 @@ impl Row {
 /// Prints a titled paper-vs-measured table.
 pub fn print_table(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
-    println!("{:<34} {:>16} {:>16} {:>9}", "quantity", "paper", "measured", "dev");
+    println!(
+        "{:<34} {:>16} {:>16} {:>9}",
+        "quantity", "paper", "measured", "dev"
+    );
     println!("{}", "-".repeat(78));
     for row in rows {
         let dev = row
             .deviation
             .map(|d| format!("{d:+.1}%"))
             .unwrap_or_else(|| "-".to_string());
-        println!("{:<34} {:>16} {:>16} {:>9}", row.label, row.paper, row.measured, dev);
+        println!(
+            "{:<34} {:>16} {:>16} {:>9}",
+            row.label, row.paper, row.measured, dev
+        );
     }
 }
 

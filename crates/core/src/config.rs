@@ -49,6 +49,13 @@ pub struct SlamConfig {
     /// the prior pose is extrapolated from the last inter-frame motion
     /// instead of held constant.
     pub motion_model: bool,
+    /// Worker threads for the front-end pool (parallel extraction levels
+    /// and matcher rows). `None` sizes the pool to the host's available
+    /// parallelism. An explicit `Some(n)` is **clamped** to available
+    /// parallelism rather than honoured blindly, and `Some(0)` is
+    /// rejected with a panic at [`crate::Slam::new`] — see
+    /// `eslam_features::pool::resolve_thread_count` for the exact rules.
+    pub worker_threads: Option<usize>,
 }
 
 impl SlamConfig {
@@ -67,6 +74,7 @@ impl SlamConfig {
             min_inliers: 10,
             backend: Backend::Accelerator,
             motion_model: true,
+            worker_threads: None,
         }
     }
 

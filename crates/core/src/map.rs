@@ -93,8 +93,12 @@ impl Map {
             .retain(|p| current_frame.saturating_sub(p.last_matched_frame) <= max_age);
         if self.points.len() > max_points {
             // Evict least-recently-matched first (ties: fewer observations).
-            self.points
-                .sort_by_key(|p| (std::cmp::Reverse(p.last_matched_frame), std::cmp::Reverse(p.observations)));
+            self.points.sort_by_key(|p| {
+                (
+                    std::cmp::Reverse(p.last_matched_frame),
+                    std::cmp::Reverse(p.observations),
+                )
+            });
             self.points.truncate(max_points);
         }
         before - self.points.len()

@@ -73,7 +73,11 @@ fn summarize(
     for r in reports {
         let stages = stages_of(r);
         let ft = frame_timing(&stages, schedule);
-        let t = if r.is_keyframe { ft.keyframe_ms } else { ft.normal_ms };
+        let t = if r.is_keyframe {
+            ft.keyframe_ms
+        } else {
+            ft.normal_ms
+        };
         total += t;
         if r.is_keyframe {
             key_sum += t;
@@ -89,8 +93,16 @@ fn summarize(
         total_ms: total,
         mean_frame_ms: total / frames,
         fps: 1000.0 * frames / total.max(1e-9),
-        mean_normal_ms: if normal_n > 0 { normal_sum / normal_n as f64 } else { 0.0 },
-        mean_keyframe_ms: if key_n > 0 { key_sum / key_n as f64 } else { 0.0 },
+        mean_normal_ms: if normal_n > 0 {
+            normal_sum / normal_n as f64
+        } else {
+            0.0
+        },
+        mean_keyframe_ms: if key_n > 0 {
+            key_sum / key_n as f64
+        } else {
+            0.0
+        },
         energy_mj: total * power_w,
     }
 }
@@ -156,7 +168,10 @@ mod tests {
                 descriptors_computed: 2500,
                 pixels_processed: 771_112,
             },
-            hw_timing: Some(FrameHwTiming { fe_ms: 9.1, fm_ms: 4.0 }),
+            hw_timing: Some(FrameHwTiming {
+                fe_ms: 9.1,
+                fm_ms: 4.0,
+            }),
         }
     }
 
@@ -166,10 +181,26 @@ mod tests {
         let reports: Vec<FrameReport> = (0..10).map(|i| fake_report(i, i == 0)).collect();
         let [arm, i7, eslam] = sequence_timing(&reports);
         // Mean normal-frame times approximate Table 3.
-        assert!((eslam.mean_normal_ms - 17.9).abs() < 0.2, "{}", eslam.mean_normal_ms);
-        assert!((eslam.mean_keyframe_ms - 31.8).abs() < 0.3, "{}", eslam.mean_keyframe_ms);
-        assert!((arm.mean_normal_ms - 555.7).abs() < 6.0, "{}", arm.mean_normal_ms);
-        assert!((i7.mean_normal_ms - 53.6).abs() < 0.8, "{}", i7.mean_normal_ms);
+        assert!(
+            (eslam.mean_normal_ms - 17.9).abs() < 0.2,
+            "{}",
+            eslam.mean_normal_ms
+        );
+        assert!(
+            (eslam.mean_keyframe_ms - 31.8).abs() < 0.3,
+            "{}",
+            eslam.mean_keyframe_ms
+        );
+        assert!(
+            (arm.mean_normal_ms - 555.7).abs() < 6.0,
+            "{}",
+            arm.mean_normal_ms
+        );
+        assert!(
+            (i7.mean_normal_ms - 53.6).abs() < 0.8,
+            "{}",
+            i7.mean_normal_ms
+        );
         // Ordering: eSLAM fastest, ARM slowest; i7 most energy.
         assert!(eslam.total_ms < i7.total_ms);
         assert!(i7.total_ms < arm.total_ms);

@@ -2,10 +2,10 @@
 //! sequence and collect everything the experiments need (reports,
 //! trajectories, ATE, statistics, platform timing).
 
+use crate::config::SlamConfig;
 use crate::pipeline::{sequence_timing, PlatformSequenceTiming};
 use crate::stats::SequenceStats;
 use crate::system::{FrameReport, Slam};
-use crate::config::SlamConfig;
 use eslam_dataset::eval::{absolute_trajectory_error, AteResult};
 use eslam_dataset::sequence::SyntheticSequence;
 use eslam_dataset::Trajectory;

@@ -81,10 +81,16 @@ pub struct Slam {
 
 impl Slam {
     /// Creates a system with the given configuration.
+    ///
+    /// Builds the persistent front-end worker pool here, sized by
+    /// `config.worker_threads` (clamped to available parallelism;
+    /// `Some(0)` panics — see `SlamConfig::worker_threads`). Extraction
+    /// levels and matcher rows reuse this pool on every frame instead of
+    /// spawning scoped threads per call.
     pub fn new(config: SlamConfig) -> Self {
         Slam {
             extractor: OrbExtractor::new(config.orb),
-            extractor_scratch: OrbScratch::default(),
+            extractor_scratch: OrbScratch::with_threads(config.worker_threads),
             extractor_model: ExtractorModel::default(),
             matcher_model: MatcherModel::default(),
             config,
@@ -118,6 +124,12 @@ impl Slam {
         self.keyframes
     }
 
+    /// Total parallelism of the persistent front-end worker pool (the
+    /// clamped resolution of `SlamConfig::worker_threads`).
+    pub fn worker_threads(&self) -> usize {
+        self.extractor_scratch.pool().threads()
+    }
+
     /// The relaxed configuration used by the relocalization fallback:
     /// a wider Hamming gate, a looser reprojection threshold and a lower
     /// inlier bar.
@@ -132,7 +144,9 @@ impl Slam {
 
     /// Processes one RGB-D frame through the five-stage pipeline.
     pub fn process(&mut self, timestamp: f64, gray: &GrayImage, depth: &DepthImage) -> FrameReport {
-        let features = self.extractor.extract_with(gray, &mut self.extractor_scratch);
+        let features = self
+            .extractor
+            .extract_with(gray, &mut self.extractor_scratch);
         let extraction = features.stats;
         let frame = self.frame_index;
 
@@ -149,13 +163,14 @@ impl Slam {
                 } else {
                     self.pose_w2c
                 };
-                let mut outcome = track_frame(&features, &self.map, &prior, &self.config);
+                let pool = self.extractor_scratch.pool();
+                let mut outcome = track_frame(&features, &self.map, &prior, &self.config, pool);
                 if !outcome.ok {
                     // Relocalization fallback: retry with relaxed
                     // matching/geometry gates before declaring the frame
                     // lost.
                     let recovery = self.recovery_config();
-                    let retry = track_frame(&features, &self.map, &prior, &recovery);
+                    let retry = track_frame(&features, &self.map, &prior, &recovery, pool);
                     if retry.ok {
                         outcome = retry;
                         relocalized = true;
@@ -237,7 +252,10 @@ impl Slam {
                     .matcher_model
                     .matching_timing(extraction.kept as u64, map_size_before as u64)
                     .total_ms();
-                Some(FrameHwTiming { fe_ms: fe, fm_ms: fm })
+                Some(FrameHwTiming {
+                    fe_ms: fe,
+                    fm_ms: fm,
+                })
             }
         };
 
@@ -372,6 +390,26 @@ mod tests {
             let r = slam.process(f.timestamp, &f.gray, &f.depth);
             assert!(!r.relocalized, "frame {} should not need recovery", r.index);
         }
+    }
+
+    #[test]
+    fn worker_thread_override_is_clamped() {
+        let mut cfg = SlamConfig::scaled_for_tests(4.0);
+        cfg.worker_threads = Some(10_000);
+        let slam = Slam::new(cfg);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(slam.worker_threads(), cores);
+
+        cfg.worker_threads = Some(1);
+        assert_eq!(Slam::new(cfg).worker_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_worker_threads_rejected() {
+        let mut cfg = SlamConfig::scaled_for_tests(4.0);
+        cfg.worker_threads = Some(0);
+        let _ = Slam::new(cfg);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use crate::config::SlamConfig;
 use crate::map::Map;
-use eslam_features::matcher::match_brute_force;
+use eslam_features::matcher::match_brute_force_in;
 use eslam_features::orb::OrbFeatures;
+use eslam_features::pool::WorkerPool;
 use eslam_geometry::lm::optimize_pose;
 use eslam_geometry::pnp::solve_pnp_ransac;
 use eslam_geometry::{Se3, Vec2, Vec3};
@@ -32,15 +33,20 @@ pub struct TrackingOutcome {
 /// the pose with P3P-RANSAC and polishes it with Levenberg-Marquardt.
 ///
 /// `prior_w2c` (e.g. the previous frame's pose) is the fallback and the
-/// LM seed when RANSAC fails or matches are scarce.
+/// LM seed when RANSAC fails or matches are scarce. The descriptor
+/// matching stage runs its parallel rows on `pool` (the SLAM system
+/// passes its persistent front-end pool; standalone callers can pass
+/// [`WorkerPool::global`]).
 pub fn track_frame(
     features: &OrbFeatures,
     map: &Map,
     prior_w2c: &Se3,
     config: &SlamConfig,
+    pool: &WorkerPool,
 ) -> TrackingOutcome {
     let map_descriptors = map.descriptors();
-    let matches = match_brute_force(
+    let matches = match_brute_force_in(
+        pool,
         &features.descriptors,
         &map_descriptors,
         config.matcher_max_distance,
@@ -73,14 +79,17 @@ pub fn track_frame(
     let (opt_world, opt_pixels): (Vec<Vec3>, Vec<Vec2>) = if inlier_set.is_empty() {
         (world.clone(), pixels.clone())
     } else {
-        inlier_set
-            .iter()
-            .map(|&i| (world[i], pixels[i]))
-            .unzip()
+        inlier_set.iter().map(|&i| (world[i], pixels[i])).unzip()
     };
     let mut final_cost = 0.0;
     if opt_world.len() >= 3 {
-        let lm = optimize_pose(&pose_w2c, &opt_world, &opt_pixels, &config.camera, &config.lm);
+        let lm = optimize_pose(
+            &pose_w2c,
+            &opt_world,
+            &opt_pixels,
+            &config.camera,
+            &config.lm,
+        );
         pose_w2c = lm.pose;
         final_cost = lm.final_cost;
     }
@@ -181,7 +190,13 @@ mod tests {
         let cfg = SlamConfig::tum_default();
         let truth_c2w = Se3::from_translation(Vec3::new(0.1, -0.05, 0.2));
         let (map, features) = synthetic_scene(3, 60, truth_c2w, &cfg);
-        let outcome = track_frame(&features, &map, &Se3::identity(), &cfg);
+        let outcome = track_frame(
+            &features,
+            &map,
+            &Se3::identity(),
+            &cfg,
+            WorkerPool::global(),
+        );
         assert!(outcome.ok);
         assert_eq!(outcome.raw_matches, 60);
         assert!(outcome.inliers >= 55);
@@ -203,7 +218,13 @@ mod tests {
             kp.x = (kp.x + 200.0) % 600.0;
             kp.y = (kp.y + 150.0) % 440.0;
         }
-        let outcome = track_frame(&features, &map, &Se3::identity(), &cfg);
+        let outcome = track_frame(
+            &features,
+            &map,
+            &Se3::identity(),
+            &cfg,
+            WorkerPool::global(),
+        );
         assert!(outcome.ok);
         let est_c2w = outcome.pose_w2c.inverse();
         assert!((est_c2w.translation - truth_c2w.translation).norm() < 1e-3);
@@ -215,7 +236,13 @@ mod tests {
     fn empty_map_fails_gracefully() {
         let cfg = SlamConfig::tum_default();
         let (_, features) = synthetic_scene(7, 20, Se3::identity(), &cfg);
-        let outcome = track_frame(&features, &Map::new(), &Se3::identity(), &cfg);
+        let outcome = track_frame(
+            &features,
+            &Map::new(),
+            &Se3::identity(),
+            &cfg,
+            WorkerPool::global(),
+        );
         assert!(!outcome.ok);
         assert_eq!(outcome.raw_matches, 0);
         assert_eq!(outcome.pose_w2c, Se3::identity());
@@ -227,7 +254,7 @@ mod tests {
         let truth = Se3::from_translation(Vec3::new(0.3, 0.0, 0.0));
         let (map, features) = synthetic_scene(11, 3, truth, &cfg);
         let prior = Se3::from_translation(Vec3::new(9.0, 9.0, 9.0));
-        let outcome = track_frame(&features, &map, &prior, &cfg);
+        let outcome = track_frame(&features, &map, &prior, &cfg, WorkerPool::global());
         assert!(!outcome.ok, "3 matches cannot satisfy min_inliers");
     }
 }

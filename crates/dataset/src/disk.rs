@@ -98,7 +98,10 @@ fn load_depth_pgm(path: &Path) -> Result<DepthImage, DiskDatasetError> {
         }
     }
     if tokens[0] != "P5" {
-        return Err(DiskDatasetError::Format(format!("expected P5, got {:?}", tokens[0])));
+        return Err(DiskDatasetError::Format(format!(
+            "expected P5, got {:?}",
+            tokens[0]
+        )));
     }
     let width: u32 = tokens[1]
         .parse()
@@ -107,7 +110,9 @@ fn load_depth_pgm(path: &Path) -> Result<DepthImage, DiskDatasetError> {
         .parse()
         .map_err(|_| DiskDatasetError::Format("bad height".into()))?;
     if tokens[3] != "65535" {
-        return Err(DiskDatasetError::Format("depth PGM must have maxval 65535".into()));
+        return Err(DiskDatasetError::Format(
+            "depth PGM must have maxval 65535".into(),
+        ));
     }
     let mut payload = vec![0u8; width as usize * height as usize * 2];
     reader.read_exact(&mut payload)?;
@@ -213,9 +218,10 @@ impl DiskSequence {
             ));
         }
         let ground_truth = match File::open(root.join("groundtruth.txt")) {
-            Ok(f) => Some(Trajectory::read_tum(BufReader::new(f)).map_err(|e| {
-                DiskDatasetError::Format(format!("groundtruth.txt: {e}"))
-            })?),
+            Ok(f) => Some(
+                Trajectory::read_tum(BufReader::new(f))
+                    .map_err(|e| DiskDatasetError::Format(format!("groundtruth.txt: {e}")))?,
+            ),
             Err(_) => None,
         };
         Ok(DiskSequence {
@@ -243,9 +249,10 @@ impl DiskSequence {
             )));
         }
         let ground_truth = match File::open(root.join("groundtruth.txt")) {
-            Ok(f) => Some(Trajectory::read_tum(BufReader::new(f)).map_err(|e| {
-                DiskDatasetError::Format(format!("groundtruth.txt: {e}"))
-            })?),
+            Ok(f) => Some(
+                Trajectory::read_tum(BufReader::new(f))
+                    .map_err(|e| DiskDatasetError::Format(format!("groundtruth.txt: {e}")))?,
+            ),
             Err(_) => None,
         };
         Ok(DiskSequence {

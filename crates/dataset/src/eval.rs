@@ -73,7 +73,11 @@ pub fn associate(estimate: &Trajectory, truth: &Trajectory, max_dt: f64) -> Vec<
             .binary_search_by(|tp| tp.timestamp.partial_cmp(&ep.timestamp).unwrap())
             .unwrap_or_else(|i| i);
         let mut best: Option<(usize, f64)> = None;
-        for cand in [idx.saturating_sub(1), idx, (idx + 1).min(truth_poses.len() - 1)] {
+        for cand in [
+            idx.saturating_sub(1),
+            idx,
+            (idx + 1).min(truth_poses.len() - 1),
+        ] {
             let dt = (truth_poses[cand].timestamp - ep.timestamp).abs();
             if dt <= max_dt && best.is_none_or(|(_, bd)| dt < bd) {
                 best = Some((cand, dt));

@@ -51,11 +51,19 @@ impl NoiseModel {
 
     /// Applies the model in place. `tag` and `frame_index` decorrelate the
     /// noise across sequences and frames while keeping it reproducible.
-    pub fn apply(&self, gray: &mut GrayImage, depth: &mut DepthImage, tag: &[u8], frame_index: u64) {
+    pub fn apply(
+        &self,
+        gray: &mut GrayImage,
+        depth: &mut DepthImage,
+        tag: &[u8],
+        frame_index: u64,
+    ) {
         if self.is_none() {
             return;
         }
-        let tag_hash = tag.iter().fold(0u64, |h, &b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let tag_hash = tag
+            .iter()
+            .fold(0u64, |h, &b| h.wrapping_mul(131).wrapping_add(b as u64));
         let mut rng = SmallRng::seed_from_u64(
             self.seed ^ tag_hash ^ frame_index.wrapping_mul(0x9e3779b97f4a7c15),
         );

@@ -148,7 +148,8 @@ impl Scene {
                     && hit[a2].abs() <= self.half_extents[a2] + 1e-9
                     && best.is_none_or(|(bt, _)| t < bt)
                 {
-                    let face_seed = self.seed ^ ((axis as u64 * 2 + (side > 0.0) as u64) * 0x9e3779b9);
+                    let face_seed =
+                        self.seed ^ ((axis as u64 * 2 + (side > 0.0) as u64) * 0x9e3779b9);
                     let cell = 0.08;
                     let intensity = blocky_texture(face_seed, hit[a1] / cell, hit[a2] / cell);
                     best = Some((t, intensity));
@@ -199,7 +200,11 @@ fn other_axes(axis: usize) -> (usize, usize) {
 /// finer modulation layer. Corner-rich by construction.
 fn blocky_texture(seed: u64, u: f64, v: f64) -> u8 {
     let coarse = cell_hash(seed, u.floor() as i64, v.floor() as i64);
-    let fine = cell_hash(seed ^ 0xabcdef, (u * 3.0).floor() as i64, (v * 3.0).floor() as i64);
+    let fine = cell_hash(
+        seed ^ 0xabcdef,
+        (u * 3.0).floor() as i64,
+        (v * 3.0).floor() as i64,
+    );
     // 70% coarse, 30% fine, mapped into [25, 230].
     let mix = 0.7 * (coarse % 256) as f64 + 0.3 * (fine % 256) as f64;
     (25.0 + mix * (205.0 / 255.0)) as u8
@@ -225,7 +230,9 @@ mod tests {
     #[test]
     fn ray_from_centre_hits_wall() {
         let scene = Scene::room(1);
-        let hit = scene.cast(Vec3::ZERO, Vec3::Z, 1e-6).expect("must hit +z wall");
+        let hit = scene
+            .cast(Vec3::ZERO, Vec3::Z, 1e-6)
+            .expect("must hit +z wall");
         assert!((hit.0 - 3.0).abs() < 1e-9);
     }
 
@@ -272,7 +279,9 @@ mod tests {
         assert!((hit.1 - 0.5).abs() < 1e-12);
         assert!((hit.2 - 0.5).abs() < 1e-12);
         // Ray missing the rectangle.
-        assert!(quad.intersect(Vec3::new(5.0, 5.0, 0.0), Vec3::Z, 1e-6).is_none());
+        assert!(quad
+            .intersect(Vec3::new(5.0, 5.0, 0.0), Vec3::Z, 1e-6)
+            .is_none());
         // Ray behind.
         assert!(quad.intersect(Vec3::ZERO, -Vec3::Z, 1e-6).is_none());
         // Parallel ray.
@@ -333,7 +342,11 @@ mod tests {
         // Sample variety across cells.
         let samples: Vec<u8> = (0..100).map(|i| blocky_texture(1, i as f64, 0.0)).collect();
         let distinct: std::collections::HashSet<_> = samples.iter().collect();
-        assert!(distinct.len() > 30, "texture too uniform: {} levels", distinct.len());
+        assert!(
+            distinct.len() > 30,
+            "texture too uniform: {} levels",
+            distinct.len()
+        );
     }
 
     #[test]

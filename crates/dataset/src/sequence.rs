@@ -154,7 +154,8 @@ impl SyntheticSequence {
     pub fn frame(&self, index: usize) -> Frame {
         let tp = self.trajectory.poses()[index];
         let (mut gray, mut depth) = self.scene.render(&self.camera, &tp.pose);
-        self.noise.apply(&mut gray, &mut depth, self.name.as_bytes(), index as u64);
+        self.noise
+            .apply(&mut gray, &mut depth, self.name.as_bytes(), index as u64);
         Frame {
             timestamp: tp.timestamp,
             gray,

@@ -366,10 +366,13 @@ mod tests {
 
     #[test]
     fn tum_round_trip() {
-        let t = Trajectory::generate(TrajectoryKind::Desk, &TrajectoryParams {
-            frames: 10,
-            ..Default::default()
-        });
+        let t = Trajectory::generate(
+            TrajectoryKind::Desk,
+            &TrajectoryParams {
+                frames: 10,
+                ..Default::default()
+            },
+        );
         let mut buf = Vec::new();
         t.write_tum(&mut buf).unwrap();
         let parsed = Trajectory::read_tum(buf.as_slice()).unwrap();
@@ -403,14 +406,20 @@ mod tests {
 
     #[test]
     fn amplitude_scales_motion() {
-        let small = Trajectory::generate(TrajectoryKind::Xyz, &TrajectoryParams {
-            amplitude: 0.5,
-            ..Default::default()
-        });
-        let large = Trajectory::generate(TrajectoryKind::Xyz, &TrajectoryParams {
-            amplitude: 2.0,
-            ..Default::default()
-        });
+        let small = Trajectory::generate(
+            TrajectoryKind::Xyz,
+            &TrajectoryParams {
+                amplitude: 0.5,
+                ..Default::default()
+            },
+        );
+        let large = Trajectory::generate(
+            TrajectoryKind::Xyz,
+            &TrajectoryParams {
+                amplitude: 2.0,
+                ..Default::default()
+            },
+        );
         assert!(large.path_length() > small.path_length() * 2.0);
     }
 

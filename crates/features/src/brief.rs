@@ -72,7 +72,11 @@ impl PatternOffsets {
             .map(|pair| {
                 let (sx, sy) = pair.s.to_offset();
                 let (dx, dy) = pair.d.to_offset();
-                margin = margin.max(sx.abs()).max(sy.abs()).max(dx.abs()).max(dy.abs());
+                margin = margin
+                    .max(sx.abs())
+                    .max(sy.abs())
+                    .max(dx.abs())
+                    .max(dy.abs());
                 (
                     (sy as i64 * w + sx as i64) as i32,
                     (dy as i64 * w + dx as i64) as i32,
@@ -118,7 +122,11 @@ pub fn compute_descriptor_interior(
     table: &PatternOffsets,
 ) -> Descriptor {
     let m = table.margin;
-    assert_eq!(img.width(), table.width, "offset table compiled for another stride");
+    assert_eq!(
+        img.width(),
+        table.width,
+        "offset table compiled for another stride"
+    );
     assert!(
         x >= m && y >= m && x + m < img.width() && y + m < img.height(),
         "centre ({x},{y}) too close to the border for the offset table"
@@ -236,7 +244,13 @@ impl OriginalBrief {
 
 /// Convenience: steered RS-BRIEF descriptor for a continuous angle (the
 /// label is the nearest 11.25° step).
-pub fn rs_brief_for_angle(engine: &RsBrief, img: &GrayImage, x: u32, y: u32, angle: f64) -> Descriptor {
+pub fn rs_brief_for_angle(
+    engine: &RsBrief,
+    img: &GrayImage,
+    x: u32,
+    y: u32,
+    angle: f64,
+) -> Descriptor {
     engine.compute(img, x, y, crate::orientation::angle_to_label(angle))
 }
 
@@ -404,6 +418,9 @@ mod tests {
         let d90_pos = engine.compute(&img90, 48, 48, 8);
         let d90_neg = engine.compute(&img90, 48, 48, 24);
         let dist = d0.hamming(&d90_pos).min(d0.hamming(&d90_neg));
-        assert!(dist < 80, "steered distance {dist} should be well below chance");
+        assert!(
+            dist < 80,
+            "steered distance {dist} should be well below chance"
+        );
     }
 }

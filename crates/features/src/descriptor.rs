@@ -196,14 +196,19 @@ mod tests {
         assert_eq!(a.hamming(&b), 2);
         assert_eq!(b.hamming(&a), 2); // symmetry
         assert_eq!(a.hamming(&a), 0); // identity
-        // Complement has maximal distance.
+                                      // Complement has maximal distance.
         let full = Descriptor::from_words([u64::MAX; 4]);
         assert_eq!(Descriptor::ZERO.hamming(&full), 256);
     }
 
     #[test]
     fn rotate_zero_is_identity() {
-        let d = Descriptor::from_words([0x0123456789abcdef, 0xfedcba9876543210, 0xaaaa5555aaaa5555, 0x1]);
+        let d = Descriptor::from_words([
+            0x0123456789abcdef,
+            0xfedcba9876543210,
+            0xaaaa5555aaaa5555,
+            0x1,
+        ]);
         assert_eq!(d.rotate_bits(0), d);
         assert_eq!(d.rotate_bits(256), d);
     }
@@ -225,7 +230,12 @@ mod tests {
 
     #[test]
     fn rotation_composes() {
-        let d = Descriptor::from_words([0xdeadbeefcafebabe, 0x0123456789abcdef, 0x5555aaaa5555aaaa, 0xff00ff00ff00ff00]);
+        let d = Descriptor::from_words([
+            0xdeadbeefcafebabe,
+            0x0123456789abcdef,
+            0x5555aaaa5555aaaa,
+            0xff00ff00ff00ff00,
+        ]);
         let once = d.rotate_bits(24).rotate_bits(40);
         let combined = d.rotate_bits(64);
         assert_eq!(once, combined);
@@ -268,7 +278,12 @@ mod tests {
         let seeds = [
             Descriptor::ZERO,
             Descriptor::from_words([u64::MAX; 4]),
-            Descriptor::from_words([0x0123456789abcdef, 0xfedcba9876543210, 0xaaaa5555aaaa5555, 0x1]),
+            Descriptor::from_words([
+                0x0123456789abcdef,
+                0xfedcba9876543210,
+                0xaaaa5555aaaa5555,
+                0x1,
+            ]),
             Descriptor::from_words([1, 0, 0, 0x8000000000000000]),
         ];
         for d in seeds {

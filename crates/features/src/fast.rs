@@ -76,8 +76,14 @@ pub fn is_fast_corner(img: &GrayImage, x: u32, y: u32, threshold: u8) -> bool {
     let p8 = img.get(x, y + 3) as i32;
     let p4 = img.get(x + 3, y) as i32;
     let p12 = img.get(x - 3, y) as i32;
-    let bright_compass = [p0, p4, p8, p12].iter().filter(|&&p| p > centre + t).count();
-    let dark_compass = [p0, p4, p8, p12].iter().filter(|&&p| p < centre - t).count();
+    let bright_compass = [p0, p4, p8, p12]
+        .iter()
+        .filter(|&&p| p > centre + t)
+        .count();
+    let dark_compass = [p0, p4, p8, p12]
+        .iter()
+        .filter(|&&p| p < centre - t)
+        .count();
     if bright_compass < 2 && dark_compass < 2 {
         return false;
     }
@@ -243,22 +249,22 @@ pub fn detect_into(img: &GrayImage, threshold: u8, out: &mut Vec<FastDetection>)
             // Classify the 16 circle pixels into bright/dark bitmasks
             // (bit i corresponds to CIRCLE_OFFSETS[i]) — branchless.
             let circle = [
-                p0,                 //  0: ( 0, -3)
-                rm3[x + 1] as i32,  //  1: ( 1, -3)
-                rm2[x + 2] as i32,  //  2: ( 2, -2)
-                rm1[x + 3] as i32,  //  3: ( 3, -1)
-                p4,                 //  4: ( 3,  0)
-                rp1[x + 3] as i32,  //  5: ( 3,  1)
-                rp2[x + 2] as i32,  //  6: ( 2,  2)
-                rp3[x + 1] as i32,  //  7: ( 1,  3)
-                p8,                 //  8: ( 0,  3)
-                rp3[x - 1] as i32,  //  9: (-1,  3)
-                rp2[x - 2] as i32,  // 10: (-2,  2)
-                rp1[x - 3] as i32,  // 11: (-3,  1)
-                p12,                // 12: (-3,  0)
-                rm1[x - 3] as i32,  // 13: (-3, -1)
-                rm2[x - 2] as i32,  // 14: (-2, -2)
-                rm3[x - 1] as i32,  // 15: (-1, -3)
+                p0,                //  0: ( 0, -3)
+                rm3[x + 1] as i32, //  1: ( 1, -3)
+                rm2[x + 2] as i32, //  2: ( 2, -2)
+                rm1[x + 3] as i32, //  3: ( 3, -1)
+                p4,                //  4: ( 3,  0)
+                rp1[x + 3] as i32, //  5: ( 3,  1)
+                rp2[x + 2] as i32, //  6: ( 2,  2)
+                rp3[x + 1] as i32, //  7: ( 1,  3)
+                p8,                //  8: ( 0,  3)
+                rp3[x - 1] as i32, //  9: (-1,  3)
+                rp2[x - 2] as i32, // 10: (-2,  2)
+                rp1[x - 3] as i32, // 11: (-3,  1)
+                p12,               // 12: (-3,  0)
+                rm1[x - 3] as i32, // 13: (-3, -1)
+                rm2[x - 2] as i32, // 14: (-2, -2)
+                rm3[x - 1] as i32, // 15: (-1, -3)
             ];
             let mut bright = 0u16;
             let mut dark = 0u16;
@@ -472,7 +478,13 @@ mod tests {
         let lut = arc_lut();
         for mask in 0..=u16::MAX {
             let classes: Vec<Tri> = (0..16)
-                .map(|i| if mask >> i & 1 == 1 { Tri::Brighter } else { Tri::Similar })
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        Tri::Brighter
+                    } else {
+                        Tri::Similar
+                    }
+                })
                 .collect();
             let expect = has_arc(&classes, Tri::Brighter);
             assert_eq!(

@@ -144,7 +144,13 @@ mod tests {
             kp(8.0, 5.0, 4.0),
             kp(9.0, 5.0, 2.0),
         ];
-        let kept = grid_filter(&kps, &GridParams { cell_size: 32, per_cell: 2 });
+        let kept = grid_filter(
+            &kps,
+            &GridParams {
+                cell_size: 32,
+                per_cell: 2,
+            },
+        );
         assert_eq!(kept.len(), 2);
         assert_eq!(kept, vec![1, 3]); // scores 5.0 then 4.0
     }
@@ -152,7 +158,13 @@ mod tests {
     #[test]
     fn separate_cells_independent() {
         let kps = vec![kp(5.0, 5.0, 1.0), kp(100.0, 5.0, 1.0), kp(5.0, 100.0, 1.0)];
-        let kept = grid_filter(&kps, &GridParams { cell_size: 32, per_cell: 1 });
+        let kept = grid_filter(
+            &kps,
+            &GridParams {
+                cell_size: 32,
+                per_cell: 1,
+            },
+        );
         assert_eq!(kept.len(), 3);
     }
 
@@ -174,7 +186,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "cell size")]
     fn zero_cell_size_panics() {
-        grid_filter(&[kp(0.0, 0.0, 1.0)], &GridParams { cell_size: 0, per_cell: 1 });
+        grid_filter(
+            &[kp(0.0, 0.0, 1.0)],
+            &GridParams {
+                cell_size: 0,
+                per_cell: 1,
+            },
+        );
     }
 
     #[test]
@@ -199,13 +217,23 @@ mod tests {
         // cluster no longer dominates.
         let mut kps = Vec::new();
         for i in 0..50 {
-            kps.push(kp(10.0 + (i % 7) as f64, 10.0 + (i / 7) as f64, 100.0 + i as f64));
+            kps.push(kp(
+                10.0 + (i % 7) as f64,
+                10.0 + (i / 7) as f64,
+                100.0 + i as f64,
+            ));
         }
         for i in 0..10 {
             kps.push(kp(50.0 + 40.0 * i as f64, 200.0, 1.0));
         }
         let before = coverage(&kps, 32);
-        let kept = grid_filter(&kps, &GridParams { cell_size: 32, per_cell: 3 });
+        let kept = grid_filter(
+            &kps,
+            &GridParams {
+                cell_size: 32,
+                per_cell: 3,
+            },
+        );
         let filtered: Vec<Keypoint> = kept.iter().map(|&i| kps[i]).collect();
         let after = coverage(&filtered, 32);
         assert!(after.max_per_cell <= 3);

@@ -45,9 +45,12 @@ pub fn harris_score(img: &GrayImage, x: u32, y: u32) -> f64 {
         for dy in -BLOCK_HALF..=BLOCK_HALF {
             for dx in -BLOCK_HALF..=BLOCK_HALF {
                 let centre = (base as i64 + dy * w as i64 + dx) as usize;
-                let g = |ox: i64, oy: i64| data[(centre as i64 + oy * w as i64 + ox) as usize] as f64;
-                let ix = (g(1, -1) + 2.0 * g(1, 0) + g(1, 1)) - (g(-1, -1) + 2.0 * g(-1, 0) + g(-1, 1));
-                let iy = (g(-1, 1) + 2.0 * g(0, 1) + g(1, 1)) - (g(-1, -1) + 2.0 * g(0, -1) + g(1, -1));
+                let g =
+                    |ox: i64, oy: i64| data[(centre as i64 + oy * w as i64 + ox) as usize] as f64;
+                let ix =
+                    (g(1, -1) + 2.0 * g(1, 0) + g(1, 1)) - (g(-1, -1) + 2.0 * g(-1, 0) + g(-1, 1));
+                let iy =
+                    (g(-1, 1) + 2.0 * g(0, 1) + g(1, 1)) - (g(-1, -1) + 2.0 * g(0, -1) + g(1, -1));
                 sum_xx += ix * ix;
                 sum_yy += iy * iy;
                 sum_xy += ix * iy;
@@ -67,7 +70,11 @@ pub fn harris_score(img: &GrayImage, x: u32, y: u32) -> f64 {
         }
     }
     let norm = 1.0 / ((4 * (2 * BLOCK_HALF + 1).pow(2)) as f64);
-    let (a, b, c) = (sum_xx * norm * norm, sum_xy * norm * norm, sum_yy * norm * norm);
+    let (a, b, c) = (
+        sum_xx * norm * norm,
+        sum_xy * norm * norm,
+        sum_yy * norm * norm,
+    );
     let det = a * c - b * b;
     let trace = a + c;
     det - HARRIS_K * trace * trace
@@ -161,7 +168,11 @@ mod tests {
             }
         }
         let norm = 1.0 / ((4 * (2 * BLOCK_HALF + 1).pow(2)) as f64);
-        let (a, b, c) = (sum_xx * norm * norm, sum_xy * norm * norm, sum_yy * norm * norm);
+        let (a, b, c) = (
+            sum_xx * norm * norm,
+            sum_xy * norm * norm,
+            sum_yy * norm * norm,
+        );
         a * c - b * b - HARRIS_K * (a + c) * (a + c)
     }
 

@@ -51,10 +51,12 @@ pub mod nms;
 pub mod orb;
 pub mod orientation;
 pub mod pattern;
+pub mod pool;
 
 pub use descriptor::{Descriptor, DESCRIPTOR_BITS};
-pub use matcher::DescriptorMatch;
+pub use matcher::{DescriptorMatch, MatchKernel};
 pub use orb::{Keypoint, OrbConfig, OrbExtractor, OrbFeatures};
+pub use pool::WorkerPool;
 
 #[cfg(test)]
 mod proptests {

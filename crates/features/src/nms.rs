@@ -93,7 +93,9 @@ pub fn suppress_sorted_into(
     scratch: &mut NmsScratch,
 ) {
     debug_assert!(
-        points.windows(2).all(|p| (p[0].y, p[0].x) < (p[1].y, p[1].x)),
+        points
+            .windows(2)
+            .all(|p| (p[0].y, p[0].x) < (p[1].y, p[1].x)),
         "input must be raster-ordered with unique coordinates"
     );
     out.clear();
@@ -130,9 +132,7 @@ pub fn suppress_sorted_into(
                     if q.x == p.x && q.y == p.y {
                         continue;
                     }
-                    if q.score > p.score
-                        || (q.score == p.score && (q.y, q.x) < (p.y, p.x))
-                    {
+                    if q.score > p.score || (q.score == p.score && (q.y, q.x) < (p.y, p.x)) {
                         continue 'candidate;
                     }
                 }

@@ -29,6 +29,7 @@ use crate::harris::harris_score;
 use crate::heap::{BestHeap, DEFAULT_HEAP_CAPACITY};
 use crate::nms::{suppress, suppress_sorted_into, NmsScratch, ScoredPoint};
 use crate::orientation::{angle_to_label, label_to_angle, patch_moments, OrientationLut};
+use crate::pool::WorkerPool;
 use eslam_image::filter::{gaussian_blur_7x7_fixed_into, gaussian_blur_7x7_fixed_reference};
 use eslam_image::pyramid::{ImagePyramid, PyramidConfig, PyramidScratch};
 use eslam_image::GrayImage;
@@ -181,11 +182,44 @@ struct LevelScratch {
 /// pyramid, smoothed levels and every intermediate buffer, so
 /// steady-state frame extraction performs **zero heap allocations**
 /// (after the first frame of a given geometry).
+///
+/// The scratch may also own a persistent [`WorkerPool`]
+/// ([`OrbScratch::with_threads`] / [`OrbScratch::with_pool`]); without
+/// one, parallel sections run on the process-global pool. Either way,
+/// steady-state frames never spawn threads.
 #[derive(Debug, Default)]
 pub struct OrbScratch {
     pyramid: ImagePyramid,
     pyramid_scratch: PyramidScratch,
     levels: Vec<LevelScratch>,
+    /// Owned worker pool; `None` → [`WorkerPool::global`].
+    pool: Option<WorkerPool>,
+}
+
+impl OrbScratch {
+    /// Scratch with an owned worker pool sized by the clamped override
+    /// rules of [`eslam_pool::resolve_thread_count`]: `None` → one
+    /// thread per core, `Some(0)` → panic, `Some(n)` → capped at
+    /// available parallelism.
+    ///
+    /// [`eslam_pool::resolve_thread_count`]: crate::pool::resolve_thread_count
+    pub fn with_threads(requested: Option<usize>) -> Self {
+        OrbScratch::with_pool(WorkerPool::with_threads(requested))
+    }
+
+    /// Scratch owning an explicit (possibly unclamped) worker pool.
+    pub fn with_pool(pool: WorkerPool) -> Self {
+        OrbScratch {
+            pool: Some(pool),
+            ..Default::default()
+        }
+    }
+
+    /// The pool parallel sections run on: the owned pool when present,
+    /// the process-global pool otherwise.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool.as_ref().unwrap_or_else(|| WorkerPool::global())
+    }
 }
 
 /// The ORB feature extractor (software reference of the FPGA datapath).
@@ -220,8 +254,12 @@ impl OrbExtractor {
     pub fn new(config: OrbConfig) -> Self {
         let engine = match config.descriptor {
             DescriptorKind::RsBrief => Engine::Rs(RsBrief::new(config.pattern_seed)),
-            DescriptorKind::OriginalLut => Engine::Original(OriginalBrief::new(config.pattern_seed)),
-            DescriptorKind::OriginalDirect => Engine::Direct(OriginalBrief::new(config.pattern_seed)),
+            DescriptorKind::OriginalLut => {
+                Engine::Original(OriginalBrief::new(config.pattern_seed))
+            }
+            DescriptorKind::OriginalDirect => {
+                Engine::Direct(OriginalBrief::new(config.pattern_seed))
+            }
         };
         OrbExtractor {
             config,
@@ -257,6 +295,7 @@ impl OrbExtractor {
             pyramid,
             pyramid_scratch,
             levels,
+            pool,
         } = scratch;
         pyramid.build_into(image, &self.config.pyramid, pyramid_scratch);
         let nlevels = pyramid.levels();
@@ -266,16 +305,21 @@ impl OrbExtractor {
         }
 
         // Stage 1, per level (independent): detect → score → NMS →
-        // margin filter → smooth → orient (→ describe).
-        let parallel =
-            nlevels > 1 && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        // margin filter → smooth → orient (→ describe). Parallel levels
+        // run on the persistent pool — no per-frame thread spawns.
+        let pool = pool.as_ref().unwrap_or_else(|| WorkerPool::global());
+        let parallel = nlevels > 1 && pool.threads() > 1;
         if parallel {
-            std::thread::scope(|scope| {
-                for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pyramid
+                .iter()
+                .zip(levels.iter_mut())
+                .map(|((level, img), ls)| {
                     let scale = self.config.pyramid.scale_of(level);
-                    scope.spawn(move || self.process_level(img, level, scale, ls));
-                }
-            });
+                    Box::new(move || self.process_level(img, level, scale, ls))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope_run(tasks);
         } else {
             for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
                 let scale = self.config.pyramid.scale_of(level);
@@ -394,7 +438,8 @@ impl OrbExtractor {
             Workflow::Original => {
                 for i in 0..ls.candidates.len() {
                     let c = ls.candidates[i];
-                    ls.keypoints.push(self.orient(&ls.smoothed, &c, level, scale));
+                    ls.keypoints
+                        .push(self.orient(&ls.smoothed, &c, level, scale));
                 }
             }
         }
@@ -567,7 +612,11 @@ mod tests {
     /// A corner-rich checkerboard with mild pseudo-random variation.
     fn test_image(w: u32, h: u32, seed: u64) -> GrayImage {
         GrayImage::from_fn(w, h, |x, y| {
-            let base = if ((x / 12) + (y / 12)) % 2 == 0 { 50 } else { 190 };
+            let base = if ((x / 12) + (y / 12)) % 2 == 0 {
+                50
+            } else {
+                190
+            };
             let jitter = ((x as u64 * 31 + y as u64 * 17 + seed * 1009) % 23) as u8;
             base + jitter
         })
@@ -764,7 +813,10 @@ mod tests {
             pattern_seed: 0x1234,
             ..Default::default()
         });
-        assert_eq!(rs_other.extract_with(&img, &mut scratch), rs_other.extract(&img));
+        assert_eq!(
+            rs_other.extract_with(&img, &mut scratch),
+            rs_other.extract(&img)
+        );
     }
 
     #[test]

@@ -176,9 +176,9 @@ impl OrientationLut {
         }
         // Map the first-quadrant sector into the full circle by sign.
         let label = match (u >= 0, v >= 0) {
-            (true, true) => sector as i16,           // Q1: θ = sector
-            (false, true) => 16 - sector as i16,     // Q2: θ = 180° − s
-            (false, false) => 16 + sector as i16,    // Q3: θ = 180° + s
+            (true, true) => sector as i16,              // Q1: θ = sector
+            (false, true) => 16 - sector as i16,        // Q2: θ = 180° − s
+            (false, false) => 16 + sector as i16,       // Q3: θ = 180° + s
             (true, false) => (32 - sector as i16) % 32, // Q4: θ = −s
         };
         (label.rem_euclid(32)) as u8
@@ -303,7 +303,11 @@ mod tests {
         let clamped_reference = |x: u32, y: u32| {
             let r = ORIENTATION_RADIUS;
             let r2 = r * r;
-            let mut m = Moments { m10: 0, m01: 0, m00: 0 };
+            let mut m = Moments {
+                m10: 0,
+                m01: 0,
+                m00: 0,
+            };
             for dy in -r..=r {
                 for dx in -r..=r {
                     if dx * dx + dy * dy > r2 {
@@ -319,7 +323,11 @@ mod tests {
         };
         for y in 0..64 {
             for x in 0..64 {
-                assert_eq!(patch_moments(&img, x, y), clamped_reference(x, y), "({x},{y})");
+                assert_eq!(
+                    patch_moments(&img, x, y),
+                    clamped_reference(x, y),
+                    "({x},{y})"
+                );
             }
         }
     }

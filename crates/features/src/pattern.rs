@@ -363,7 +363,10 @@ mod tests {
         // §2.2: at radius 15, a 6° deviation moves a location by ≈ 1.6 px;
         // the paper rounds this to "about 1 pixel on the smoothened
         // image". Verify the bound for the 11.25°/2 discretization too.
-        let worst = TestPoint { x: PATCH_RADIUS, y: 0.0 };
+        let worst = TestPoint {
+            x: PATCH_RADIUS,
+            y: 0.0,
+        };
         let lut_err = {
             let moved = worst.rotated(PI / 30.0); // 6°
             ((moved.x - worst.x).powi(2) + (moved.y - worst.y).powi(2)).sqrt()

@@ -1,0 +1,432 @@
+//! Persistent worker pool for the front-end hot loops.
+//!
+//! The parallel extraction stage and the threaded matcher rows used to
+//! spawn scoped threads on every call — roughly 10–20 µs of spawn/join
+//! overhead per invocation, paid once per frame per stage in the
+//! steady-state SLAM loop. [`WorkerPool`] replaces those per-call spawns
+//! with threads created once and reused: work is submitted as a batch of
+//! borrowed closures ([`WorkerPool::scope_run`]), the submitting thread
+//! helps drain the queue, and the call returns only when every closure
+//! has finished — the same structured-concurrency contract as
+//! `std::thread::scope`, without the per-call thread creation.
+//!
+//! # Sizing
+//!
+//! A pool of size `n` uses the calling thread plus `n - 1` workers, so
+//! `WorkerPool::new(1)` spawns no threads at all and runs every batch
+//! inline. The *override* path used by the SLAM configuration
+//! ([`resolve_thread_count`]) clamps requests: `None` resolves to the
+//! host's available parallelism, `Some(0)` is rejected with a panic, and
+//! `Some(n)` is capped at available parallelism — a pool wider than the
+//! core count only adds context-switch pressure. [`WorkerPool::new`]
+//! itself honours the exact count it is given (it only rejects zero), so
+//! tests can exercise the worker machinery on single-core hosts.
+//!
+//! # Panics in tasks
+//!
+//! A panicking task does not kill its worker; the panic is caught, the
+//! batch still completes, and `scope_run` re-raises a panic on the
+//! calling thread once every task of the batch has settled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A work item: type-erased, heap-boxed closure.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The job queue shared between the pool handle and its workers.
+///
+/// A condvar-guarded deque rather than an `mpsc` channel: workers must
+/// *release* the lock while waiting for work (`Condvar::wait` does, a
+/// blocking `recv` under a shared mutex does not), so that the
+/// submitting thread can keep draining the queue concurrently.
+#[derive(Default)]
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Queue {
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().unwrap();
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Non-blocking pop for the submitting thread's help-drain loop.
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().unwrap().jobs.pop_front()
+    }
+
+    /// Blocking pop for workers; `None` means the pool is shutting down.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+}
+
+/// Completion latch for one `scope_run` batch.
+#[derive(Debug)]
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            all_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.all_done.wait(left).unwrap();
+        }
+    }
+}
+
+/// Decrements the latch when dropped, so a panicking task still arrives.
+struct LatchGuard(Arc<Latch>);
+
+impl Drop for LatchGuard {
+    fn drop(&mut self) {
+        self.0.arrive();
+    }
+}
+
+/// The number of hardware threads the host reports (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a thread-count override to an actual pool size.
+///
+/// * `None` — one thread per available core ([`available_threads`]).
+/// * `Some(n)` — `n`, **capped at available parallelism**: requesting
+///   more threads than cores only adds scheduling overhead, so the
+///   excess is clamped rather than honoured.
+///
+/// # Panics
+///
+/// Panics on `Some(0)`: a zero-thread pool cannot make progress, and
+/// silently promoting it to 1 would hide a configuration bug.
+pub fn resolve_thread_count(requested: Option<usize>) -> usize {
+    match requested {
+        None => available_threads(),
+        Some(0) => panic!("worker pool thread count must be at least 1 (got 0)"),
+        Some(n) => n.min(available_threads()),
+    }
+}
+
+/// A persistent pool of worker threads executing batches of borrowed
+/// closures with `std::thread::scope` semantics.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_features::pool::WorkerPool;
+/// let pool = WorkerPool::new(2);
+/// let mut halves = [0u64; 2];
+/// {
+///     let (lo, hi) = halves.split_at_mut(1);
+///     pool.scope_run(vec![
+///         Box::new(|| lo[0] = (0..50).sum()),
+///         Box::new(|| hi[0] = (50..100).sum()),
+///     ]);
+/// }
+/// assert_eq!(halves[0] + halves[1], (0..100).sum());
+/// ```
+pub struct WorkerPool {
+    threads: usize,
+    /// Shared job queue: workers block on it, `scope_run` feeds and
+    /// helps drain it.
+    queue: Arc<Queue>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of total size `threads`: the calling thread plus
+    /// `threads - 1` persistent workers. The count is honoured exactly;
+    /// use [`WorkerPool::with_threads`] for the clamped override path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero (see [`resolve_thread_count`]).
+    pub fn new(threads: usize) -> Self {
+        assert!(
+            threads >= 1,
+            "worker pool thread count must be at least 1 (got 0)"
+        );
+        let queue = Arc::new(Queue::default());
+        let handles = (1..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("eslam-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            threads,
+            queue,
+            handles,
+        }
+    }
+
+    /// Creates a pool from a thread-count override, applying the
+    /// [`resolve_thread_count`] clamping rules (`None` → all cores,
+    /// `Some(0)` → panic, `Some(n)` → capped at available parallelism).
+    pub fn with_threads(requested: Option<usize>) -> Self {
+        WorkerPool::new(resolve_thread_count(requested))
+    }
+
+    /// The process-wide shared pool (one thread per available core),
+    /// created on first use. Entry points without an explicit pool — the
+    /// plain [`crate::matcher::match_brute_force`] call, extraction with
+    /// a default scratch — run their parallel sections here instead of
+    /// spawning scoped threads per call.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(available_threads()))
+    }
+
+    /// Total parallelism of the pool (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a batch of closures to completion, in parallel across the
+    /// pool. The calling thread participates in draining the queue, and
+    /// the method returns only once **every** task has finished, which is
+    /// what makes handing out borrowed (non-`'static`) closures sound.
+    ///
+    /// Tasks are executed in submission order modulo work stealing;
+    /// batches needing a deterministic *merge* order should write into
+    /// pre-split disjoint output slots, exactly as with
+    /// `std::thread::scope`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked (after the whole batch has settled).
+    pub fn scope_run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if self.handles.is_empty() || tasks.len() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        for task in tasks {
+            // SAFETY: `scope_run` blocks on `latch.wait()` below until
+            // every submitted task has run (or unwound) — the
+            // `LatchGuard` arrives even on panic — so no closure, and
+            // therefore no `'env` borrow inside it, outlives this call.
+            let task: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) };
+            let latch = Arc::clone(&latch);
+            self.queue.push(Box::new(move || {
+                let guard = LatchGuard(latch);
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+                    guard.0.panicked.store(true, Ordering::SeqCst);
+                }
+            }));
+        }
+        // Help drain the queue instead of idling until the workers finish.
+        while let Some(job) = self.queue.try_pop() {
+            job();
+        }
+        latch.wait();
+        if latch.panicked.load(Ordering::SeqCst) {
+            panic!("worker pool task panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.queue.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of each persistent worker: block for the next job, run it,
+/// repeat until the pool shuts down.
+fn worker_loop(queue: &Queue) {
+    while let Some(job) = queue.pop() {
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut hits = 0;
+        pool.scope_run(vec![Box::new(|| hits += 1)]);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn multi_thread_pool_runs_every_task() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..64)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn tasks_can_borrow_disjoint_output_slots() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0usize; 8];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| Box::new(move || *slot = i * i) as Box<dyn FnOnce() + Send>)
+                .collect();
+            pool.scope_run(tasks);
+        }
+        let expect: Vec<usize> = (0..8).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_override_rejected() {
+        let _ = resolve_thread_count(Some(0));
+    }
+
+    #[test]
+    fn override_is_clamped_to_available_parallelism() {
+        let cores = available_threads();
+        assert_eq!(resolve_thread_count(None), cores);
+        assert_eq!(resolve_thread_count(Some(1)), 1);
+        assert_eq!(resolve_thread_count(Some(cores + 100)), cores);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker pool task panicked")]
+    fn task_panic_propagates_after_batch_settles() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("boom")),
+            Box::new(|| {}),
+        ];
+        pool.scope_run(tasks);
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let pool = WorkerPool::new(2);
+        let panicking: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| panic!("boom")), Box::new(|| {})];
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope_run(panicking);
+        }))
+        .is_err());
+        // The workers are still alive and process the next batch.
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().threads() >= 1);
+    }
+}

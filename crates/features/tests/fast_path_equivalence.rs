@@ -6,8 +6,11 @@
 //! * row-sliced blur / resize ≡ clamped per-pixel reference;
 //! * sorted NMS ≡ hash-map NMS;
 //! * word-parallel descriptor rotation ≡ per-bit rotation;
-//! * tiled/threaded matcher ≡ scalar argmin loops;
-//! * the full parallel extractor ≡ the sequential scalar extractor.
+//! * tiled/pooled matcher (whatever kernel rung the host dispatches
+//!   to — see `tests/matcher_kernels.rs` for the per-rung suite) ≡
+//!   scalar argmin loops;
+//! * the full parallel extractor (persistent worker pool) ≡ the
+//!   sequential scalar extractor.
 
 use eslam_features::matcher::{
     match_brute_force, match_brute_force_reference, match_with_ratio, match_with_ratio_reference,
@@ -33,7 +36,11 @@ fn noise_image(w: u32, h: u32, seed: u64) -> GrayImage {
 /// A corner-rich image (checkerboard + jitter) so FAST actually fires.
 fn corner_image(w: u32, h: u32, seed: u64) -> GrayImage {
     GrayImage::from_fn(w, h, |x, y| {
-        let base = if ((x / 9) + (y / 9)) % 2 == 0 { 45 } else { 195 };
+        let base = if ((x / 9) + (y / 9)) % 2 == 0 {
+            45
+        } else {
+            195
+        };
         base + ((x as u64 * 31 + y as u64 * 17 + seed * 1009) % 23) as u8
     })
 }

@@ -122,10 +122,7 @@ fn rotation_from_cross_covariance(h: &Mat3) -> Option<Mat3> {
     // third singular direction that is pure noise.
     let tol = 1e-7 * sigma.x;
     // NaN-safe positivity check (σ may be NaN on degenerate input).
-    let x_positive = matches!(
-        sigma.x.partial_cmp(&0.0),
-        Some(std::cmp::Ordering::Greater)
-    );
+    let x_positive = matches!(sigma.x.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater));
     if !x_positive || sigma.y <= tol {
         return None;
     }

@@ -42,7 +42,14 @@ pub struct PinholeCamera {
 impl PinholeCamera {
     /// Creates a camera from intrinsics and image size.
     pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: u32, height: u32) -> Self {
-        PinholeCamera { fx, fy, cx, cy, width, height }
+        PinholeCamera {
+            fx,
+            fy,
+            cx,
+            cy,
+            width,
+            height,
+        }
     }
 
     /// Intrinsics of the TUM `freiburg1` Kinect (640×480).

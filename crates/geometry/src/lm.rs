@@ -236,7 +236,8 @@ pub fn optimize_pose(
     let mut attempts = 0;
     while iterations < params.max_iterations && attempts < params.max_iterations * 4 {
         attempts += 1;
-        let (mut h, b, _) = build_normal_equations(&pose, world, pixels, camera, params.huber_delta);
+        let (mut h, b, _) =
+            build_normal_equations(&pose, world, pixels, camera, params.huber_delta);
         h.add_diagonal(lambda * (1.0 + h.m[0][0].abs()));
 
         let neg_b = Vec6 {
@@ -302,7 +303,11 @@ mod tests {
                 Vec3::new(rng.gen(), rng.gen(), rng.gen()),
                 rng.gen::<f64>() * 0.3,
             ),
-            Vec3::new(rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.2),
+            Vec3::new(
+                rng.gen::<f64>() * 0.4,
+                rng.gen::<f64>() * 0.4,
+                rng.gen::<f64>() * 0.2,
+            ),
         );
         let mut world = Vec::new();
         let mut pixels = Vec::new();
@@ -326,7 +331,13 @@ mod tests {
     fn converges_from_identity() {
         for seed in 0..5 {
             let (world, truth, camera, pixels) = scene(seed, 40);
-            let res = optimize_pose(&Se3::identity(), &world, &pixels, &camera, &LmParams::default());
+            let res = optimize_pose(
+                &Se3::identity(),
+                &world,
+                &pixels,
+                &camera,
+                &LmParams::default(),
+            );
             assert!(
                 (res.pose.translation - truth.translation).norm() < 1e-6,
                 "seed {seed}: err {}",
@@ -416,25 +427,41 @@ mod tests {
             uv.x += (rng.gen::<f64>() - 0.5) * 2.0;
             uv.y += (rng.gen::<f64>() - 0.5) * 2.0;
         }
-        let res = optimize_pose(&Se3::identity(), &world, &pixels, &camera, &LmParams::default());
+        let res = optimize_pose(
+            &Se3::identity(),
+            &world,
+            &pixels,
+            &camera,
+            &LmParams::default(),
+        );
         assert!((res.pose.translation - truth.translation).norm() < 0.02);
     }
 
     #[test]
     fn cost_monotonically_nonincreasing() {
         let (world, _truth, camera, pixels) = scene(21, 25);
-        let res = optimize_pose(&Se3::identity(), &world, &pixels, &camera, &LmParams::default());
+        let res = optimize_pose(
+            &Se3::identity(),
+            &world,
+            &pixels,
+            &camera,
+            &LmParams::default(),
+        );
         assert!(res.final_cost <= res.initial_cost);
     }
 
     #[test]
     fn rotation_stays_orthonormal() {
         let (world, _truth, camera, pixels) = scene(31, 40);
-        let res = optimize_pose(&Se3::identity(), &world, &pixels, &camera, &LmParams::default());
-        let should_be_identity = res.pose.rotation * res.pose.rotation.transpose();
-        assert!(
-            (should_be_identity - crate::Mat3::identity()).frobenius_norm() < 1e-9
+        let res = optimize_pose(
+            &Se3::identity(),
+            &world,
+            &pixels,
+            &camera,
+            &LmParams::default(),
         );
+        let should_be_identity = res.pose.rotation * res.pose.rotation.transpose();
+        assert!((should_be_identity - crate::Mat3::identity()).frobenius_norm() < 1e-9);
     }
 
     #[test]

@@ -57,11 +57,7 @@ impl Mat3 {
     /// Builds a matrix from columns.
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
         Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
+            m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]],
         }
     }
 
@@ -78,11 +74,7 @@ impl Mat3 {
     /// `skew(v) * w == v.cross(w)`.
     pub fn skew(v: Vec3) -> Self {
         Mat3 {
-            m: [
-                [0.0, -v.z, v.y],
-                [v.z, 0.0, -v.x],
-                [-v.y, v.x, 0.0],
-            ],
+            m: [[0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0]],
         }
     }
 
@@ -258,8 +250,9 @@ impl Mul for Mat3 {
         let mut out = Mat3::zeros();
         for r in 0..3 {
             for c in 0..3 {
-                out.m[r][c] =
-                    self.m[r][0] * rhs.m[0][c] + self.m[r][1] * rhs.m[1][c] + self.m[r][2] * rhs.m[2][c];
+                out.m[r][c] = self.m[r][0] * rhs.m[0][c]
+                    + self.m[r][1] * rhs.m[1][c]
+                    + self.m[r][2] * rhs.m[2][c];
             }
         }
         out

@@ -64,7 +64,11 @@ fn poly_add_scaled(a: &mut Vec<f64>, b: &[f64], s: f64) {
 /// assert!(poses.iter().any(|t| (t.translation - truth.translation).norm() < 1e-6));
 /// ```
 pub fn solve_p3p(world: &[Vec3; 3], bearings: &[Vec3; 3]) -> Vec<Se3> {
-    let f: Vec<Vec3> = match bearings.iter().map(|b| b.normalized()).collect::<Option<Vec<_>>>() {
+    let f: Vec<Vec3> = match bearings
+        .iter()
+        .map(|b| b.normalized())
+        .collect::<Option<Vec<_>>>()
+    {
         Some(f) => f,
         None => return vec![],
     };
@@ -94,7 +98,11 @@ pub fn solve_p3p(world: &[Vec3; 3], bearings: &[Vec3; 3]) -> Vec<Se3> {
     //   N = (A − 1 − B) v² + q (B − A) v + (A + 1 − B),
     // and the quartic g(v) = L² + N² − r N L − B (v² − q v + 1) L² = 0.
     let l = [r, -p]; // ascending: r − p v
-    let n = [big_a + 1.0 - big_b, q * (big_b - big_a), big_a - 1.0 - big_b];
+    let n = [
+        big_a + 1.0 - big_b,
+        q * (big_b - big_a),
+        big_a - 1.0 - big_b,
+    ];
     let m = [1.0, -q, 1.0]; // 1 − q v + v²
 
     let l2 = poly_mul(&l, &l);
@@ -323,10 +331,8 @@ mod tests {
         ];
         let poses = solve_p3p(&world, &bearings);
         assert!(!poses.is_empty());
-        assert!(poses
-            .iter()
-            .any(|t| t.translation.norm() < 1e-6
-                && (t.rotation - crate::Mat3::identity()).frobenius_norm() < 1e-6));
+        assert!(poses.iter().any(|t| t.translation.norm() < 1e-6
+            && (t.rotation - crate::Mat3::identity()).frobenius_norm() < 1e-6));
     }
 
     #[test]
@@ -341,8 +347,10 @@ mod tests {
             ];
             let poses = solve_p3p(&w, &bearings);
             assert!(
-                poses.iter().any(|t| (t.translation - truth.translation).norm() < 1e-5
-                    && (t.rotation - truth.rotation).frobenius_norm() < 1e-5),
+                poses
+                    .iter()
+                    .any(|t| (t.translation - truth.translation).norm() < 1e-5
+                        && (t.rotation - truth.rotation).frobenius_norm() < 1e-5),
                 "seed {seed}: no pose matched truth among {}",
                 poses.len()
             );
@@ -388,7 +396,10 @@ mod tests {
         // Also add some wildly wrong world points.
         for _ in 0..5 {
             world.push(Vec3::new(100.0, -50.0, 30.0));
-            pixels.push(Vec2::new(rng.gen::<f64>() * 640.0, rng.gen::<f64>() * 480.0));
+            pixels.push(Vec2::new(
+                rng.gen::<f64>() * 640.0,
+                rng.gen::<f64>() * 480.0,
+            ));
         }
         let res = solve_pnp_ransac(&world, &pixels, &camera, &PnpParams::default()).unwrap();
         assert!(

@@ -23,11 +23,17 @@ impl Complex {
         Complex::new(self.re - o.re, self.im - o.im)
     }
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
     fn div(self, o: Complex) -> Complex {
         let d = o.re * o.re + o.im * o.im;
-        Complex::new((self.re * o.re + self.im * o.im) / d, (self.im * o.re - self.re * o.im) / d)
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
     }
     fn abs(self) -> f64 {
         (self.re * self.re + self.im * self.im).sqrt()
@@ -125,7 +131,10 @@ pub fn real_roots(coeffs: &[f64]) -> Vec<f64> {
             let angle = 2.0 * std::f64::consts::PI * k as f64 / degree as f64 + 0.4;
             // Radius heuristic: 1 + max |coeff|.
             let r = 1.0 + monic.iter().skip(1).fold(0.0f64, |m, c| m.max(c.abs()));
-            Complex::new(r.powf(1.0 / degree as f64) * angle.cos(), r.powf(1.0 / degree as f64) * angle.sin())
+            Complex::new(
+                r.powf(1.0 / degree as f64) * angle.cos(),
+                r.powf(1.0 / degree as f64) * angle.sin(),
+            )
         })
         .collect();
 

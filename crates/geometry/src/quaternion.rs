@@ -42,7 +42,12 @@ impl Default for Quaternion {
 impl Quaternion {
     /// The identity rotation.
     pub const fn identity() -> Self {
-        Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+        Quaternion {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Creates a quaternion from raw components, normalizing to unit length.
@@ -53,7 +58,12 @@ impl Quaternion {
         if n <= f64::EPSILON {
             Quaternion::identity()
         } else {
-            Quaternion { w: w / n, x: x / n, y: y / n, z: z / n }
+            Quaternion {
+                w: w / n,
+                x: x / n,
+                y: y / n,
+                z: z / n,
+            }
         }
     }
 
@@ -155,7 +165,12 @@ impl Quaternion {
 
     /// The inverse rotation (conjugate, since the quaternion is unit).
     pub fn conjugate(&self) -> Quaternion {
-        Quaternion { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quaternion {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotates a vector.
@@ -174,12 +189,18 @@ impl Quaternion {
     /// Spherical linear interpolation from `self` (t = 0) to `other`
     /// (t = 1).
     pub fn slerp(&self, other: &Quaternion, t: f64) -> Quaternion {
-        let mut cos_half = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        let mut cos_half =
+            self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
         // Take the short way round the 4-sphere.
         let mut b = *other;
         if cos_half < 0.0 {
             cos_half = -cos_half;
-            b = Quaternion { w: -b.w, x: -b.x, y: -b.y, z: -b.z };
+            b = Quaternion {
+                w: -b.w,
+                x: -b.x,
+                y: -b.y,
+                z: -b.z,
+            };
         }
         if cos_half > 0.9995 {
             // Nearly parallel: linear interpolation is accurate and avoids
@@ -211,7 +232,11 @@ impl Quaternion {
 
 impl fmt::Display for Quaternion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(w={}, x={}, y={}, z={})", self.w, self.x, self.y, self.z)
+        write!(
+            f,
+            "(w={}, x={}, y={}, z={})",
+            self.w, self.x, self.y, self.z
+        )
     }
 }
 
@@ -250,7 +275,10 @@ mod tests {
             let q2 = Quaternion::from_matrix(&m);
             // q and -q encode the same rotation; compare matrices.
             let m2 = q2.to_matrix();
-            assert!((m - m2).frobenius_norm() < 1e-10, "round trip failed for {q}");
+            assert!(
+                (m - m2).frobenius_norm() < 1e-10,
+                "round trip failed for {q}"
+            );
         }
     }
 

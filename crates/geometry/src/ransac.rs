@@ -103,7 +103,9 @@ where
         iterations += 1;
         draw_distinct(&mut rng, n, &mut sample);
         for model in fit(&sample) {
-            let inliers: Vec<usize> = (0..n).filter(|&i| error(&model, i) < params.threshold).collect();
+            let inliers: Vec<usize> = (0..n)
+                .filter(|&i| error(&model, i) < params.threshold)
+                .collect();
             let best_len = best.as_ref().map_or(0, |(_, inl)| inl.len());
             if inliers.len() > best_len && inliers.len() >= params.min_inliers {
                 // Adaptive termination: with inlier ratio w, a minimal
@@ -121,7 +123,11 @@ where
         }
     }
 
-    best.map(|(model, inliers)| RansacResult { model, inliers, iterations })
+    best.map(|(model, inliers)| RansacResult {
+        model,
+        inliers,
+        iterations,
+    })
 }
 
 /// Draws `sample.len()` distinct indices in `[0, n)`.
@@ -160,7 +166,9 @@ mod tests {
     #[test]
     fn recovers_line_with_outliers() {
         // y = 2x + 1 with 30% gross outliers.
-        let mut data: Vec<(f64, f64)> = (0..70).map(|i| (i as f64 * 0.1, 2.0 * (i as f64 * 0.1) + 1.0)).collect();
+        let mut data: Vec<(f64, f64)> = (0..70)
+            .map(|i| (i as f64 * 0.1, 2.0 * (i as f64 * 0.1) + 1.0))
+            .collect();
         for i in 0..30 {
             data.push((i as f64 * 0.2, 100.0 + i as f64 * 13.7));
         }
@@ -170,13 +178,9 @@ mod tests {
             max_iterations: 500,
             ..Default::default()
         };
-        let res = ransac(
-            data.len(),
-            2,
-            &params,
-            line_fit(&data),
-            |&(a, b), i| (data[i].1 - (a * data[i].0 + b)).abs(),
-        )
+        let res = ransac(data.len(), 2, &params, line_fit(&data), |&(a, b), i| {
+            (data[i].1 - (a * data[i].0 + b)).abs()
+        })
         .expect("line found");
         assert_eq!(res.inliers.len(), 70);
         let (a, b) = res.model;
@@ -199,13 +203,9 @@ mod tests {
             ..Default::default()
         };
         let run = || {
-            ransac(
-                data.len(),
-                2,
-                &params,
-                line_fit(&data),
-                |&(a, b), i| (data[i].1 - (a * data[i].0 + b)).abs(),
-            )
+            ransac(data.len(), 2, &params, line_fit(&data), |&(a, b), i| {
+                (data[i].1 - (a * data[i].0 + b)).abs()
+            })
             .unwrap()
         };
         let r1 = run();
@@ -218,8 +218,7 @@ mod tests {
     #[test]
     fn too_few_points_fails() {
         let params = RansacParams::default();
-        let res: Option<RansacResult<f64>> =
-            ransac(1, 2, &params, |_| vec![0.0f64], |_, _| 0.0);
+        let res: Option<RansacResult<f64>> = ransac(1, 2, &params, |_| vec![0.0f64], |_, _| 0.0);
         assert!(res.is_none());
     }
 

@@ -39,27 +39,42 @@ impl Default for Se3 {
 impl Se3 {
     /// The identity transform.
     pub fn identity() -> Self {
-        Se3 { rotation: Mat3::identity(), translation: Vec3::ZERO }
+        Se3 {
+            rotation: Mat3::identity(),
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Creates a transform from rotation matrix and translation vector.
     pub fn new(rotation: Mat3, translation: Vec3) -> Self {
-        Se3 { rotation, translation }
+        Se3 {
+            rotation,
+            translation,
+        }
     }
 
     /// A pure translation.
     pub fn from_translation(translation: Vec3) -> Self {
-        Se3 { rotation: Mat3::identity(), translation }
+        Se3 {
+            rotation: Mat3::identity(),
+            translation,
+        }
     }
 
     /// A pure rotation.
     pub fn from_rotation(rotation: Mat3) -> Self {
-        Se3 { rotation, translation: Vec3::ZERO }
+        Se3 {
+            rotation,
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Builds from a unit quaternion and translation (the TUM convention).
     pub fn from_quaternion_translation(q: &Quaternion, translation: Vec3) -> Self {
-        Se3 { rotation: q.to_matrix(), translation }
+        Se3 {
+            rotation: q.to_matrix(),
+            translation,
+        }
     }
 
     /// The rotation as a unit quaternion.
@@ -84,7 +99,10 @@ impl Se3 {
     /// The inverse transform.
     pub fn inverse(&self) -> Se3 {
         let rt = self.rotation.transpose();
-        Se3 { rotation: rt, translation: -(rt * self.translation) }
+        Se3 {
+            rotation: rt,
+            translation: -(rt * self.translation),
+        }
     }
 
     /// The relative transform taking `self` to `other`: `other ∘ self⁻¹`.
@@ -172,7 +190,10 @@ impl Se3 {
             let b = (theta - theta.sin()) / (theta * theta * theta);
             Mat3::identity() + k * a + (k * k) * b
         };
-        Se3 { rotation: r, translation: v * rho }
+        Se3 {
+            rotation: r,
+            translation: v * rho,
+        }
     }
 
     /// SE(3) logarithm map, inverse of [`Se3::exp`].
@@ -227,10 +248,12 @@ mod tests {
 
     fn random_pose(seed: u64) -> Se3 {
         // Cheap deterministic pseudo-random pose without pulling in rand.
-        let f = |k: u64| ((seed.wrapping_mul(6364136223846793005).wrapping_add(k) >> 33) as f64
-            / (u32::MAX as f64)
-            - 0.5)
-            * 2.0;
+        let f = |k: u64| {
+            ((seed.wrapping_mul(6364136223846793005).wrapping_add(k) >> 33) as f64
+                / (u32::MAX as f64)
+                - 0.5)
+                * 2.0
+        };
         let axis = Vec3::new(f(1), f(2), f(3));
         let angle = f(4) * 2.5;
         Se3 {

@@ -179,7 +179,9 @@ mod tests {
             let pose_b = Se3::from_translation(Vec3::new(-baseline, 0.0, 0.0));
             let ua = camera.project(pose_a.transform(world)).unwrap();
             let ub = camera.project(pose_b.transform(world)).unwrap();
-            triangulate(&pose_a, ua, &pose_b, ub, &camera).unwrap().parallax
+            triangulate(&pose_a, ua, &pose_b, ub, &camera)
+                .unwrap()
+                .parallax
         };
         assert!(parallax_of(0.5) > parallax_of(0.1));
     }

@@ -252,7 +252,10 @@ mod tests {
         let schedule = ImageCacheFsm::schedule(640);
         assert_eq!(schedule.len(), 78);
         // The last loaded block is 79.
-        assert_eq!(schedule.last().unwrap().resident[schedule.last().unwrap().receiving], Some(79));
+        assert_eq!(
+            schedule.last().unwrap().resident[schedule.last().unwrap().receiving],
+            Some(79)
+        );
     }
 
     #[test]

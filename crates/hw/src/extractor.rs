@@ -22,9 +22,7 @@
 
 use crate::axi::AxiConfig;
 use crate::clock::{Cycles, FPGA_CLOCK_HZ};
-use eslam_features::orb::{
-    DescriptorKind, OrbConfig, OrbExtractor, OrbFeatures, Workflow,
-};
+use eslam_features::orb::{DescriptorKind, OrbConfig, OrbExtractor, OrbFeatures, Workflow};
 use eslam_image::pyramid::PyramidConfig;
 use eslam_image::GrayImage;
 
@@ -85,7 +83,10 @@ impl ExtractionWorkload {
 
     /// Total pixels across all levels.
     pub fn total_pixels(&self) -> u64 {
-        self.levels.iter().map(|l| l.width as u64 * l.height as u64).sum()
+        self.levels
+            .iter()
+            .map(|l| l.width as u64 * l.height as u64)
+            .sum()
     }
 
     /// Total rows across all levels.
@@ -293,7 +294,8 @@ mod tests {
     fn vga_nominal_matches_table2_fe_latency() {
         // Table 2: feature extraction on eSLAM takes 9.1 ms.
         let model = ExtractorModel::default();
-        let timing = model.extraction_timing(&ExtractionWorkload::vga_nominal(), Workflow::Rescheduled);
+        let timing =
+            model.extraction_timing(&ExtractionWorkload::vga_nominal(), Workflow::Rescheduled);
         let ms = timing.total_ms();
         assert!(
             (ms - 9.1).abs() < 0.1,
@@ -305,8 +307,20 @@ mod tests {
     fn workload_pixel_counts() {
         let w = ExtractionWorkload::vga_nominal();
         assert_eq!(w.levels.len(), 4);
-        assert_eq!(w.levels[0], LevelDims { width: 640, height: 480 });
-        assert_eq!(w.levels[1], LevelDims { width: 533, height: 400 });
+        assert_eq!(
+            w.levels[0],
+            LevelDims {
+                width: 640,
+                height: 480
+            }
+        );
+        assert_eq!(
+            w.levels[1],
+            LevelDims {
+                width: 533,
+                height: 400
+            }
+        );
         // 640×480 + 533×400 + 444×333 + 370×278 = 771,112.
         assert_eq!(w.total_pixels(), 771_112);
         assert_eq!(w.total_rows(), 1491);
@@ -376,7 +390,10 @@ mod tests {
         let two = ExtractionWorkload::from_pyramid(
             640,
             480,
-            &PyramidConfig { levels: 2, scale_factor: 1.2 },
+            &PyramidConfig {
+                levels: 2,
+                scale_factor: 1.2,
+            },
             0,
             0,
         );

@@ -87,7 +87,10 @@ impl MatcherModel {
         let map_load = self.axi.transfer_cycles(m_map * DESCRIPTOR_BYTES);
         t.map_stream_residual_cycles = Cycles(map_load.0.saturating_sub(t.compute_cycles.0));
         t.writeback_cycles = self.axi.transfer_cycles(n_query * RESULT_RECORD_BYTES);
-        t.total = t.query_load_cycles + t.compute_cycles + t.map_stream_residual_cycles + t.writeback_cycles;
+        t.total = t.query_load_cycles
+            + t.compute_cycles
+            + t.map_stream_residual_cycles
+            + t.writeback_cycles;
         t
     }
 }
@@ -124,7 +127,10 @@ mod tests {
         let model = MatcherModel::default();
         let t = model.matching_timing(NOMINAL_QUERIES, NOMINAL_MAP_POINTS);
         let ms = t.total_ms();
-        assert!((ms - 4.0).abs() < 0.05, "FM latency {ms:.3} ms should be ≈ 4.0 ms");
+        assert!(
+            (ms - 4.0).abs() < 0.05,
+            "FM latency {ms:.3} ms should be ≈ 4.0 ms"
+        );
     }
 
     #[test]
@@ -133,7 +139,10 @@ mod tests {
         let t = model.matching_timing(777, 1500);
         assert_eq!(
             t.total,
-            t.query_load_cycles + t.compute_cycles + t.map_stream_residual_cycles + t.writeback_cycles
+            t.query_load_cycles
+                + t.compute_cycles
+                + t.map_stream_residual_cycles
+                + t.writeback_cycles
         );
     }
 

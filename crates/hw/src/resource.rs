@@ -173,10 +173,26 @@ mod tests {
     #[test]
     fn utilization_percentages_match_table1() {
         let util = XCZ7045.utilization(eslam_total(DEFAULT_MATCHER_PARALLELISM));
-        assert!((util.percent[0] - 26.0).abs() < 0.1, "LUT {}", util.percent[0]);
-        assert!((util.percent[1] - 15.5).abs() < 0.1, "FF {}", util.percent[1]);
-        assert!((util.percent[2] - 12.3).abs() < 0.1, "DSP {}", util.percent[2]);
-        assert!((util.percent[3] - 14.3).abs() < 0.1, "BRAM {}", util.percent[3]);
+        assert!(
+            (util.percent[0] - 26.0).abs() < 0.1,
+            "LUT {}",
+            util.percent[0]
+        );
+        assert!(
+            (util.percent[1] - 15.5).abs() < 0.1,
+            "FF {}",
+            util.percent[1]
+        );
+        assert!(
+            (util.percent[2] - 12.3).abs() < 0.1,
+            "DSP {}",
+            util.percent[2]
+        );
+        assert!(
+            (util.percent[3] - 14.3).abs() < 0.1,
+            "BRAM {}",
+            util.percent[3]
+        );
         assert!(util.fits);
     }
 
@@ -208,10 +224,28 @@ mod tests {
 
     #[test]
     fn resources_add() {
-        let a = Resources { lut: 1, ff: 2, dsp: 3, bram: 4 };
-        let b = Resources { lut: 10, ff: 20, dsp: 30, bram: 40 };
+        let a = Resources {
+            lut: 1,
+            ff: 2,
+            dsp: 3,
+            bram: 4,
+        };
+        let b = Resources {
+            lut: 10,
+            ff: 20,
+            dsp: 30,
+            bram: 40,
+        };
         let c = a + b;
-        assert_eq!(c, Resources { lut: 11, ff: 22, dsp: 33, bram: 44 });
+        assert_eq!(
+            c,
+            Resources {
+                lut: 11,
+                ff: 22,
+                dsp: 33,
+                bram: 44
+            }
+        );
         let mut d = a;
         d += b;
         assert_eq!(d, c);
@@ -231,7 +265,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let r = Resources { lut: 1, ff: 2, dsp: 3, bram: 4 };
+        let r = Resources {
+            lut: 1,
+            ff: 2,
+            dsp: 3,
+            bram: 4,
+        };
         assert_eq!(r.to_string(), "LUT 1 / FF 2 / DSP 3 / BRAM 4");
     }
 }

@@ -70,7 +70,8 @@ impl StreamModel {
         let blocks = width.div_ceil(COLUMNS_PER_LINE);
         let block_bytes = COLUMNS_PER_LINE as u64 * height as u64;
         let load = self.axi.transfer_cycles(block_bytes).0;
-        let process_per_stripe = COLUMNS_PER_LINE as u64 * height as u64 + self.stripe_turnaround as u64;
+        let process_per_stripe =
+            COLUMNS_PER_LINE as u64 * height as u64 + self.stripe_turnaround as u64;
 
         let mut t = StreamTiming::default();
         if blocks == 0 || height == 0 {

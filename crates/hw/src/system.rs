@@ -89,7 +89,12 @@ pub struct PlatformReport {
     pub energy_keyframe_mj: f64,
 }
 
-fn report(name: &'static str, stages: StageTimesMs, schedule: Schedule, power_w: f64) -> PlatformReport {
+fn report(
+    name: &'static str,
+    stages: StageTimesMs,
+    schedule: Schedule,
+    power_w: f64,
+) -> PlatformReport {
     let frames = frame_timing(&stages, schedule);
     PlatformReport {
         name,
@@ -138,9 +143,24 @@ pub fn platform_reports() -> [PlatformReport; 3] {
     let arm = arm_cortex_a9();
     let i7 = intel_i7();
     [
-        report("ARM", cpu_stage_times(&arm), Schedule::Sequential, ARM_POWER_W),
-        report("Intel i7", cpu_stage_times(&i7), Schedule::Sequential, I7_POWER_W),
-        report("eSLAM", eslam_stage_times(), Schedule::EslamPipeline, eslam_power_w()),
+        report(
+            "ARM",
+            cpu_stage_times(&arm),
+            Schedule::Sequential,
+            ARM_POWER_W,
+        ),
+        report(
+            "Intel i7",
+            cpu_stage_times(&i7),
+            Schedule::Sequential,
+            I7_POWER_W,
+        ),
+        report(
+            "eSLAM",
+            eslam_stage_times(),
+            Schedule::EslamPipeline,
+            eslam_power_w(),
+        ),
     ]
 }
 
@@ -163,7 +183,12 @@ pub struct TimelineEntry {
 pub fn pipeline_timeline(stages: &StageTimesMs, keyframe: bool) -> Vec<TimelineEntry> {
     let mut t = Vec::new();
     // ARM lane: frame N.
-    t.push(TimelineEntry { lane: "ARM", stage: "PE", start_ms: 0.0, end_ms: stages.pe });
+    t.push(TimelineEntry {
+        lane: "ARM",
+        stage: "PE",
+        start_ms: 0.0,
+        end_ms: stages.pe,
+    });
     t.push(TimelineEntry {
         lane: "ARM",
         stage: "PO",
@@ -171,11 +196,21 @@ pub fn pipeline_timeline(stages: &StageTimesMs, keyframe: bool) -> Vec<TimelineE
         end_ms: stages.pe + stages.po,
     });
     // FPGA lane: frame N+1 feature extraction starts immediately.
-    t.push(TimelineEntry { lane: "FPGA", stage: "FE", start_ms: 0.0, end_ms: stages.fe });
+    t.push(TimelineEntry {
+        lane: "FPGA",
+        stage: "FE",
+        start_ms: 0.0,
+        end_ms: stages.fe,
+    });
     if keyframe {
         let mu_start = stages.pe + stages.po;
         let mu_end = mu_start + stages.mu;
-        t.push(TimelineEntry { lane: "ARM", stage: "MU", start_ms: mu_start, end_ms: mu_end });
+        t.push(TimelineEntry {
+            lane: "ARM",
+            stage: "MU",
+            start_ms: mu_start,
+            end_ms: mu_end,
+        });
         // FM must wait for both FE and MU.
         let fm_start = stages.fe.max(mu_end);
         t.push(TimelineEntry {
@@ -227,7 +262,8 @@ impl PriorExtractorModel {
             scale_factor: 1.2,
         };
         let pixels = cfg.total_pixels(640, 480) as f64;
-        let cycles = pixels * self.cycles_per_pixel + kept_features as f64 * self.cycles_per_descriptor;
+        let cycles =
+            pixels * self.cycles_per_pixel + kept_features as f64 * self.cycles_per_descriptor;
         cycles / crate::clock::FPGA_CLOCK_HZ as f64 * 1e3
     }
 }
@@ -250,23 +286,55 @@ mod tests {
     fn table3_runtime_rows() {
         // eSLAM: N-frame 17.9 ms, K-frame 31.8 ms.
         let e = eslam();
-        assert!((e.frames.normal_ms - 17.9).abs() < 0.15, "eSLAM N {}", e.frames.normal_ms);
-        assert!((e.frames.keyframe_ms - 31.8).abs() < 0.25, "eSLAM K {}", e.frames.keyframe_ms);
+        assert!(
+            (e.frames.normal_ms - 17.9).abs() < 0.15,
+            "eSLAM N {}",
+            e.frames.normal_ms
+        );
+        assert!(
+            (e.frames.keyframe_ms - 31.8).abs() < 0.25,
+            "eSLAM K {}",
+            e.frames.keyframe_ms
+        );
         // ARM: 555.7 / 565.6 ms.
         let a = arm();
-        assert!((a.frames.normal_ms - 555.7).abs() < 5.0, "ARM N {}", a.frames.normal_ms);
-        assert!((a.frames.keyframe_ms - 565.6).abs() < 5.0, "ARM K {}", a.frames.keyframe_ms);
+        assert!(
+            (a.frames.normal_ms - 555.7).abs() < 5.0,
+            "ARM N {}",
+            a.frames.normal_ms
+        );
+        assert!(
+            (a.frames.keyframe_ms - 565.6).abs() < 5.0,
+            "ARM K {}",
+            a.frames.keyframe_ms
+        );
         // i7: 53.6 / 54.8 ms.
         let i = i7();
-        assert!((i.frames.normal_ms - 53.6).abs() < 0.7, "i7 N {}", i.frames.normal_ms);
-        assert!((i.frames.keyframe_ms - 54.8).abs() < 0.7, "i7 K {}", i.frames.keyframe_ms);
+        assert!(
+            (i.frames.normal_ms - 53.6).abs() < 0.7,
+            "i7 N {}",
+            i.frames.normal_ms
+        );
+        assert!(
+            (i.frames.keyframe_ms - 54.8).abs() < 0.7,
+            "i7 K {}",
+            i.frames.keyframe_ms
+        );
     }
 
     #[test]
     fn table3_frame_rates() {
         let e = eslam();
-        assert!((e.frames.normal_fps - 55.87).abs() < 0.5, "{}", e.frames.normal_fps);
-        assert!((e.frames.keyframe_fps - 31.45).abs() < 0.3, "{}", e.frames.keyframe_fps);
+        assert!(
+            (e.frames.normal_fps - 55.87).abs() < 0.5,
+            "{}",
+            e.frames.normal_fps
+        );
+        assert!(
+            (e.frames.keyframe_fps - 31.45).abs() < 0.3,
+            "{}",
+            e.frames.keyframe_fps
+        );
         let a = arm();
         assert!((a.frames.normal_fps - 1.8).abs() < 0.05);
         assert!((a.frames.keyframe_fps - 1.77).abs() < 0.05);
@@ -278,8 +346,16 @@ mod tests {
     #[test]
     fn table3_energy_rows() {
         let e = eslam();
-        assert!((e.energy_normal_mj - 35.0).abs() < 1.0, "{}", e.energy_normal_mj);
-        assert!((e.energy_keyframe_mj - 62.0).abs() < 1.2, "{}", e.energy_keyframe_mj);
+        assert!(
+            (e.energy_normal_mj - 35.0).abs() < 1.0,
+            "{}",
+            e.energy_normal_mj
+        );
+        assert!(
+            (e.energy_keyframe_mj - 62.0).abs() < 1.2,
+            "{}",
+            e.energy_keyframe_mj
+        );
         let a = arm();
         assert!((a.energy_normal_mj - 875.0).abs() < 8.0);
         assert!((a.energy_keyframe_mj - 890.0).abs() < 8.0);
@@ -301,8 +377,14 @@ mod tests {
         assert!((fps_vs_arm - 31.0).abs() < 1.5, "vs ARM {fps_vs_arm}");
         let energy_vs_i7 = i.energy_normal_mj / e.energy_normal_mj;
         let energy_vs_arm = a.energy_normal_mj / e.energy_normal_mj;
-        assert!((energy_vs_i7 - 71.0).abs() < 4.0, "energy vs i7 {energy_vs_i7}");
-        assert!((energy_vs_arm - 25.0).abs() < 1.5, "energy vs ARM {energy_vs_arm}");
+        assert!(
+            (energy_vs_i7 - 71.0).abs() < 4.0,
+            "energy vs i7 {energy_vs_i7}"
+        );
+        assert!(
+            (energy_vs_arm - 25.0).abs() < 1.5,
+            "energy vs ARM {energy_vs_arm}"
+        );
     }
 
     #[test]

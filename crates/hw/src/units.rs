@@ -38,8 +38,16 @@ pub struct Unit {
 pub fn fast_detection() -> Unit {
     Unit {
         name: "FAST Detection",
-        timing: UnitTiming { latency: 6, initiation_interval: 1 },
-        resources: Resources { lut: 6800, ff: 7400, dsp: 48, bram: 0 },
+        timing: UnitTiming {
+            latency: 6,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 6800,
+            ff: 7400,
+            dsp: 48,
+            bram: 0,
+        },
     }
 }
 
@@ -47,8 +55,16 @@ pub fn fast_detection() -> Unit {
 pub fn image_smoother() -> Unit {
     Unit {
         name: "Image Smoother",
-        timing: UnitTiming { latency: 8, initiation_interval: 1 },
-        resources: Resources { lut: 5200, ff: 6900, dsp: 14, bram: 0 },
+        timing: UnitTiming {
+            latency: 8,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 5200,
+            ff: 6900,
+            dsp: 14,
+            bram: 0,
+        },
     }
 }
 
@@ -56,8 +72,16 @@ pub fn image_smoother() -> Unit {
 pub fn nms_unit() -> Unit {
     Unit {
         name: "NMS",
-        timing: UnitTiming { latency: 3, initiation_interval: 1 },
-        resources: Resources { lut: 1900, ff: 2600, dsp: 0, bram: 0 },
+        timing: UnitTiming {
+            latency: 3,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 1900,
+            ff: 2600,
+            dsp: 0,
+            bram: 0,
+        },
     }
 }
 
@@ -67,8 +91,16 @@ pub fn nms_unit() -> Unit {
 pub fn orientation_computing() -> Unit {
     Unit {
         name: "Orientation Computing",
-        timing: UnitTiming { latency: 12, initiation_interval: 4 },
-        resources: Resources { lut: 7400, ff: 9200, dsp: 22, bram: 2 },
+        timing: UnitTiming {
+            latency: 12,
+            initiation_interval: 4,
+        },
+        resources: Resources {
+            lut: 7400,
+            ff: 9200,
+            dsp: 22,
+            bram: 2,
+        },
     }
 }
 
@@ -76,8 +108,16 @@ pub fn orientation_computing() -> Unit {
 pub fn brief_computing() -> Unit {
     Unit {
         name: "BRIEF Computing",
-        timing: UnitTiming { latency: 10, initiation_interval: 4 },
-        resources: Resources { lut: 9800, ff: 11300, dsp: 0, bram: 4 },
+        timing: UnitTiming {
+            latency: 10,
+            initiation_interval: 4,
+        },
+        resources: Resources {
+            lut: 9800,
+            ff: 11300,
+            dsp: 0,
+            bram: 4,
+        },
     }
 }
 
@@ -85,8 +125,16 @@ pub fn brief_computing() -> Unit {
 pub fn brief_rotator() -> Unit {
     Unit {
         name: "BRIEF Rotator",
-        timing: UnitTiming { latency: 2, initiation_interval: 1 },
-        resources: Resources { lut: 1300, ff: 1600, dsp: 0, bram: 0 },
+        timing: UnitTiming {
+            latency: 2,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 1300,
+            ff: 1600,
+            dsp: 0,
+            bram: 0,
+        },
     }
 }
 
@@ -94,8 +142,16 @@ pub fn brief_rotator() -> Unit {
 pub fn heap_unit() -> Unit {
     Unit {
         name: "Heap",
-        timing: UnitTiming { latency: 11, initiation_interval: 2 },
-        resources: Resources { lut: 4200, ff: 5200, dsp: 0, bram: 8 },
+        timing: UnitTiming {
+            latency: 11,
+            initiation_interval: 2,
+        },
+        resources: Resources {
+            lut: 4200,
+            ff: 5200,
+            dsp: 0,
+            bram: 8,
+        },
     }
 }
 
@@ -103,8 +159,16 @@ pub fn heap_unit() -> Unit {
 pub fn image_resizing() -> Unit {
     Unit {
         name: "Image Resizing",
-        timing: UnitTiming { latency: 4, initiation_interval: 1 },
-        resources: Resources { lut: 2100, ff: 2800, dsp: 8, bram: 2 },
+        timing: UnitTiming {
+            latency: 4,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 2100,
+            ff: 2800,
+            dsp: 8,
+            bram: 2,
+        },
     }
 }
 
@@ -112,8 +176,16 @@ pub fn image_resizing() -> Unit {
 pub fn extractor_caches() -> Unit {
     Unit {
         name: "Extractor Caches",
-        timing: UnitTiming { latency: 1, initiation_interval: 1 },
-        resources: Resources { lut: 3900, ff: 4700, dsp: 0, bram: 20 },
+        timing: UnitTiming {
+            latency: 1,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 3900,
+            ff: 4700,
+            dsp: 0,
+            bram: 20,
+        },
     }
 }
 
@@ -122,7 +194,10 @@ pub fn extractor_caches() -> Unit {
 pub fn distance_computing(parallel_units: u32) -> Unit {
     Unit {
         name: "Distance Computing",
-        timing: UnitTiming { latency: 5, initiation_interval: 1 },
+        timing: UnitTiming {
+            latency: 5,
+            initiation_interval: 1,
+        },
         resources: Resources {
             lut: 950 * parallel_units,
             ff: 1100 * parallel_units,
@@ -136,8 +211,16 @@ pub fn distance_computing(parallel_units: u32) -> Unit {
 pub fn comparator() -> Unit {
     Unit {
         name: "Comparator",
-        timing: UnitTiming { latency: 3, initiation_interval: 1 },
-        resources: Resources { lut: 1000, ff: 1400, dsp: 0, bram: 6 },
+        timing: UnitTiming {
+            latency: 3,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 1000,
+            ff: 1400,
+            dsp: 0,
+            bram: 6,
+        },
     }
 }
 
@@ -145,8 +228,16 @@ pub fn comparator() -> Unit {
 pub fn descriptor_cache() -> Unit {
     Unit {
         name: "Descriptor Cache",
-        timing: UnitTiming { latency: 1, initiation_interval: 1 },
-        resources: Resources { lut: 0, ff: 0, dsp: 0, bram: 16 },
+        timing: UnitTiming {
+            latency: 1,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 0,
+            ff: 0,
+            dsp: 0,
+            bram: 16,
+        },
     }
 }
 
@@ -154,8 +245,16 @@ pub fn descriptor_cache() -> Unit {
 pub fn axi_and_control() -> Unit {
     Unit {
         name: "AXI + Control",
-        timing: UnitTiming { latency: 1, initiation_interval: 1 },
-        resources: Resources { lut: 7654, ff: 8109, dsp: 19, bram: 20 },
+        timing: UnitTiming {
+            latency: 1,
+            initiation_interval: 1,
+        },
+        resources: Resources {
+            lut: 7654,
+            ff: 8109,
+            dsp: 19,
+            bram: 20,
+        },
     }
 }
 
@@ -181,7 +280,12 @@ mod tests {
     #[test]
     fn pixel_pipeline_units_have_ii_one() {
         // The pixel-rate front of the datapath must sustain 1 px/cycle.
-        for unit in [fast_detection(), image_smoother(), nms_unit(), image_resizing()] {
+        for unit in [
+            fast_detection(),
+            image_smoother(),
+            nms_unit(),
+            image_resizing(),
+        ] {
             assert_eq!(unit.timing.initiation_interval, 1, "{}", unit.name);
         }
     }
@@ -196,7 +300,12 @@ mod tests {
 
     #[test]
     fn rotator_behaviour_matches_descriptor_steer() {
-        let d = Descriptor::from_words([0xdeadbeef12345678, 0x0f0f0f0f0f0f0f0f, 0x1122334455667788, 0xaabbccddeeff0011]);
+        let d = Descriptor::from_words([
+            0xdeadbeef12345678,
+            0x0f0f0f0f0f0f0f0f,
+            0x1122334455667788,
+            0xaabbccddeeff0011,
+        ]);
         for label in 0..32u8 {
             assert_eq!(rotator_behaviour(d, label), d.steer(label));
         }

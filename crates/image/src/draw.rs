@@ -86,10 +86,14 @@ pub fn plot_polyline(
     }
     let (min_x, max_x) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
     let (min_y, max_y) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
     let span_x = (max_x - min_x).max(1e-9);
     let span_y = (max_y - min_y).max(1e-9);
     let avail_x = (img.width().saturating_sub(2 * margin)) as f64;

@@ -61,7 +61,11 @@ impl GrayImage {
     /// Returns `None` when `data.len() != width * height`.
     pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Option<Self> {
         if data.len() == width as usize * height as usize {
-            Some(GrayImage { width, height, data })
+            Some(GrayImage {
+                width,
+                height,
+                data,
+            })
         } else {
             None
         }
@@ -155,7 +159,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, value: u8) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y as usize) * self.width as usize + x as usize] = value;
     }
 
@@ -270,7 +277,10 @@ impl DepthImage {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, value: u16) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y as usize) * self.width as usize + x as usize] = value;
     }
 
@@ -290,7 +300,9 @@ impl DepthImage {
     /// # Panics
     /// Panics if the coordinates are out of bounds.
     pub fn set_metres(&mut self, x: u32, y: u32, metres: f64) {
-        let raw = (metres * TUM_DEPTH_SCALE).round().clamp(0.0, u16::MAX as f64) as u16;
+        let raw = (metres * TUM_DEPTH_SCALE)
+            .round()
+            .clamp(0.0, u16::MAX as f64) as u16;
         self.set(x, y, raw);
     }
 

@@ -132,7 +132,9 @@ pub fn load_pgm(path: impl AsRef<Path>) -> Result<GrayImage, ImageIoError> {
     let mut reader = BufReader::new(File::open(path)?);
     let magic = read_token(&mut reader)?;
     if magic != "P5" {
-        return Err(ImageIoError::Format(format!("expected P5, found {magic:?}")));
+        return Err(ImageIoError::Format(format!(
+            "expected P5, found {magic:?}"
+        )));
     }
     let width: u32 = parse_token(&mut reader)?;
     let height: u32 = parse_token(&mut reader)?;
@@ -210,7 +212,8 @@ mod tests {
     fn pgm_with_comment_header() {
         let path = temp_path("comment.pgm");
         let mut f = File::create(&path).unwrap();
-        f.write_all(b"P5\n# a comment line\n2 2\n255\n\x01\x02\x03\x04").unwrap();
+        f.write_all(b"P5\n# a comment line\n2 2\n255\n\x01\x02\x03\x04")
+            .unwrap();
         drop(f);
         let img = load_pgm(&path).unwrap();
         assert_eq!(img.as_raw(), &[1, 2, 3, 4]);

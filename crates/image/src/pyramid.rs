@@ -119,7 +119,12 @@ impl ImagePyramid {
     ///
     /// # Panics
     /// Panics if `config.levels == 0` or `config.scale_factor <= 1.0`.
-    pub fn build_into(&mut self, base: &GrayImage, config: &PyramidConfig, scratch: &mut PyramidScratch) {
+    pub fn build_into(
+        &mut self,
+        base: &GrayImage,
+        config: &PyramidConfig,
+        scratch: &mut PyramidScratch,
+    ) {
         assert!(config.levels >= 1, "pyramid needs at least one level");
         assert!(config.scale_factor > 1.0, "scale factor must exceed 1");
         self.config = *config;
@@ -170,7 +175,10 @@ impl ImagePyramid {
 
     /// Total pixel count across all layers.
     pub fn total_pixels(&self) -> u64 {
-        self.layers.iter().map(|l| l.width() as u64 * l.height() as u64).sum()
+        self.layers
+            .iter()
+            .map(|l| l.width() as u64 * l.height() as u64)
+            .sum()
     }
 }
 
@@ -188,8 +196,12 @@ pub fn resize_nearest_reference(src: &GrayImage, width: u32, height: u32) -> Gra
     let sx = src.width() as f64 / width as f64;
     let sy = src.height() as f64 / height as f64;
     GrayImage::from_fn(width, height, |x, y| {
-        let src_x = ((x as f64 + 0.5) * sx - 0.5).round().clamp(0.0, src.width() as f64 - 1.0) as u32;
-        let src_y = ((y as f64 + 0.5) * sy - 0.5).round().clamp(0.0, src.height() as f64 - 1.0) as u32;
+        let src_x = ((x as f64 + 0.5) * sx - 0.5)
+            .round()
+            .clamp(0.0, src.width() as f64 - 1.0) as u32;
+        let src_y = ((y as f64 + 0.5) * sy - 0.5)
+            .round()
+            .clamp(0.0, src.height() as f64 - 1.0) as u32;
         src.get(src_x, src_y)
     })
 }
@@ -212,7 +224,9 @@ pub fn resize_nearest_into(
 
     xmap.clear();
     xmap.extend((0..width).map(|x| {
-        ((x as f64 + 0.5) * sx - 0.5).round().clamp(0.0, src.width() as f64 - 1.0) as u32
+        ((x as f64 + 0.5) * sx - 0.5)
+            .round()
+            .clamp(0.0, src.width() as f64 - 1.0) as u32
     }));
 
     let sw = src.width() as usize;
@@ -220,7 +234,9 @@ pub fn resize_nearest_into(
     let out = dst.as_raw_mut();
     let w = width as usize;
     for y in 0..height as usize {
-        let src_y = ((y as f64 + 0.5) * sy - 0.5).round().clamp(0.0, src.height() as f64 - 1.0) as usize;
+        let src_y = ((y as f64 + 0.5) * sy - 0.5)
+            .round()
+            .clamp(0.0, src.height() as f64 - 1.0) as usize;
         let srow = &data[src_y * sw..src_y * sw + sw];
         let orow = &mut out[y * w..(y + 1) * w];
         for (o, &sx_idx) in orow.iter_mut().zip(xmap.iter()) {
@@ -269,8 +285,14 @@ mod tests {
     #[test]
     fn pyramid_pixel_count_matches_paper_48_percent_claim() {
         // §4.4: 4 layers process ~48% more pixels than 2 layers.
-        let four = PyramidConfig { levels: 4, scale_factor: 1.2 };
-        let two = PyramidConfig { levels: 2, scale_factor: 1.2 };
+        let four = PyramidConfig {
+            levels: 4,
+            scale_factor: 1.2,
+        };
+        let two = PyramidConfig {
+            levels: 2,
+            scale_factor: 1.2,
+        };
         let p4 = four.total_pixels(640, 480) as f64;
         let p2 = two.total_pixels(640, 480) as f64;
         let ratio = p4 / p2;
@@ -335,14 +357,26 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn zero_levels_panics() {
         let base = GrayImage::new(10, 10);
-        ImagePyramid::build(&base, &PyramidConfig { levels: 0, scale_factor: 1.2 });
+        ImagePyramid::build(
+            &base,
+            &PyramidConfig {
+                levels: 0,
+                scale_factor: 1.2,
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "scale factor")]
     fn bad_scale_panics() {
         let base = GrayImage::new(10, 10);
-        ImagePyramid::build(&base, &PyramidConfig { levels: 2, scale_factor: 1.0 });
+        ImagePyramid::build(
+            &base,
+            &PyramidConfig {
+                levels: 2,
+                scale_factor: 1.0,
+            },
+        );
     }
 
     #[test]
@@ -391,13 +425,39 @@ mod tests {
     fn build_into_handles_level_count_changes() {
         let frame = GrayImage::from_fn(100, 80, |x, y| ((x ^ y) % 256) as u8);
         let mut scratch = PyramidScratch::default();
-        let mut pyr = ImagePyramid::build(&frame, &PyramidConfig { levels: 2, scale_factor: 1.2 });
-        pyr.build_into(&frame, &PyramidConfig { levels: 5, scale_factor: 1.3 }, &mut scratch);
+        let mut pyr = ImagePyramid::build(
+            &frame,
+            &PyramidConfig {
+                levels: 2,
+                scale_factor: 1.2,
+            },
+        );
+        pyr.build_into(
+            &frame,
+            &PyramidConfig {
+                levels: 5,
+                scale_factor: 1.3,
+            },
+            &mut scratch,
+        );
         assert_eq!(
             pyr,
-            ImagePyramid::build(&frame, &PyramidConfig { levels: 5, scale_factor: 1.3 })
+            ImagePyramid::build(
+                &frame,
+                &PyramidConfig {
+                    levels: 5,
+                    scale_factor: 1.3
+                }
+            )
         );
-        pyr.build_into(&frame, &PyramidConfig { levels: 1, scale_factor: 1.2 }, &mut scratch);
+        pyr.build_into(
+            &frame,
+            &PyramidConfig {
+                levels: 1,
+                scale_factor: 1.2,
+            },
+            &mut scratch,
+        );
         assert_eq!(pyr.levels(), 1);
     }
 }

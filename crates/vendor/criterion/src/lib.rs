@@ -97,7 +97,8 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((sample_target.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000_000);
+        let iters = ((sample_target.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64)
+            .clamp(1, 1_000_000_000);
 
         self.iters_per_sample = iters;
         self.samples.clear();
@@ -106,7 +107,8 @@ impl Bencher {
             for _ in 0..iters {
                 black_box(f());
             }
-            self.samples.push(start.elapsed().as_secs_f64() / iters as f64);
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters as f64);
         }
     }
 }
@@ -159,7 +161,11 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Runs one standalone benchmark.
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_and_report(&id.into().id, self.sample_count, &mut f);
         self
     }
@@ -191,7 +197,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark inside the group.
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into().id);
         run_and_report(&id, self.sample_count, &mut f);
         self

@@ -288,7 +288,12 @@ pub mod collection {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let span = (self.len.end - self.len.start) as u64;
-            let n = self.len.start + if span == 0 { 0 } else { rng.below(span) as usize };
+            let n = self.len.start
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }

@@ -177,7 +177,12 @@ pub mod rngs {
             }
             if s == [0; 4] {
                 // xoshiro must not start from the all-zero state.
-                s = [0x9e3779b97f4a7c15, 0x6a09e667f3bcc909, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b];
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0x6a09e667f3bcc909,
+                    0xbb67ae8584caa73b,
+                    0x3c6ef372fe94f82b,
+                ];
             }
             SmallRng { s }
         }

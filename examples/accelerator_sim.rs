@@ -8,13 +8,13 @@
 //! ```
 
 use eslam_dataset::sequence::SequenceSpec;
+use eslam_features::orb::Workflow;
 use eslam_hw::extractor::{ExtractionWorkload, ExtractorModel};
 use eslam_hw::matcher::{MatcherModel, NOMINAL_MAP_POINTS};
 use eslam_hw::resource::{eslam_total, DEFAULT_MATCHER_PARALLELISM, XCZ7045};
+use eslam_hw::simulate_extraction;
 use eslam_hw::stream::StreamModel;
 use eslam_hw::system::{eslam_stage_times, pipeline_timeline, platform_reports};
-use eslam_hw::simulate_extraction;
-use eslam_features::orb::Workflow;
 
 fn main() {
     println!("== ORB Extractor timing (nominal VGA workload) ==");
@@ -28,22 +28,36 @@ fn main() {
     println!("  heap drain    : {:>9} cycles", t.drain_cycles.0);
     println!("  axi writeback : {:>9} cycles", t.writeback_cycles.0);
     println!("  pipeline flush: {:>9} cycles", t.flush_cycles.0);
-    println!("  TOTAL         : {:>9} cycles = {:.2} ms @100MHz", t.total.0, t.total_ms());
+    println!(
+        "  TOTAL         : {:>9} cycles = {:.2} ms @100MHz",
+        t.total.0,
+        t.total_ms()
+    );
 
     println!("\n== BRIEF Matcher timing (1024 × {NOMINAL_MAP_POINTS}) ==");
     let m = MatcherModel::default().matching_timing(1024, NOMINAL_MAP_POINTS);
     println!("  query load    : {:>9} cycles", m.query_load_cycles.0);
     println!("  compute       : {:>9} cycles", m.compute_cycles.0);
     println!("  writeback     : {:>9} cycles", m.writeback_cycles.0);
-    println!("  TOTAL         : {:>9} cycles = {:.2} ms @100MHz", m.total.0, m.total_ms());
+    println!(
+        "  TOTAL         : {:>9} cycles = {:.2} ms @100MHz",
+        m.total.0,
+        m.total_ms()
+    );
 
     println!("\n== FPGA resources (Table 1) ==");
     let total = eslam_total(DEFAULT_MATCHER_PARALLELISM);
     let util = XCZ7045.utilization(total);
     println!(
         "  LUT {} ({:.1}%) · FF {} ({:.1}%) · DSP {} ({:.1}%) · BRAM {} ({:.1}%)",
-        total.lut, util.percent[0], total.ff, util.percent[1],
-        total.dsp, util.percent[2], total.bram, util.percent[3],
+        total.lut,
+        util.percent[0],
+        total.ff,
+        util.percent[1],
+        total.dsp,
+        util.percent[2],
+        total.bram,
+        util.percent[3],
     );
 
     println!("\n== Platform comparison (Tables 2/3) ==");

@@ -23,7 +23,13 @@ fn render_pattern(pattern: &BriefPattern, path: &std::path::Path) -> Result<(), 
     let scale = (size as f64 / 2.0 - 10.0) / PATCH_RADIUS;
     let centre = size as i64 / 2;
     let to_px = |v: f64| (v * scale) as i64 + centre;
-    draw_circle(&mut img, centre, centre, (PATCH_RADIUS * scale) as i64, [0, 0, 0]);
+    draw_circle(
+        &mut img,
+        centre,
+        centre,
+        (PATCH_RADIUS * scale) as i64,
+        [0, 0, 0],
+    );
     for pair in pattern.pairs() {
         draw_line(
             &mut img,
@@ -47,12 +53,21 @@ fn main() -> Result<(), Box<dyn Error>> {
     let orig = OriginalBrief::new(42);
     render_pattern(rs.pattern(), &out_dir.join("fig2_rs_brief.ppm"))?;
     render_pattern(orig.pattern(), &out_dir.join("fig2_brief.ppm"))?;
-    println!("wrote fig2_rs_brief.ppm and fig2_brief.ppm to {}", out_dir.display());
+    println!(
+        "wrote fig2_rs_brief.ppm and fig2_brief.ppm to {}",
+        out_dir.display()
+    );
 
     // Steering-cost comparison (the §2.2 argument):
     println!("\n== Steering cost per feature ==");
-    println!("  direct rotation (Eq. 2): 512 locations x (4 mul + 2 add) = {} ops", 512 * 6);
-    println!("  30-angle LUT [8]       : 0 ops, but {} stored locations", orig.lut().storage_locations());
+    println!(
+        "  direct rotation (Eq. 2): 512 locations x (4 mul + 2 add) = {} ops",
+        512 * 6
+    );
+    println!(
+        "  30-angle LUT [8]       : 0 ops, but {} stored locations",
+        orig.lut().storage_locations()
+    );
     println!("  RS-BRIEF rotator       : one 256-bit rotate by 8xN bits (0 extra storage)");
 
     // Rotation robustness: descriptors of the same physical patch under

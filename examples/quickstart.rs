@@ -40,7 +40,11 @@ fn main() {
             r.map_size,
             hw.fe_ms,
             hw.fm_ms,
-            if r.tracking_ok { "" } else { "   <-- tracking lost" },
+            if r.tracking_ok {
+                ""
+            } else {
+                "   <-- tracking lost"
+            },
         );
     }
 

@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // TUM-format dumps.
-    slam.trajectory().write_tum(File::create(out_dir.join("estimate.tum"))?)?;
+    slam.trajectory()
+        .write_tum(File::create(out_dir.join("estimate.tum"))?)?;
     truth.write_tum(File::create(out_dir.join("groundtruth.tum"))?)?;
 
     // Fig. 9-style x/z overlay plot.
@@ -62,7 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let ate = absolute_trajectory_error(slam.trajectory(), &truth)
         .ok_or("trajectory too short for ATE")?;
-    println!("wrote {}/estimate.tum, groundtruth.tum, fig9_trajectory.ppm", out_dir.display());
+    println!(
+        "wrote {}/estimate.tum, groundtruth.tum, fig9_trajectory.ppm",
+        out_dir.display()
+    );
     println!(
         "ATE rmse {:.2} cm over {} poses ({} keyframes)",
         ate.stats.rmse * 100.0,

@@ -16,7 +16,10 @@ const IMAGE_SCALE: f64 = 0.25;
 
 /// Runs SLAM over a sequence spec; returns (estimate, ground truth,
 /// tracked-frame count, keyframes).
-fn run_sequence(spec_index: usize, descriptor: DescriptorKind) -> (Trajectory, Trajectory, usize, usize) {
+fn run_sequence(
+    spec_index: usize,
+    descriptor: DescriptorKind,
+) -> (Trajectory, Trajectory, usize, usize) {
     let spec = &SequenceSpec::paper_sequences(FRAMES, IMAGE_SCALE)[spec_index];
     let seq = spec.build();
     let mut config = SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE);
@@ -94,8 +97,14 @@ fn rs_brief_accuracy_is_comparable_to_original_orb() {
     let (est_orig, _, tracked_orig, _) = run_sequence(0, DescriptorKind::OriginalLut);
     assert_eq!(tracked_rs, FRAMES);
     assert_eq!(tracked_orig, FRAMES);
-    let ate_rs = absolute_trajectory_error(&est_rs, &truth).unwrap().stats.rmse;
-    let ate_orig = absolute_trajectory_error(&est_orig, &truth).unwrap().stats.rmse;
+    let ate_rs = absolute_trajectory_error(&est_rs, &truth)
+        .unwrap()
+        .stats
+        .rmse;
+    let ate_orig = absolute_trajectory_error(&est_orig, &truth)
+        .unwrap()
+        .stats
+        .rmse;
     // Comparable: neither degrades the other by more than 3× on this
     // short sequence (paper: within 4% averaged over five sequences).
     let ratio = ate_rs.max(ate_orig) / ate_rs.min(ate_orig).max(1e-6);
@@ -119,7 +128,10 @@ fn keyframes_trigger_map_growth() {
         }
         sizes.push(r.map_size);
     }
-    assert!(any_keyframe_after_bootstrap, "room loop should spawn keyframes");
+    assert!(
+        any_keyframe_after_bootstrap,
+        "room loop should spawn keyframes"
+    );
     assert!(
         *sizes.last().unwrap() >= sizes[0],
         "map shrank unexpectedly: {sizes:?}"
@@ -146,12 +158,12 @@ fn survives_a_dropout_frame() {
     let mut reports = Vec::new();
     for (i, frame) in seq.frames().enumerate() {
         if i == 4 {
-            let flat = eslam_image::GrayImage::from_fn(
-                frame.gray.width(),
-                frame.gray.height(),
-                |_, _| 127,
-            );
-            let empty_depth = eslam_image::DepthImage::new(frame.depth.width(), frame.depth.height());
+            let flat =
+                eslam_image::GrayImage::from_fn(frame.gray.width(), frame.gray.height(), |_, _| {
+                    127
+                });
+            let empty_depth =
+                eslam_image::DepthImage::new(frame.depth.width(), frame.depth.height());
             let r = slam.process(frame.timestamp, &flat, &empty_depth);
             assert!(!r.tracking_ok, "flat frame cannot be tracked");
             reports.push(r);

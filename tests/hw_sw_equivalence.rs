@@ -54,7 +54,8 @@ fn brief_rotator_unit_matches_software_steering_on_real_patches() {
     let smoothed = eslam_image::filter::gaussian_blur_7x7_fixed(&frame.gray);
     let engine = RsBrief::new(OrbConfig::default().pattern_seed);
     for (x, y) in [(40u32, 40u32), (80, 60), (100, 90), (60, 30)] {
-        let unsteered = eslam_features::brief::compute_descriptor(&smoothed, x, y, engine.pattern());
+        let unsteered =
+            eslam_features::brief::compute_descriptor(&smoothed, x, y, engine.pattern());
         for label in 0..32u8 {
             let hw: Descriptor = rotator_behaviour(unsteered, label);
             let sw = engine.compute(&smoothed, x, y, label);

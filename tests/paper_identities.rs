@@ -12,14 +12,30 @@ use eslam_image::pyramid::PyramidConfig;
 fn table2_stage_times_reproduce() {
     let [arm, i7, eslam] = platform_reports();
     // eSLAM column.
-    assert!((eslam.stages.fe - 9.1).abs() < 0.1, "eSLAM FE {}", eslam.stages.fe);
-    assert!((eslam.stages.fm - 4.0).abs() < 0.05, "eSLAM FM {}", eslam.stages.fm);
+    assert!(
+        (eslam.stages.fe - 9.1).abs() < 0.1,
+        "eSLAM FE {}",
+        eslam.stages.fe
+    );
+    assert!(
+        (eslam.stages.fm - 4.0).abs() < 0.05,
+        "eSLAM FM {}",
+        eslam.stages.fm
+    );
     assert_eq!(eslam.stages.pe, 9.2);
     assert_eq!(eslam.stages.po, 8.7);
     assert_eq!(eslam.stages.mu, 9.9);
     // ARM column.
-    assert!((arm.stages.fe - 291.6).abs() < 3.0, "ARM FE {}", arm.stages.fe);
-    assert!((arm.stages.fm - 246.2).abs() < 2.5, "ARM FM {}", arm.stages.fm);
+    assert!(
+        (arm.stages.fe - 291.6).abs() < 3.0,
+        "ARM FE {}",
+        arm.stages.fe
+    );
+    assert!(
+        (arm.stages.fm - 246.2).abs() < 2.5,
+        "ARM FM {}",
+        arm.stages.fm
+    );
     // i7 column.
     assert!((i7.stages.fe - 32.5).abs() < 0.4, "i7 FE {}", i7.stages.fe);
     assert!((i7.stages.fm - 19.7).abs() < 0.3, "i7 FM {}", i7.stages.fm);
@@ -93,8 +109,16 @@ fn table1_resources_and_utilization() {
 fn discussion_pixel_and_latency_claims() {
     // §4.4: 4-level pyramid processes 48% more pixels than [4]'s 2-level;
     // eSLAM FE latency is ≈39% lower nonetheless.
-    let four = PyramidConfig { levels: 4, scale_factor: 1.2 }.total_pixels(640, 480) as f64;
-    let two = PyramidConfig { levels: 2, scale_factor: 1.2 }.total_pixels(640, 480) as f64;
+    let four = PyramidConfig {
+        levels: 4,
+        scale_factor: 1.2,
+    }
+    .total_pixels(640, 480) as f64;
+    let two = PyramidConfig {
+        levels: 2,
+        scale_factor: 1.2,
+    }
+    .total_pixels(640, 480) as f64;
     assert!((four / two - 1.48).abs() < 0.02);
 
     let ours = eslam_stage_times().fe;
@@ -117,9 +141,15 @@ fn energy_reduction_brackets() {
     let vs_arm_normal = arm.energy_normal_mj / eslam.energy_normal_mj;
     let vs_arm_key = arm.energy_keyframe_mj / eslam.energy_keyframe_mj;
     assert!(vs_arm_key > 13.5 && vs_arm_key < 16.0, "key {vs_arm_key}");
-    assert!(vs_arm_normal > 23.5 && vs_arm_normal < 26.5, "normal {vs_arm_normal}");
+    assert!(
+        vs_arm_normal > 23.5 && vs_arm_normal < 26.5,
+        "normal {vs_arm_normal}"
+    );
     let vs_i7_normal = i7.energy_normal_mj / eslam.energy_normal_mj;
     let vs_i7_key = i7.energy_keyframe_mj / eslam.energy_keyframe_mj;
     assert!(vs_i7_key > 39.0 && vs_i7_key < 44.0, "key {vs_i7_key}");
-    assert!(vs_i7_normal > 67.0 && vs_i7_normal < 75.0, "normal {vs_i7_normal}");
+    assert!(
+        vs_i7_normal > 67.0 && vs_i7_normal < 75.0,
+        "normal {vs_i7_normal}"
+    );
 }

@@ -7,7 +7,10 @@ use eslam_features::orb::{OrbConfig, OrbExtractor, Workflow};
 use eslam_hw::extractor::{ExtractionWorkload, ExtractorModel};
 
 fn rendered_gray() -> eslam_image::GrayImage {
-    SequenceSpec::paper_sequences(1, 0.5)[2].build().frame(0).gray
+    SequenceSpec::paper_sequences(1, 0.5)[2]
+        .build()
+        .frame(0)
+        .gray
 }
 
 #[test]
