@@ -1,12 +1,46 @@
 //! Criterion bench: full per-frame SLAM pipeline throughput on synthetic
-//! sequences (the end-to-end workload behind Table 3), plus the Fig. 7
-//! schedule evaluation.
+//! sequences (the end-to-end workload behind Table 3), the Fig. 7
+//! schedule evaluation, and the dataset layer — including the
+//! prefetch-vs-synchronous frame-streaming comparison and a hard
+//! zero-allocation check on the recycled-buffer render path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eslam_core::{Slam, SlamConfig};
-use eslam_dataset::sequence::SequenceSpec;
+use eslam_core::{run_sequence, PrefetchMode, Slam, SlamConfig};
+use eslam_dataset::sequence::{Frame, SequenceSpec};
 use eslam_hw::system::{frame_timing, Schedule, StageTimesMs};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Allocation-counting wrapper around the system allocator, so the
+/// bench can *assert* (not just hope) that the steady-state
+/// `frame_into` path allocates nothing.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn bench_slam_frame(c: &mut Criterion) {
     // Quarter-scale desk sequence: the steady-state tracking cost.
@@ -23,6 +57,32 @@ fn bench_slam_frame(c: &mut Criterion) {
             black_box(slam.trajectory().len())
         })
     });
+    group.finish();
+}
+
+fn bench_run_sequence_overlap(c: &mut Criterion) {
+    // The tentpole measurement: the same end-to-end run with frames
+    // pulled synchronously vs streamed through the async prefetcher.
+    // On a multicore host the prefetched run hides the ray-cast cost
+    // behind tracking (wall.frame_wait_ms collapses); the split is
+    // printed so the overlap is visible even in quick mode.
+    let seq = SequenceSpec::paper_sequences(6, 0.25)[2].build();
+    let mut group = c.benchmark_group("pipeline/run_sequence");
+    group.sample_size(10);
+    for (name, mode) in [("sync", PrefetchMode::Off), ("prefetch", PrefetchMode::On)] {
+        let mut config = SlamConfig::scaled_for_tests(4.0);
+        config.prefetch = mode;
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_sequence(&seq, config)).reports.len())
+        });
+        let result = run_sequence(&seq, config);
+        eprintln!(
+            "run_sequence/{name}: frame_wait {:.2} ms, track {:.2} ms ({:.0}% waiting)",
+            result.wall.frame_wait_ms,
+            result.wall.track_ms,
+            100.0 * result.wall.wait_fraction(),
+        );
+    }
     group.finish();
 }
 
@@ -43,17 +103,43 @@ fn bench_schedule_eval(c: &mut Criterion) {
 }
 
 fn bench_rendering(c: &mut Criterion) {
-    // Dataset substrate cost: one quarter-scale ray-cast frame.
-    let seq = SequenceSpec::paper_sequences(1, 0.25)[3].build();
+    // Dataset substrate cost: one quarter-scale ray-cast frame, on both
+    // the owned-frame path and the recycled-buffer path.
+    let seq = SequenceSpec::paper_sequences(2, 0.25)[3].build();
     let mut group = c.benchmark_group("pipeline/render_frame");
     group.sample_size(10);
     group.bench_function("room_160x120", |b| b.iter(|| black_box(seq.frame(0))));
+    group.bench_function("room_160x120_into", |b| {
+        let mut buf = Frame::buffer();
+        b.iter(|| {
+            seq.frame_into(0, &mut buf);
+            black_box(buf.timestamp)
+        })
+    });
     group.finish();
+
+    // Hard guarantee behind the `_into` number: after warm-up, the
+    // recycled buffer renders with ZERO allocations per frame — the
+    // property the prefetcher's double buffer relies on.
+    let mut buf = Frame::buffer();
+    seq.frame_into(0, &mut buf); // warm the buffer allocations
+    let before = allocations();
+    for _ in 0..16 {
+        seq.frame_into(0, &mut buf);
+        seq.frame_into(1, &mut buf);
+    }
+    let per_frame = allocations() - before;
+    assert_eq!(
+        per_frame, 0,
+        "frame_into must not allocate in steady state (saw {per_frame} allocations over 32 frames)"
+    );
+    eprintln!("render_frame_into steady-state allocations per frame: 0 (asserted over 32 frames)");
 }
 
 criterion_group!(
     benches,
     bench_slam_frame,
+    bench_run_sequence_overlap,
     bench_schedule_eval,
     bench_rendering
 );

@@ -15,6 +15,63 @@ pub enum Backend {
     Accelerator,
 }
 
+/// Environment variable forcing the dataset prefetch decision: `on`,
+/// `off`, or `auto` (the default). When set to `on`/`off` it overrides
+/// [`SlamConfig::prefetch`] entirely — the CI matrix uses it, exactly
+/// like `ESLAM_MATCH_KERNEL` pins the matcher rung, to run the whole
+/// test suite under both the streamed and the synchronous dataset path.
+/// An unrecognised value panics so matrix typos fail loudly.
+pub const PREFETCH_ENV: &str = "ESLAM_PREFETCH";
+
+/// Whether [`crate::run_sequence`] streams frames through the async
+/// double-buffered prefetcher (`eslam_dataset::prefetch`) or pulls them
+/// synchronously. Both paths are bit-identical (proven by
+/// `tests/prefetch_equivalence.rs`); they differ only in whether frame
+/// `k + 1` renders while frame `k` is being tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchMode {
+    /// Prefetch when it can actually overlap: enabled iff the host
+    /// exposes more than one hardware thread.
+    #[default]
+    Auto,
+    /// Always stream through the prefetcher (on a single-core host the
+    /// render degenerates to inline execution at the join — correct,
+    /// just without overlap).
+    On,
+    /// Always pull frames synchronously.
+    Off,
+}
+
+impl PrefetchMode {
+    /// Resolves the mode to a decision, honouring [`PREFETCH_ENV`]
+    /// first (read once per process, like the matcher-kernel override).
+    ///
+    /// # Panics
+    /// Panics when [`PREFETCH_ENV`] is set to an unrecognised value.
+    pub fn resolved(self) -> bool {
+        static FORCED: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+        let forced = *FORCED.get_or_init(|| {
+            let Ok(raw) = std::env::var(PREFETCH_ENV) else {
+                return None;
+            };
+            match raw.trim().to_ascii_lowercase().as_str() {
+                "" | "auto" => None,
+                "on" | "1" | "true" => Some(true),
+                "off" | "0" | "false" => Some(false),
+                _ => panic!("unrecognised {PREFETCH_ENV}={raw:?} (expected auto, on or off)"),
+            }
+        });
+        match forced {
+            Some(decision) => decision,
+            None => match self {
+                PrefetchMode::On => true,
+                PrefetchMode::Off => false,
+                PrefetchMode::Auto => eslam_features::pool::available_threads() > 1,
+            },
+        }
+    }
+}
+
 /// Configuration of the [`crate::Slam`] system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlamConfig {
@@ -56,6 +113,10 @@ pub struct SlamConfig {
     /// rejected with a panic at [`crate::Slam::new`] — see
     /// `eslam_features::pool::resolve_thread_count` for the exact rules.
     pub worker_threads: Option<usize>,
+    /// Whether [`crate::run_sequence`] overlaps frame production with
+    /// tracking via the async double-buffered prefetcher. Overridden by
+    /// the [`PREFETCH_ENV`] environment variable when set.
+    pub prefetch: PrefetchMode,
 }
 
 impl SlamConfig {
@@ -75,6 +136,7 @@ impl SlamConfig {
             backend: Backend::Accelerator,
             motion_model: true,
             worker_threads: None,
+            prefetch: PrefetchMode::Auto,
         }
     }
 
@@ -111,5 +173,38 @@ mod tests {
         let cfg = SlamConfig::scaled_for_tests(4.0);
         assert_eq!(cfg.camera.width, 160);
         assert_eq!(cfg.camera.height, 120);
+    }
+
+    #[test]
+    fn prefetch_mode_defaults_to_auto() {
+        assert_eq!(SlamConfig::default().prefetch, PrefetchMode::Auto);
+        assert_eq!(PrefetchMode::default(), PrefetchMode::Auto);
+    }
+
+    #[test]
+    fn prefetch_resolution_honours_explicit_modes() {
+        // The env override is process-wide (OnceLock), so this test can
+        // only assert the invariants that hold under every setting:
+        // with ESLAM_PREFETCH unset/auto, On/Off are honoured exactly;
+        // with a forced value, all three modes resolve identically.
+        let on = PrefetchMode::On.resolved();
+        let off = PrefetchMode::Off.resolved();
+        let auto = PrefetchMode::Auto.resolved();
+        let forced = std::env::var(PREFETCH_ENV)
+            .ok()
+            .map(|v| v.trim().to_ascii_lowercase())
+            .filter(|v| !v.is_empty() && v != "auto");
+        match forced {
+            Some(_) => {
+                assert_eq!(on, off, "a forced {PREFETCH_ENV} overrides the config");
+                assert_eq!(on, auto);
+            }
+            None => {
+                assert!(on);
+                assert!(!off);
+                let cores = eslam_features::pool::available_threads();
+                assert_eq!(auto, cores > 1);
+            }
+        }
     }
 }

@@ -14,7 +14,23 @@
 //!   [`config::Backend::Accelerator`], every frame also reports the
 //!   modelled FPGA latencies from `eslam-hw`, and [`pipeline`] schedules
 //!   whole sequences under the Fig. 7 pipeline for the ARM / Intel i7 /
-//!   eSLAM platform comparison.
+//!   eSLAM platform comparison;
+//! * **Streaming dataset layer** — [`runner::run_sequence`] accepts any
+//!   `eslam_dataset::FrameSource` and, per
+//!   [`config::SlamConfig::prefetch`], overlaps frame production with
+//!   tracking via the double-buffered async prefetcher (bit-identical
+//!   to synchronous pulls; the measured wait/track split is in
+//!   [`runner::RunResult::wall`]).
+//!
+//! # Environment overrides
+//!
+//! * `ESLAM_MATCH_KERNEL` (`auto`/`scalar`/`popcnt`/`avx2`/`avx512`) —
+//!   pins the Hamming-matcher kernel rung
+//!   (`eslam_features::matcher::active_kernel`);
+//! * `ESLAM_PREFETCH` (`auto`/`on`/`off`) — forces the dataset
+//!   prefetch decision over the configured [`config::PrefetchMode`]
+//!   ([`config::PREFETCH_ENV`]). CI runs the suite under both forced
+//!   values.
 //!
 //! # Examples
 //!
@@ -33,6 +49,19 @@
 //! }
 //! assert_eq!(slam.trajectory().len(), 3);
 //! ```
+//!
+//! Or run a whole [`eslam_dataset::FrameSource`] in one call, with the
+//! frame-wait / track overlap measured for you:
+//!
+//! ```
+//! use eslam_core::{run_sequence, SlamConfig};
+//! use eslam_dataset::sequence::SequenceSpec;
+//!
+//! let seq = SequenceSpec::paper_sequences(3, 0.25)[0].build();
+//! let result = run_sequence(&seq, SlamConfig::scaled_for_tests(4.0));
+//! assert_eq!(result.reports.len(), 3);
+//! assert!(result.wall.track_ms > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -45,9 +74,9 @@ pub mod stats;
 pub mod system;
 pub mod tracking;
 
-pub use config::{Backend, SlamConfig};
+pub use config::{Backend, PrefetchMode, SlamConfig, PREFETCH_ENV};
 pub use map::{Map, MapPoint};
-pub use pipeline::{sequence_timing, PlatformSequenceTiming};
+pub use pipeline::{sequence_timing, PlatformSequenceTiming, SequenceWallTiming};
 pub use runner::{run_sequence, RunResult};
 pub use stats::SequenceStats;
 pub use system::{FrameHwTiming, FrameReport, Slam};

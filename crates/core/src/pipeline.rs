@@ -28,6 +28,66 @@ pub struct PlatformSequenceTiming {
     pub mean_keyframe_ms: f64,
     /// Energy consumed over the sequence, mJ.
     pub energy_mj: f64,
+    /// Measured wall-clock time spent waiting for frame pixels over the
+    /// run (dataset render/load latency, summed from
+    /// [`FrameReport::frame_wait_ms`]). Accounted separately from the
+    /// modelled compute totals above — it is a property of the dataset
+    /// layer, identical for every platform, and collapses toward zero
+    /// when the async prefetcher overlaps rendering with tracking.
+    pub frame_wait_ms: f64,
+}
+
+/// Measured wall-clock timing of one run, split into the time spent
+/// *waiting for pixels* versus the time spent *tracking* — the
+/// software analogue of the paper's Fig. 7 stage-overlap argument
+/// applied to the dataset layer.
+///
+/// With synchronous frame pulls, `frame_wait_ms` carries the full
+/// render/load cost; with the async prefetcher it shrinks to the
+/// residual the background render could not hide behind tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SequenceWallTiming {
+    /// Total time blocked waiting for frame pixels, ms.
+    pub frame_wait_ms: f64,
+    /// Total time inside [`crate::Slam::process`], ms.
+    pub track_ms: f64,
+    /// Mean per-frame wait, ms.
+    pub mean_wait_ms: f64,
+    /// Mean per-frame tracking time, ms.
+    pub mean_track_ms: f64,
+}
+
+impl SequenceWallTiming {
+    /// Aggregates the measured per-frame wait/track times of a report
+    /// stream.
+    pub fn from_reports(reports: &[FrameReport]) -> SequenceWallTiming {
+        let frame_wait_ms: f64 = reports.iter().map(|r| r.frame_wait_ms).sum();
+        let track_ms: f64 = reports.iter().map(|r| r.track_ms).sum();
+        let frames = reports.len().max(1) as f64;
+        SequenceWallTiming {
+            frame_wait_ms,
+            track_ms,
+            mean_wait_ms: frame_wait_ms / frames,
+            mean_track_ms: track_ms / frames,
+        }
+    }
+
+    /// Total measured wall time (wait + track), ms.
+    pub fn total_ms(&self) -> f64 {
+        self.frame_wait_ms + self.track_ms
+    }
+
+    /// Fraction of the run spent waiting for pixels (0 when nothing was
+    /// measured). The overlap metric: synchronous runs sit at the
+    /// render/track cost ratio, prefetched runs push this toward 0.
+    pub fn wait_fraction(&self) -> f64 {
+        let total = self.total_ms();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.frame_wait_ms / total
+        }
+    }
 }
 
 /// Per-frame stage times for the CPU platforms, derived from the frame's
@@ -104,6 +164,7 @@ fn summarize(
             0.0
         },
         energy_mj: total * power_w,
+        frame_wait_ms: reports.iter().map(|r| r.frame_wait_ms).sum(),
     }
 }
 
@@ -172,6 +233,8 @@ mod tests {
                 fe_ms: 9.1,
                 fm_ms: 4.0,
             }),
+            frame_wait_ms: 2.5,
+            track_ms: 40.0,
         }
     }
 
@@ -223,5 +286,34 @@ mod tests {
         let [arm, _, eslam] = sequence_timing(&[]);
         assert_eq!(arm.total_ms, 0.0);
         assert_eq!(eslam.energy_mj, 0.0);
+        assert_eq!(arm.frame_wait_ms, 0.0);
+        let wall = SequenceWallTiming::from_reports(&[]);
+        assert_eq!(wall.total_ms(), 0.0);
+        assert_eq!(wall.wait_fraction(), 0.0);
+    }
+
+    #[test]
+    fn frame_wait_is_accounted_separately_from_modelled_compute() {
+        let reports: Vec<FrameReport> = (0..4).map(|i| fake_report(i, false)).collect();
+        let [arm, i7, eslam] = sequence_timing(&reports);
+        // The measured dataset wait is a property of the run, not the
+        // platform: identical across all three, and not folded into the
+        // modelled totals.
+        assert_eq!(arm.frame_wait_ms, 10.0);
+        assert_eq!(i7.frame_wait_ms, 10.0);
+        assert_eq!(eslam.frame_wait_ms, 10.0);
+        assert!(eslam.total_ms < arm.total_ms);
+    }
+
+    #[test]
+    fn wall_timing_splits_wait_from_track() {
+        let reports: Vec<FrameReport> = (0..4).map(|i| fake_report(i, i == 0)).collect();
+        let wall = SequenceWallTiming::from_reports(&reports);
+        assert_eq!(wall.frame_wait_ms, 10.0);
+        assert_eq!(wall.track_ms, 160.0);
+        assert_eq!(wall.total_ms(), 170.0);
+        assert!((wall.mean_wait_ms - 2.5).abs() < 1e-12);
+        assert!((wall.mean_track_ms - 40.0).abs() < 1e-12);
+        assert!((wall.wait_fraction() - 10.0 / 170.0).abs() < 1e-12);
     }
 }

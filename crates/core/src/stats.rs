@@ -121,6 +121,8 @@ mod tests {
                 ..Default::default()
             },
             hw_timing: Some(FrameHwTiming::default()),
+            frame_wait_ms: 0.0,
+            track_ms: 0.0,
         }
     }
 

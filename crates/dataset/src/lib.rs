@@ -17,7 +17,15 @@
 //! * [`eval`] — ATE (Fig. 8's metric) and RPE trajectory evaluation;
 //! * [`disk`] — on-disk TUM-style dataset export/load (PGM frames +
 //!   `rgb.txt`/`depth.txt`/`groundtruth.txt`), including timestamp
-//!   association for unsynchronized real recordings.
+//!   association for unsynchronized real recordings;
+//! * [`source`] — the [`FrameSource`] abstraction over synthetic, disk
+//!   and noise-augmented frame producers (the pipeline consumes frames
+//!   through this trait, not a concrete renderer);
+//! * [`prefetch`] — double-buffered async prefetch: frame `k + 1`
+//!   renders on a background worker of the persistent
+//!   `eslam_features::pool::WorkerPool` while the pipeline consumes
+//!   frame `k`, bit-identical to synchronous rendering (forceable at
+//!   the SLAM layer via the `ESLAM_PREFETCH` environment variable).
 //!
 //! # Examples
 //!
@@ -39,12 +47,16 @@
 pub mod disk;
 pub mod eval;
 pub mod noise;
+pub mod prefetch;
 pub mod scene;
 pub mod sequence;
+pub mod source;
 pub mod trajectory;
 
 pub use eval::{absolute_trajectory_error, relative_pose_error, AteResult, ErrorStats};
+pub use prefetch::{with_prefetch, PrefetchSource};
 pub use sequence::{Frame, SequenceSpec, SyntheticSequence};
+pub use source::{FrameSource, NoisySource};
 pub use trajectory::{TimedPose, Trajectory, TrajectoryKind, TrajectoryParams};
 
 #[cfg(test)]

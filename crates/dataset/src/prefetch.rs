@@ -1,0 +1,289 @@
+//! Double-buffered asynchronous frame prefetch.
+//!
+//! eSLAM's headline gain is a pipeline that overlaps stages so no unit
+//! ever stalls waiting for pixels (Fig. 7). The software pipeline had
+//! the same stall in its dataset layer: `run_sequence` blocked on the
+//! synchronous ray-caster (~2 ms per quarter-scale frame, ~30 ms at
+//! VGA) before every `Slam::process` call. [`PrefetchSource`] removes
+//! the stall by rendering frame `k + 1` on the persistent
+//! [`WorkerPool`] while the pipeline consumes frame `k`.
+//!
+//! Two owned [`Frame`] buffers are recycled for the whole run — one
+//! being consumed, one being rendered into — so the steady state
+//! allocates nothing, exactly the way `OrbScratch` recycles extraction
+//! scratch. Because every [`FrameSource`] is deterministic and the
+//! prefetcher renders each index exactly once, in order, through the
+//! same `frame_into` entry point, the streamed frames are bit-identical
+//! to pull-on-demand rendering — proven by
+//! `tests/prefetch_equivalence.rs`.
+//!
+//! # Scoped lifetime
+//!
+//! The background job borrows the source, so the adapter is only
+//! reachable inside [`with_prefetch`], which guarantees (even on
+//! unwind) that no job outlives the borrow — the same structured-
+//! concurrency contract as `std::thread::scope` and
+//! [`WorkerPool::scope_run`].
+//!
+//! # Examples
+//!
+//! ```
+//! use eslam_dataset::prefetch::with_prefetch;
+//! use eslam_dataset::sequence::SequenceSpec;
+//! use eslam_features::pool::WorkerPool;
+//!
+//! let seq = SequenceSpec::paper_sequences(3, 0.25)[0].build();
+//! let pool = WorkerPool::new(2);
+//! let mut timestamps = Vec::new();
+//! with_prefetch(&seq, &pool, |stream| {
+//!     while let Some(frame) = stream.next_frame() {
+//!         timestamps.push(frame.timestamp);
+//!     }
+//! });
+//! assert_eq!(timestamps.len(), 3);
+//! ```
+
+use crate::sequence::Frame;
+use crate::source::FrameSource;
+use eslam_features::pool::{TaskHandle, WorkerPool};
+
+/// A streaming view of a [`FrameSource`] that renders one frame ahead
+/// of the consumer on a background worker.
+///
+/// Only obtainable inside [`with_prefetch`]; see the [module
+/// docs](self) for the lifetime contract.
+#[derive(Debug)]
+pub struct PrefetchSource<'env, S: FrameSource + Sync> {
+    source: &'env S,
+    pool: &'env WorkerPool,
+    /// Render of the next frame to yield, already in flight.
+    inflight: Option<TaskHandle<Frame>>,
+    /// Index the in-flight render (if any) will produce.
+    next_yield: usize,
+    /// Buffer holding the frame currently borrowed by the consumer.
+    current: Frame,
+    /// Spare buffer, present only at the tail when nothing is in flight.
+    spare: Option<Frame>,
+}
+
+impl<'env, S: FrameSource + Sync> PrefetchSource<'env, S> {
+    fn new(source: &'env S, pool: &'env WorkerPool) -> Self {
+        let mut stream = PrefetchSource {
+            source,
+            pool,
+            inflight: None,
+            next_yield: 0,
+            current: Frame::buffer(),
+            spare: Some(Frame::buffer()),
+        };
+        if !source.is_empty() {
+            let buf = stream.spare.take().expect("fresh spare");
+            stream.inflight = Some(stream.submit_render(0, buf));
+        }
+        stream
+    }
+
+    /// Queues an asynchronous render of frame `index` into `buf`.
+    fn submit_render(&self, index: usize, mut buf: Frame) -> TaskHandle<Frame> {
+        let source = self.source;
+        let job: Box<dyn FnOnce() -> Frame + Send + 'env> = Box::new(move || {
+            source.frame_into(index, &mut buf);
+            buf
+        });
+        // SAFETY: the job borrows `source` (lifetime 'env) but is queued
+        // as a 'static closure. Soundness is structural, exactly as in
+        // `WorkerPool::scope_run`: a `PrefetchSource` is only reachable
+        // inside `with_prefetch`, which joins or drains every in-flight
+        // job before returning or unwinding, so no job — and therefore
+        // no `'env` borrow inside one — survives the scope.
+        let job: Box<dyn FnOnce() -> Frame + Send + 'static> = unsafe {
+            std::mem::transmute::<
+                Box<dyn FnOnce() -> Frame + Send + 'env>,
+                Box<dyn FnOnce() -> Frame + Send + 'static>,
+            >(job)
+        };
+        self.pool.submit(job)
+    }
+
+    /// Yields the next frame of the sequence, or `None` past the end.
+    ///
+    /// Blocks only when the background render has not finished yet (on
+    /// a 1-thread pool it runs the render inline here); the returned
+    /// reference stays valid until the next call.
+    pub fn next_frame(&mut self) -> Option<&Frame> {
+        let handle = self.inflight.take()?;
+        let rendered = handle.join();
+        // The buffer the consumer just finished with becomes the render
+        // target for the following frame.
+        let freed = std::mem::replace(&mut self.current, rendered);
+        self.next_yield += 1;
+        if self.next_yield < self.source.len() {
+            self.inflight = Some(self.submit_render(self.next_yield, freed));
+        } else {
+            self.spare = Some(freed);
+        }
+        Some(&self.current)
+    }
+
+    /// Number of frames the underlying source produces.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Whether the underlying source has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// Index of the frame the next [`PrefetchSource::next_frame`] call
+    /// will yield (equals [`PrefetchSource::len`] once exhausted).
+    pub fn position(&self) -> usize {
+        self.next_yield
+    }
+
+    /// Joins any in-flight render, discarding the result. Must complete
+    /// before the scope returns; panics from the render job are
+    /// swallowed here because `drain` also runs while an earlier panic
+    /// is already unwinding (the consumer's panic wins).
+    fn drain(&mut self) {
+        if let Some(handle) = self.inflight.take() {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        }
+    }
+}
+
+/// Runs `consume` with a [`PrefetchSource`] streaming `source`'s frames
+/// through `pool`, returning whatever `consume` returns.
+///
+/// The double-buffered overlap: frame `k + 1` renders on a pool worker
+/// while `consume` processes frame `k`. All in-flight work is joined
+/// before this function returns — including when `consume` unwinds —
+/// which is what makes handing the borrowed `source` to background jobs
+/// sound. A render-job panic surfaces on the consuming thread at the
+/// `next_frame` call that joins it.
+pub fn with_prefetch<S: FrameSource + Sync, R>(
+    source: &S,
+    pool: &WorkerPool,
+    consume: impl FnOnce(&mut PrefetchSource<'_, S>) -> R,
+) -> R {
+    let mut stream = PrefetchSource::new(source, pool);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| consume(&mut stream)));
+    stream.drain();
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::sequence::SequenceSpec;
+    use crate::trajectory::{TrajectoryKind, TrajectoryParams};
+    use eslam_geometry::PinholeCamera;
+
+    fn tiny(frames: usize) -> crate::sequence::SyntheticSequence {
+        SequenceSpec {
+            name: "test/prefetch".into(),
+            kind: TrajectoryKind::Desk,
+            params: TrajectoryParams {
+                frames,
+                fps: 30.0,
+                amplitude: 1.0,
+            },
+            camera: PinholeCamera::new(60.0, 60.0, 32.0, 24.0, 64, 48),
+            seed: 13,
+            noise: NoiseModel::default(),
+        }
+        .build()
+    }
+
+    #[test]
+    fn streams_every_frame_in_order() {
+        let seq = tiny(5);
+        let pool = WorkerPool::new(2);
+        with_prefetch(&seq, &pool, |stream| {
+            assert_eq!(stream.len(), 5);
+            let mut seen = 0;
+            while let Some(frame) = stream.next_frame() {
+                assert_eq!(frame, &seq.frame(seen), "frame {seen}");
+                seen += 1;
+                assert_eq!(stream.position(), seen);
+            }
+            assert_eq!(seen, 5);
+            // Exhausted: stays exhausted.
+            assert!(stream.next_frame().is_none());
+        });
+    }
+
+    #[test]
+    fn one_thread_pool_degenerates_to_inline_rendering() {
+        let seq = tiny(3);
+        let pool = WorkerPool::new(1);
+        with_prefetch(&seq, &pool, |stream| {
+            for i in 0..3 {
+                assert_eq!(stream.next_frame().unwrap(), &seq.frame(i));
+            }
+            assert!(stream.next_frame().is_none());
+        });
+    }
+
+    #[test]
+    fn empty_source_yields_nothing() {
+        // `TrajectoryParams::frames` is clamped to ≥ 1, so empty a
+        // built sequence by hand.
+        let mut seq = tiny(1);
+        seq.trajectory = crate::trajectory::Trajectory::new();
+        let pool = WorkerPool::new(2);
+        with_prefetch(&seq, &pool, |stream| {
+            assert!(stream.is_empty());
+            assert!(stream.next_frame().is_none());
+        });
+    }
+
+    #[test]
+    fn consumer_panic_still_drains_inflight_render() {
+        // The scope must join the background job before unwinding out —
+        // otherwise the job would outlive the borrow of `seq`.
+        let seq = tiny(4);
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_prefetch(&seq, &pool, |stream| {
+                let _ = stream.next_frame();
+                panic!("consumer bailed");
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool and source remain fully usable.
+        with_prefetch(&seq, &pool, |stream| {
+            assert_eq!(stream.next_frame().unwrap(), &seq.frame(0));
+        });
+    }
+
+    #[test]
+    fn early_return_mid_stream_is_clean() {
+        let seq = tiny(6);
+        let pool = WorkerPool::new(2);
+        let first_two: Vec<f64> = with_prefetch(&seq, &pool, |stream| {
+            (0..2)
+                .map(|_| stream.next_frame().unwrap().timestamp)
+                .collect()
+        });
+        assert_eq!(first_two.len(), 2);
+        assert_eq!(first_two[0], seq.frame(0).timestamp);
+    }
+
+    #[test]
+    fn global_pool_works_as_substrate() {
+        let seq = tiny(3);
+        with_prefetch(&seq, WorkerPool::global(), |stream| {
+            let mut n = 0;
+            while let Some(frame) = stream.next_frame() {
+                assert_eq!(frame, &seq.frame(n));
+                n += 1;
+            }
+            assert_eq!(n, 3);
+        });
+    }
+}

@@ -164,9 +164,28 @@ impl Scene {
     /// Returns the grayscale image and z-depth map. Ray parameterization
     /// uses unit-z camera bearings, so the ray parameter *is* the z-depth.
     pub fn render(&self, camera: &PinholeCamera, pose_c2w: &Se3) -> (GrayImage, DepthImage) {
+        let mut gray = GrayImage::default();
+        let mut depth = DepthImage::default();
+        self.render_into(camera, pose_c2w, &mut gray, &mut depth);
+        (gray, depth)
+    }
+
+    /// Renders into caller-owned buffers, reusing their allocations when
+    /// the capacity suffices (zero steady-state allocation — the render
+    /// counterpart of `ImagePyramid::build_into`). Bit-identical to
+    /// [`Scene::render`], which is now a thin wrapper over this.
+    pub fn render_into(
+        &self,
+        camera: &PinholeCamera,
+        pose_c2w: &Se3,
+        gray: &mut GrayImage,
+        depth: &mut DepthImage,
+    ) {
+        gray.reshape(camera.width, camera.height);
+        depth.reshape(camera.width, camera.height);
+        gray.as_raw_mut().fill(0);
+        depth.as_raw_mut().fill(0);
         let origin = pose_c2w.translation;
-        let mut gray = GrayImage::new(camera.width, camera.height);
-        let mut depth = DepthImage::new(camera.width, camera.height);
         for y in 0..camera.height {
             for x in 0..camera.width {
                 let bearing = camera.bearing(Vec2::new(x as f64, y as f64));
@@ -177,7 +196,6 @@ impl Scene {
                 }
             }
         }
-        (gray, depth)
     }
 
     /// Whether a world point lies strictly inside the room.
@@ -332,6 +350,28 @@ mod tests {
         let pose = Se3::from_quaternion_translation(&q, Vec3::new(0.3, 0.0, 0.0));
         let (b, _) = scene.render(&camera, &pose);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn render_into_matches_render_and_reuses_buffers() {
+        let scene = Scene::desk(8);
+        let camera = PinholeCamera::new(100.0, 100.0, 40.0, 30.0, 80, 60);
+        let pose = Se3::from_quaternion_translation(
+            &Quaternion::from_axis_angle(Vec3::Y, 0.2),
+            Vec3::new(0.1, -0.2, 0.3),
+        );
+        let (gray, depth) = scene.render(&camera, &pose);
+        // Dirty, differently-sized buffers must come out identical.
+        let mut g2 = GrayImage::from_fn(200, 10, |x, _| x as u8);
+        let mut d2 = DepthImage::from_fn(3, 3, |_, _| 42);
+        scene.render_into(&camera, &pose, &mut g2, &mut d2);
+        assert_eq!(g2, gray);
+        assert_eq!(d2, depth);
+        // A second render into the same buffers reuses the allocation.
+        let ptr = g2.as_raw().as_ptr();
+        scene.render_into(&camera, &pose, &mut g2, &mut d2);
+        assert_eq!(g2.as_raw().as_ptr(), ptr);
+        assert_eq!(g2, gray);
     }
 
     #[test]

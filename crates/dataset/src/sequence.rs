@@ -24,6 +24,30 @@ pub struct Frame {
     pub ground_truth: Se3,
 }
 
+impl Frame {
+    /// An empty reusable frame buffer (0×0 images, identity pose).
+    ///
+    /// Pass it to [`crate::source::FrameSource::frame_into`] renderers,
+    /// which reshape the images in place; after the first frame the
+    /// buffer's allocations are recycled and steady-state rendering
+    /// allocates nothing — the dataset-side analogue of the extraction
+    /// scratch (`OrbScratch`) recycling.
+    pub fn buffer() -> Frame {
+        Frame {
+            timestamp: 0.0,
+            gray: GrayImage::default(),
+            depth: DepthImage::default(),
+            ground_truth: Se3::identity(),
+        }
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::buffer()
+    }
+}
+
 /// Declarative description of a synthetic sequence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SequenceSpec {
@@ -147,24 +171,47 @@ impl SyntheticSequence {
         self.trajectory.is_empty()
     }
 
-    /// Renders frame `index`.
+    /// Renders frame `index` into an owned [`Frame`].
+    ///
+    /// Routed through [`SyntheticSequence::frame_into`] on a fresh
+    /// buffer; hot loops should hold a recycled [`Frame::buffer`] and
+    /// call `frame_into` directly for zero steady-state allocation.
     ///
     /// # Panics
     /// Panics if `index` is out of range.
     pub fn frame(&self, index: usize) -> Frame {
+        let mut out = Frame::buffer();
+        self.frame_into(index, &mut out);
+        out
+    }
+
+    /// Renders frame `index` into `out`, reusing its image allocations
+    /// when their capacity suffices. Bit-identical to
+    /// [`SyntheticSequence::frame`]; this is the zero-alloc primitive
+    /// the prefetch pipeline recycles frame buffers through.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn frame_into(&self, index: usize, out: &mut Frame) {
         let tp = self.trajectory.poses()[index];
-        let (mut gray, mut depth) = self.scene.render(&self.camera, &tp.pose);
-        self.noise
-            .apply(&mut gray, &mut depth, self.name.as_bytes(), index as u64);
-        Frame {
-            timestamp: tp.timestamp,
-            gray,
-            depth,
-            ground_truth: tp.pose,
-        }
+        self.scene
+            .render_into(&self.camera, &tp.pose, &mut out.gray, &mut out.depth);
+        self.noise.apply(
+            &mut out.gray,
+            &mut out.depth,
+            self.name.as_bytes(),
+            index as u64,
+        );
+        out.timestamp = tp.timestamp;
+        out.ground_truth = tp.pose;
     }
 
     /// Iterates over all frames (rendering lazily).
+    ///
+    /// Each yielded [`Frame`] is owned, so one image pair is allocated
+    /// per frame; streaming consumers that can recycle a buffer should
+    /// use [`SyntheticSequence::frame_into`] (or wrap the sequence in
+    /// `PrefetchSource`) instead.
     pub fn frames(&self) -> impl Iterator<Item = Frame> + '_ {
         (0..self.len()).map(|i| self.frame(i))
     }
@@ -262,5 +309,25 @@ mod tests {
     fn rendering_is_deterministic() {
         let seq = tiny_spec(TrajectoryKind::Xyz).build();
         assert_eq!(seq.frame(1), seq.frame(1));
+    }
+
+    #[test]
+    fn frame_into_recycles_buffer_bit_identically() {
+        // One buffer reused across every frame (and noise enabled, the
+        // sterner test: stale pixels must never leak through) matches
+        // the owned-frame path exactly.
+        let mut spec = tiny_spec(TrajectoryKind::Desk);
+        spec.noise = NoiseModel::default();
+        let seq = spec.build();
+        let mut buf = Frame::buffer();
+        for i in 0..seq.len() {
+            seq.frame_into(i, &mut buf);
+            assert_eq!(buf, seq.frame(i), "frame {i}");
+        }
+        // Steady state reuses the gray allocation.
+        seq.frame_into(0, &mut buf);
+        let ptr = buf.gray.as_raw().as_ptr();
+        seq.frame_into(1, &mut buf);
+        assert_eq!(buf.gray.as_raw().as_ptr(), ptr);
     }
 }

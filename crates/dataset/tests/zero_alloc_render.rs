@@ -1,0 +1,57 @@
+//! CI-enforced guard for the property the prefetcher's double buffer
+//! relies on: steady-state `frame_into` rendering into a recycled
+//! [`Frame`] buffer performs **zero** heap allocations per frame.
+//!
+//! Lives alone in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-wide — a lone `#[test]` keeps the
+//! counter free of concurrent test noise. (The pipeline bench repeats
+//! the same assertion next to its timing numbers; this copy is the one
+//! `cargo test` — and therefore every CI job — actually runs.)
+
+use eslam_dataset::sequence::{Frame, SequenceSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_frame_into_allocates_nothing() {
+    // Quarter-scale room sequence with the default (noisy) model: the
+    // full render + noise path, exactly what run_sequence recycles.
+    let seq = SequenceSpec::paper_sequences(2, 0.25)[3].build();
+    let mut buf = Frame::buffer();
+    seq.frame_into(0, &mut buf); // warm the buffer allocations
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..16 {
+        seq.frame_into(0, &mut buf);
+        seq.frame_into(1, &mut buf);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "frame_into must not allocate in steady state \
+         (saw {allocations} allocations over 32 frames)"
+    );
+}

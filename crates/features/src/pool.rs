@@ -27,6 +27,19 @@
 //! A panicking task does not kill its worker; the panic is caught, the
 //! batch still completes, and `scope_run` re-raises a panic on the
 //! calling thread once every task of the batch has settled.
+//!
+//! # Fire-and-collect jobs
+//!
+//! Besides the blocking batch API, [`WorkerPool::submit`] queues one
+//! `'static` job and returns immediately with a [`TaskHandle`]; the
+//! caller collects the result later with [`TaskHandle::join`]. This is
+//! the primitive behind the dataset prefetcher: frame `k + 1` renders on
+//! a worker while the pipeline tracks frame `k`. `join` *help-drains*
+//! the queue while it waits, so a 1-thread pool (no workers at all)
+//! still completes every submitted job — at `join` time, inline — and a
+//! handle can even outlive its pool: queued jobs stay reachable through
+//! the shared queue, which both workers (during shutdown) and joiners
+//! drain.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -121,6 +134,89 @@ struct LatchGuard(Arc<Latch>);
 impl Drop for LatchGuard {
     fn drop(&mut self) {
         self.0.arrive();
+    }
+}
+
+/// Completion slot shared between a submitted job and its [`TaskHandle`].
+struct TaskState<T> {
+    slot: Mutex<TaskSlot<T>>,
+    done: Condvar,
+}
+
+enum TaskSlot<T> {
+    Pending,
+    Finished(T),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Handle to one job queued with [`WorkerPool::submit`].
+///
+/// Collect the result with [`TaskHandle::join`]. Dropping the handle
+/// without joining is allowed: the job still runs (its result is
+/// discarded), and a panic inside it is contained to the slot rather
+/// than tearing down a worker.
+pub struct TaskHandle<T> {
+    state: Arc<TaskState<T>>,
+    /// The queue the job was pushed to, kept alive independently of the
+    /// pool so `join` can help-drain even after the pool is dropped.
+    queue: Arc<Queue>,
+}
+
+impl<T> std::fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match *self.state.slot.lock().unwrap() {
+            TaskSlot::Pending => "pending",
+            TaskSlot::Finished(_) => "finished",
+            TaskSlot::Panicked(_) => "panicked",
+        };
+        f.debug_struct("TaskHandle").field("state", &state).finish()
+    }
+}
+
+impl<T> TaskHandle<T> {
+    /// Whether the job has settled (finished or panicked), without
+    /// blocking or help-draining.
+    pub fn is_settled(&self) -> bool {
+        !matches!(*self.state.slot.lock().unwrap(), TaskSlot::Pending)
+    }
+
+    /// Blocks until the job has settled and returns its result.
+    ///
+    /// While waiting, the calling thread helps drain the pool's queue
+    /// (it may execute other queued jobs, including this handle's own),
+    /// so joining never deadlocks on a pool with no idle workers — a
+    /// 1-thread pool simply runs the job here, inline.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic payload on the joining thread if the
+    /// job panicked.
+    pub fn join(self) -> T {
+        loop {
+            {
+                let mut slot = self.state.slot.lock().unwrap();
+                match std::mem::replace(&mut *slot, TaskSlot::Pending) {
+                    TaskSlot::Finished(value) => return value,
+                    TaskSlot::Panicked(payload) => std::panic::resume_unwind(payload),
+                    TaskSlot::Pending => {}
+                }
+            }
+            // Not settled: run someone's queued job (possibly our own)
+            // instead of idling.
+            if let Some(job) = self.queue.try_pop() {
+                job();
+                continue;
+            }
+            // Queue empty but still pending: our job was popped by a
+            // worker (or another joiner) and is mid-execution — a queued
+            // job is always either in the queue or being run to
+            // completion, so blocking here cannot deadlock. The slot is
+            // re-checked under the lock, so the settle notification
+            // cannot be missed.
+            let mut slot = self.state.slot.lock().unwrap();
+            while matches!(*slot, TaskSlot::Pending) {
+                slot = self.state.done.wait(slot).unwrap();
+            }
+        }
     }
 }
 
@@ -280,6 +376,43 @@ impl WorkerPool {
             panic!("worker pool task panicked");
         }
     }
+
+    /// Queues one job for asynchronous execution and returns immediately
+    /// with a [`TaskHandle`] to collect its result.
+    ///
+    /// Unlike [`WorkerPool::scope_run`], the job must be `'static`: it
+    /// may still be queued when this call returns, so it cannot borrow
+    /// from the caller's stack. On a 1-thread pool the job is not run
+    /// here — it waits in the queue until [`TaskHandle::join`]
+    /// help-drains it (or a concurrent `scope_run` batch does).
+    ///
+    /// A panic inside the job is captured in the handle and re-raised by
+    /// `join`; it never kills a worker.
+    pub fn submit<T, F>(&self, job: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let state = Arc::new(TaskState {
+            slot: Mutex::new(TaskSlot::Pending),
+            done: Condvar::new(),
+        });
+        let task_state = Arc::clone(&state);
+        self.queue.push(Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            let mut slot = task_state.slot.lock().unwrap();
+            *slot = match result {
+                Ok(value) => TaskSlot::Finished(value),
+                Err(payload) => TaskSlot::Panicked(payload),
+            };
+            drop(slot);
+            task_state.done.notify_all();
+        }));
+        TaskHandle {
+            state,
+            queue: Arc::clone(&self.queue),
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -428,5 +561,157 @@ mod tests {
         let b = WorkerPool::global() as *const WorkerPool;
         assert_eq!(a, b);
         assert!(WorkerPool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn submit_returns_result_through_handle() {
+        let pool = WorkerPool::new(2);
+        let handle = pool.submit(|| (0..100u64).sum::<u64>());
+        assert_eq!(handle.join(), 4950);
+    }
+
+    #[test]
+    fn submit_on_one_thread_pool_runs_at_join() {
+        // A 1-thread pool has no workers: the job must wait in the
+        // queue until join() help-drains it inline — the degenerate
+        // single-core prefetch case.
+        let pool = WorkerPool::new(1);
+        let submitter = std::thread::current().id();
+        let handle = pool.submit(move || std::thread::current().id() == submitter);
+        assert!(!handle.is_settled(), "no worker should have run the job");
+        assert!(handle.join(), "job must run inline on the joining thread");
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch job exploded")]
+    fn submitted_job_panic_propagates_at_join() {
+        let pool = WorkerPool::new(2);
+        let handle = pool.submit(|| -> u32 { panic!("prefetch job exploded") });
+        let _ = handle.join();
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_submission() {
+        let pool = WorkerPool::new(2);
+        let bad = pool.submit(|| -> u32 { panic!("boom") });
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.join())).is_err());
+        // Workers are still alive for both APIs.
+        assert_eq!(pool.submit(|| 7u32).join(), 7);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn dropped_handle_still_runs_job() {
+        let pool = WorkerPool::new(2);
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        drop(pool.submit(move || flag.store(true, Ordering::SeqCst)));
+        // Drain deterministically by shutting the pool down (workers
+        // finish queued jobs before exiting).
+        drop(pool);
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_with_queued_jobs_completes_them() {
+        // Shutdown while jobs are still queued: workers must drain the
+        // queue before exiting, and handles joined after the pool is
+        // gone must still observe the results.
+        let pool = WorkerPool::new(3);
+        let handles: Vec<TaskHandle<usize>> = (0..32).map(|i| pool.submit(move || i * i)).collect();
+        drop(pool);
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join(), i * i, "job {i} lost in shutdown");
+        }
+    }
+
+    #[test]
+    fn join_after_pool_drop_help_drains_one_thread_pool() {
+        // The hardest shutdown shape: a 1-thread pool (no workers to
+        // drain at drop) dies with the job still queued. The handle
+        // keeps the queue alive and join() runs the job itself.
+        let pool = WorkerPool::new(1);
+        let handle = pool.submit(|| 41 + 1);
+        drop(pool);
+        assert_eq!(handle.join(), 42);
+    }
+
+    #[test]
+    fn submissions_interleave_with_scope_run_batches() {
+        // The prefetch usage pattern: a long-lived submitted job shares
+        // the queue with scope_run batches (extraction levels) without
+        // either API stalling the other.
+        let pool = WorkerPool::new(2);
+        for round in 0..10usize {
+            let handle = pool.submit(move || round * 3);
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.scope_run(tasks);
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+            assert_eq!(handle.join(), round * 3);
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Every submitted job settles with the right result for any
+            /// pool size / job count / join order, including joining
+            /// after the pool is dropped.
+            #[test]
+            fn submit_join_is_lossless(
+                threads in 1usize..5,
+                jobs in 0usize..24,
+                drop_pool_first in any::<bool>(),
+                reverse_join in any::<bool>(),
+            ) {
+                let pool = WorkerPool::new(threads);
+                let mut handles: Vec<(usize, TaskHandle<usize>)> = (0..jobs)
+                    .map(|i| (i, pool.submit(move || i.wrapping_mul(2654435761))))
+                    .collect();
+                if drop_pool_first {
+                    drop(pool);
+                } else {
+                    // Interleave a borrowed batch to stress the shared queue.
+                    let counter = AtomicUsize::new(0);
+                    let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..threads)
+                        .map(|_| {
+                            let c = &counter;
+                            Box::new(move || { c.fetch_add(1, Ordering::SeqCst); })
+                                as Box<dyn FnOnce() + Send>
+                        })
+                        .collect();
+                    pool.scope_run(tasks);
+                    prop_assert_eq!(counter.load(Ordering::SeqCst), threads);
+                }
+                if reverse_join {
+                    handles.reverse();
+                }
+                for (i, h) in handles {
+                    prop_assert_eq!(h.join(), i.wrapping_mul(2654435761));
+                }
+            }
+        }
     }
 }

@@ -312,12 +312,47 @@ impl DepthImage {
         &self.data
     }
 
+    /// Mutable access to the raw row-major depth buffer.
+    #[inline]
+    pub fn as_raw_mut(&mut self) -> &mut [u16] {
+        &mut self.data
+    }
+
+    /// Resizes the depth map to `width × height` in place, reusing the
+    /// existing allocation when its capacity suffices. Pixel contents
+    /// after the call are unspecified; callers are expected to overwrite
+    /// them (the depth-map counterpart of [`GrayImage::reshape`]).
+    ///
+    /// # Panics
+    /// Panics if `width * height` overflows `usize`.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        let len = (width as usize)
+            .checked_mul(height as usize)
+            .expect("image dimensions overflow");
+        self.data.resize(len, 0);
+        self.width = width;
+        self.height = height;
+    }
+
+    /// Copies `src` into `self`, reusing the allocation when possible.
+    pub fn copy_from(&mut self, src: &DepthImage) {
+        self.reshape(src.width, src.height);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Fraction of pixels carrying a valid (non-zero) measurement.
     pub fn coverage(&self) -> f64 {
         if self.data.is_empty() {
             return 0.0;
         }
         self.data.iter().filter(|&&v| v != 0).count() as f64 / self.data.len() as f64
+    }
+}
+
+impl Default for DepthImage {
+    /// An empty 0×0 depth map (useful as reusable scratch storage).
+    fn default() -> Self {
+        DepthImage::new(0, 0)
     }
 }
 
@@ -432,6 +467,26 @@ mod tests {
     fn depth_coverage_counts_valid() {
         let d = DepthImage::from_fn(2, 2, |x, y| if x == 0 && y == 0 { 0 } else { 100 });
         assert!((d.coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_reshape_reuses_capacity() {
+        let mut d = DepthImage::new(8, 8);
+        let ptr_before = d.data.as_ptr();
+        d.reshape(4, 4);
+        assert_eq!(d.width(), 4);
+        assert_eq!(d.as_raw().len(), 16);
+        assert_eq!(d.data.as_ptr(), ptr_before);
+        d.reshape(8, 8);
+        assert_eq!(d.data.as_ptr(), ptr_before);
+    }
+
+    #[test]
+    fn depth_copy_from_matches_source() {
+        let src = DepthImage::from_fn(5, 3, |x, y| (x * 1000 + y) as u16);
+        let mut dst = DepthImage::new(50, 50);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -27,9 +27,19 @@ fn main() {
     let config = SlamConfig::scaled_for_tests(1.0 / image_scale);
     let mut slam = Slam::new(config);
 
+    // Stream through one recycled frame buffer: after the first frame
+    // the dataset layer allocates nothing (`run_sequence` does the same
+    // internally, plus optional async prefetch — see ESLAM_PREFETCH).
+    let mut frame = eslam_dataset::Frame::buffer();
+    let mut wait_ms = 0.0;
+    let mut track_ms = 0.0;
     println!("frame  kf  matches  inliers  map    FE(model)  FM(model)");
-    for frame in sequence.frames() {
+    for index in 0..sequence.len() {
+        let t0 = std::time::Instant::now();
+        sequence.frame_into(index, &mut frame);
+        wait_ms += t0.elapsed().as_secs_f64() * 1e3;
         let r = slam.process(frame.timestamp, &frame.gray, &frame.depth);
+        track_ms += r.track_ms;
         let hw = r.hw_timing.unwrap_or_default();
         println!(
             "{:>5}  {}  {:>7}  {:>7}  {:>5}  {:>7.2}ms  {:>7.2}ms{}",
@@ -66,4 +76,8 @@ fn main() {
         None => println!("\nATE not computable (too few poses)"),
     }
     println!("keyframes: {}", slam.keyframes());
+    println!(
+        "wall split: {wait_ms:.1} ms waiting for pixels, {track_ms:.1} ms tracking \
+         (run_sequence with prefetch overlaps the two)"
+    );
 }

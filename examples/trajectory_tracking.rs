@@ -8,9 +8,8 @@
 //!
 //! Outputs land in `target/eslam-out/`.
 
-use eslam_core::{Slam, SlamConfig};
+use eslam_core::{run_sequence, SlamConfig};
 use eslam_dataset::sequence::SequenceSpec;
-use eslam_dataset::{absolute_trajectory_error, Trajectory};
 use eslam_image::draw::plot_polyline;
 use eslam_image::RgbImage;
 use std::error::Error;
@@ -24,21 +23,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let image_scale = 0.5;
     let spec = &SequenceSpec::paper_sequences(40, image_scale)[2]; // fr1/desk
     let sequence = spec.build();
-    let mut slam = Slam::new(SlamConfig::scaled_for_tests(1.0 / image_scale));
 
-    for frame in sequence.frames() {
-        slam.process(frame.timestamp, &frame.gray, &frame.depth);
-    }
-
-    // Ground truth rebased to the first camera frame.
-    let first = sequence.trajectory.poses()[0].pose;
-    let mut truth = Trajectory::new();
-    for tp in sequence.trajectory.poses() {
-        truth.push(tp.timestamp, first.inverse().compose(&tp.pose));
-    }
+    // One call runs the whole `FrameSource`: frames stream through a
+    // recycled buffer pair (async-prefetched when the host has the
+    // cores for it — force with ESLAM_PREFETCH=on|off), ground truth is
+    // rebased to the first camera frame, and the wall-clock wait/track
+    // split comes back measured.
+    let result = run_sequence(&sequence, SlamConfig::scaled_for_tests(1.0 / image_scale));
+    let truth = &result.ground_truth;
 
     // TUM-format dumps.
-    slam.trajectory()
+    result
+        .estimate
         .write_tum(File::create(out_dir.join("estimate.tum"))?)?;
     truth.write_tum(File::create(out_dir.join("groundtruth.tum"))?)?;
 
@@ -49,8 +45,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         .iter()
         .map(|p| (p.pose.translation.x, p.pose.translation.z))
         .collect();
-    let est_points: Vec<(f64, f64)> = slam
-        .trajectory()
+    let est_points: Vec<(f64, f64)> = result
+        .estimate
         .poses()
         .iter()
         .map(|p| (p.pose.translation.x, p.pose.translation.z))
@@ -61,8 +57,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     plot_polyline(&mut canvas, &est_points, [220, 30, 30], 40); // red: estimate
     canvas.save_ppm(out_dir.join("fig9_trajectory.ppm"))?;
 
-    let ate = absolute_trajectory_error(slam.trajectory(), &truth)
-        .ok_or("trajectory too short for ATE")?;
+    let ate = result.ate.ok_or("trajectory too short for ATE")?;
     println!(
         "wrote {}/estimate.tum, groundtruth.tum, fig9_trajectory.ppm",
         out_dir.display()
@@ -71,7 +66,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "ATE rmse {:.2} cm over {} poses ({} keyframes)",
         ate.stats.rmse * 100.0,
         ate.stats.count,
-        slam.keyframes()
+        result.stats.keyframes
+    );
+    println!(
+        "frames {} · prefetched: {} · waited {:.1} ms for pixels vs {:.1} ms tracking",
+        result.stats.frames, result.prefetched, result.wall.frame_wait_ms, result.wall.track_ms
     );
     Ok(())
 }
