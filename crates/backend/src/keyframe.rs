@@ -1,0 +1,168 @@
+//! Keyframe storage: per-keyframe poses and landmark observations.
+//!
+//! A [`Keyframe`] is the backend's unit of map structure (§2.1: the map
+//! is updated only at key frames): the tracked world-to-camera pose at
+//! the moment the frame was promoted, plus the pixel observation of
+//! every landmark the frame either matched or created. Landmarks are
+//! referenced by their **stable id** (`u64`), never by map index — the
+//! front-end map culls and reorders freely without invalidating the
+//! observation graph.
+//!
+//! The [`KeyframeStore`] is append-only: keyframe ids are dense indices
+//! in insertion order, which is what makes the sliding local-BA window
+//! ("the last K keyframes") a simple suffix slice.
+
+use eslam_geometry::{Se3, Vec2};
+
+/// Identifier of a keyframe: its dense insertion index in the
+/// [`KeyframeStore`].
+pub type KeyframeId = usize;
+
+/// One pixel observation of a landmark from a keyframe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyframeObservation {
+    /// Stable id of the observed landmark (the map's point id).
+    pub landmark: u64,
+    /// Observed pixel location in the keyframe's image.
+    pub pixel: Vec2,
+}
+
+/// A keyframe: pose + observations, the backend's optimization node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyframe {
+    /// Dense id (insertion index in the store).
+    pub id: KeyframeId,
+    /// Index of the source frame in the processed sequence.
+    pub frame_index: usize,
+    /// Frame timestamp, seconds.
+    pub timestamp: f64,
+    /// World-to-camera pose; refined in place by local BA.
+    pub pose_w2c: Se3,
+    /// Landmark observations (matched + created in this keyframe).
+    pub observations: Vec<KeyframeObservation>,
+}
+
+/// Append-only keyframe store with dense ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KeyframeStore {
+    keyframes: Vec<Keyframe>,
+}
+
+impl KeyframeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KeyframeStore::default()
+    }
+
+    /// Number of keyframes.
+    pub fn len(&self) -> usize {
+        self.keyframes.len()
+    }
+
+    /// Whether the store holds no keyframes.
+    pub fn is_empty(&self) -> bool {
+        self.keyframes.is_empty()
+    }
+
+    /// All keyframes in insertion order.
+    pub fn keyframes(&self) -> &[Keyframe] {
+        &self.keyframes
+    }
+
+    /// The keyframe with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: KeyframeId) -> &Keyframe {
+        &self.keyframes[id]
+    }
+
+    /// The most recent keyframe, if any.
+    pub fn last(&self) -> Option<&Keyframe> {
+        self.keyframes.last()
+    }
+
+    /// Appends a keyframe, assigning the next dense id.
+    pub fn push(
+        &mut self,
+        frame_index: usize,
+        timestamp: f64,
+        pose_w2c: Se3,
+        observations: Vec<KeyframeObservation>,
+    ) -> KeyframeId {
+        let id = self.keyframes.len();
+        self.keyframes.push(Keyframe {
+            id,
+            frame_index,
+            timestamp,
+            pose_w2c,
+            observations,
+        });
+        id
+    }
+
+    /// Overwrites the pose of keyframe `id` (the BA swap-in).
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn set_pose(&mut self, id: KeyframeId, pose_w2c: Se3) {
+        self.keyframes[id].pose_w2c = pose_w2c;
+    }
+
+    /// The trailing `k` keyframes (fewer when the store is smaller) —
+    /// the sliding local-BA window.
+    pub fn window(&self, k: usize) -> &[Keyframe] {
+        let start = self.keyframes.len().saturating_sub(k);
+        &self.keyframes[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslam_geometry::Vec3;
+
+    fn obs(landmark: u64) -> KeyframeObservation {
+        KeyframeObservation {
+            landmark,
+            pixel: Vec2::new(landmark as f64, 2.0 * landmark as f64),
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_insertion_indices() {
+        let mut store = KeyframeStore::new();
+        assert!(store.is_empty());
+        let a = store.push(0, 0.0, Se3::identity(), vec![obs(1), obs(2)]);
+        let b = store.push(5, 0.17, Se3::from_translation(Vec3::X), vec![obs(2)]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1).frame_index, 5);
+        assert_eq!(store.get(0).observations.len(), 2);
+        assert_eq!(store.last().unwrap().id, 1);
+    }
+
+    #[test]
+    fn set_pose_swaps_in_refined_pose() {
+        let mut store = KeyframeStore::new();
+        store.push(0, 0.0, Se3::identity(), Vec::new());
+        let refined = Se3::from_translation(Vec3::new(0.1, 0.0, -0.2));
+        store.set_pose(0, refined);
+        assert_eq!(store.get(0).pose_w2c, refined);
+    }
+
+    #[test]
+    fn window_is_a_suffix() {
+        let mut store = KeyframeStore::new();
+        for i in 0..6 {
+            store.push(i, i as f64, Se3::identity(), Vec::new());
+        }
+        let w = store.window(4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].id, 2);
+        assert_eq!(w[3].id, 5);
+        // Larger than the store: everything.
+        assert_eq!(store.window(100).len(), 6);
+        assert_eq!(store.window(0).len(), 0);
+    }
+}

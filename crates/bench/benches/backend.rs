@@ -1,0 +1,150 @@
+//! Criterion bench: the keyframe backend — one windowed local-BA solve
+//! (`backend/local_ba`, the bench-regression-tracked entry), keyframe
+//! insertion with covisibility wiring, and the steady-state tracking
+//! cost with the backend off / sync / async (the <5% latency budget of
+//! the local-mapping pattern: async moves the solve off the tracking
+//! thread, sync pays it inline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eslam_backend::keyframe::KeyframeObservation;
+use eslam_backend::{BackendConfig, BackendMode, KeyframeData, LocalMapper};
+use eslam_core::{Slam, SlamConfig};
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_geometry::{PinholeCamera, Quaternion, Se3, Vec3};
+use std::hint::black_box;
+
+/// A representative local-BA window: 5 keyframes on an arc observing a
+/// shared landmark grid (~300 points, ~1400 observations) — the shape
+/// the backend solves at every keyframe in steady state.
+fn window_mapper() -> (LocalMapper, Vec<Vec3>, PinholeCamera) {
+    let camera = PinholeCamera::tum_fr1();
+    let points: Vec<Vec3> = (0..300)
+        .map(|i| {
+            Vec3::new(
+                ((i % 20) as f64) * 0.16 - 1.5,
+                ((i / 20) as f64) * 0.18 - 1.3,
+                2.2 + ((i * 13) % 7) as f64 * 0.35,
+            )
+        })
+        .collect();
+    let mut mapper = LocalMapper::new();
+    for k in 0..5usize {
+        let t = k as f64 * 0.05;
+        let pose = Se3::from_quaternion_translation(
+            &Quaternion::from_axis_angle(Vec3::Y, t * 0.4),
+            Vec3::new(t, -0.2 * t, 0.05 * t),
+        );
+        let observations: Vec<KeyframeObservation> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                camera
+                    .project(pose.transform(*p))
+                    .map(|uv| KeyframeObservation {
+                        landmark: i as u64,
+                        pixel: uv,
+                    })
+            })
+            .collect();
+        mapper.insert_keyframe(KeyframeData {
+            frame_index: k * 3,
+            timestamp: k as f64 / 10.0,
+            pose_w2c: pose,
+            observations,
+        });
+    }
+    (mapper, points, camera)
+}
+
+fn bench_local_ba(c: &mut Criterion) {
+    let (mapper, points, camera) = window_mapper();
+    let config = BackendConfig::default();
+    let job = mapper
+        .local_ba_job(&config, &camera, &mut |id| points.get(id as usize).copied())
+        .expect("window job");
+    eprintln!(
+        "local_ba problem: {} poses, {} landmarks, {} observations",
+        job.window(),
+        job.landmarks(),
+        job.observations()
+    );
+    let mut group = c.benchmark_group("backend");
+    group.sample_size(20);
+    group.bench_function("local_ba", |b| {
+        b.iter(|| black_box(job.clone().run()).result.iterations)
+    });
+    group.finish();
+}
+
+fn bench_keyframe_insert(c: &mut Criterion) {
+    // Covisibility wiring cost per keyframe (shared-landmark counting
+    // against 5 existing keyframes over 300 landmarks).
+    let (reference, points, camera) = window_mapper();
+    let pose = Se3::from_translation(Vec3::new(0.3, -0.05, 0.02));
+    let observations: Vec<KeyframeObservation> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            camera
+                .project(pose.transform(*p))
+                .map(|uv| KeyframeObservation {
+                    landmark: i as u64,
+                    pixel: uv,
+                })
+        })
+        .collect();
+    let mut group = c.benchmark_group("backend");
+    group.sample_size(20);
+    group.bench_function("keyframe_insert", |b| {
+        b.iter(|| {
+            let mut mapper = reference.clone();
+            mapper.insert_keyframe(KeyframeData {
+                frame_index: 18,
+                timestamp: 0.6,
+                pose_w2c: pose,
+                observations: observations.clone(),
+            });
+            black_box(mapper.covisibility().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_tracking_with_backend(c: &mut Criterion) {
+    // Steady-state whole-sequence tracking with the backend off,
+    // inline (sync) and asynchronous: the async row is the one that
+    // must stay within a few percent of off on a multicore host (on a
+    // single-core bench box the solve runs at the next frame's join,
+    // so async ≈ sync there — both bound the backend's total cost).
+    let seq = SequenceSpec::paper_sequences(6, 0.25)[2].build();
+    let frames: Vec<_> = seq.frames().collect();
+    let mut group = c.benchmark_group("backend/slam_frame");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("off", BackendMode::Off),
+        ("sync", BackendMode::Sync),
+        ("async", BackendMode::Async),
+    ] {
+        let mut config = SlamConfig::scaled_for_tests(4.0);
+        config.backend.mode = mode;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut slam = Slam::new(config);
+                for f in &frames {
+                    black_box(slam.process(f.timestamp, &f.gray, &f.depth));
+                }
+                slam.finish();
+                black_box(slam.trajectory().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_ba,
+    bench_keyframe_insert,
+    bench_tracking_with_backend
+);
+criterion_main!(benches);

@@ -5,7 +5,9 @@ use eslam_geometry::lm::LmParams;
 use eslam_geometry::pnp::PnpParams;
 use eslam_geometry::PinholeCamera;
 
-/// Execution backend for the front-end stages.
+pub use eslam_backend::{BackendConfig, BackendMode, BACKEND_ENV};
+
+/// Hardware-model selection for the front-end stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Pure software execution (the CPU baselines of the paper).
@@ -100,8 +102,16 @@ pub struct SlamConfig {
     pub max_map_points: usize,
     /// Minimum PnP inliers for a frame to be considered tracked.
     pub min_inliers: usize,
-    /// Execution backend.
-    pub backend: Backend,
+    /// Hardware model: whether frame reports carry the modelled FPGA
+    /// latencies of the paper's accelerator. (Renamed from `backend`
+    /// when the keyframe backend landed; the timing model selection and
+    /// the mapping backend are independent axes.)
+    pub hw_model: Backend,
+    /// The keyframe backend: covisibility-linked keyframes + windowed
+    /// local bundle adjustment, run sync/async per
+    /// [`BackendConfig::mode`] (env-forced by [`BACKEND_ENV`], exactly
+    /// like the prefetch and matcher-kernel toggles).
+    pub backend: BackendConfig,
     /// Use a constant-velocity motion model to seed tracking (extension):
     /// the prior pose is extrapolated from the last inter-frame motion
     /// instead of held constant.
@@ -127,13 +137,29 @@ impl SlamConfig {
             orb: OrbConfig::default(),
             matcher_max_distance: 64,
             pnp: PnpParams::default(),
-            lm: LmParams::default(),
+            lm: LmParams {
+                // Anchor the per-frame pose to the constant-velocity
+                // prediction: in weakly-conditioned regimes (small
+                // images, shallow parallax) the reprojection cost has a
+                // near-flat valley and the prior picks the physically
+                // plausible point in it. Well-conditioned solves are
+                // unaffected — the reprojection gradient is orders of
+                // magnitude steeper. See the quarter-scale conditioning
+                // analysis in crates/core/src/system.rs.
+                // 400 px²/m²: a 5 cm deviation from the prediction
+                // costs 1 px² — decisive inside the flat valley, three
+                // orders of magnitude below the data term when the
+                // geometry actually constrains the pose.
+                motion_prior_weight: 400.0,
+                ..LmParams::default()
+            },
             keyframe_translation: 0.08,
             keyframe_rotation: 0.12,
             map_cull_age: 45,
             max_map_points: 2304,
             min_inliers: 10,
-            backend: Backend::Accelerator,
+            hw_model: Backend::Accelerator,
+            backend: BackendConfig::default(),
             motion_model: true,
             worker_threads: None,
             prefetch: PrefetchMode::Auto,
@@ -164,8 +190,13 @@ mod tests {
         let cfg = SlamConfig::default();
         assert_eq!(cfg.orb.max_features, 1024);
         assert_eq!(cfg.max_map_points, 2304);
-        assert_eq!(cfg.backend, Backend::Accelerator);
+        assert_eq!(cfg.hw_model, Backend::Accelerator);
         assert_eq!(cfg.camera.width, 640);
+        // The keyframe backend defaults to the async local-mapping
+        // pattern with a sane sliding window.
+        assert_eq!(cfg.backend.mode, BackendMode::Async);
+        assert!(cfg.backend.window >= 2);
+        assert!(cfg.lm.motion_prior_weight > 0.0);
     }
 
     #[test]

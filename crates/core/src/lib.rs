@@ -9,7 +9,17 @@
 //! * **Pose estimation** — P3P + RANSAC (`eslam-geometry::pnp`);
 //! * **Pose optimization** — Levenberg-Marquardt reprojection
 //!   minimization (`eslam-geometry::lm`, Eq. 1);
-//! * **Map updating** — key-frame-gated landmark insertion and culling;
+//! * **Map updating** — key-frame-gated landmark insertion and culling,
+//!   with stable landmark ids, per-point observation lists and an
+//!   incrementally maintained descriptor column;
+//! * **Keyframe backend** — every promoted frame becomes a
+//!   covisibility-linked keyframe (`eslam-backend`), and a windowed
+//!   local bundle adjustment (`eslam_geometry::ba`) jointly refines the
+//!   recent keyframe poses and their landmarks, synchronously or
+//!   asynchronously on the worker pool
+//!   ([`config::BackendConfig::mode`]); refinements swap in at frame
+//!   boundaries, so async == sync bit-identically
+//!   (`tests/backend_equivalence.rs`);
 //! * **Heterogeneous execution model** — with
 //!   [`config::Backend::Accelerator`], every frame also reports the
 //!   modelled FPGA latencies from `eslam-hw`, and [`pipeline`] schedules
@@ -30,7 +40,11 @@
 //! * `ESLAM_PREFETCH` (`auto`/`on`/`off`) — forces the dataset
 //!   prefetch decision over the configured [`config::PrefetchMode`]
 //!   ([`config::PREFETCH_ENV`]). CI runs the suite under both forced
-//!   values.
+//!   values;
+//! * `ESLAM_BACKEND` (`auto`/`off`/`sync`/`async`) — forces the
+//!   keyframe-backend execution mode over the configured
+//!   [`config::BackendConfig::mode`] ([`config::BACKEND_ENV`]). CI
+//!   runs the suite under both `sync` and `async`.
 //!
 //! # Examples
 //!
@@ -74,8 +88,10 @@ pub mod stats;
 pub mod system;
 pub mod tracking;
 
-pub use config::{Backend, PrefetchMode, SlamConfig, PREFETCH_ENV};
-pub use map::{Map, MapPoint};
+pub use config::{
+    Backend, BackendConfig, BackendMode, PrefetchMode, SlamConfig, BACKEND_ENV, PREFETCH_ENV,
+};
+pub use map::{Map, MapPoint, PointObservation};
 pub use pipeline::{sequence_timing, PlatformSequenceTiming, SequenceWallTiming};
 pub use runner::{run_sequence, RunResult};
 pub use stats::SequenceStats;

@@ -1,17 +1,43 @@
-//! The global map: 3-D points with BRIEF descriptors.
+//! The global map: 3-D points with BRIEF descriptors and per-point
+//! observation lists.
 //!
 //! Map updating (§2.1) runs on key frames only: new 3-D points observed
 //! in the key frame join the map, and points "that have not been matched
 //! for a long period of time" are culled to bound the map (and with it
 //! the BRIEF Matcher workload).
+//!
+//! Two structural properties matter to the rest of the system:
+//!
+//! * **Stable ids** — every point carries a monotonically increasing
+//!   [`MapPoint::id`] that survives culling and reordering. The keyframe
+//!   backend's observation graph references landmarks by id, so the map
+//!   can cull freely without invalidating keyframes, and BA refinements
+//!   are swapped back in by id ([`Map::set_position`]).
+//! * **A cached descriptor column** — the matcher's train set is kept
+//!   index-aligned with the points and maintained incrementally on
+//!   insert/cull, so the per-frame tracking path borrows it
+//!   ([`Map::descriptors`] returns a slice) instead of collecting a
+//!   fresh `Vec` on every frame.
 
 use eslam_features::Descriptor;
-use eslam_geometry::Vec3;
+use eslam_geometry::{Vec2, Vec3};
+use std::collections::HashMap;
 
-/// A 3-D landmark with its appearance descriptor.
+/// One keyframe observation of a map point.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointObservation {
+    /// Id of the observing keyframe (the backend's dense keyframe id).
+    pub keyframe: usize,
+    /// Pixel location of the observation in that keyframe.
+    pub pixel: Vec2,
+}
+
+/// A 3-D landmark with its appearance descriptor and observation list.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MapPoint {
-    /// World position.
+    /// Stable id, unique for the lifetime of the map.
+    pub id: u64,
+    /// World position (refined in place by the backend's local BA).
     pub position: Vec3,
     /// RS-BRIEF descriptor from the creating observation.
     pub descriptor: Descriptor,
@@ -19,20 +45,29 @@ pub struct MapPoint {
     pub created_frame: usize,
     /// Frame index of the most recent successful match.
     pub last_matched_frame: usize,
-    /// Number of frames this point has been matched in.
-    pub observations: usize,
+    /// Keyframe observations of this point (creation + every keyframe
+    /// that matched it) — the raw material of the covisibility graph
+    /// and the local-BA problem.
+    pub observations: Vec<PointObservation>,
 }
 
 /// The global map.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Map {
     points: Vec<MapPoint>,
+    /// Descriptor column, index-aligned with `points` (the matcher's
+    /// train set), maintained incrementally on insert/cull.
+    descriptors: Vec<Descriptor>,
+    /// Stable id → current index.
+    index_of: HashMap<u64, usize>,
+    /// Next id to assign.
+    next_id: u64,
 }
 
 impl Map {
     /// Creates an empty map.
     pub fn new() -> Self {
-        Map { points: Vec::new() }
+        Map::default()
     }
 
     /// Number of map points.
@@ -58,50 +93,126 @@ impl Map {
         &self.points[index]
     }
 
-    /// Snapshot of all descriptors (the matcher's train set).
-    pub fn descriptors(&self) -> Vec<Descriptor> {
-        self.points.iter().map(|p| p.descriptor).collect()
+    /// The descriptor column (the matcher's train set), index-aligned
+    /// with [`Map::points`]. A borrowed slice: the column is maintained
+    /// incrementally, not rebuilt per call.
+    pub fn descriptors(&self) -> &[Descriptor] {
+        &self.descriptors
     }
 
-    /// Inserts a new landmark.
-    pub fn insert(&mut self, position: Vec3, descriptor: Descriptor, frame: usize) {
+    /// Current index of the point with stable id `id`, if it is still
+    /// in the map.
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// World position of the point with stable id `id`, if present.
+    pub fn position_of(&self, id: u64) -> Option<Vec3> {
+        self.index_of(id).map(|i| self.points[i].position)
+    }
+
+    /// Inserts a new landmark observed at `pixel` by `keyframe`, and
+    /// returns its stable id.
+    pub fn insert(
+        &mut self,
+        position: Vec3,
+        descriptor: Descriptor,
+        frame: usize,
+        keyframe: usize,
+        pixel: Vec2,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index_of.insert(id, self.points.len());
         self.points.push(MapPoint {
+            id,
             position,
             descriptor,
             created_frame: frame,
             last_matched_frame: frame,
-            observations: 1,
+            observations: vec![PointObservation { keyframe, pixel }],
         });
+        self.descriptors.push(descriptor);
+        id
     }
 
-    /// Records a successful match of point `index` at `frame`.
+    /// Records a successful match of point `index` at `frame` (any
+    /// frame, not only keyframes): refreshes the cull clock.
     ///
     /// # Panics
     /// Panics if out of range.
     pub fn mark_matched(&mut self, index: usize, frame: usize) {
-        let p = &mut self.points[index];
-        p.last_matched_frame = frame;
-        p.observations += 1;
+        self.points[index].last_matched_frame = frame;
+    }
+
+    /// Appends a keyframe observation to point `index` (the map-update
+    /// path for matched points when a frame is promoted). One keyframe
+    /// observes a point at most once: repeat recordings for the same
+    /// keyframe are ignored (first wins), so duplicate feature matches
+    /// cannot inflate the observation list the cull tie-break and the
+    /// covisibility graph are built from. Keyframe ids arrive in
+    /// non-decreasing order, so the tail check is sufficient.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn record_observation(&mut self, index: usize, keyframe: usize, pixel: Vec2) {
+        let observations = &mut self.points[index].observations;
+        if observations.last().map(|o| o.keyframe) == Some(keyframe) {
+            return;
+        }
+        observations.push(PointObservation { keyframe, pixel });
+    }
+
+    /// Swaps in a BA-refined position for the point with stable id
+    /// `id`. Returns `false` when the point has been culled in the
+    /// meantime (the refinement is simply dropped).
+    pub fn set_position(&mut self, id: u64, position: Vec3) -> bool {
+        match self.index_of(id) {
+            Some(index) => {
+                self.points[index].position = position;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes points unmatched for more than `max_age` frames, then
-    /// enforces `max_points` by evicting the stalest entries. Returns the
-    /// number of points removed.
+    /// enforces `max_points` by evicting the stalest entries (ties:
+    /// fewer keyframe observations first). Returns the number of points
+    /// removed. The descriptor column and the id index are remapped in
+    /// the same pass.
     pub fn cull(&mut self, current_frame: usize, max_age: usize, max_points: usize) -> usize {
         let before = self.points.len();
         self.points
             .retain(|p| current_frame.saturating_sub(p.last_matched_frame) <= max_age);
         if self.points.len() > max_points {
-            // Evict least-recently-matched first (ties: fewer observations).
+            // Evict least-recently-matched first (ties: fewer
+            // observations).
             self.points.sort_by_key(|p| {
                 (
                     std::cmp::Reverse(p.last_matched_frame),
-                    std::cmp::Reverse(p.observations),
+                    std::cmp::Reverse(p.observations.len()),
                 )
             });
             self.points.truncate(max_points);
         }
-        before - self.points.len()
+        let removed = before - self.points.len();
+        if removed > 0 {
+            self.rebuild_columns();
+        }
+        removed
+    }
+
+    /// Re-derives the descriptor column and the id index from the point
+    /// list after a structural mutation.
+    fn rebuild_columns(&mut self) {
+        self.descriptors.clear();
+        self.descriptors
+            .extend(self.points.iter().map(|p| p.descriptor));
+        self.index_of.clear();
+        for (i, p) in self.points.iter().enumerate() {
+            self.index_of.insert(p.id, i);
+        }
     }
 }
 
@@ -113,44 +224,74 @@ mod tests {
         Descriptor::from_words([tag, tag ^ 0xff, 0, 1])
     }
 
+    fn px(i: u64) -> Vec2 {
+        Vec2::new(i as f64, 2.0 * i as f64)
+    }
+
+    /// Checks the invariants the rest of the system relies on: the
+    /// descriptor column and id index stay aligned with the points.
+    fn assert_columns_consistent(map: &Map) {
+        assert_eq!(map.descriptors().len(), map.len());
+        for (i, p) in map.points().iter().enumerate() {
+            assert_eq!(map.descriptors()[i], p.descriptor, "descriptor column @{i}");
+            assert_eq!(map.index_of(p.id), Some(i), "id index @{i}");
+            assert_eq!(map.position_of(p.id), Some(p.position));
+        }
+    }
+
     #[test]
     fn insert_and_query() {
         let mut map = Map::new();
         assert!(map.is_empty());
-        map.insert(Vec3::new(1.0, 2.0, 3.0), desc(1), 0);
-        map.insert(Vec3::new(4.0, 5.0, 6.0), desc(2), 0);
+        let a = map.insert(Vec3::new(1.0, 2.0, 3.0), desc(1), 0, 0, px(1));
+        let b = map.insert(Vec3::new(4.0, 5.0, 6.0), desc(2), 0, 0, px(2));
         assert_eq!(map.len(), 2);
+        assert_ne!(a, b, "stable ids are unique");
         assert_eq!(map.point(1).position, Vec3::new(4.0, 5.0, 6.0));
         assert_eq!(map.descriptors().len(), 2);
         assert_eq!(map.descriptors()[0], desc(1));
+        assert_eq!(map.point(0).observations.len(), 1);
+        assert_eq!(map.point(0).observations[0].keyframe, 0);
+        assert_columns_consistent(&map);
     }
 
     #[test]
     fn mark_matched_updates_bookkeeping() {
         let mut map = Map::new();
-        map.insert(Vec3::ZERO, desc(1), 0);
+        map.insert(Vec3::ZERO, desc(1), 0, 0, px(1));
         map.mark_matched(0, 7);
         assert_eq!(map.point(0).last_matched_frame, 7);
-        assert_eq!(map.point(0).observations, 2);
+        // Plain matches do not grow the observation list; keyframe
+        // observations do.
+        assert_eq!(map.point(0).observations.len(), 1);
+        map.record_observation(0, 3, px(9));
+        assert_eq!(map.point(0).observations.len(), 2);
+        assert_eq!(map.point(0).observations[1].keyframe, 3);
+        // A repeat recording for the same keyframe is ignored (first
+        // wins) — duplicate matches cannot inflate the list.
+        map.record_observation(0, 3, px(11));
+        assert_eq!(map.point(0).observations.len(), 2);
+        assert_eq!(map.point(0).observations[1].pixel, px(9));
     }
 
     #[test]
     fn cull_removes_stale_points() {
         let mut map = Map::new();
-        map.insert(Vec3::ZERO, desc(1), 0); // stale
-        map.insert(Vec3::X, desc(2), 0);
+        map.insert(Vec3::ZERO, desc(1), 0, 0, px(1)); // stale
+        map.insert(Vec3::X, desc(2), 0, 0, px(2));
         map.mark_matched(1, 50); // fresh
         let removed = map.cull(60, 30, 100);
         assert_eq!(removed, 1);
         assert_eq!(map.len(), 1);
         assert_eq!(map.point(0).descriptor, desc(2));
+        assert_columns_consistent(&map);
     }
 
     #[test]
     fn cull_enforces_capacity() {
         let mut map = Map::new();
         for i in 0..10 {
-            map.insert(Vec3::ZERO, desc(i), i as usize);
+            map.insert(Vec3::ZERO, desc(i), i as usize, 0, px(i));
         }
         let removed = map.cull(10, 100, 4);
         assert_eq!(removed, 6);
@@ -158,15 +299,91 @@ mod tests {
         // The most recently matched points survive.
         let youngest: Vec<usize> = map.points().iter().map(|p| p.last_matched_frame).collect();
         assert!(youngest.iter().all(|&f| f >= 6), "{youngest:?}");
+        assert_columns_consistent(&map);
     }
 
     #[test]
     fn cull_keeps_everything_when_fresh() {
         let mut map = Map::new();
         for i in 0..5 {
-            map.insert(Vec3::ZERO, desc(i), 10);
+            map.insert(Vec3::ZERO, desc(i), 10, 0, px(i));
         }
         assert_eq!(map.cull(11, 30, 100), 0);
         assert_eq!(map.len(), 5);
+        assert_columns_consistent(&map);
+    }
+
+    #[test]
+    fn cull_everything() {
+        // Every point stale and a capacity of zero: both paths at once,
+        // down to the empty map, with columns still consistent.
+        let mut map = Map::new();
+        for i in 0..6 {
+            map.insert(Vec3::ZERO, desc(i), 0, 0, px(i));
+        }
+        let removed = map.cull(100, 10, 0);
+        assert_eq!(removed, 6);
+        assert!(map.is_empty());
+        assert!(map.descriptors().is_empty());
+        assert_eq!(map.index_of(0), None);
+        // The map is still usable afterwards, and ids keep increasing.
+        let id = map.insert(Vec3::X, desc(9), 101, 7, px(9));
+        assert_eq!(id, 6, "ids never recycle");
+        assert_columns_consistent(&map);
+    }
+
+    #[test]
+    fn cull_capacity_ties_break_by_observation_count() {
+        // Same last_matched_frame everywhere: the tie-break keeps the
+        // points with the richest observation lists.
+        let mut map = Map::new();
+        for i in 0..4 {
+            map.insert(Vec3::ZERO, desc(i), 0, 0, px(i));
+        }
+        // Points 1 and 3 gain extra keyframe observations.
+        map.record_observation(1, 1, px(10));
+        map.record_observation(3, 1, px(11));
+        map.record_observation(3, 2, px(12));
+        let removed = map.cull(0, 100, 2);
+        assert_eq!(removed, 2);
+        let survivors: Vec<u64> = map.points().iter().map(|p| p.id).collect();
+        assert_eq!(survivors, vec![3, 1], "most-observed survive, by count");
+        assert_columns_consistent(&map);
+    }
+
+    #[test]
+    fn cull_remaps_indices_and_ids() {
+        let mut map = Map::new();
+        let ids: Vec<u64> = (0..8)
+            .map(|i| map.insert(Vec3::new(i as f64, 0.0, 0.0), desc(i), i as usize, 0, px(i)))
+            .collect();
+        // Cull the oldest half by age.
+        let removed = map.cull(10, 6, 100);
+        assert_eq!(removed, 4);
+        // Survivors are ids 4..8, remapped to the front.
+        for (expect_index, id) in ids[4..].iter().enumerate() {
+            assert_eq!(map.index_of(*id), Some(expect_index));
+        }
+        for id in &ids[..4] {
+            assert_eq!(map.index_of(*id), None);
+            assert_eq!(map.position_of(*id), None);
+        }
+        assert_columns_consistent(&map);
+    }
+
+    #[test]
+    fn set_position_by_stable_id() {
+        let mut map = Map::new();
+        let a = map.insert(Vec3::ZERO, desc(1), 0, 0, px(1));
+        let b = map.insert(Vec3::X, desc(2), 0, 0, px(2));
+        // Cull `a` (stale), then refine both: only `b` applies.
+        map.mark_matched(1, 50);
+        map.cull(60, 30, 100);
+        assert!(!map.set_position(a, Vec3::new(9.0, 9.0, 9.0)));
+        assert!(map.set_position(b, Vec3::new(1.5, 0.0, 0.0)));
+        assert_eq!(map.position_of(b), Some(Vec3::new(1.5, 0.0, 0.0)));
+        // Refining a culled point changed nothing.
+        assert_eq!(map.len(), 1);
+        assert_columns_consistent(&map);
     }
 }

@@ -15,6 +15,7 @@ use crate::config::SlamConfig;
 use crate::pipeline::{sequence_timing, PlatformSequenceTiming, SequenceWallTiming};
 use crate::stats::SequenceStats;
 use crate::system::{FrameReport, Slam};
+use eslam_backend::BackendStats;
 use eslam_dataset::eval::{absolute_trajectory_error, AteResult};
 use eslam_dataset::prefetch::with_prefetch;
 use eslam_dataset::source::FrameSource;
@@ -27,16 +28,29 @@ use std::time::Instant;
 pub struct RunResult {
     /// Per-frame reports.
     pub reports: Vec<FrameReport>,
-    /// Estimated trajectory (world = first camera frame).
+    /// Estimated trajectory (world = first camera frame), with every
+    /// backend refinement swapped in (the run is
+    /// [`Slam::finish`]ed, so the final keyframe's BA is included).
     pub estimate: Trajectory,
+    /// The trajectory exactly as tracked, before any backend
+    /// refinement — identical to `estimate` when the backend is off.
+    pub raw_estimate: Trajectory,
+    /// The BA-refined keyframe trajectory (one pose per keyframe;
+    /// empty when the backend is off).
+    pub keyframes: Trajectory,
     /// Ground truth re-based to the first camera frame (empty when the
     /// source has none).
     pub ground_truth: Trajectory,
-    /// ATE of the estimate against the re-based ground truth, if
-    /// computable.
+    /// ATE of the (refined) estimate against the re-based ground
+    /// truth, if computable.
     pub ate: Option<AteResult>,
+    /// ATE of the raw (pre-refinement) estimate — the "before BA"
+    /// number for drift reporting.
+    pub raw_ate: Option<AteResult>,
     /// Aggregate statistics.
     pub stats: SequenceStats,
+    /// Keyframe-backend diagnostics (`None` when the backend is off).
+    pub backend: Option<BackendStats>,
     /// Measured wall-clock frame-wait vs tracking split of this run.
     pub wall: SequenceWallTiming,
     /// Whether frames were streamed through the async prefetcher.
@@ -47,6 +61,11 @@ impl RunResult {
     /// ATE rmse in centimetres (the Fig. 8 unit), or `None`.
     pub fn ate_rmse_cm(&self) -> Option<f64> {
         self.ate.map(|a| a.stats.rmse * 100.0)
+    }
+
+    /// ATE rmse of the raw (pre-BA) estimate in centimetres, or `None`.
+    pub fn raw_ate_rmse_cm(&self) -> Option<f64> {
+        self.raw_ate.map(|a| a.stats.rmse * 100.0)
     }
 
     /// Platform timing summaries (ARM / i7 / eSLAM) for this run.
@@ -102,6 +121,10 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
         }
     }
 
+    // Collect the backend's in-flight refinement (if any) so the final
+    // keyframe's BA lands in the exported trajectory.
+    slam.finish();
+
     let mut ground_truth = Trajectory::new();
     if let Some(gt) = source.ground_truth() {
         if let Some(first) = gt.poses().first() {
@@ -112,15 +135,29 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
         }
     }
     let estimate = slam.trajectory().clone();
+    let raw_estimate = slam.raw_trajectory().clone();
+    let keyframes = slam.keyframe_trajectory();
     let ate = absolute_trajectory_error(&estimate, &ground_truth);
+    // Unless a refinement was actually applied, the raw trajectory IS
+    // the estimate; reuse the alignment instead of running Umeyama
+    // twice.
+    let raw_ate = if slam.backend_stats().is_some_and(|s| s.applied > 0) {
+        absolute_trajectory_error(&raw_estimate, &ground_truth)
+    } else {
+        ate
+    };
     let stats = SequenceStats::from_reports(&reports);
     let wall = SequenceWallTiming::from_reports(&reports);
     RunResult {
         reports,
         estimate,
+        raw_estimate,
+        keyframes,
         ground_truth,
         ate,
+        raw_ate,
         stats,
+        backend: slam.backend_stats().copied(),
         wall,
         prefetched,
     }

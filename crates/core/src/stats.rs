@@ -123,6 +123,7 @@ mod tests {
             hw_timing: Some(FrameHwTiming::default()),
             frame_wait_ms: 0.0,
             track_ms: 0.0,
+            backend_applied: false,
         }
     }
 

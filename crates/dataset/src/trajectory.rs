@@ -99,6 +99,16 @@ impl Trajectory {
         &self.poses
     }
 
+    /// Overwrites the pose at `index`, keeping its timestamp — how the
+    /// SLAM backend swaps BA-refined keyframe poses into an estimate
+    /// that was pushed frame by frame.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn set_pose(&mut self, index: usize, pose: Se3) {
+        self.poses[index].pose = pose;
+    }
+
     /// Number of poses.
     pub fn len(&self) -> usize {
         self.poses.len()
@@ -421,6 +431,18 @@ mod tests {
             },
         );
         assert!(large.path_length() > small.path_length() * 2.0);
+    }
+
+    #[test]
+    fn set_pose_overwrites_in_place() {
+        let mut t = Trajectory::new();
+        t.push(0.0, Se3::identity());
+        t.push(0.033, Se3::identity());
+        let refined = Se3::from_translation(Vec3::new(0.1, -0.2, 0.3));
+        t.set_pose(1, refined);
+        assert_eq!(t.poses()[1].pose, refined);
+        assert_eq!(t.poses()[1].timestamp, 0.033);
+        assert_eq!(t.poses()[0].pose, Se3::identity());
     }
 
     #[test]

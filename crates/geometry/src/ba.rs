@@ -1,0 +1,1116 @@
+//! Windowed local bundle adjustment: joint refinement of a small set of
+//! camera poses and the landmarks they observe.
+//!
+//! This is the backend counterpart of the motion-only optimizer in
+//! [`crate::lm`]: where `optimize_pose` adjusts a single pose against a
+//! frozen map, [`bundle_adjust`] minimizes the total robustified
+//! reprojection error
+//!
+//! ```text
+//! E = Σᵢⱼ ρ(‖cᵢⱼ − h(gⱼ, pᵢ)‖)  +  w Σᵢ ‖log(pᵢ ∘ p̂ᵢ⁻¹)‖²
+//! ```
+//!
+//! over every free pose `pᵢ` **and** every free landmark `gⱼ` of a
+//! sliding keyframe window simultaneously (ρ is the optional Huber
+//! kernel, the second sum the optional pose prior anchoring each free
+//! pose to its initial value `p̂ᵢ`). The solver is a sparse
+//! Levenberg-Marquardt built on the Schur complement: the block
+//! structure of the normal equations
+//!
+//! ```text
+//! [ Hpp  W  ] [δp]   [−bp]
+//! [ Wᵀ  Hll ] [δl] = [−bl]
+//! ```
+//!
+//! is exploited by inverting the 3×3 landmark blocks `Hll` pointwise,
+//! reducing to the dense `6F×6F` camera system
+//! `(Hpp − W Hll⁻¹ Wᵀ) δp = −bp + W Hll⁻¹ bl` (F = free poses, a small
+//! window), and back-substituting `δl = Hll⁻¹(−bl − Wᵀ δp)`. Poses are
+//! updated on the SE(3) manifold with the same left-multiplicative
+//! increments as [`crate::lm`]; the whole solve is deterministic — a
+//! fixed accumulation order, no randomness — which is what lets the
+//! SLAM backend prove its async and synchronous modes bit-identical.
+
+use crate::camera::PinholeCamera;
+use crate::matrix::Mat3;
+use crate::robust::{huber_weight, robust_cost, BEHIND_CAMERA_PENALTY};
+use crate::se3::Se3;
+use crate::vector::{Vec2, Vec3};
+
+/// One pixel observation of landmark `point` from camera `pose`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaObservation {
+    /// Index into the pose slice.
+    pub pose: usize,
+    /// Index into the point slice.
+    pub point: usize,
+    /// Observed pixel location.
+    pub pixel: Vec2,
+}
+
+/// Parameters of the local bundle adjustment solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaParams {
+    /// Maximum number of accepted LM iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplicative λ increase on a rejected step.
+    pub lambda_up: f64,
+    /// Multiplicative λ decrease on an accepted step.
+    pub lambda_down: f64,
+    /// Convergence threshold on the combined update norm ‖δ‖.
+    pub min_step_norm: f64,
+    /// Convergence threshold on the relative cost decrease.
+    pub min_cost_decrease: f64,
+    /// Huber kernel width in pixels; `None` disables the robust kernel.
+    pub huber_delta: Option<f64>,
+    /// Weight of the prior anchoring each free pose to its initial
+    /// value (adds `w‖log(p ∘ p̂⁻¹)‖²` to the cost). `0.0` disables it.
+    /// Besides regularizing weakly-constrained windows, a non-zero
+    /// weight also fixes the gauge when no pose is held fixed.
+    pub pose_prior_weight: f64,
+    /// Weight of the prior anchoring each free landmark to its initial
+    /// position (adds `w‖g − ĝ‖²` per free point, in px²/m²). `0.0`
+    /// disables it. This is the RGB-D depth residual in prior form: the
+    /// landmarks were seeded from measured depth, and a pure
+    /// reprojection BA would discard that information and drag points
+    /// along their rays to absorb pixel noise. The prior keeps the
+    /// depth measurement in the problem while still letting strongly
+    /// contradicted points move.
+    pub point_prior_weight: f64,
+}
+
+impl Default for BaParams {
+    fn default() -> Self {
+        BaParams {
+            max_iterations: 10,
+            initial_lambda: 1e-4,
+            lambda_up: 10.0,
+            lambda_down: 0.5,
+            min_step_norm: 1e-10,
+            min_cost_decrease: 1e-9,
+            huber_delta: Some(5.0),
+            pose_prior_weight: 0.0,
+            point_prior_weight: 0.0,
+        }
+    }
+}
+
+/// Outcome of a bundle adjustment run (poses/points are refined in
+/// place).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaResult {
+    /// Cost before any update.
+    pub initial_cost: f64,
+    /// Final cost.
+    pub final_cost: f64,
+    /// Number of accepted LM iterations.
+    pub iterations: usize,
+    /// Whether the run terminated by convergence rather than the
+    /// iteration cap.
+    pub converged: bool,
+}
+
+/// Total robustified cost of a pose/point configuration, including the
+/// pose prior.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_cost(
+    poses: &[Se3],
+    points: &[Vec3],
+    observations: &[BaObservation],
+    anchors: &[Se3],
+    point_anchors: &[Vec3],
+    fixed_poses: &[bool],
+    fixed_points: &[bool],
+    camera: &PinholeCamera,
+    params: &BaParams,
+) -> f64 {
+    let mut cost = 0.0;
+    for obs in observations {
+        let p_cam = poses[obs.pose].transform(points[obs.point]);
+        match camera.project(p_cam) {
+            Some(uv) => cost += robust_cost((uv - obs.pixel).norm(), params.huber_delta),
+            None => cost += BEHIND_CAMERA_PENALTY,
+        }
+    }
+    if params.pose_prior_weight > 0.0 {
+        for ((pose, anchor), fixed) in poses.iter().zip(anchors).zip(fixed_poses) {
+            if !fixed {
+                let xi = pose.compose(&anchor.inverse()).log();
+                cost += params.pose_prior_weight * xi.norm() * xi.norm();
+            }
+        }
+    }
+    if params.point_prior_weight > 0.0 {
+        for ((point, anchor), fixed) in points.iter().zip(point_anchors).zip(fixed_points) {
+            if !fixed {
+                cost += params.point_prior_weight * (*point - *anchor).norm_squared();
+            }
+        }
+    }
+    cost
+}
+
+/// Solves the dense symmetric positive-definite system `A x = b`
+/// (row-major `n×n`) via Cholesky. Returns `None` on a non-positive
+/// pivot.
+fn cholesky_solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            // Sequential fold keeps the exact FP accumulation order.
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// The static block structure of one problem, built once per solve.
+struct Structure {
+    /// Free-slot index per pose (`usize::MAX` for fixed poses).
+    pose_slot: Vec<usize>,
+    /// Free-slot index per point (`usize::MAX` for fixed points).
+    point_slot: Vec<usize>,
+    /// Number of free poses.
+    free_poses: usize,
+    /// Number of free points.
+    free_points: usize,
+    /// Cross-block index per observation (`usize::MAX` when either side
+    /// is fixed): observations sharing a (pose, point) pair share a
+    /// block.
+    obs_block: Vec<usize>,
+    /// Per free point: the `(pose_slot, block)` pairs touching it.
+    point_pairs: Vec<Vec<(usize, usize)>>,
+    /// Number of cross blocks.
+    blocks: usize,
+}
+
+impl Structure {
+    fn build(
+        n_poses: usize,
+        n_points: usize,
+        observations: &[BaObservation],
+        fixed_poses: &[bool],
+        fixed_points: &[bool],
+    ) -> Structure {
+        let mut pose_slot = vec![usize::MAX; n_poses];
+        let mut free_poses = 0;
+        for (i, fixed) in fixed_poses.iter().enumerate() {
+            if !fixed {
+                pose_slot[i] = free_poses;
+                free_poses += 1;
+            }
+        }
+        let mut point_slot = vec![usize::MAX; n_points];
+        let mut free_points = 0;
+        for (j, fixed) in fixed_points.iter().enumerate() {
+            if !fixed {
+                point_slot[j] = free_points;
+                free_points += 1;
+            }
+        }
+        let mut obs_block = vec![usize::MAX; observations.len()];
+        let mut point_pairs = vec![Vec::new(); free_points];
+        let mut pair_index: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut blocks = 0;
+        for (k, obs) in observations.iter().enumerate() {
+            let (ps, ls) = (pose_slot[obs.pose], point_slot[obs.point]);
+            if ps == usize::MAX || ls == usize::MAX {
+                continue;
+            }
+            let block = *pair_index.entry((ps, ls)).or_insert_with(|| {
+                let b = blocks;
+                blocks += 1;
+                point_pairs[ls].push((ps, b));
+                b
+            });
+            obs_block[k] = block;
+        }
+        Structure {
+            pose_slot,
+            point_slot,
+            free_poses,
+            free_points,
+            obs_block,
+            point_pairs,
+            blocks,
+        }
+    }
+}
+
+/// The accumulated normal equations of one linearization.
+struct NormalEquations {
+    /// 6×6 diagonal pose blocks, one per free pose.
+    hpp: Vec<[[f64; 6]; 6]>,
+    /// Pose gradient `Σ w Jpᵀ r`, one per free pose.
+    bp: Vec<[f64; 6]>,
+    /// 3×3 diagonal point blocks, one per free point.
+    hll: Vec<Mat3>,
+    /// Point gradient `Σ w Jlᵀ r`, one per free point.
+    bl: Vec<Vec3>,
+    /// 6×3 cross blocks, one per (free pose, free point) pair.
+    w: Vec<[[f64; 3]; 6]>,
+}
+
+/// Linearizes the problem at the current state, accumulating the block
+/// normal equations and the cost.
+#[allow(clippy::too_many_arguments)]
+fn build_normal_equations(
+    poses: &[Se3],
+    points: &[Vec3],
+    observations: &[BaObservation],
+    anchors: &[Se3],
+    point_anchors: &[Vec3],
+    structure: &Structure,
+    camera: &PinholeCamera,
+    params: &BaParams,
+) -> NormalEquations {
+    let mut eq = NormalEquations {
+        hpp: vec![[[0.0; 6]; 6]; structure.free_poses],
+        bp: vec![[0.0; 6]; structure.free_poses],
+        hll: vec![Mat3::zeros(); structure.free_points],
+        bl: vec![Vec3::ZERO; structure.free_points],
+        w: vec![[[0.0; 3]; 6]; structure.blocks],
+    };
+
+    for (k, obs) in observations.iter().enumerate() {
+        let pose = &poses[obs.pose];
+        let p_cam = pose.transform(points[obs.point]);
+        // Step acceptance is driven by evaluate_cost on the candidate;
+        // the linearization only needs the (weighted) derivatives.
+        let uv = match camera.project(p_cam) {
+            Some(uv) => uv,
+            None => continue,
+        };
+        let r = uv - obs.pixel;
+        let rn = r.norm();
+        let w = huber_weight(rn, params.huber_delta);
+
+        let (x, y, z) = (p_cam.x, p_cam.y, p_cam.z);
+        let inv_z = 1.0 / z;
+        let inv_z2 = inv_z * inv_z;
+        // ∂(u,v)/∂p_cam
+        let j_proj = [
+            [camera.fx * inv_z, 0.0, -camera.fx * x * inv_z2],
+            [0.0, camera.fy * inv_z, -camera.fy * y * inv_z2],
+        ];
+
+        let ps = structure.pose_slot[obs.pose];
+        let ls = structure.point_slot[obs.point];
+
+        // Pose Jacobian rows: J_proj · [ I | −[p_cam]× ] (left
+        // perturbation, identical to crate::lm).
+        let mut j_pose = [[0.0f64; 6]; 2];
+        if ps != usize::MAX {
+            let j_se3 = [
+                [1.0, 0.0, 0.0, 0.0, z, -y],
+                [0.0, 1.0, 0.0, -z, 0.0, x],
+                [0.0, 0.0, 1.0, y, -x, 0.0],
+            ];
+            for (row, proj_row) in j_pose.iter_mut().zip(&j_proj) {
+                for c in 0..6 {
+                    row[c] = (0..3).map(|m| proj_row[m] * j_se3[m][c]).sum();
+                }
+            }
+        }
+        // Point Jacobian rows: J_proj · R (∂p_cam/∂g = R).
+        let mut j_point = [[0.0f64; 3]; 2];
+        if ls != usize::MAX {
+            for (row, proj_row) in j_point.iter_mut().zip(&j_proj) {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (0..3).map(|m| proj_row[m] * pose.rotation.m[m][c]).sum();
+                }
+            }
+        }
+
+        let residual = [r.x, r.y];
+        for (row, res) in [0usize, 1].into_iter().zip(residual) {
+            if ps != usize::MAX {
+                let jp = &j_pose[row];
+                let (h, b) = (&mut eq.hpp[ps], &mut eq.bp[ps]);
+                for a in 0..6 {
+                    for c in 0..6 {
+                        h[a][c] += w * jp[a] * jp[c];
+                    }
+                    b[a] += w * jp[a] * res;
+                }
+            }
+            if ls != usize::MAX {
+                let jl = &j_point[row];
+                let (h, b) = (&mut eq.hll[ls], &mut eq.bl[ls]);
+                for a in 0..3 {
+                    for c in 0..3 {
+                        h.m[a][c] += w * jl[a] * jl[c];
+                    }
+                    b[a] += w * jl[a] * res;
+                }
+            }
+            if ps != usize::MAX && ls != usize::MAX {
+                let block = &mut eq.w[structure.obs_block[k]];
+                for (a, wa) in block.iter_mut().enumerate() {
+                    for (c, wc) in wa.iter_mut().enumerate() {
+                        *wc += w * j_pose[row][a] * j_point[row][c];
+                    }
+                }
+            }
+        }
+    }
+
+    // Pose prior: residual √w·log(p ∘ p̂⁻¹) with Jacobian ≈ √w·I.
+    if params.pose_prior_weight > 0.0 {
+        let wp = params.pose_prior_weight;
+        for (i, slot) in structure.pose_slot.iter().enumerate() {
+            if *slot == usize::MAX {
+                continue;
+            }
+            let xi = poses[i].compose(&anchors[i].inverse()).log();
+            for a in 0..6 {
+                eq.hpp[*slot][a][a] += wp;
+                eq.bp[*slot][a] += wp * xi[a];
+            }
+        }
+    }
+
+    // Point prior (the depth residual): residual √w·(g − ĝ), J = √w·I.
+    if params.point_prior_weight > 0.0 {
+        let wl = params.point_prior_weight;
+        for (j, slot) in structure.point_slot.iter().enumerate() {
+            if *slot == usize::MAX {
+                continue;
+            }
+            let r = points[j] - point_anchors[j];
+            for a in 0..3 {
+                eq.hll[*slot].m[a][a] += wl;
+                eq.bl[*slot][a] += wl * r[a];
+            }
+        }
+    }
+
+    eq
+}
+
+/// Jointly refines `poses` (world-to-camera) and `points` (world
+/// positions) in place by minimizing the total robustified reprojection
+/// error of `observations` with a sparse Schur-complement
+/// Levenberg-Marquardt.
+///
+/// * `fixed_poses[i]` / `fixed_points[j]` hold the corresponding
+///   variable constant; its observations still constrain everything
+///   else. Fix at least one pose (or set
+///   [`BaParams::pose_prior_weight`]) or the problem is gauge-free and
+///   the damped solver will simply stay near the initial values.
+/// * Every observation must index valid poses/points.
+///
+/// Degenerate inputs (no free variables, or no observations) return
+/// immediately with the initial configuration.
+///
+/// # Panics
+/// Panics if the slice lengths disagree or an observation index is out
+/// of range.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::ba::{bundle_adjust, BaObservation, BaParams};
+/// use eslam_geometry::{PinholeCamera, Se3, Vec3};
+/// let camera = PinholeCamera::tum_fr1();
+/// let truth_pose = Se3::from_translation(Vec3::new(0.05, 0.0, 0.0));
+/// let points: Vec<Vec3> = (0..12)
+///     .map(|i| Vec3::new((i % 4) as f64 * 0.4 - 0.6, (i / 4) as f64 * 0.4 - 0.4, 3.0))
+///     .collect();
+/// // Observations from the identity keyframe and from `truth_pose`.
+/// let mut observations = Vec::new();
+/// for (j, p) in points.iter().enumerate() {
+///     observations.push(BaObservation { pose: 0, point: j, pixel: camera.project(*p).unwrap() });
+///     observations.push(BaObservation {
+///         pose: 1, point: j, pixel: camera.project(truth_pose.transform(*p)).unwrap(),
+///     });
+/// }
+/// // Start the second pose off-truth; keep the first fixed (gauge)
+/// // and the landmarks fixed (depth-anchored), so only the pose moves.
+/// let mut poses = vec![Se3::identity(), Se3::identity()];
+/// let mut pts = points.clone();
+/// let result = bundle_adjust(
+///     &mut poses, &mut pts, &observations, &[true, false], &vec![true; 12],
+///     &camera, &BaParams::default(),
+/// );
+/// assert!(result.final_cost <= result.initial_cost);
+/// assert!((poses[1].translation - truth_pose.translation).norm() < 1e-6);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn bundle_adjust(
+    poses: &mut [Se3],
+    points: &mut [Vec3],
+    observations: &[BaObservation],
+    fixed_poses: &[bool],
+    fixed_points: &[bool],
+    camera: &PinholeCamera,
+    params: &BaParams,
+) -> BaResult {
+    assert_eq!(poses.len(), fixed_poses.len(), "pose/fixed length mismatch");
+    assert_eq!(
+        points.len(),
+        fixed_points.len(),
+        "point/fixed length mismatch"
+    );
+    for obs in observations {
+        assert!(obs.pose < poses.len(), "observation pose out of range");
+        assert!(obs.point < points.len(), "observation point out of range");
+    }
+
+    let anchors: Vec<Se3> = poses.to_vec();
+    let point_anchors: Vec<Vec3> = points.to_vec();
+    let structure = Structure::build(
+        poses.len(),
+        points.len(),
+        observations,
+        fixed_poses,
+        fixed_points,
+    );
+    let initial_cost = evaluate_cost(
+        poses,
+        points,
+        observations,
+        &anchors,
+        &point_anchors,
+        fixed_poses,
+        fixed_points,
+        camera,
+        params,
+    );
+    if (structure.free_poses == 0 && structure.free_points == 0) || observations.is_empty() {
+        return BaResult {
+            initial_cost,
+            final_cost: initial_cost,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    let mut cost = initial_cost;
+    let mut lambda = params.initial_lambda;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut attempts = 0;
+    let n = structure.free_poses * 6;
+
+    while iterations < params.max_iterations && attempts < params.max_iterations * 4 {
+        attempts += 1;
+        let eq = build_normal_equations(
+            poses,
+            points,
+            observations,
+            &anchors,
+            &point_anchors,
+            &structure,
+            camera,
+            params,
+        );
+
+        // Damp both variable families (additive, scale-aware per block).
+        let mut hpp = eq.hpp.clone();
+        for h in &mut hpp {
+            for (a, row) in h.iter_mut().enumerate() {
+                row[a] += lambda * (1.0 + row[a].abs());
+            }
+        }
+        let mut hll = eq.hll.clone();
+        for h in &mut hll {
+            for a in 0..3 {
+                h.m[a][a] += lambda * (1.0 + h.m[a][a].abs());
+            }
+        }
+
+        // Invert the 3×3 landmark blocks. A singular block (a point
+        // with too little parallax even after damping) freezes that
+        // point for this step.
+        let hll_inv: Vec<Option<Mat3>> = hll.iter().map(|h| h.inverse()).collect();
+
+        // Reduced camera system S δp = −b_reduced.
+        let mut s = vec![0.0f64; n * n];
+        let mut b_red = vec![0.0f64; n];
+        for (slot, h) in hpp.iter().enumerate() {
+            for a in 0..6 {
+                for c in 0..6 {
+                    s[(slot * 6 + a) * n + slot * 6 + c] = h[a][c];
+                }
+                b_red[slot * 6 + a] = -eq.bp[slot][a];
+            }
+        }
+        for (ls, pairs) in structure.point_pairs.iter().enumerate() {
+            let Some(inv) = &hll_inv[ls] else { continue };
+            // Precompute W_a · Hll⁻¹ per pair, then subtract
+            // (W_a Hll⁻¹) W_bᵀ from every block pair of this point.
+            let winv: Vec<[[f64; 3]; 6]> = pairs
+                .iter()
+                .map(|&(_, block)| {
+                    let wa = &eq.w[block];
+                    let mut out = [[0.0f64; 3]; 6];
+                    for (a, row) in out.iter_mut().enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            *v = (0..3).map(|m| wa[a][m] * inv.m[m][c]).sum();
+                        }
+                    }
+                    out
+                })
+                .collect();
+            for (i, &(pa, _)) in pairs.iter().enumerate() {
+                // b_reduced += W Hll⁻¹ bl (sign: b_red starts at −bp).
+                for a in 0..6 {
+                    b_red[pa * 6 + a] += (0..3).map(|m| winv[i][a][m] * eq.bl[ls][m]).sum::<f64>();
+                }
+                for &(pb, block_b) in pairs.iter() {
+                    let wb = &eq.w[block_b];
+                    for a in 0..6 {
+                        for c in 0..6 {
+                            let v: f64 = (0..3).map(|m| winv[i][a][m] * wb[c][m]).sum();
+                            s[(pa * 6 + a) * n + pb * 6 + c] -= v;
+                        }
+                    }
+                }
+            }
+        }
+
+        let delta_p = match cholesky_solve_dense(&s, &b_red, n) {
+            Some(d) => d,
+            None => {
+                lambda *= params.lambda_up;
+                continue;
+            }
+        };
+
+        // Back-substitute the landmark updates:
+        // δl = Hll⁻¹ (−bl − Wᵀ δp).
+        let mut delta_l = vec![Vec3::ZERO; structure.free_points];
+        for (ls, pairs) in structure.point_pairs.iter().enumerate() {
+            let Some(inv) = &hll_inv[ls] else { continue };
+            let mut rhs = -eq.bl[ls];
+            for &(pa, block) in pairs {
+                let wa = &eq.w[block];
+                for m in 0..3 {
+                    rhs[m] -= (0..6).map(|a| wa[a][m] * delta_p[pa * 6 + a]).sum::<f64>();
+                }
+            }
+            delta_l[ls] = *inv * rhs;
+        }
+
+        let step_norm = (delta_p.iter().map(|v| v * v).sum::<f64>()
+            + delta_l.iter().map(|v| v.norm_squared()).sum::<f64>())
+        .sqrt();
+        if step_norm < params.min_step_norm {
+            converged = true;
+            break;
+        }
+
+        // Build and score the candidate configuration.
+        let mut cand_poses: Vec<Se3> = poses.to_vec();
+        for (i, slot) in structure.pose_slot.iter().enumerate() {
+            if *slot == usize::MAX {
+                continue;
+            }
+            let xi = crate::matrix::Vec6 {
+                v: [
+                    delta_p[slot * 6],
+                    delta_p[slot * 6 + 1],
+                    delta_p[slot * 6 + 2],
+                    delta_p[slot * 6 + 3],
+                    delta_p[slot * 6 + 4],
+                    delta_p[slot * 6 + 5],
+                ],
+            };
+            cand_poses[i] = cand_poses[i].retract(&xi);
+            cand_poses[i].orthonormalize();
+        }
+        let mut cand_points: Vec<Vec3> = points.to_vec();
+        for (j, slot) in structure.point_slot.iter().enumerate() {
+            if *slot != usize::MAX {
+                cand_points[j] += delta_l[*slot];
+            }
+        }
+        let cand_cost = evaluate_cost(
+            &cand_poses,
+            &cand_points,
+            observations,
+            &anchors,
+            &point_anchors,
+            fixed_poses,
+            fixed_points,
+            camera,
+            params,
+        );
+
+        if cand_cost < cost {
+            let decrease = (cost - cand_cost) / cost.max(1e-300);
+            poses.copy_from_slice(&cand_poses);
+            points.copy_from_slice(&cand_points);
+            cost = cand_cost;
+            lambda = (lambda * params.lambda_down).max(1e-12);
+            iterations += 1;
+            if decrease < params.min_cost_decrease {
+                converged = true;
+                break;
+            }
+        } else {
+            lambda *= params.lambda_up;
+            if lambda > 1e12 {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    BaResult {
+        initial_cost,
+        final_cost: cost,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quaternion::Quaternion;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A synthetic window: `n_poses` cameras on a slow arc observing
+    /// `n_points` landmarks, with exact pixel observations.
+    fn window(
+        seed: u64,
+        n_poses: usize,
+        n_points: usize,
+    ) -> (Vec<Se3>, Vec<Vec3>, Vec<BaObservation>, PinholeCamera) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let camera = PinholeCamera::tum_fr1();
+        let poses: Vec<Se3> = (0..n_poses)
+            .map(|i| {
+                // A wide-enough baseline that landmark depth is well
+                // conditioned across the window.
+                let t = i as f64 * 0.12;
+                Se3::from_quaternion_translation(
+                    &Quaternion::from_axis_angle(Vec3::Y, t * 0.5),
+                    Vec3::new(t, -0.3 * t, 0.1 * t),
+                )
+            })
+            .collect();
+        let mut points = Vec::new();
+        let mut observations = Vec::new();
+        while points.len() < n_points {
+            let p = Vec3::new(
+                (rng.gen::<f64>() - 0.5) * 4.0,
+                (rng.gen::<f64>() - 0.5) * 3.0,
+                2.0 + rng.gen::<f64>() * 3.0,
+            );
+            let mut obs = Vec::new();
+            for (i, pose) in poses.iter().enumerate() {
+                if let Some(uv) = camera.project(pose.transform(p)) {
+                    if camera.in_bounds(uv, 2.0) {
+                        obs.push(BaObservation {
+                            pose: i,
+                            point: points.len(),
+                            pixel: uv,
+                        });
+                    }
+                }
+            }
+            if obs.len() == n_poses {
+                points.push(p);
+                observations.extend(obs);
+            }
+        }
+        (poses, points, observations, camera)
+    }
+
+    fn perturb_pose(pose: &Se3, rng: &mut SmallRng, t_mag: f64, r_mag: f64) -> Se3 {
+        let xi = crate::matrix::Vec6::from_parts(
+            Vec3::new(
+                (rng.gen::<f64>() - 0.5) * t_mag,
+                (rng.gen::<f64>() - 0.5) * t_mag,
+                (rng.gen::<f64>() - 0.5) * t_mag,
+            ),
+            Vec3::new(
+                (rng.gen::<f64>() - 0.5) * r_mag,
+                (rng.gen::<f64>() - 0.5) * r_mag,
+                (rng.gen::<f64>() - 0.5) * r_mag,
+            ),
+        );
+        pose.retract(&xi)
+    }
+
+    #[test]
+    fn recovers_perturbed_poses_and_points() {
+        let (truth_poses, truth_points, observations, camera) = window(3, 4, 60);
+        let mut rng = SmallRng::seed_from_u64(77);
+        // Two poses fixed: reprojection-only BA has a scale gauge (the
+        // scene and the free camera translations can scale jointly
+        // about a single fixed pose at zero cost), so the anchor must
+        // be a baseline, not a point.
+        let mut poses: Vec<Se3> = truth_poses
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i < 2 {
+                    *p
+                } else {
+                    perturb_pose(p, &mut rng, 0.04, 0.02)
+                }
+            })
+            .collect();
+        let mut points: Vec<Vec3> = truth_points
+            .iter()
+            .map(|p| {
+                *p + Vec3::new(
+                    (rng.gen::<f64>() - 0.5) * 0.04,
+                    (rng.gen::<f64>() - 0.5) * 0.04,
+                    (rng.gen::<f64>() - 0.5) * 0.08,
+                )
+            })
+            .collect();
+        let mut fixed_poses = vec![false; poses.len()];
+        fixed_poses[0] = true;
+        fixed_poses[1] = true;
+        let free_points = vec![false; points.len()];
+        let result = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &observations,
+            &fixed_poses,
+            &free_points,
+            &camera,
+            &BaParams {
+                max_iterations: 40,
+                min_cost_decrease: 1e-14,
+                ..Default::default()
+            },
+        );
+        assert!(result.final_cost < result.initial_cost);
+        assert!(result.final_cost < 1e-6, "cost {}", result.final_cost);
+        for (est, truth) in poses.iter().zip(&truth_poses) {
+            assert!(
+                (est.translation - truth.translation).norm() < 5e-4,
+                "pose error {}",
+                (est.translation - truth.translation).norm()
+            );
+        }
+        for (est, truth) in points.iter().zip(&truth_points) {
+            // Landmark depth along near-parallel rays is the weakest
+            // direction; LM stops once the pixel cost is at noise
+            // level, a few mm from the exact optimum.
+            assert!((*est - *truth).norm() < 5e-3, "{}", (*est - *truth).norm());
+        }
+    }
+
+    #[test]
+    fn fixed_variables_do_not_move() {
+        let (truth_poses, truth_points, observations, camera) = window(5, 3, 40);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut poses = truth_poses.clone();
+        poses[2] = perturb_pose(&poses[2], &mut rng, 0.05, 0.02);
+        let mut points = truth_points.clone();
+        let mut fixed_points = vec![false; points.len()];
+        fixed_points[0] = true;
+        fixed_points[7] = true;
+        let before_pose0 = poses[0];
+        let before_p0 = points[0];
+        let before_p7 = points[7];
+        bundle_adjust(
+            &mut poses,
+            &mut points,
+            &observations,
+            &[true, true, false],
+            &fixed_points,
+            &camera,
+            &BaParams::default(),
+        );
+        assert_eq!(poses[0], before_pose0);
+        assert_eq!(points[0], before_p0);
+        assert_eq!(points[7], before_p7);
+        // The free pose still improved.
+        assert!((poses[2].translation - truth_poses[2].translation).norm() < 1e-4);
+    }
+
+    #[test]
+    fn cost_never_increases() {
+        let (truth_poses, truth_points, observations, camera) = window(9, 4, 50);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut poses: Vec<Se3> = truth_poses
+            .iter()
+            .map(|p| perturb_pose(p, &mut rng, 0.03, 0.015))
+            .collect();
+        let mut points = truth_points.clone();
+        let mut fixed_poses = vec![false; poses.len()];
+        fixed_poses[0] = true;
+        let free_points = vec![false; points.len()];
+        let result = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &observations,
+            &fixed_poses,
+            &free_points,
+            &camera,
+            &BaParams::default(),
+        );
+        assert!(result.final_cost <= result.initial_cost);
+    }
+
+    #[test]
+    fn huber_contains_outlier_observations() {
+        let (truth_poses, truth_points, mut observations, camera) = window(13, 3, 50);
+        // Corrupt one view of each of the first 8 landmarks grossly
+        // (corrupting *every* view of a free landmark would just move
+        // the landmark — the shifted views must disagree with the
+        // surviving ones for the kernel to have outliers to reject).
+        for obs in observations.iter_mut().step_by(3).take(8) {
+            obs.pixel.x += 180.0;
+            obs.pixel.y -= 120.0;
+        }
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut run = |huber: Option<f64>| {
+            let mut poses: Vec<Se3> = truth_poses
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    if i < 2 {
+                        *p
+                    } else {
+                        perturb_pose(p, &mut rng, 0.03, 0.015)
+                    }
+                })
+                .collect();
+            let mut points = truth_points.clone();
+            let free_points = vec![false; points.len()];
+            bundle_adjust(
+                &mut poses,
+                &mut points,
+                &observations,
+                &[true, true, false],
+                &free_points,
+                &camera,
+                &BaParams {
+                    huber_delta: huber,
+                    max_iterations: 30,
+                    ..Default::default()
+                },
+            );
+            poses
+                .iter()
+                .zip(&truth_poses)
+                .map(|(e, t)| (e.translation - t.translation).norm())
+                .fold(0.0f64, f64::max)
+        };
+        let robust_err = run(Some(3.0));
+        let plain_err = run(None);
+        assert!(
+            robust_err < plain_err,
+            "robust {robust_err} should beat plain {plain_err}"
+        );
+        // Outliers also drag the free landmarks here (unlike the
+        // pose-only LM test), so the bar is looser than crate::lm's.
+        assert!(robust_err < 0.05, "robust error {robust_err}");
+    }
+
+    #[test]
+    fn pose_prior_fixes_the_gauge_without_fixed_poses() {
+        // No pose fixed: the prior anchors the window so the damped
+        // solver still converges instead of drifting along the gauge.
+        let (truth_poses, truth_points, observations, camera) = window(17, 3, 40);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut poses: Vec<Se3> = truth_poses
+            .iter()
+            .map(|p| perturb_pose(p, &mut rng, 0.01, 0.005))
+            .collect();
+        let mut points = truth_points.clone();
+        let anchors = poses.clone();
+        let free_points = vec![false; points.len()];
+        let result = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &observations,
+            &[false, false, false],
+            &free_points,
+            &camera,
+            &BaParams {
+                pose_prior_weight: 10.0,
+                ..Default::default()
+            },
+        );
+        assert!(result.final_cost <= result.initial_cost);
+        // Poses stay in the prior's neighbourhood.
+        for (est, anchor) in poses.iter().zip(&anchors) {
+            assert!((est.translation - anchor.translation).norm() < 0.05);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_noops() {
+        let camera = PinholeCamera::tum_fr1();
+        // Everything fixed.
+        let mut poses = vec![Se3::identity()];
+        let mut points = vec![Vec3::new(0.0, 0.0, 3.0)];
+        let obs = [BaObservation {
+            pose: 0,
+            point: 0,
+            pixel: camera.project(points[0]).unwrap(),
+        }];
+        let r = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &obs,
+            &[true],
+            &[true],
+            &camera,
+            &BaParams::default(),
+        );
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        // No observations at all.
+        let r = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &[],
+            &[false],
+            &[false],
+            &camera,
+            &BaParams::default(),
+        );
+        assert!(r.converged);
+        assert_eq!(r.initial_cost, 0.0);
+    }
+
+    #[test]
+    fn single_observation_point_is_solvable() {
+        // A landmark seen from one camera is rank-deficient along the
+        // ray; damping must keep the solve alive rather than exploding.
+        let (truth_poses, truth_points, mut observations, camera) = window(23, 2, 30);
+        // Drop the second view of point 0.
+        observations.retain(|o| !(o.point == 0 && o.pose == 1));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut poses = vec![
+            truth_poses[0],
+            perturb_pose(&truth_poses[1], &mut rng, 0.02, 0.01),
+        ];
+        let mut points = truth_points.clone();
+        let free_points = vec![false; points.len()];
+        let result = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &observations,
+            &[true, false],
+            &free_points,
+            &camera,
+            &BaParams::default(),
+        );
+        assert!(result.final_cost <= result.initial_cost);
+        assert!(points.iter().all(|p| p.norm().is_finite()));
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let (truth_poses, truth_points, observations, camera) = window(29, 4, 45);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let start_poses: Vec<Se3> = truth_poses
+            .iter()
+            .map(|p| perturb_pose(p, &mut rng, 0.02, 0.01))
+            .collect();
+        let mut fixed_poses = vec![false; start_poses.len()];
+        fixed_poses[0] = true;
+        let run = || {
+            let mut poses = start_poses.clone();
+            let mut points = truth_points.clone();
+            let free_points = vec![false; points.len()];
+            let r = bundle_adjust(
+                &mut poses,
+                &mut points,
+                &observations,
+                &fixed_poses,
+                &free_points,
+                &camera,
+                &BaParams::default(),
+            );
+            (poses, points, r)
+        };
+        let (pa, la, ra) = run();
+        let (pb, lb, rb) = run();
+        assert_eq!(pa, pb);
+        assert_eq!(la, lb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn dense_cholesky_matches_mat6() {
+        // The variable-size solver agrees with the fixed Mat6 one on a
+        // 6×6 SPD system.
+        let mut a6 = crate::matrix::Mat6::identity();
+        let g = crate::matrix::Vec6 {
+            v: [0.4, -0.2, 0.7, 0.1, -0.5, 0.3],
+        };
+        a6.rank_one_update(&g, 2.0);
+        let b = crate::matrix::Vec6 {
+            v: [1.0, -1.0, 0.5, 0.25, 2.0, -0.75],
+        };
+        let expect = a6.cholesky_solve(&b).unwrap();
+        let flat: Vec<f64> = a6.m.iter().flatten().copied().collect();
+        let got = cholesky_solve_dense(&flat, &b.v, 6).unwrap();
+        for i in 0..6 {
+            assert!((got[i] - expect[i]).abs() < 1e-12);
+        }
+        // And rejects an indefinite system.
+        let mut bad = flat.clone();
+        bad[7] = -5.0; // (1,1) pivot
+        assert!(cholesky_solve_dense(&bad, &b.v, 6).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_observation_panics() {
+        let camera = PinholeCamera::tum_fr1();
+        let mut poses = vec![Se3::identity()];
+        let mut points = vec![Vec3::new(0.0, 0.0, 2.0)];
+        let obs = [BaObservation {
+            pose: 1,
+            point: 0,
+            pixel: Vec2::new(0.0, 0.0),
+        }];
+        let _ = bundle_adjust(
+            &mut poses,
+            &mut points,
+            &obs,
+            &[false],
+            &[false],
+            &camera,
+            &BaParams::default(),
+        );
+    }
+}

@@ -14,7 +14,11 @@
 //! * [`pnp`] — Grunert P3P and the full robust PnP pipeline (the paper's
 //!   *pose estimation* stage);
 //! * [`lm`] — Levenberg-Marquardt reprojection-error minimization (the
-//!   paper's *pose optimization* stage, Eq. 1);
+//!   paper's *pose optimization* stage, Eq. 1), with an optional
+//!   motion-prior regularizer;
+//! * [`ba`] — windowed local bundle adjustment: joint pose + landmark
+//!   refinement by sparse Schur-complement Levenberg-Marquardt (the
+//!   keyframe backend's solver);
 //! * [`align`] — Kabsch/Umeyama point-set alignment, used by P3P and the
 //!   ATE trajectory-error metric of Fig. 8.
 //!
@@ -45,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod align;
+pub mod ba;
 pub mod camera;
 pub mod lm;
 pub mod matrix;
@@ -52,6 +57,7 @@ pub mod pnp;
 pub mod poly;
 pub mod quaternion;
 pub mod ransac;
+pub mod robust;
 pub mod se3;
 pub mod triangulation;
 pub mod vector;

@@ -1,0 +1,55 @@
+//! Robust-kernel primitives shared by the reprojection optimizers.
+//!
+//! Both the motion-only pose optimizer ([`crate::lm`]) and the
+//! windowed bundle adjuster ([`crate::ba`]) score residuals with the
+//! same Huber kernel and charge the same penalty for geometry that
+//! flips behind the camera. They must agree *exactly* — the SLAM
+//! system's equivalence oracles compare costs across the two — so the
+//! formulas live here once.
+
+/// Penalty charged to an observation whose point projects behind the
+/// camera: large enough that optimizer steps flipping geometry are
+/// always rejected.
+pub const BEHIND_CAMERA_PENALTY: f64 = 1e8;
+
+/// Robustified squared error of one residual norm: quadratic inside
+/// the Huber width δ, linear (`δ(2‖r‖ − δ)`) outside; plain `‖r‖²`
+/// when the kernel is disabled.
+pub fn robust_cost(norm: f64, huber: Option<f64>) -> f64 {
+    match huber {
+        Some(d) if norm > d => d * (2.0 * norm - d),
+        _ => norm * norm,
+    }
+}
+
+/// Per-residual IRLS weight of the Huber kernel: 1 inside the width,
+/// `δ/‖r‖` outside (1 when the kernel is disabled).
+pub fn huber_weight(norm: f64, huber: Option<f64>) -> f64 {
+    match huber {
+        Some(d) if norm > d => d / norm,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_inside_linear_outside() {
+        let d = 3.0;
+        assert_eq!(robust_cost(2.0, Some(d)), 4.0);
+        assert_eq!(robust_cost(3.0, Some(d)), 9.0);
+        // Continuous at the kink, then linear: δ(2n − δ).
+        assert_eq!(robust_cost(5.0, Some(d)), 3.0 * (10.0 - 3.0));
+        assert_eq!(robust_cost(5.0, None), 25.0);
+    }
+
+    #[test]
+    fn weight_matches_cost_derivative_regime() {
+        let d = 3.0;
+        assert_eq!(huber_weight(1.0, Some(d)), 1.0);
+        assert_eq!(huber_weight(6.0, Some(d)), 0.5);
+        assert_eq!(huber_weight(6.0, None), 1.0);
+    }
+}

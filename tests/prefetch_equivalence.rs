@@ -81,6 +81,10 @@ fn prefetched_run_matches_synchronous_run_exactly() {
             .frames()
             .map(|f| manual.process(f.timestamp, &f.gray, &f.depth))
             .collect();
+        // run_sequence finishes the keyframe backend (applying any
+        // in-flight local-BA refinement to the trajectory); the manual
+        // loop must do the same before trajectories can compare.
+        manual.finish();
 
         for mode in [PrefetchMode::On, PrefetchMode::Off, PrefetchMode::Auto] {
             let mut config = SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE);
