@@ -91,6 +91,73 @@ impl CovisibilityGraph {
     pub fn degree(&self, a: KeyframeId) -> usize {
         self.adjacency[a].values().sum()
     }
+
+    /// Every keyframe reachable from `a` within `max_hops` edges of
+    /// weight ≥ `min_weight`, **including `a` itself** — the
+    /// covisibility neighbourhood the loop detector gates candidates
+    /// against ("a true loop is a place the graph does *not* already
+    /// connect you to"). BFS over the BTreeMap adjacency, so the
+    /// traversal (and the returned sorted ids) is deterministic.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn within_distance(
+        &self,
+        a: KeyframeId,
+        max_hops: usize,
+        min_weight: usize,
+    ) -> Vec<KeyframeId> {
+        assert!(a < self.adjacency.len());
+        let mut seen = vec![false; self.adjacency.len()];
+        seen[a] = true;
+        let mut frontier = vec![a];
+        for _ in 0..max_hops {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for (&nb, &w) in &self.adjacency[node] {
+                    if w >= min_weight.max(1) && !seen[nb] {
+                        seen[nb] = true;
+                        next.push(nb);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Applies a keyframe-cull remap (old id → new id, `None` =
+    /// removed): drops removed nodes and their edges, renumbers the
+    /// rest. The remap must come from the paired
+    /// [`crate::keyframe::KeyframeStore::retain_remap`] call, so
+    /// surviving ids stay dense and ordered.
+    ///
+    /// # Panics
+    /// Panics if the remap length disagrees with the node count.
+    pub fn apply_remap(&mut self, remap: &[Option<KeyframeId>]) {
+        assert_eq!(remap.len(), self.adjacency.len(), "remap length mismatch");
+        let mut out: Vec<BTreeMap<KeyframeId, usize>> = Vec::new();
+        for (old, adj) in self.adjacency.iter().enumerate() {
+            if remap[old].is_none() {
+                continue;
+            }
+            let mut rebuilt = BTreeMap::new();
+            for (&nb, &w) in adj {
+                if let Some(new_nb) = remap[nb] {
+                    rebuilt.insert(new_nb, w);
+                }
+            }
+            out.push(rebuilt);
+        }
+        self.adjacency = out;
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +223,41 @@ mod tests {
     fn self_edges_rejected() {
         let mut g = triangle();
         g.accumulate(1, 1, 3);
+    }
+
+    #[test]
+    fn within_distance_walks_hops() {
+        // A chain 0—1—2—3 plus an isolated node 4.
+        let mut g = CovisibilityGraph::new();
+        for _ in 0..5 {
+            g.add_node();
+        }
+        g.accumulate(0, 1, 5);
+        g.accumulate(1, 2, 5);
+        g.accumulate(2, 3, 1);
+        assert_eq!(g.within_distance(0, 0, 1), vec![0]);
+        assert_eq!(g.within_distance(0, 1, 1), vec![0, 1]);
+        assert_eq!(g.within_distance(0, 2, 1), vec![0, 1, 2]);
+        assert_eq!(g.within_distance(0, 3, 1), vec![0, 1, 2, 3]);
+        assert_eq!(g.within_distance(0, 99, 1), vec![0, 1, 2, 3]);
+        // Weight gating prunes the weak 2—3 edge.
+        assert_eq!(g.within_distance(0, 99, 2), vec![0, 1, 2]);
+        // The isolated node reaches only itself.
+        assert_eq!(g.within_distance(4, 10, 1), vec![4]);
+    }
+
+    #[test]
+    fn apply_remap_drops_nodes_and_renumbers() {
+        let mut g = triangle();
+        // Remove node 1: 0 and 2 stay connected by their direct edge,
+        // renumbered to 0 and 1.
+        g.apply_remap(&[Some(0), None, Some(1)]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.weight(0, 1), 4);
+        assert_eq!(g.weight(1, 0), 4);
+        assert_eq!(g.neighbors(0, 1), vec![(1, 4)]);
+        // Degrees lost the removed node's contributions.
+        assert_eq!(g.degree(0), 4);
     }
 
     mod proptests {

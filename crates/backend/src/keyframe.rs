@@ -1,4 +1,5 @@
-//! Keyframe storage: per-keyframe poses and landmark observations.
+//! Keyframe storage: per-keyframe poses, landmark observations and
+//! appearance descriptors.
 //!
 //! A [`Keyframe`] is the backend's unit of map structure (§2.1: the map
 //! is updated only at key frames): the tracked world-to-camera pose at
@@ -8,14 +9,27 @@
 //! front-end map culls and reorders freely without invalidating the
 //! observation graph.
 //!
-//! The [`KeyframeStore`] is append-only: keyframe ids are dense indices
-//! in insertion order, which is what makes the sliding local-BA window
-//! ("the last K keyframes") a simple suffix slice.
+//! Two loop-closure additions ride on each observation/keyframe:
+//!
+//! * every [`KeyframeObservation`] records the landmark's **camera-frame
+//!   position at promotion time** — self-contained, drift-free 3-D for
+//!   the place-recognition verifier, valid even after the front-end map
+//!   has culled the landmark;
+//! * every [`Keyframe`] keeps the **BRIEF descriptor column** aligned
+//!   with its observations — the raw material of the BoW vectors and
+//!   the brute-force loop-matching fallback.
+//!
+//! The [`KeyframeStore`] assigns dense ids in insertion order, which is
+//! what makes the sliding local-BA window ("the last K keyframes") a
+//! simple suffix slice. Keyframe culling compacts the store
+//! ([`KeyframeStore::retain_remap`]) and reports an old→new id remap so
+//! the covisibility graph and the loop detector can follow.
 
-use eslam_geometry::{Se3, Vec2};
+use eslam_features::Descriptor;
+use eslam_geometry::{Se3, Vec2, Vec3};
 
 /// Identifier of a keyframe: its dense insertion index in the
-/// [`KeyframeStore`].
+/// [`KeyframeStore`] (compacted by culling — always dense).
 pub type KeyframeId = usize;
 
 /// One pixel observation of a landmark from a keyframe.
@@ -25,24 +39,36 @@ pub struct KeyframeObservation {
     pub landmark: u64,
     /// Observed pixel location in the keyframe's image.
     pub pixel: Vec2,
+    /// Position of the landmark in **this keyframe's camera frame at
+    /// promotion time** — what the RGB-D sensor measured, so it is
+    /// drift-free, survives later pose refinements, and stays valid
+    /// after the front-end map culls the landmark. The loop verifier
+    /// solves PnP directly against these.
+    pub position: Vec3,
 }
 
-/// A keyframe: pose + observations, the backend's optimization node.
+/// A keyframe: pose + observations + descriptors, the backend's
+/// optimization and place-recognition node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Keyframe {
-    /// Dense id (insertion index in the store).
+    /// Dense id (insertion index in the store; remapped by culling).
     pub id: KeyframeId,
     /// Index of the source frame in the processed sequence.
     pub frame_index: usize,
     /// Frame timestamp, seconds.
     pub timestamp: f64,
-    /// World-to-camera pose; refined in place by local BA.
+    /// World-to-camera pose; refined in place by local BA and the
+    /// loop-closure pose graph.
     pub pose_w2c: Se3,
     /// Landmark observations (matched + created in this keyframe).
     pub observations: Vec<KeyframeObservation>,
+    /// BRIEF descriptors, index-aligned with `observations` (empty when
+    /// the producer supplies none — loop closure then skips this
+    /// keyframe as a candidate).
+    pub descriptors: Vec<Descriptor>,
 }
 
-/// Append-only keyframe store with dense ids.
+/// Append-only keyframe store with dense ids (compacted by culling).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KeyframeStore {
     keyframes: Vec<Keyframe>,
@@ -82,14 +108,26 @@ impl KeyframeStore {
         self.keyframes.last()
     }
 
-    /// Appends a keyframe, assigning the next dense id.
+    /// Appends a keyframe, assigning the next dense id. `descriptors`
+    /// must be index-aligned with `observations` (or empty).
+    ///
+    /// # Panics
+    /// Panics when a non-empty descriptor column disagrees with the
+    /// observation count.
     pub fn push(
         &mut self,
         frame_index: usize,
         timestamp: f64,
         pose_w2c: Se3,
         observations: Vec<KeyframeObservation>,
+        descriptors: Vec<Descriptor>,
     ) -> KeyframeId {
+        assert!(
+            descriptors.is_empty() || descriptors.len() == observations.len(),
+            "descriptor column misaligned: {} descriptors, {} observations",
+            descriptors.len(),
+            observations.len()
+        );
         let id = self.keyframes.len();
         self.keyframes.push(Keyframe {
             id,
@@ -97,11 +135,13 @@ impl KeyframeStore {
             timestamp,
             pose_w2c,
             observations,
+            descriptors,
         });
         id
     }
 
-    /// Overwrites the pose of keyframe `id` (the BA swap-in).
+    /// Overwrites the pose of keyframe `id` (the BA / pose-graph
+    /// swap-in).
     ///
     /// # Panics
     /// Panics if the id is out of range.
@@ -115,6 +155,36 @@ impl KeyframeStore {
         let start = self.keyframes.len().saturating_sub(k);
         &self.keyframes[start..]
     }
+
+    /// Removes every keyframe for which `keep` returns `false`,
+    /// compacting ids to stay dense. Returns the old→new id remap
+    /// (`None` entries are removed keyframes); `None` when nothing was
+    /// removed.
+    pub fn retain_remap(
+        &mut self,
+        mut keep: impl FnMut(&Keyframe) -> bool,
+    ) -> Option<Vec<Option<KeyframeId>>> {
+        let mut remap: Vec<Option<KeyframeId>> = Vec::with_capacity(self.keyframes.len());
+        let mut next = 0usize;
+        let mut removed = false;
+        for kf in &self.keyframes {
+            if keep(kf) {
+                remap.push(Some(next));
+                next += 1;
+            } else {
+                remap.push(None);
+                removed = true;
+            }
+        }
+        if !removed {
+            return None;
+        }
+        self.keyframes.retain(|kf| remap[kf.id].is_some());
+        for (slot, kf) in self.keyframes.iter_mut().enumerate() {
+            kf.id = slot;
+        }
+        Some(remap)
+    }
 }
 
 #[cfg(test)]
@@ -126,26 +196,44 @@ mod tests {
         KeyframeObservation {
             landmark,
             pixel: Vec2::new(landmark as f64, 2.0 * landmark as f64),
+            position: Vec3::new(landmark as f64, 0.0, 2.0),
         }
+    }
+
+    fn desc(tag: u64) -> Descriptor {
+        Descriptor::from_words([tag, tag ^ 0xff, 0, 1])
     }
 
     #[test]
     fn ids_are_dense_insertion_indices() {
         let mut store = KeyframeStore::new();
         assert!(store.is_empty());
-        let a = store.push(0, 0.0, Se3::identity(), vec![obs(1), obs(2)]);
-        let b = store.push(5, 0.17, Se3::from_translation(Vec3::X), vec![obs(2)]);
+        let a = store.push(
+            0,
+            0.0,
+            Se3::identity(),
+            vec![obs(1), obs(2)],
+            vec![desc(1), desc(2)],
+        );
+        let b = store.push(
+            5,
+            0.17,
+            Se3::from_translation(Vec3::X),
+            vec![obs(2)],
+            vec![desc(2)],
+        );
         assert_eq!((a, b), (0, 1));
         assert_eq!(store.len(), 2);
         assert_eq!(store.get(1).frame_index, 5);
         assert_eq!(store.get(0).observations.len(), 2);
+        assert_eq!(store.get(0).descriptors.len(), 2);
         assert_eq!(store.last().unwrap().id, 1);
     }
 
     #[test]
     fn set_pose_swaps_in_refined_pose() {
         let mut store = KeyframeStore::new();
-        store.push(0, 0.0, Se3::identity(), Vec::new());
+        store.push(0, 0.0, Se3::identity(), Vec::new(), Vec::new());
         let refined = Se3::from_translation(Vec3::new(0.1, 0.0, -0.2));
         store.set_pose(0, refined);
         assert_eq!(store.get(0).pose_w2c, refined);
@@ -155,7 +243,7 @@ mod tests {
     fn window_is_a_suffix() {
         let mut store = KeyframeStore::new();
         for i in 0..6 {
-            store.push(i, i as f64, Se3::identity(), Vec::new());
+            store.push(i, i as f64, Se3::identity(), Vec::new(), Vec::new());
         }
         let w = store.window(4);
         assert_eq!(w.len(), 4);
@@ -164,5 +252,40 @@ mod tests {
         // Larger than the store: everything.
         assert_eq!(store.window(100).len(), 6);
         assert_eq!(store.window(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_descriptor_column_rejected() {
+        let mut store = KeyframeStore::new();
+        store.push(0, 0.0, Se3::identity(), vec![obs(1), obs(2)], vec![desc(1)]);
+    }
+
+    #[test]
+    fn retain_remap_compacts_ids() {
+        let mut store = KeyframeStore::new();
+        for i in 0..5 {
+            store.push(
+                i * 2,
+                i as f64,
+                Se3::identity(),
+                vec![obs(i as u64)],
+                vec![desc(i as u64)],
+            );
+        }
+        // Drop keyframes 1 and 3.
+        let remap = store
+            .retain_remap(|kf| kf.id != 1 && kf.id != 3)
+            .expect("removed");
+        assert_eq!(remap, vec![Some(0), None, Some(1), None, Some(2)]);
+        assert_eq!(store.len(), 3);
+        for (new_id, kf) in store.keyframes().iter().enumerate() {
+            assert_eq!(kf.id, new_id, "ids stay dense");
+        }
+        // Surviving payloads kept their contents (frame 4 was old id 2).
+        assert_eq!(store.get(1).frame_index, 4);
+        assert_eq!(store.get(1).observations[0].landmark, 2);
+        // Nothing removed → None.
+        assert!(store.retain_remap(|_| true).is_none());
     }
 }

@@ -7,15 +7,26 @@
 //! keeps a keyframe graph and jointly refines recent poses and
 //! landmarks. This crate supplies that backend:
 //!
-//! * [`keyframe`] — the append-only [`KeyframeStore`]: per-keyframe
-//!   poses and landmark observations addressed by stable landmark ids;
+//! * [`keyframe`] — the [`KeyframeStore`]: per-keyframe poses, landmark
+//!   observations (with promotion-time camera-frame positions) and
+//!   BRIEF descriptor columns, addressed by stable landmark ids;
 //! * [`covisibility`] — the [`CovisibilityGraph`], keyframes weighted
-//!   by shared-observation counts with deterministic neighbour queries;
-//! * [`mapper`] — the [`LocalMapper`] (insertion + problem building),
-//!   the [`BackendRunner`] driving sliding-window local BA
-//!   (`eslam_geometry::ba`) either inline or on the persistent
-//!   `WorkerPool` via its fire-and-collect `submit`/`TaskHandle` API,
-//!   and the [`BackendMode`]/[`BACKEND_ENV`] execution toggle.
+//!   by shared-observation counts with deterministic neighbour and
+//!   BFS-distance queries;
+//! * [`mapper`] — the [`LocalMapper`] (insertion, redundant-keyframe
+//!   culling with id remapping, problem building), the
+//!   [`BackendRunner`] driving sliding-window local BA
+//!   (`eslam_geometry::ba`) **and** the loop-closure pipeline either
+//!   inline or on the persistent `WorkerPool` via its fire-and-collect
+//!   `submit`/`TaskHandle` API, and the [`BackendMode`]/[`BACKEND_ENV`]
+//!   execution toggle;
+//! * [`loop_closure`] — place recognition over an online-trained binary
+//!   BoW vocabulary (`eslam_features::bow`, inverted word→keyframe
+//!   index, SIMD brute-force fallback while the vocabulary trains),
+//!   candidate gating by covisibility distance + temporal consistency,
+//!   geometric verification through the existing P3P/RANSAC path, and
+//!   the Se(3) pose-graph drift correction
+//!   (`eslam_geometry::pose_graph`) with landmark re-anchoring.
 //!
 //! # Determinism contract
 //!
@@ -46,13 +57,17 @@
 //!     for (frame, pose) in [(0usize, Se3::identity()),
 //!                           (5, Se3::from_translation(Vec3::new(0.1, 0.0, 0.0)))] {
 //!         let observations = landmarks.iter().enumerate()
-//!             .filter_map(|(i, p)| camera.project(pose.transform(*p))
-//!                 .map(|uv| KeyframeObservation { landmark: i as u64, pixel: uv }))
+//!             .filter_map(|(i, p)| {
+//!                 let cam = pose.transform(*p);
+//!                 camera.project(cam)
+//!                     .map(|uv| KeyframeObservation { landmark: i as u64, pixel: uv,
+//!                                                     position: cam })
+//!             })
 //!             .collect();
 //!         runner.on_keyframe(
 //!             &pool,
 //!             KeyframeData { frame_index: frame, timestamp: frame as f64 / 30.0,
-//!                            pose_w2c: pose, observations },
+//!                            pose_w2c: pose, observations, descriptors: Vec::new() },
 //!             &mut |id| landmarks.get(id as usize).copied(),
 //!         );
 //!     }
@@ -67,11 +82,16 @@
 
 pub mod covisibility;
 pub mod keyframe;
+pub mod loop_closure;
 pub mod mapper;
 
 pub use covisibility::CovisibilityGraph;
 pub use keyframe::{Keyframe, KeyframeId, KeyframeObservation, KeyframeStore};
+pub use loop_closure::{
+    CorrectedKeyframe, LoopCandidate, LoopClosureConfig, LoopClosureJob, LoopClosureOutcome,
+    LoopDetector,
+};
 pub use mapper::{
-    BackendConfig, BackendMode, BackendRunner, BackendStats, KeyframeData, LocalBaJob,
-    LocalBaOutcome, LocalMapper, RefinedKeyframe, BACKEND_ENV,
+    BackendConfig, BackendMode, BackendRunner, BackendStats, KeyframeCullConfig, KeyframeData,
+    LocalBaJob, LocalBaOutcome, LocalMapper, RefinedKeyframe, BACKEND_ENV,
 };

@@ -38,12 +38,12 @@ fn window_mapper() -> (LocalMapper, Vec<Vec3>, PinholeCamera) {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| {
-                camera
-                    .project(pose.transform(*p))
-                    .map(|uv| KeyframeObservation {
-                        landmark: i as u64,
-                        pixel: uv,
-                    })
+                let cam = pose.transform(*p);
+                camera.project(cam).map(|uv| KeyframeObservation {
+                    landmark: i as u64,
+                    pixel: uv,
+                    position: cam,
+                })
             })
             .collect();
         mapper.insert_keyframe(KeyframeData {
@@ -51,6 +51,7 @@ fn window_mapper() -> (LocalMapper, Vec<Vec3>, PinholeCamera) {
             timestamp: k as f64 / 10.0,
             pose_w2c: pose,
             observations,
+            descriptors: Vec::new(),
         });
     }
     (mapper, points, camera)
@@ -85,12 +86,12 @@ fn bench_keyframe_insert(c: &mut Criterion) {
         .iter()
         .enumerate()
         .filter_map(|(i, p)| {
-            camera
-                .project(pose.transform(*p))
-                .map(|uv| KeyframeObservation {
-                    landmark: i as u64,
-                    pixel: uv,
-                })
+            let cam = pose.transform(*p);
+            camera.project(cam).map(|uv| KeyframeObservation {
+                landmark: i as u64,
+                pixel: uv,
+                position: cam,
+            })
         })
         .collect();
     let mut group = c.benchmark_group("backend");
@@ -103,6 +104,7 @@ fn bench_keyframe_insert(c: &mut Criterion) {
                 timestamp: 0.6,
                 pose_w2c: pose,
                 observations: observations.clone(),
+                descriptors: Vec::new(),
             });
             black_box(mapper.covisibility().len())
         })

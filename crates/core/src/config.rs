@@ -5,7 +5,9 @@ use eslam_geometry::lm::LmParams;
 use eslam_geometry::pnp::PnpParams;
 use eslam_geometry::PinholeCamera;
 
-pub use eslam_backend::{BackendConfig, BackendMode, BACKEND_ENV};
+pub use eslam_backend::{
+    BackendConfig, BackendMode, KeyframeCullConfig, LoopClosureConfig, BACKEND_ENV,
+};
 
 /// Hardware-model selection for the front-end stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

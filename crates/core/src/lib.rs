@@ -89,7 +89,8 @@ pub mod system;
 pub mod tracking;
 
 pub use config::{
-    Backend, BackendConfig, BackendMode, PrefetchMode, SlamConfig, BACKEND_ENV, PREFETCH_ENV,
+    Backend, BackendConfig, BackendMode, KeyframeCullConfig, LoopClosureConfig, PrefetchMode,
+    SlamConfig, BACKEND_ENV, PREFETCH_ENV,
 };
 pub use map::{Map, MapPoint, PointObservation};
 pub use pipeline::{sequence_timing, PlatformSequenceTiming, SequenceWallTiming};

@@ -236,6 +236,7 @@ mod tests {
             frame_wait_ms: 2.5,
             track_ms: 40.0,
             backend_applied: false,
+            loop_closed: false,
         }
     }
 

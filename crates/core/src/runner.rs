@@ -35,6 +35,11 @@ pub struct RunResult {
     /// The trajectory exactly as tracked, before any backend
     /// refinement — identical to `estimate` when the backend is off.
     pub raw_estimate: Trajectory,
+    /// The trajectory with local-BA refinements but loop corrections
+    /// withheld — identical to `estimate` until a loop closes, so the
+    /// BA share and the closure share of the drift reduction are
+    /// separately visible.
+    pub ba_estimate: Trajectory,
     /// The BA-refined keyframe trajectory (one pose per keyframe;
     /// empty when the backend is off).
     pub keyframes: Trajectory,
@@ -47,6 +52,9 @@ pub struct RunResult {
     /// ATE of the raw (pre-refinement) estimate — the "before BA"
     /// number for drift reporting.
     pub raw_ate: Option<AteResult>,
+    /// ATE of the BA-only estimate — the "before closure" number; equal
+    /// to `ate` when no loop closed.
+    pub ba_ate: Option<AteResult>,
     /// Aggregate statistics.
     pub stats: SequenceStats,
     /// Keyframe-backend diagnostics (`None` when the backend is off).
@@ -66,6 +74,17 @@ impl RunResult {
     /// ATE rmse of the raw (pre-BA) estimate in centimetres, or `None`.
     pub fn raw_ate_rmse_cm(&self) -> Option<f64> {
         self.raw_ate.map(|a| a.stats.rmse * 100.0)
+    }
+
+    /// ATE rmse of the BA-only (pre-closure) estimate in centimetres,
+    /// or `None`.
+    pub fn ba_ate_rmse_cm(&self) -> Option<f64> {
+        self.ba_ate.map(|a| a.stats.rmse * 100.0)
+    }
+
+    /// Number of loop closures applied during the run.
+    pub fn loops_closed(&self) -> usize {
+        self.backend.map_or(0, |b| b.loops_closed)
     }
 
     /// Platform timing summaries (ARM / i7 / eSLAM) for this run.
@@ -136,13 +155,20 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
     }
     let estimate = slam.trajectory().clone();
     let raw_estimate = slam.raw_trajectory().clone();
+    let ba_estimate = slam.ba_trajectory().clone();
     let keyframes = slam.keyframe_trajectory();
     let ate = absolute_trajectory_error(&estimate, &ground_truth);
     // Unless a refinement was actually applied, the raw trajectory IS
     // the estimate; reuse the alignment instead of running Umeyama
-    // twice.
+    // twice. Same for the BA-only reference, which only diverges once
+    // a loop closes.
     let raw_ate = if slam.backend_stats().is_some_and(|s| s.applied > 0) {
         absolute_trajectory_error(&raw_estimate, &ground_truth)
+    } else {
+        ate
+    };
+    let ba_ate = if slam.backend_stats().is_some_and(|s| s.loops_closed > 0) {
+        absolute_trajectory_error(&ba_estimate, &ground_truth)
     } else {
         ate
     };
@@ -152,10 +178,12 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
         reports,
         estimate,
         raw_estimate,
+        ba_estimate,
         keyframes,
         ground_truth,
         ate,
         raw_ate,
+        ba_ate,
         stats,
         backend: slam.backend_stats().copied(),
         wall,

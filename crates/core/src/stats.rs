@@ -124,6 +124,7 @@ mod tests {
             frame_wait_ms: 0.0,
             track_ms: 0.0,
             backend_applied: false,
+            loop_closed: false,
         }
     }
 

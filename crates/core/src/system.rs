@@ -83,6 +83,10 @@ pub struct FrameReport {
     /// Whether a backend refinement (local BA result) was swapped into
     /// the map/trajectory at the start of this frame's processing.
     pub backend_applied: bool,
+    /// Whether a verified loop closure's pose-graph correction was
+    /// propagated through the map and trajectory at the start of this
+    /// frame's processing.
+    pub loop_closed: bool,
 }
 
 /// The SLAM system state.
@@ -104,6 +108,13 @@ pub struct Slam {
     /// The trajectory exactly as tracked, never touched by backend
     /// refinements — the "before BA" reference for drift reporting.
     raw_trajectory: Trajectory,
+    /// The trajectory with local-BA refinements but **without** loop
+    /// corrections — the "before closure" reference that splits the
+    /// drift reduction into its BA and loop-closure shares. (Frames
+    /// tracked after a closure continue from the corrected pose, so
+    /// past the first closure this is a reference, not a counterfactual
+    /// no-loop run.)
+    ba_trajectory: Trajectory,
     frame_index: usize,
     pose_w2c: Se3,
     /// Last inter-frame motion `T_k ∘ T_{k-1}⁻¹` (world-to-camera), the
@@ -135,6 +146,7 @@ impl Slam {
             map: Map::new(),
             trajectory: Trajectory::new(),
             raw_trajectory: Trajectory::new(),
+            ba_trajectory: Trajectory::new(),
             frame_index: 0,
             pose_w2c: Se3::identity(),
             velocity: Se3::identity(),
@@ -165,6 +177,13 @@ impl Slam {
         &self.raw_trajectory
     }
 
+    /// The trajectory with local-BA refinements swapped in but loop
+    /// corrections withheld — the "before closure" reference. Identical
+    /// to [`Slam::trajectory`] until a loop closes.
+    pub fn ba_trajectory(&self) -> &Trajectory {
+        &self.ba_trajectory
+    }
+
     /// Number of key frames so far.
     pub fn keyframes(&self) -> usize {
         self.keyframes
@@ -193,13 +212,20 @@ impl Slam {
         out
     }
 
-    /// Collects and applies any in-flight backend refinement. Call
-    /// after the last frame of a sequence so the final keyframe's BA
-    /// lands in the trajectory ([`crate::run_sequence`] does this for
-    /// you); [`Slam::process`] applies pending refinements at every
-    /// frame boundary on its own.
+    /// Collects and applies every in-flight backend result — local-BA
+    /// refinements *and* pending loop corrections. Call after the last
+    /// frame of a sequence so the final keyframe's BA and any
+    /// just-verified closure land in the exported trajectory
+    /// ([`crate::run_sequence`] does this for you); [`Slam::process`]
+    /// applies pending results at every frame boundary on its own.
     pub fn finish(&mut self) {
-        while self.apply_backend_refinement() {}
+        loop {
+            let refined = self.apply_backend_refinement();
+            let closed = self.apply_loop_corrections();
+            if !refined && !closed {
+                break;
+            }
+        }
     }
 
     /// Deterministic application point of the backend: joins the oldest
@@ -221,8 +247,12 @@ impl Slam {
         for kf in &outcome.keyframes {
             // The estimate trajectory has exactly one pose per frame,
             // so the keyframe's frame index addresses it directly. The
-            // raw trajectory keeps the as-tracked pose.
+            // raw trajectory keeps the as-tracked pose; the BA
+            // reference trajectory takes the refinement (it withholds
+            // only loop corrections).
             self.trajectory
+                .set_pose(kf.frame_index, kf.pose_w2c.inverse());
+            self.ba_trajectory
                 .set_pose(kf.frame_index, kf.pose_w2c.inverse());
         }
         if let Some(newest) = outcome.keyframes.last() {
@@ -237,6 +267,64 @@ impl Slam {
             self.last_keyframe_c2w = newest.pose_w2c.inverse();
         }
         true
+    }
+
+    /// Deterministic application point of the loop closer: collects
+    /// every pending verification outcome and, for each accepted one,
+    /// propagates the pose-graph drift correction through the whole
+    /// system — re-anchored landmark positions into the map, corrected
+    /// keyframe poses into the trajectory (frames between keyframes
+    /// ride with the correction of their governing keyframe), and the
+    /// tracker's held pose onto the corrected newest keyframe. Returns
+    /// whether a correction was applied.
+    fn apply_loop_corrections(&mut self) -> bool {
+        let Some(runner) = self.backend.as_mut() else {
+            return false;
+        };
+        let mut applied = false;
+        while let Some(outcome) = runner.take_loop_closure() {
+            if !outcome.accepted || outcome.keyframes.is_empty() {
+                continue;
+            }
+            applied = true;
+            for &(id, position) in &outcome.landmarks {
+                // Landmarks culled since the snapshot are silently
+                // dropped.
+                self.map.set_position(id, position);
+            }
+            // Keyframe frames take their corrected pose exactly; every
+            // frame in between rides with the camera-to-world
+            // correction `C_k = new_c2w ∘ old_w2c` of the latest
+            // preceding keyframe (the snapshot covers all keyframes,
+            // and frame 0 is always one, so every frame is governed).
+            let keyframes = &outcome.keyframes;
+            let mut k = 0usize;
+            for f in 0..self.trajectory.len() {
+                if f < keyframes[0].frame_index {
+                    continue;
+                }
+                while k + 1 < keyframes.len() && keyframes[k + 1].frame_index <= f {
+                    k += 1;
+                }
+                let kf = &keyframes[k];
+                let pose = if kf.frame_index == f {
+                    kf.pose_w2c.inverse()
+                } else {
+                    let correction = kf.pose_w2c.inverse().compose(&kf.old_pose_w2c);
+                    correction.compose(&self.trajectory.poses()[f].pose)
+                };
+                self.trajectory.set_pose(f, pose);
+            }
+            if let Some(newest) = outcome.keyframes.last() {
+                // The loop keyframe was the previous processed frame;
+                // the tracker continues from its corrected pose. The
+                // velocity is frame-relative and survives the global
+                // correction.
+                self.pose_w2c = newest.pose_w2c;
+                self.last_keyframe_c2w = newest.pose_w2c.inverse();
+            }
+        }
+        applied
     }
 
     /// Total parallelism of the persistent front-end worker pool (the
@@ -272,7 +360,11 @@ impl Slam {
         // async solve that outlasted its frame is real critical-path
         // time and must show up in `track_ms`.
         let track_start = std::time::Instant::now();
-        let backend_applied = self.apply_backend_refinement();
+        let mut backend_applied = false;
+        while self.apply_backend_refinement() {
+            backend_applied = true;
+        }
+        let loop_closed = self.apply_loop_corrections();
         let features = self
             .extractor
             .extract_with(gray, &mut self.extractor_scratch);
@@ -358,9 +450,12 @@ impl Slam {
             // either way.
             let backend_active = self.backend.is_some();
             let mut observations: Vec<KeyframeObservation> = Vec::new();
+            let mut descriptors: Vec<eslam_features::Descriptor> = Vec::new();
             if backend_active {
                 observations.reserve(matched_feats.len());
+                descriptors.reserve(matched_feats.len());
             }
+            let pose_w2c = pose_c2w.inverse();
             let mut seen: std::collections::HashSet<usize> =
                 std::collections::HashSet::with_capacity(matched_map.len());
             for (&feat_idx, &map_idx) in matched_feats.iter().zip(&matched_map) {
@@ -371,10 +466,15 @@ impl Slam {
                 let pixel = Vec2::new(kp.x, kp.y);
                 self.map.record_observation(map_idx, kf_id, pixel);
                 if backend_active {
+                    let point = self.map.point(map_idx);
                     observations.push(KeyframeObservation {
-                        landmark: self.map.point(map_idx).id,
+                        landmark: point.id,
                         pixel,
+                        // Camera-frame snapshot: drift-free 3-D the
+                        // loop verifier can PnP against later.
+                        position: pose_w2c.transform(point.position),
                     });
+                    descriptors.push(features.descriptors[feat_idx]);
                 }
             }
             // Map updating: add unmatched features with valid depth.
@@ -395,7 +495,12 @@ impl Slam {
                         self.map
                             .insert(world, features.descriptors[i], frame, kf_id, pixel);
                     if backend_active {
-                        observations.push(KeyframeObservation { landmark, pixel });
+                        observations.push(KeyframeObservation {
+                            landmark,
+                            pixel,
+                            position: cam_pt,
+                        });
+                        descriptors.push(features.descriptors[i]);
                     }
                 }
             }
@@ -420,6 +525,7 @@ impl Slam {
                         timestamp,
                         pose_w2c: pose_c2w.inverse(),
                         observations,
+                        descriptors,
                     },
                     &mut |id| map.position_of(id),
                 );
@@ -453,6 +559,7 @@ impl Slam {
 
         self.trajectory.push(timestamp, pose_c2w);
         self.raw_trajectory.push(timestamp, pose_c2w);
+        self.ba_trajectory.push(timestamp, pose_c2w);
         self.frame_index += 1;
 
         FrameReport {
@@ -470,6 +577,7 @@ impl Slam {
             frame_wait_ms: 0.0,
             track_ms: track_start.elapsed().as_secs_f64() * 1e3,
             backend_applied,
+            loop_closed,
         }
     }
 }

@@ -128,6 +128,46 @@ impl SequenceSpec {
         ]
     }
 
+    /// The loop-closure evaluation sequences: trajectories that return
+    /// exactly to their start pose (circle and figure-eight through the
+    /// standard room), so a long run accumulates drift and then
+    /// revisits its starting view — the detector's true-positive scene.
+    /// Same frame-count/scale conventions as
+    /// [`SequenceSpec::paper_sequences`].
+    pub fn loop_sequences(frames: usize, image_scale: f64) -> Vec<SequenceSpec> {
+        let scale_camera = |cam: PinholeCamera| -> PinholeCamera {
+            if (image_scale - 1.0).abs() < 1e-12 {
+                cam
+            } else {
+                cam.scaled(1.0 / image_scale)
+            }
+        };
+        let fr1 = scale_camera(PinholeCamera::tum_fr1());
+        let params = |amplitude: f64| TrajectoryParams {
+            frames,
+            fps: 30.0,
+            amplitude,
+        };
+        vec![
+            SequenceSpec {
+                name: "loop/circle".into(),
+                kind: TrajectoryKind::Circle,
+                params: params(1.0),
+                camera: fr1,
+                seed: 606,
+                noise: NoiseModel::default(),
+            },
+            SequenceSpec {
+                name: "loop/figure8".into(),
+                kind: TrajectoryKind::FigureEight,
+                params: params(1.0),
+                camera: fr1,
+                seed: 707,
+                noise: NoiseModel::default(),
+            },
+        ]
+    }
+
     /// Instantiates the renderer for this spec.
     pub fn build(&self) -> SyntheticSequence {
         let scene = match self.kind {
@@ -256,6 +296,28 @@ mod tests {
         let specs = SequenceSpec::paper_sequences(5, 0.25);
         assert_eq!(specs[0].camera.width, 160);
         assert_eq!(specs[0].camera.height, 120);
+    }
+
+    #[test]
+    fn loop_sequences_render_and_close() {
+        let specs = SequenceSpec::loop_sequences(6, 0.25);
+        let names: Vec<_> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["loop/circle", "loop/figure8"]);
+        for spec in &specs {
+            assert!(spec.kind.is_loop());
+            let seq = spec.build();
+            assert_eq!(seq.len(), 6);
+            let first = seq.frame(0);
+            let last = seq.frame(5);
+            // Identical poses → identical geometry; only the per-frame
+            // sensor noise differs between first and last frame.
+            assert_eq!(
+                first.ground_truth, last.ground_truth,
+                "{} does not close",
+                spec.name
+            );
+            assert!(first.depth.coverage() > 0.9, "{}", spec.name);
+        }
     }
 
     #[test]

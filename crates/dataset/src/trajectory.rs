@@ -43,6 +43,23 @@ pub enum TrajectoryKind {
     Desk,
     /// A slow loop through the room (TUM `fr1/room`).
     Room,
+    /// A full circle around the room centre, camera looking radially
+    /// outward, **returning exactly to the start pose** on the last
+    /// frame — the canonical loop-closure scenario: mid-run views face
+    /// other walls, so the revisit is covisibility-disconnected.
+    Circle,
+    /// A figure-eight (lemniscate) through the room, returning exactly
+    /// to the start pose — two lobes, so the trajectory revisits the
+    /// crossing region with reversed heading before closing the loop.
+    FigureEight,
+}
+
+impl TrajectoryKind {
+    /// Whether the profile returns to its start pose on the last frame
+    /// (the loop-closure scenarios).
+    pub fn is_loop(self) -> bool {
+        matches!(self, TrajectoryKind::Circle | TrajectoryKind::FigureEight)
+    }
 }
 
 impl fmt::Display for TrajectoryKind {
@@ -52,6 +69,8 @@ impl fmt::Display for TrajectoryKind {
             TrajectoryKind::Rpy => "rpy",
             TrajectoryKind::Desk => "desk",
             TrajectoryKind::Room => "room",
+            TrajectoryKind::Circle => "circle",
+            TrajectoryKind::FigureEight => "figure8",
         };
         write!(f, "{name}")
     }
@@ -143,6 +162,14 @@ impl Trajectory {
         for i in 0..n {
             let t = i as f64 / params.fps;
             let s = i as f64 / n as f64; // normalized progress 0..1
+                                         // Closed progress: the last frame wraps to exactly 0, so
+                                         // the loop profiles return to their start pose bit-exactly
+                                         // (sin(2π) is not a bit-exact 0 in floating point).
+            let sc = if n > 1 && i + 1 < n {
+                i as f64 / (n - 1) as f64
+            } else {
+                0.0
+            };
             let pose = match kind {
                 TrajectoryKind::Xyz => {
                     // Sinusoidal translation, fixed orientation facing +z.
@@ -190,6 +217,25 @@ impl Trajectory {
                         0.0,
                         2.4 * angle.sin() + 0.4 * angle.cos(),
                     );
+                    look_at(p, target)
+                }
+                TrajectoryKind::Circle => {
+                    // A full circle looking radially outward at the
+                    // walls; the closed progress puts the last frame
+                    // exactly back on the first pose.
+                    let angle = 2.0 * std::f64::consts::PI * sc;
+                    let p = Vec3::new(1.1 * a * angle.cos(), -0.05, 1.1 * a * angle.sin());
+                    let target = Vec3::new(2.6 * angle.cos(), 0.0, 2.6 * angle.sin());
+                    look_at(p, target)
+                }
+                TrajectoryKind::FigureEight => {
+                    // A Gerono lemniscate through the room, camera
+                    // looking along the direction of travel; start and
+                    // end poses coincide exactly.
+                    let u = 2.0 * std::f64::consts::PI * sc;
+                    let p = Vec3::new(1.4 * a * u.sin(), -0.05, 1.1 * a * (2.0 * u).sin());
+                    let tangent = Vec3::new(1.4 * a * u.cos(), 0.0, 2.2 * a * (2.0 * u).cos());
+                    let target = Vec3::new(p.x + tangent.x * 1.8, 0.0, p.z + tangent.z * 1.8);
                     look_at(p, target)
                 }
             };
@@ -309,6 +355,8 @@ mod tests {
             TrajectoryKind::Rpy,
             TrajectoryKind::Desk,
             TrajectoryKind::Room,
+            TrajectoryKind::Circle,
+            TrajectoryKind::FigureEight,
         ] {
             let t = Trajectory::generate(kind, &TrajectoryParams::default());
             assert_eq!(t.len(), 60, "{kind}");
@@ -352,6 +400,40 @@ mod tests {
             let off_axis = (cam_pt.x * cam_pt.x + cam_pt.y * cam_pt.y).sqrt() / cam_pt.z;
             assert!(off_axis < 0.2, "target off-axis by {off_axis}");
         }
+    }
+
+    #[test]
+    fn loop_kinds_return_exactly_to_start() {
+        for kind in [TrajectoryKind::Circle, TrajectoryKind::FigureEight] {
+            assert!(kind.is_loop());
+            let t = Trajectory::generate(
+                kind,
+                &TrajectoryParams {
+                    frames: 48,
+                    ..Default::default()
+                },
+            );
+            let first = t.poses().first().unwrap().pose;
+            let last = t.poses().last().unwrap().pose;
+            assert_eq!(first, last, "{kind} must close bit-exactly");
+            // The middle of the run is a genuinely different view —
+            // elsewhere (circle) or the lemniscate crossing with
+            // reversed heading (figure-eight) — so the loop ends are
+            // only connectable by place recognition.
+            let mid = t.poses()[24].pose;
+            let moved = (mid.translation - first.translation).norm() > 0.5;
+            let turned = first.relative_to(&mid).rotation_angle() > 1.0;
+            assert!(moved || turned, "{kind} midpoint view too close to start");
+            // And the camera stays inside the room.
+            for tp in t.poses() {
+                let p = tp.pose.translation;
+                assert!(
+                    p.x.abs() < 3.0 && p.y.abs() < 2.2 && p.z.abs() < 3.0,
+                    "{kind}"
+                );
+            }
+        }
+        assert!(!TrajectoryKind::Room.is_loop());
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Bag-of-binary-words vocabulary for place recognition.
+//!
+//! Loop closure needs to answer "have I seen this view before?" without
+//! matching the current frame against every stored keyframe. The
+//! standard tool (DBoW-style) is a hierarchical vocabulary over binary
+//! descriptors: a k-ary tree whose nodes are 256-bit cluster centres;
+//! quantizing a descriptor walks the tree by Hamming distance to a leaf
+//! *word*, and a whole frame becomes a sparse, L1-normalized
+//! [`BowVector`] of word weights. Two frames of the same place share
+//! words; two frames of different places share few — so candidate
+//! retrieval reduces to a sparse-vector [`BowVector::similarity`] (plus
+//! an inverted word→keyframe index on the caller's side) instead of an
+//! O(N·M²) descriptor match.
+//!
+//! The vocabulary here is trained **online** by deterministic k-medians
+//! ("k-majority" for binary strings: the cluster representative takes
+//! each bit by majority vote): seeds are index-strided rather than
+//! random, ties break toward the lowest cluster index, and the
+//! recursion splits clusters in a fixed order — so training the same
+//! descriptor set always yields the same tree, which the backend's
+//! bit-identical sync/async guarantee relies on.
+
+use crate::descriptor::{Descriptor, DESCRIPTOR_BITS};
+
+/// Parameters of the vocabulary tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BowParams {
+    /// Branching factor `k` of the tree (clusters per node, ≥ 2).
+    pub branching: usize,
+    /// Maximum depth of the tree (levels of clustering below the root,
+    /// ≥ 1). Leaves at depth `levels` (or clusters too small to split)
+    /// become words; `branching^levels` bounds the word count.
+    pub levels: usize,
+    /// k-medians refinement rounds per split (the assignment usually
+    /// stabilizes in a handful).
+    pub iterations: usize,
+}
+
+impl Default for BowParams {
+    fn default() -> Self {
+        BowParams {
+            branching: 8,
+            levels: 3,
+            iterations: 6,
+        }
+    }
+}
+
+/// One node of the vocabulary tree.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    /// Cluster centre (bitwise majority of the training descriptors
+    /// assigned to this node).
+    centroid: Descriptor,
+    /// Child node indices (empty for leaves).
+    children: Vec<usize>,
+    /// Word id (leaves only).
+    word: Option<u32>,
+}
+
+/// A trained hierarchical binary vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vocabulary {
+    nodes: Vec<Node>,
+    /// Children of the (virtual) root.
+    roots: Vec<usize>,
+    words: usize,
+}
+
+impl Vocabulary {
+    /// Trains a vocabulary on `descriptors` by recursive deterministic
+    /// k-medians. Returns `None` when there are fewer descriptors than
+    /// the branching factor (no meaningful clustering possible).
+    pub fn train(descriptors: &[Descriptor], params: &BowParams) -> Option<Vocabulary> {
+        let k = params.branching.max(2);
+        if descriptors.len() < k {
+            return None;
+        }
+        let mut vocab = Vocabulary {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            words: 0,
+        };
+        let all: Vec<usize> = (0..descriptors.len()).collect();
+        vocab.roots = vocab.split(descriptors, &all, params.levels.max(1), params);
+        Some(vocab)
+    }
+
+    /// Number of words (leaves) in the vocabulary.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Clusters `members` into up to `k` children, recursing while
+    /// `depth` and cluster sizes allow; returns the child node indices.
+    fn split(
+        &mut self,
+        descriptors: &[Descriptor],
+        members: &[usize],
+        depth: usize,
+        params: &BowParams,
+    ) -> Vec<usize> {
+        let k = params.branching.max(2).min(members.len());
+        // Deterministic seeding: index-strided members (always distinct
+        // indices; duplicate *values* merely yield an empty cluster).
+        let mut centroids: Vec<Descriptor> = (0..k)
+            .map(|c| descriptors[members[c * members.len() / k]])
+            .collect();
+        let mut assignment: Vec<usize> = vec![0; members.len()];
+        for _ in 0..params.iterations.max(1) {
+            // Assign each member to the nearest centroid (ties: lowest
+            // cluster index).
+            let mut changed = false;
+            for (slot, &m) in members.iter().enumerate() {
+                let d = &descriptors[m];
+                let mut best = (u32::MAX, 0usize);
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let dist = d.hamming(centroid);
+                    if dist < best.0 {
+                        best = (dist, c);
+                    }
+                }
+                if assignment[slot] != best.1 {
+                    assignment[slot] = best.1;
+                    changed = true;
+                }
+            }
+            // Recompute centroids by bitwise majority vote.
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let cluster: Vec<usize> = members
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(&m, _)| m)
+                    .collect();
+                if !cluster.is_empty() {
+                    *centroid = majority(descriptors, &cluster);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Emit children in cluster order; recurse or close as words.
+        let mut children = Vec::new();
+        for (c, &centroid) in centroids.iter().enumerate() {
+            let cluster: Vec<usize> = members
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(&m, _)| m)
+                .collect();
+            if cluster.is_empty() {
+                continue;
+            }
+            let node = self.nodes.len();
+            self.nodes.push(Node {
+                centroid,
+                children: Vec::new(),
+                word: None,
+            });
+            children.push(node);
+            if depth > 1 && cluster.len() > params.branching.max(2) {
+                let grandchildren = self.split(descriptors, &cluster, depth - 1, params);
+                self.nodes[node].children = grandchildren;
+            } else {
+                let word = self.words as u32;
+                self.words += 1;
+                self.nodes[node].word = Some(word);
+            }
+        }
+        children
+    }
+
+    /// Quantizes one descriptor to its word id by walking the tree
+    /// (nearest child by Hamming distance, ties toward the first).
+    pub fn word_of(&self, descriptor: &Descriptor) -> u32 {
+        let mut level = &self.roots;
+        loop {
+            let mut best = (u32::MAX, usize::MAX);
+            for &child in level {
+                let dist = descriptor.hamming(&self.nodes[child].centroid);
+                if dist < best.0 {
+                    best = (dist, child);
+                }
+            }
+            let node = &self.nodes[best.1];
+            match node.word {
+                Some(w) => return w,
+                None => level = &node.children,
+            }
+        }
+    }
+
+    /// Quantizes a whole frame's descriptors into an L1-normalized
+    /// sparse [`BowVector`] (term-frequency weights).
+    pub fn vector_of(&self, descriptors: &[Descriptor]) -> BowVector {
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        for d in descriptors {
+            let w = self.word_of(d);
+            match entries.binary_search_by_key(&w, |e| e.0) {
+                Ok(i) => entries[i].1 += 1.0,
+                Err(i) => entries.insert(i, (w, 1.0)),
+            }
+        }
+        let total: f64 = entries.iter().map(|e| e.1).sum();
+        if total > 0.0 {
+            for e in &mut entries {
+                e.1 /= total;
+            }
+        }
+        BowVector { entries }
+    }
+}
+
+/// Bitwise majority vote over a set of descriptors (the binary-space
+/// "median": ties — an exact half split — leave the bit cleared).
+fn majority(descriptors: &[Descriptor], members: &[usize]) -> Descriptor {
+    let mut counts = [0u32; DESCRIPTOR_BITS];
+    for &m in members {
+        let d = &descriptors[m];
+        for (w, &word) in d.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                counts[w * 64 + b] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+    let half = members.len() as u32;
+    let mut out = Descriptor::ZERO;
+    for (i, &c) in counts.iter().enumerate() {
+        if 2 * c > half {
+            out.set_bit(i, true);
+        }
+    }
+    out
+}
+
+/// A sparse, L1-normalized word-frequency vector (one per frame or
+/// keyframe), sorted by word id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BowVector {
+    /// `(word, weight)` entries, sorted by word, weights summing to 1.
+    entries: Vec<(u32, f64)>,
+}
+
+impl BowVector {
+    /// An empty vector (no words — similarity 0 to everything).
+    pub fn empty() -> BowVector {
+        BowVector::default()
+    }
+
+    /// The `(word, weight)` entries, sorted by word id.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Whether the vector holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Histogram-intersection similarity `Σ min(wᵃ, wᵇ)` over common
+    /// words — 1 for identical distributions, 0 for disjoint word sets.
+    /// A linear merge over the two sorted entry lists.
+    pub fn similarity(&self, other: &BowVector) -> f64 {
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j, mut score) = (0usize, 0usize, 0.0f64);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    score += a[i].1.min(b[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random descriptor "around" a seed pattern:
+    /// `flips` bits of the seed pattern are toggled, selected by `salt`.
+    fn descriptor_near(pattern: u64, flips: usize, salt: u64) -> Descriptor {
+        let mut d = Descriptor::from_words([pattern, !pattern, pattern ^ 0xabcd, pattern]);
+        let mut state = salt.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for _ in 0..flips {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let bit = (state >> 33) as usize % DESCRIPTOR_BITS;
+            d.set_bit(bit, !d.bit(bit));
+        }
+        d
+    }
+
+    /// Three well-separated descriptor families.
+    fn three_places(per_family: usize) -> Vec<Descriptor> {
+        let mut out = Vec::new();
+        for (f, pattern) in [0u64, u64::MAX, 0xaaaa_aaaa_aaaa_aaaa]
+            .into_iter()
+            .enumerate()
+        {
+            for i in 0..per_family {
+                out.push(descriptor_near(pattern, 12, (f * 1000 + i) as u64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn training_needs_enough_descriptors() {
+        let few = vec![Descriptor::ZERO; 3];
+        assert!(Vocabulary::train(&few, &BowParams::default()).is_none());
+        let enough = three_places(4);
+        assert!(Vocabulary::train(&enough, &BowParams::default()).is_some());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = three_places(30);
+        let a = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        let b = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.words() >= 3, "words {}", a.words());
+    }
+
+    #[test]
+    fn same_family_lands_on_same_words() {
+        let data = three_places(30);
+        let vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        // Fresh descriptors from each family quantize like their
+        // training siblings: intra-family similarity far above
+        // inter-family.
+        let frame = |pattern: u64, salt: u64| -> BowVector {
+            let ds: Vec<Descriptor> = (0..20)
+                .map(|i| descriptor_near(pattern, 12, salt + i))
+                .collect();
+            vocab.vector_of(&ds)
+        };
+        let a1 = frame(0, 5000);
+        let a2 = frame(0, 6000);
+        let b1 = frame(u64::MAX, 7000);
+        let intra = a1.similarity(&a2);
+        let inter = a1.similarity(&b1);
+        assert!(
+            intra > inter + 0.3,
+            "intra {intra} should dominate inter {inter}"
+        );
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let data = three_places(20);
+        let vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        let v1 = vocab.vector_of(&data[..20]);
+        let v2 = vocab.vector_of(&data[20..40]);
+        let s12 = v1.similarity(&v2);
+        let s21 = v2.similarity(&v1);
+        assert_eq!(s12, s21);
+        assert!((0.0..=1.0).contains(&s12));
+        // Self-similarity of a normalized vector is exactly 1.
+        assert!((v1.similarity(&v1) - 1.0).abs() < 1e-12);
+        // Empty vectors are similar to nothing.
+        assert_eq!(BowVector::empty().similarity(&v1), 0.0);
+    }
+
+    #[test]
+    fn vector_entries_are_sorted_and_normalized() {
+        let data = three_places(20);
+        let vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        let v = vocab.vector_of(&data);
+        let entries = v.entries();
+        assert!(!entries.is_empty());
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "entries sorted by word");
+        }
+        let total: f64 = entries.iter().map(|e| e.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_of_matches_vector_of() {
+        let data = three_places(12);
+        let vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        let d = descriptor_near(0, 5, 99);
+        let w = vocab.word_of(&d);
+        let v = vocab.vector_of(std::slice::from_ref(&d));
+        assert_eq!(v.entries(), &[(w, 1.0)]);
+        assert!((w as usize) < vocab.words());
+    }
+
+    #[test]
+    fn majority_vote_takes_each_bit_by_majority() {
+        let mut a = Descriptor::ZERO;
+        let mut b = Descriptor::ZERO;
+        let mut c = Descriptor::ZERO;
+        a.set_bit(0, true); // bit 0: 1/3 → clear
+        a.set_bit(7, true);
+        b.set_bit(7, true); // bit 7: 2/3 → set
+        c.set_bit(255, true); // bit 255: 1/3 → clear
+        let all = [a, b, c];
+        let m = majority(&all, &[0, 1, 2]);
+        assert!(!m.bit(0));
+        assert!(m.bit(7));
+        assert!(!m.bit(255));
+        // Exact half split (2-of-4) clears the bit deterministically.
+        let m2 = majority(&[a, b, c, Descriptor::ZERO], &[0, 1, 2, 3]);
+        assert!(!m2.bit(7), "2/4 is a tie, bit stays clear");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn descriptors_from(words: &[u64]) -> Vec<Descriptor> {
+            words
+                .chunks(4)
+                .filter(|c| c.len() == 4)
+                .map(|c| Descriptor::from_words([c[0], c[1], c[2], c[3]]))
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Every descriptor quantizes to a valid word, and the frame
+            /// vector stays normalized, for arbitrary inputs.
+            #[test]
+            fn quantization_total_and_in_range(
+                train_words in proptest::collection::vec(any::<u64>(), 32..256),
+                query_words in proptest::collection::vec(any::<u64>(), 4..128),
+            ) {
+                let train = descriptors_from(&train_words);
+                let query = descriptors_from(&query_words);
+                let vocab = Vocabulary::train(&train, &BowParams::default()).unwrap();
+                prop_assert!(vocab.words() >= 1);
+                for d in &query {
+                    prop_assert!((vocab.word_of(d) as usize) < vocab.words());
+                }
+                let v = vocab.vector_of(&query);
+                let total: f64 = v.entries().iter().map(|e| e.1).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                for w in v.entries().windows(2) {
+                    prop_assert!(w[0].0 < w[1].0);
+                }
+            }
+        }
+    }
+}

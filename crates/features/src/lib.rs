@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bow;
 pub mod brief;
 pub mod descriptor;
 pub mod fast;
@@ -53,6 +54,7 @@ pub mod orientation;
 pub mod pattern;
 pub mod pool;
 
+pub use bow::{BowParams, BowVector, Vocabulary};
 pub use descriptor::{Descriptor, DESCRIPTOR_BITS};
 pub use matcher::{DescriptorMatch, MatchKernel};
 pub use orb::{Keypoint, OrbConfig, OrbExtractor, OrbFeatures};

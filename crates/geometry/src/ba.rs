@@ -32,7 +32,7 @@
 //! SLAM backend prove its async and synchronous modes bit-identical.
 
 use crate::camera::PinholeCamera;
-use crate::matrix::Mat3;
+use crate::matrix::{cholesky_solve_dense, Mat3};
 use crate::robust::{huber_weight, robust_cost, BEHIND_CAMERA_PENALTY};
 use crate::se3::Se3;
 use crate::vector::{Vec2, Vec3};
@@ -150,49 +150,6 @@ fn evaluate_cost(
         }
     }
     cost
-}
-
-/// Solves the dense symmetric positive-definite system `A x = b`
-/// (row-major `n×n`) via Cholesky. Returns `None` on a non-positive
-/// pivot.
-fn cholesky_solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
-    let mut l = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in 0..=i {
-            // Sequential fold keeps the exact FP accumulation order.
-            let mut sum = a[i * n + j];
-            for k in 0..j {
-                sum -= l[i * n + k] * l[j * n + k];
-            }
-            if i == j {
-                if sum <= 0.0 {
-                    return None;
-                }
-                l[i * n + j] = sum.sqrt();
-            } else {
-                l[i * n + j] = sum / l[j * n + j];
-            }
-        }
-    }
-    // Forward substitution L y = b.
-    let mut y = vec![0.0f64; n];
-    for i in 0..n {
-        let mut sum = b[i];
-        for k in 0..i {
-            sum -= l[i * n + k] * y[k];
-        }
-        y[i] = sum / l[i * n + i];
-    }
-    // Back substitution Lᵀ x = y.
-    let mut x = vec![0.0f64; n];
-    for i in (0..n).rev() {
-        let mut sum = y[i];
-        for k in (i + 1)..n {
-            sum -= l[k * n + i] * x[k];
-        }
-        x[i] = sum / l[i * n + i];
-    }
-    Some(x)
 }
 
 /// The static block structure of one problem, built once per solve.

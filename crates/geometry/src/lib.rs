@@ -55,6 +55,7 @@ pub mod lm;
 pub mod matrix;
 pub mod pnp;
 pub mod poly;
+pub mod pose_graph;
 pub mod quaternion;
 pub mod ransac;
 pub mod robust;

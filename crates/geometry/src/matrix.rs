@@ -480,6 +480,54 @@ impl IndexMut<(usize, usize)> for Mat6 {
     }
 }
 
+/// Solves the dense symmetric positive-definite system `A x = b`
+/// (row-major `n×n`) via Cholesky. Returns `None` on a non-positive
+/// pivot (the matrix is not positive definite).
+///
+/// The accumulation order is a fixed sequential fold, so the solve is
+/// bit-deterministic — the shared linear-algebra core of the
+/// sparse-Schur bundle adjustment ([`crate::ba`]) and the Se(3)
+/// pose-graph optimizer ([`crate::pose_graph`]).
+pub fn cholesky_solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            // Sequential fold keeps the exact FP accumulation order.
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

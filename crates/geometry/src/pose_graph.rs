@@ -1,0 +1,538 @@
+//! Pose-graph optimization over SE(3): the loop-closure solver.
+//!
+//! Where [`crate::ba`] jointly refines poses *and* landmarks of a small
+//! window against pixel observations, the pose graph is the global,
+//! structure-free counterpart: nodes are keyframe poses, edges are
+//! **relative-pose measurements**
+//!
+//! ```text
+//! E = Σ_(i,j) w_ij ρ(‖log(Z_ij⁻¹ ∘ T_j ∘ T_i⁻¹)‖)
+//! ```
+//!
+//! with `Z_ij` the measured transform taking pose `i` to pose `j`
+//! (`T_j ∘ T_i⁻¹` at measurement time). Odometry/covisibility edges
+//! encode the trajectory as tracked; a single verified loop edge pulls
+//! the two ends of the loop together, and the solver distributes the
+//! accumulated drift over the whole chain — the classic loop-closure
+//! correction.
+//!
+//! The machinery generalizes the bundle adjuster's: 6×6 blocks
+//! accumulated into dense normal equations, scale-aware
+//! Levenberg-Marquardt damping, left-multiplicative SE(3) retraction,
+//! and the shared deterministic Cholesky
+//! ([`crate::matrix::cholesky_solve_dense`]). Jacobians of the
+//! `log`-residual are taken by central differences — exact enough at
+//! the 1e-6 step for quadratic convergence on these smooth residuals,
+//! and structurally simpler than the nested right-Jacobian expansions;
+//! the fixed evaluation order keeps the solve bit-deterministic, which
+//! the SLAM backend's sync/async equivalence relies on.
+
+use crate::matrix::{cholesky_solve_dense, Vec6};
+use crate::robust::{huber_weight, robust_cost};
+use crate::se3::Se3;
+
+/// One relative-pose constraint between two graph nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseGraphEdge {
+    /// Index of the source pose `i`.
+    pub from: usize,
+    /// Index of the target pose `j`.
+    pub to: usize,
+    /// Measured relative transform `Z_ij = T_j ∘ T_i⁻¹` (world-to-camera
+    /// convention on both sides) at measurement time.
+    pub measured: Se3,
+    /// Information scale of the edge (multiplies its squared residual).
+    pub weight: f64,
+}
+
+impl PoseGraphEdge {
+    /// Builds an edge whose measurement is the *current* relative pose
+    /// of `poses[from]` → `poses[to]` — how odometry and covisibility
+    /// edges are snapshotted before a loop edge is added.
+    pub fn from_current(poses: &[Se3], from: usize, to: usize, weight: f64) -> PoseGraphEdge {
+        PoseGraphEdge {
+            from,
+            to,
+            measured: poses[to].compose(&poses[from].inverse()),
+            weight,
+        }
+    }
+}
+
+/// Parameters of the pose-graph solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseGraphParams {
+    /// Maximum number of accepted LM iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplicative λ increase on a rejected step.
+    pub lambda_up: f64,
+    /// Multiplicative λ decrease on an accepted step.
+    pub lambda_down: f64,
+    /// Convergence threshold on the update norm ‖δ‖.
+    pub min_step_norm: f64,
+    /// Convergence threshold on the relative cost decrease.
+    pub min_cost_decrease: f64,
+    /// Huber width on the residual norm (tangent-space units); `None`
+    /// disables the robust kernel.
+    pub huber_delta: Option<f64>,
+}
+
+impl Default for PoseGraphParams {
+    fn default() -> Self {
+        PoseGraphParams {
+            max_iterations: 20,
+            initial_lambda: 1e-6,
+            lambda_up: 10.0,
+            lambda_down: 0.5,
+            min_step_norm: 1e-12,
+            min_cost_decrease: 1e-10,
+            // Odometry edges sit at zero residual when the graph is
+            // built from the tracked trajectory; the kernel mainly
+            // bounds the influence of a bad loop edge.
+            huber_delta: Some(1.0),
+        }
+    }
+}
+
+/// Outcome of a pose-graph optimization (poses refined in place).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseGraphResult {
+    /// Cost before any update.
+    pub initial_cost: f64,
+    /// Final cost.
+    pub final_cost: f64,
+    /// Number of accepted LM iterations.
+    pub iterations: usize,
+    /// Whether the run terminated by convergence rather than the cap.
+    pub converged: bool,
+}
+
+/// Residual of one edge at the current poses:
+/// `log(Z⁻¹ ∘ T_to ∘ T_from⁻¹)`.
+fn edge_residual(edge: &PoseGraphEdge, from: &Se3, to: &Se3) -> Vec6 {
+    edge.measured
+        .inverse()
+        .compose(&to.compose(&from.inverse()))
+        .log()
+}
+
+/// Total robustified cost of a configuration.
+fn evaluate_cost(poses: &[Se3], edges: &[PoseGraphEdge], huber: Option<f64>) -> f64 {
+    let mut cost = 0.0;
+    for edge in edges {
+        let r = edge_residual(edge, &poses[edge.from], &poses[edge.to]);
+        cost += edge.weight * robust_cost(r.norm(), huber);
+    }
+    cost
+}
+
+/// Central-difference step for the numeric Jacobians. The `log`
+/// residual is smooth and O(1)-scaled, so 1e-6 balances truncation
+/// against cancellation at f64 precision.
+const JACOBIAN_EPS: f64 = 1e-6;
+
+/// Numeric Jacobian of an edge residual w.r.t. the left-multiplicative
+/// perturbations of its two endpoint poses: a 6×12 block,
+/// columns 0..6 = ∂r/∂δ_from, columns 6..12 = ∂r/∂δ_to.
+fn edge_jacobian(edge: &PoseGraphEdge, from: &Se3, to: &Se3) -> [[f64; 12]; 6] {
+    let mut j = [[0.0f64; 12]; 6];
+    let mut delta = Vec6::zeros();
+    for c in 0..6 {
+        delta[c] = JACOBIAN_EPS;
+        let plus_from = edge_residual(edge, &from.retract(&delta), to);
+        let plus_to = edge_residual(edge, from, &to.retract(&delta));
+        delta[c] = -JACOBIAN_EPS;
+        let minus_from = edge_residual(edge, &from.retract(&delta), to);
+        let minus_to = edge_residual(edge, from, &to.retract(&delta));
+        delta[c] = 0.0;
+        for (row, jr) in j.iter_mut().enumerate() {
+            jr[c] = (plus_from[row] - minus_from[row]) / (2.0 * JACOBIAN_EPS);
+            jr[6 + c] = (plus_to[row] - minus_to[row]) / (2.0 * JACOBIAN_EPS);
+        }
+    }
+    j
+}
+
+/// Optimizes `poses` (world-to-camera) in place to minimize the total
+/// robustified relative-pose error of `edges` with dense 6×6-block
+/// Levenberg-Marquardt.
+///
+/// * `fixed[i]` holds pose `i` constant (fix at least one pose — the
+///   problem is gauge-free otherwise and the damped solver will merely
+///   stay near the initial values).
+/// * Edges whose endpoints are both fixed contribute cost but no
+///   derivatives. Self-edges (`from == to`) are rejected.
+///
+/// Degenerate inputs (no free poses, or no edges) return immediately.
+///
+/// # Panics
+/// Panics if slice lengths disagree, an edge endpoint is out of range,
+/// or an edge is a self-loop.
+///
+/// # Examples
+///
+/// ```
+/// use eslam_geometry::pose_graph::{optimize_pose_graph, PoseGraphEdge, PoseGraphParams};
+/// use eslam_geometry::{Se3, Vec3};
+/// // A 3-pose chain whose middle pose drifted; the edges remember the
+/// // true relative steps, so optimization pulls it back.
+/// let truth: Vec<Se3> = (0..3)
+///     .map(|i| Se3::from_translation(Vec3::new(i as f64 * 0.1, 0.0, 0.0)))
+///     .collect();
+/// let edges: Vec<PoseGraphEdge> = (0..2)
+///     .map(|i| PoseGraphEdge::from_current(&truth, i, i + 1, 1.0))
+///     .collect();
+/// let mut poses = truth.clone();
+/// poses[1] = Se3::from_translation(Vec3::new(0.13, 0.02, 0.0));
+/// let result = optimize_pose_graph(&mut poses, &edges, &[true, false, true],
+///                                  &PoseGraphParams::default());
+/// assert!(result.final_cost < 1e-12);
+/// assert!((poses[1].translation - truth[1].translation).norm() < 1e-6);
+/// ```
+pub fn optimize_pose_graph(
+    poses: &mut [Se3],
+    edges: &[PoseGraphEdge],
+    fixed: &[bool],
+    params: &PoseGraphParams,
+) -> PoseGraphResult {
+    assert_eq!(poses.len(), fixed.len(), "pose/fixed length mismatch");
+    for edge in edges {
+        assert!(
+            edge.from < poses.len() && edge.to < poses.len(),
+            "edge endpoint out of range"
+        );
+        assert_ne!(edge.from, edge.to, "self-edges are not constraints");
+    }
+
+    // Free-slot layout, exactly like the bundle adjuster's.
+    let mut slot = vec![usize::MAX; poses.len()];
+    let mut free = 0usize;
+    for (i, f) in fixed.iter().enumerate() {
+        if !f {
+            slot[i] = free;
+            free += 1;
+        }
+    }
+    let initial_cost = evaluate_cost(poses, edges, params.huber_delta);
+    if free == 0 || edges.is_empty() {
+        return PoseGraphResult {
+            initial_cost,
+            final_cost: initial_cost,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    let n = free * 6;
+    let mut cost = initial_cost;
+    let mut lambda = params.initial_lambda;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut attempts = 0;
+
+    while iterations < params.max_iterations && attempts < params.max_iterations * 4 {
+        attempts += 1;
+        // Accumulate the dense normal equations H δ = −b over all
+        // edges (6×6 blocks at (from,from), (from,to), (to,from),
+        // (to,to) of the free-slot grid).
+        let mut h = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n];
+        for edge in edges {
+            let (sf, st) = (slot[edge.from], slot[edge.to]);
+            if sf == usize::MAX && st == usize::MAX {
+                continue;
+            }
+            let r = edge_residual(edge, &poses[edge.from], &poses[edge.to]);
+            let w = edge.weight * huber_weight(r.norm(), params.huber_delta);
+            let j = edge_jacobian(edge, &poses[edge.from], &poses[edge.to]);
+            // Column offsets of the two endpoint blocks in the global
+            // system (usize::MAX = fixed, skipped).
+            let offsets = [sf, st];
+            for (bi, &oi) in offsets.iter().enumerate() {
+                if oi == usize::MAX {
+                    continue;
+                }
+                for a in 0..6 {
+                    let ja = |row: usize| j[row][bi * 6 + a];
+                    // Gradient bᵀ += w Jᵀ r.
+                    b[oi * 6 + a] += w * (0..6).map(|row| ja(row) * r[row]).sum::<f64>();
+                    for (bj, &oj) in offsets.iter().enumerate() {
+                        if oj == usize::MAX {
+                            continue;
+                        }
+                        for c in 0..6 {
+                            let v: f64 = (0..6).map(|row| ja(row) * j[row][bj * 6 + c]).sum();
+                            h[(oi * 6 + a) * n + oj * 6 + c] += w * v;
+                        }
+                    }
+                }
+            }
+        }
+        // Scale-aware additive damping (identical policy to ba).
+        let mut damped = h.clone();
+        let mut rhs = vec![0.0f64; n];
+        for i in 0..n {
+            damped[i * n + i] += lambda * (1.0 + damped[i * n + i].abs());
+            rhs[i] = -b[i];
+        }
+        let Some(delta) = cholesky_solve_dense(&damped, &rhs, n) else {
+            lambda *= params.lambda_up;
+            continue;
+        };
+        let step_norm = delta.iter().map(|d| d * d).sum::<f64>().sqrt();
+
+        // Candidate retraction.
+        let mut candidate: Vec<Se3> = poses.to_vec();
+        for (i, &s) in slot.iter().enumerate() {
+            if s == usize::MAX {
+                continue;
+            }
+            let mut xi = Vec6::zeros();
+            for a in 0..6 {
+                xi[a] = delta[s * 6 + a];
+            }
+            candidate[i] = poses[i].retract(&xi);
+            candidate[i].orthonormalize();
+        }
+        let new_cost = evaluate_cost(&candidate, edges, params.huber_delta);
+        if new_cost < cost {
+            poses.copy_from_slice(&candidate);
+            let decrease = (cost - new_cost) / cost.max(1e-300);
+            cost = new_cost;
+            iterations += 1;
+            lambda = (lambda * params.lambda_down).max(1e-12);
+            if step_norm < params.min_step_norm || decrease < params.min_cost_decrease {
+                converged = true;
+                break;
+            }
+        } else {
+            lambda *= params.lambda_up;
+            if step_norm < params.min_step_norm {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    PoseGraphResult {
+        initial_cost,
+        final_cost: cost,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Vec3;
+
+    /// A circular ground-truth trajectory of `n` poses (world-to-camera).
+    fn circle_truth(n: usize) -> Vec<Se3> {
+        (0..n)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                let position = Vec3::new(angle.cos(), 0.0, angle.sin());
+                let rotation = Se3::so3_exp(Vec3::Y * -angle);
+                Se3::new(rotation, position).inverse()
+            })
+            .collect()
+    }
+
+    /// Drifts `truth` by compounding a small constant error on every
+    /// step — the odometry-drift model (first pose exact).
+    fn drifted(truth: &[Se3]) -> Vec<Se3> {
+        let creep = Se3::from_translation(Vec3::new(0.004, -0.002, 0.006));
+        let mut out = vec![truth[0]];
+        for i in 1..truth.len() {
+            let step = truth[i].compose(&truth[i - 1].inverse());
+            let prev = out[i - 1];
+            out.push(creep.compose(&step).compose(&prev));
+        }
+        out
+    }
+
+    #[test]
+    fn chain_with_loop_edge_recovers_drift() {
+        let truth = circle_truth(12);
+        let mut poses = drifted(&truth);
+        // Odometry edges from the *drifted* chain (they are satisfied
+        // exactly at start) + one loop edge carrying the true relative
+        // pose between the ends.
+        let mut edges: Vec<PoseGraphEdge> = (0..11)
+            .map(|i| PoseGraphEdge::from_current(&poses, i, i + 1, 1.0))
+            .collect();
+        edges.push(PoseGraphEdge {
+            from: 11,
+            to: 0,
+            measured: truth[0].compose(&truth[11].inverse()),
+            weight: 1.0,
+        });
+        let node_error = |poses: &[Se3], k: usize| {
+            (poses[k].inverse().translation - truth[k].inverse().translation).norm()
+        };
+        let before: f64 = (0..12).map(|k| node_error(&poses, k)).sum();
+        let end_before = node_error(&poses, 11);
+        let mut fixed = vec![false; 12];
+        fixed[0] = true;
+        let result = optimize_pose_graph(&mut poses, &edges, &fixed, &PoseGraphParams::default());
+        assert!(result.final_cost < result.initial_cost * 0.05, "{result:?}");
+        let after: f64 = (0..12).map(|k| node_error(&poses, k)).sum();
+        // The loop edge cannot recover truth exactly (the drift is
+        // *redistributed* over the chain, not deleted — the middle
+        // keeps part of it), but the total error must shrink and the
+        // loop end, which the closure constrains directly, must snap
+        // back by an order of magnitude.
+        assert!(
+            after < before * 0.85,
+            "total drift should shrink: {before:.4} -> {after:.4}"
+        );
+        let end_after = node_error(&poses, 11);
+        assert!(
+            end_after < end_before * 0.1,
+            "loop-end drift should collapse: {end_before:.4} -> {end_after:.4}"
+        );
+        // The two loop ends actually meet the measured constraint.
+        let r = edge_residual(&edges[11], &poses[11], &poses[0]);
+        assert!(r.norm() < 0.02, "loop residual {}", r.norm());
+    }
+
+    #[test]
+    fn satisfied_graph_is_a_fixed_point() {
+        let truth = circle_truth(8);
+        let mut poses = truth.clone();
+        let edges: Vec<PoseGraphEdge> = (0..7)
+            .map(|i| PoseGraphEdge::from_current(&poses, i, i + 1, 1.0))
+            .collect();
+        let mut fixed = vec![false; 8];
+        fixed[0] = true;
+        let result = optimize_pose_graph(&mut poses, &edges, &fixed, &PoseGraphParams::default());
+        assert!(result.initial_cost < 1e-18);
+        assert!(result.final_cost <= result.initial_cost);
+        for (p, t) in poses.iter().zip(&truth) {
+            assert!((p.translation - t.translation).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixed_poses_do_not_move() {
+        let truth = circle_truth(6);
+        let mut poses = drifted(&truth);
+        let held = poses[3];
+        let mut edges: Vec<PoseGraphEdge> = (0..5)
+            .map(|i| PoseGraphEdge::from_current(&poses, i, i + 1, 1.0))
+            .collect();
+        edges.push(PoseGraphEdge {
+            from: 5,
+            to: 0,
+            measured: truth[0].compose(&truth[5].inverse()),
+            weight: 1.0,
+        });
+        let fixed = [true, false, false, true, false, false];
+        optimize_pose_graph(&mut poses, &edges, &fixed, &PoseGraphParams::default());
+        assert_eq!(poses[3], held);
+        assert_eq!(poses[0], drifted(&truth)[0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_immediately() {
+        let mut poses = vec![Se3::identity(); 3];
+        let r = optimize_pose_graph(
+            &mut poses,
+            &[],
+            &[true, false, false],
+            &PoseGraphParams::default(),
+        );
+        assert_eq!(r.iterations, 0);
+        assert!(r.converged);
+        let edges = [PoseGraphEdge::from_current(&poses, 0, 1, 1.0)];
+        let r = optimize_pose_graph(
+            &mut poses,
+            &edges,
+            &[true, true, true],
+            &PoseGraphParams::default(),
+        );
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges")]
+    fn self_edges_rejected() {
+        let mut poses = vec![Se3::identity(); 2];
+        let edges = [PoseGraphEdge {
+            from: 1,
+            to: 1,
+            measured: Se3::identity(),
+            weight: 1.0,
+        }];
+        optimize_pose_graph(
+            &mut poses,
+            &edges,
+            &[true, false],
+            &PoseGraphParams::default(),
+        );
+    }
+
+    #[test]
+    fn numeric_jacobian_matches_finite_ratio() {
+        // Directional-derivative check: r(retract(tv)) − r ≈ t·J v.
+        let truth = circle_truth(5);
+        let edge = PoseGraphEdge {
+            from: 1,
+            to: 3,
+            measured: Se3::from_translation(Vec3::new(0.3, -0.1, 0.2)),
+            weight: 1.0,
+        };
+        let j = edge_jacobian(&edge, &truth[1], &truth[3]);
+        let r0 = edge_residual(&edge, &truth[1], &truth[3]);
+        let v = Vec6::from_parts(Vec3::new(0.3, -0.5, 0.2), Vec3::new(-0.1, 0.4, 0.25));
+        let t = 1e-5;
+        let mut tv = Vec6::zeros();
+        for i in 0..6 {
+            tv[i] = t * v[i];
+        }
+        let r1 = edge_residual(&edge, &truth[1].retract(&tv), &truth[3]);
+        for row in 0..6 {
+            let predicted: f64 = (0..6).map(|c| j[row][c] * v[c]).sum();
+            let actual = (r1[row] - r0[row]) / t;
+            assert!(
+                (predicted - actual).abs() < 1e-4,
+                "row {row}: {predicted} vs {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_trade_off_conflicting_edges() {
+        // Two conflicting absolute-chain constraints on one free pose:
+        // the heavier edge wins proportionally.
+        let mut poses = vec![Se3::identity(), Se3::identity(), Se3::identity()];
+        let edges = [
+            PoseGraphEdge {
+                from: 0,
+                to: 1,
+                measured: Se3::from_translation(Vec3::new(1.0, 0.0, 0.0)),
+                weight: 9.0,
+            },
+            PoseGraphEdge {
+                from: 2,
+                to: 1,
+                measured: Se3::from_translation(Vec3::new(0.0, 0.0, 0.0)),
+                weight: 1.0,
+            },
+        ];
+        let params = PoseGraphParams {
+            huber_delta: None,
+            ..Default::default()
+        };
+        optimize_pose_graph(&mut poses, &edges, &[true, false, true], &params);
+        // Weighted least squares between x=1 (w 9) and x=0 (w 1) → 0.9.
+        assert!(
+            (poses[1].translation.x - 0.9).abs() < 1e-6,
+            "x = {}",
+            poses[1].translation.x
+        );
+    }
+}
