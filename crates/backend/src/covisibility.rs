@@ -133,6 +133,50 @@ impl CovisibilityGraph {
             .collect()
     }
 
+    /// Every undirected edge as `(a, b, weight)` with `a < b`, ordered
+    /// by `(a, b)` — the canonical export for serialization (each edge
+    /// appears once; [`CovisibilityGraph::from_edges`] restores both
+    /// directions).
+    pub fn edges(&self) -> Vec<(KeyframeId, KeyframeId, usize)> {
+        let mut out = Vec::new();
+        for (a, adj) in self.adjacency.iter().enumerate() {
+            for (&b, &w) in adj.range(a + 1..) {
+                out.push((a, b, w));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a graph over `nodes` keyframes from an undirected edge
+    /// list (the atlas-load path). Edges must be in range, irreflexive
+    /// and positively weighted; duplicates (either orientation)
+    /// accumulate, matching incremental construction. Returns a
+    /// description of the first violation instead of panicking, so
+    /// corrupted files surface as typed errors upstream.
+    pub fn from_edges(
+        nodes: usize,
+        edges: &[(KeyframeId, KeyframeId, usize)],
+    ) -> Result<CovisibilityGraph, String> {
+        let mut g = CovisibilityGraph {
+            adjacency: vec![BTreeMap::new(); nodes],
+        };
+        for &(a, b, w) in edges {
+            if a >= nodes || b >= nodes {
+                return Err(format!("edge ({a}, {b}) out of range ({nodes} nodes)"));
+            }
+            if a == b {
+                return Err(format!(
+                    "self edge on keyframe {a} (covisibility is irreflexive)"
+                ));
+            }
+            if w == 0 {
+                return Err(format!("zero-weight edge ({a}, {b})"));
+            }
+            g.accumulate(a, b, w);
+        }
+        Ok(g)
+    }
+
     /// Applies a keyframe-cull remap (old id → new id, `None` =
     /// removed): drops removed nodes and their edges, renumbers the
     /// rest. The remap must come from the paired
@@ -244,6 +288,19 @@ mod tests {
         assert_eq!(g.within_distance(0, 99, 2), vec![0, 1, 2]);
         // The isolated node reaches only itself.
         assert_eq!(g.within_distance(4, 10, 1), vec![4]);
+    }
+
+    #[test]
+    fn edge_export_round_trips() {
+        let g = triangle();
+        let edges = g.edges();
+        assert_eq!(edges, vec![(0, 1, 10), (0, 2, 4), (1, 2, 4)]);
+        let rebuilt = CovisibilityGraph::from_edges(g.len(), &edges).unwrap();
+        assert_eq!(g, rebuilt);
+        // Malformed edge lists are rejected, not panicked on.
+        assert!(CovisibilityGraph::from_edges(2, &[(0, 2, 1)]).is_err());
+        assert!(CovisibilityGraph::from_edges(2, &[(1, 1, 1)]).is_err());
+        assert!(CovisibilityGraph::from_edges(2, &[(0, 1, 0)]).is_err());
     }
 
     #[test]

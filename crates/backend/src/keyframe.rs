@@ -156,6 +156,31 @@ impl KeyframeStore {
         &self.keyframes[start..]
     }
 
+    /// Rebuilds a store from deserialized keyframes (the atlas-load
+    /// path), re-validating the invariants `push` establishes: ids are
+    /// dense insertion indices and every non-empty descriptor column is
+    /// index-aligned with its observations. Returns a description of
+    /// the first violation, so a corrupted file surfaces as a typed
+    /// error upstream instead of a panic deep in the backend.
+    pub fn from_keyframes(keyframes: Vec<Keyframe>) -> Result<KeyframeStore, String> {
+        for (i, kf) in keyframes.iter().enumerate() {
+            if kf.id != i {
+                return Err(format!(
+                    "keyframe {} has id {} (ids must be dense)",
+                    i, kf.id
+                ));
+            }
+            if !kf.descriptors.is_empty() && kf.descriptors.len() != kf.observations.len() {
+                return Err(format!(
+                    "keyframe {i} descriptor column misaligned: {} descriptors, {} observations",
+                    kf.descriptors.len(),
+                    kf.observations.len()
+                ));
+            }
+        }
+        Ok(KeyframeStore { keyframes })
+    }
+
     /// Removes every keyframe for which `keep` returns `false`,
     /// compacting ids to stay dense. Returns the old→new id remap
     /// (`None` entries are removed keyframes); `None` when nothing was

@@ -26,7 +26,12 @@
 //!   candidate gating by covisibility distance + temporal consistency,
 //!   geometric verification through the existing P3P/RANSAC path, and
 //!   the Se(3) pose-graph drift correction
-//!   (`eslam_geometry::pose_graph`) with landmark re-anchoring.
+//!   (`eslam_geometry::pose_graph`) with landmark re-anchoring;
+//! * [`relocalize`] — cold-start relocalization against a **loaded**
+//!   map (the serving-side use of the same machinery): tf-idf BoW
+//!   retrieval over a persisted vocabulary, cross-checked SIMD
+//!   matching, and P3P/RANSAC against promotion-time camera-frame
+//!   geometry, returning a [`RelocalizationResult`] world pose.
 //!
 //! # Determinism contract
 //!
@@ -84,6 +89,7 @@ pub mod covisibility;
 pub mod keyframe;
 pub mod loop_closure;
 pub mod mapper;
+pub mod relocalize;
 
 pub use covisibility::CovisibilityGraph;
 pub use keyframe::{Keyframe, KeyframeId, KeyframeObservation, KeyframeStore};
@@ -95,3 +101,4 @@ pub use mapper::{
     BackendConfig, BackendMode, BackendRunner, BackendStats, KeyframeCullConfig, KeyframeData,
     LocalBaJob, LocalBaOutcome, LocalMapper, RefinedKeyframe, BACKEND_ENV,
 };
+pub use relocalize::{RelocalizationConfig, RelocalizationResult, Relocalizer};

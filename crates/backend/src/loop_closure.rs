@@ -460,7 +460,7 @@ impl LoopDetector {
 /// pinned kernel (single-threaded — the job may already be running on a
 /// pool worker; every kernel rung is bit-identical, so which one the
 /// host dispatches does not affect results).
-fn matched_pairs(
+pub(crate) fn matched_pairs(
     kernel: MatchKernel,
     query: &[Descriptor],
     train: &[Descriptor],

@@ -67,18 +67,14 @@ impl BackendMode {
     pub fn resolved(self) -> BackendMode {
         static FORCED: std::sync::OnceLock<Option<BackendMode>> = std::sync::OnceLock::new();
         let forced = *FORCED.get_or_init(|| {
-            let Ok(raw) = std::env::var(BACKEND_ENV) else {
-                return None;
-            };
-            match raw.trim().to_ascii_lowercase().as_str() {
-                "" | "auto" => None,
-                "off" => Some(BackendMode::Off),
-                "sync" => Some(BackendMode::Sync),
-                "async" => Some(BackendMode::Async),
-                _ => {
-                    panic!("unrecognised {BACKEND_ENV}={raw:?} (expected auto, off, sync or async)")
+            eslam_features::envopt::forced(BACKEND_ENV, "auto, off, sync or async", |value| {
+                match value {
+                    "off" => Some(BackendMode::Off),
+                    "sync" => Some(BackendMode::Sync),
+                    "async" => Some(BackendMode::Async),
+                    _ => None,
                 }
-            }
+            })
         });
         forced.unwrap_or(self)
     }
@@ -314,6 +310,39 @@ impl LocalMapper {
     /// The keyframes observing `landmark`, in insertion order.
     pub fn observers(&self, landmark: u64) -> &[KeyframeId] {
         self.observers.get(&landmark).map_or(&[], |v| v)
+    }
+
+    /// Rebuilds a mapper from a deserialized store and covisibility
+    /// graph (the atlas-load path). The inverted landmark→keyframes
+    /// index is derived from the store (same dedup rule as insertion),
+    /// so it can never disagree with the persisted data; the only
+    /// cross-section invariant checked here is that the graph has one
+    /// node per keyframe.
+    pub fn from_parts(
+        store: KeyframeStore,
+        covisibility: CovisibilityGraph,
+    ) -> Result<LocalMapper, String> {
+        if covisibility.len() != store.len() {
+            return Err(format!(
+                "covisibility graph has {} nodes but the store has {} keyframes",
+                covisibility.len(),
+                store.len()
+            ));
+        }
+        let mut observers: HashMap<u64, Vec<KeyframeId>> = HashMap::new();
+        for kf in store.keyframes() {
+            for obs in &kf.observations {
+                let entry = observers.entry(obs.landmark).or_default();
+                if entry.last() != Some(&kf.id) {
+                    entry.push(kf.id);
+                }
+            }
+        }
+        Ok(LocalMapper {
+            store,
+            covisibility,
+            observers,
+        })
     }
 
     /// Inserts a keyframe, wiring it into the covisibility graph by

@@ -1,0 +1,130 @@
+//! Criterion bench: the atlas serving path — loading a persisted map
+//! from disk (`atlas/load`), cold-start relocalization against the
+//! loaded snapshot (`atlas/relocalize`), and N concurrent sessions
+//! sharing one atlas (`atlas/shared_sessions`). All three are tracked
+//! by the bench-regression gate.
+//!
+//! Setup builds one real map — the `loop/circle` sequence through the
+//! full pipeline with the sync backend — publishes it into an
+//! [`Atlas`], and saves it to a temp file, so every measured operation
+//! runs against production-shaped data (trained vocabulary, tf-idf
+//! weights, promotion-time keyframe snapshots).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eslam_core::{Atlas, BackendMode, Session, Slam, SlamConfig};
+use eslam_dataset::sequence::SequenceSpec;
+use eslam_features::orb::{OrbExtractor, OrbScratch};
+use eslam_geometry::Vec2;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const IMAGE_SCALE: f64 = 0.25;
+const LOOP_FRAMES: usize = 48;
+
+fn config() -> SlamConfig {
+    SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE)
+}
+
+/// One mapping run over `loop/circle`, published into a fresh atlas.
+fn build_atlas() -> (Arc<Atlas>, eslam_dataset::sequence::SyntheticSequence) {
+    let seq = SequenceSpec::loop_sequences(LOOP_FRAMES, IMAGE_SCALE)[0].build();
+    let atlas = Arc::new(Atlas::empty());
+    let mut cfg = config();
+    cfg.backend.mode = BackendMode::Sync;
+    let mut slam = Slam::builder()
+        .config(cfg)
+        .atlas(Arc::clone(&atlas))
+        .build();
+    for frame in seq.frames() {
+        slam.process(frame.timestamp, &frame.gray, &frame.depth);
+    }
+    slam.finish();
+    assert!(
+        atlas.snapshot().can_relocalize(),
+        "bench setup must produce a relocalizable atlas"
+    );
+    (atlas, seq)
+}
+
+fn bench_atlas(c: &mut Criterion) {
+    let (atlas, seq) = build_atlas();
+    let frame = seq.frames().next().expect("sequence has frames");
+
+    // Persist once; `atlas/load` then measures the full disk path:
+    // read, checksum verification, semantic validation, and the
+    // relocalizer index rebuild.
+    let dir = std::env::temp_dir().join(format!("eslam_atlas_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("circle.atlas");
+    atlas.save(&path).expect("save");
+
+    let mut group = c.benchmark_group("atlas");
+    group.sample_size(20);
+    group.bench_function("load", |b| {
+        b.iter(|| black_box(Atlas::load(black_box(&path)).expect("load")))
+    });
+
+    // Cold-start relocalization proper (BoW retrieval + cross-checked
+    // match + P3P/RANSAC), on precomputed query features — extraction
+    // cost is tracked separately by the feature_extraction benches.
+    let cfg = config();
+    let extractor = OrbExtractor::new(cfg.orb);
+    let mut scratch = OrbScratch::with_threads(cfg.worker_threads);
+    let features = extractor.extract_with(&frame.gray, &mut scratch);
+    let pixels: Vec<Vec2> = features
+        .keypoints
+        .iter()
+        .map(|kp| Vec2::new(kp.x, kp.y))
+        .collect();
+    let snapshot = atlas.snapshot();
+    let reloc_config = eslam_backend::RelocalizationConfig::default();
+    group.bench_function("relocalize", |b| {
+        b.iter(|| {
+            let result = snapshot
+                .relocalizer()
+                .relocalize(
+                    snapshot.vocabulary().expect("vocabulary"),
+                    snapshot.keyframes(),
+                    &cfg.camera,
+                    black_box(&features.descriptors),
+                    &pixels,
+                    &reloc_config,
+                )
+                .expect("relocalizes");
+            black_box(result.pose_w2c)
+        })
+    });
+
+    // The serving scenario of the multi-session design: 4 fresh
+    // sessions cold-start concurrently against one shared atlas
+    // (extractor setup + extraction + relocalization + refine each).
+    // Snapshot reads are lock-free, so this should scale with cores
+    // rather than serialize on the writer lock.
+    const SESSIONS: usize = 4;
+    group.bench_function("shared_sessions", |b| {
+        b.iter(|| {
+            let poses: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..SESSIONS)
+                    .map(|_| {
+                        let atlas = Arc::clone(&atlas);
+                        let gray = &frame.gray;
+                        scope.spawn(move || {
+                            let mut session = Session::new(atlas, config());
+                            session.localize(gray).expect("localizes").pose_w2c
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(poses.len(), SESSIONS);
+            black_box(poses)
+        })
+    });
+    group.finish();
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
+criterion_group!(benches, bench_atlas);
+criterion_main!(benches);

@@ -131,7 +131,7 @@ fn bench_tracking_with_backend(c: &mut Criterion) {
         config.backend.mode = mode;
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut slam = Slam::new(config);
+                let mut slam = Slam::builder().config(config).build();
                 for f in &frames {
                     black_box(slam.process(f.timestamp, &f.gray, &f.depth));
                 }

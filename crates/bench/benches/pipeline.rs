@@ -50,7 +50,9 @@ fn bench_slam_frame(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("track_quarter_scale", |b| {
         b.iter(|| {
-            let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+            let mut slam = Slam::builder()
+                .config(SlamConfig::scaled_for_tests(4.0))
+                .build();
             for f in &frames {
                 black_box(slam.process(f.timestamp, &f.gray, &f.depth));
             }

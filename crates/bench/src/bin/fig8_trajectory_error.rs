@@ -15,7 +15,7 @@ fn run(spec: &SequenceSpec, descriptor: DescriptorKind, image_scale: f64) -> Opt
     let seq = spec.build();
     let mut config = SlamConfig::scaled_for_tests(1.0 / image_scale);
     config.orb.descriptor = descriptor;
-    let mut slam = Slam::new(config);
+    let mut slam = Slam::builder().config(config).build();
     for frame in seq.frames() {
         slam.process(frame.timestamp, &frame.gray, &frame.depth);
     }

@@ -15,7 +15,7 @@ fn track(descriptor: DescriptorKind, frames: usize, scale: f64) -> (Trajectory, 
     let seq = spec.build();
     let mut config = SlamConfig::scaled_for_tests(1.0 / scale);
     config.orb.descriptor = descriptor;
-    let mut slam = Slam::new(config);
+    let mut slam = Slam::builder().config(config).build();
     for frame in seq.frames() {
         slam.process(frame.timestamp, &frame.gray, &frame.depth);
     }

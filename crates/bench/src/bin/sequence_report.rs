@@ -3,7 +3,7 @@
 //! three platform models (ARM / Intel i7 / eSLAM) under their respective
 //! schedules — the sequence-level view of Table 3.
 
-use eslam_core::{run_sequence, SlamConfig};
+use eslam_core::{run_sequence, SlamConfig, Stage};
 use eslam_dataset::sequence::SequenceSpec;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         "matching   : mean {:.0} raw matches -> {:.0} inliers",
         s.mean_matches, s.mean_inliers
     );
-    if let Some(ate) = result.ate_rmse_cm() {
+    if let Some(ate) = result.ate_rmse_cm(Stage::Closed) {
         println!("accuracy   : ATE rmse {ate:.2} cm");
     }
 

@@ -55,15 +55,11 @@ impl PrefetchMode {
     pub fn resolved(self) -> bool {
         static FORCED: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
         let forced = *FORCED.get_or_init(|| {
-            let Ok(raw) = std::env::var(PREFETCH_ENV) else {
-                return None;
-            };
-            match raw.trim().to_ascii_lowercase().as_str() {
-                "" | "auto" => None,
+            eslam_features::envopt::forced(PREFETCH_ENV, "auto, on or off", |value| match value {
                 "on" | "1" | "true" => Some(true),
                 "off" | "0" | "false" => Some(false),
-                _ => panic!("unrecognised {PREFETCH_ENV}={raw:?} (expected auto, on or off)"),
-            }
+                _ => None,
+            })
         });
         match forced {
             Some(decision) => decision,
@@ -122,7 +118,7 @@ pub struct SlamConfig {
     /// and matcher rows). `None` sizes the pool to the host's available
     /// parallelism. An explicit `Some(n)` is **clamped** to available
     /// parallelism rather than honoured blindly, and `Some(0)` is
-    /// rejected with a panic at [`crate::Slam::new`] — see
+    /// rejected with a panic at [`crate::SlamBuilder::build`] — see
     /// `eslam_features::pool::resolve_thread_count` for the exact rules.
     pub worker_threads: Option<usize>,
     /// Whether [`crate::run_sequence`] overlaps frame production with

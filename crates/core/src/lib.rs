@@ -30,9 +30,18 @@
 //!   [`config::SlamConfig::prefetch`], overlaps frame production with
 //!   tracking via the double-buffered async prefetcher (bit-identical
 //!   to synchronous pulls; the measured wait/track split is in
-//!   [`runner::RunResult::wall`]).
+//!   [`runner::RunResult::wall`]);
+//! * **Persisted, shared maps** — a finished run's map can be saved to
+//!   the versioned, checksummed [`persist`] binary format, served to
+//!   many concurrent readers through the epoch-snapshotted
+//!   [`atlas::Atlas`], and re-entered cold by a [`session::Session`]
+//!   via BoW relocalization (`eslam_backend::Relocalizer`).
 //!
 //! # Environment overrides
+//!
+//! All process-wide toggles live behind the one typed surface of
+//! [`overrides`] ([`overrides::Overrides::from_env`] parses and
+//! validates the whole set in one shot):
 //!
 //! * `ESLAM_MATCH_KERNEL` (`auto`/`scalar`/`popcnt`/`avx2`/`avx512`) —
 //!   pins the Hamming-matcher kernel rung
@@ -44,7 +53,10 @@
 //! * `ESLAM_BACKEND` (`auto`/`off`/`sync`/`async`) — forces the
 //!   keyframe-backend execution mode over the configured
 //!   [`config::BackendConfig::mode`] ([`config::BACKEND_ENV`]). CI
-//!   runs the suite under both `sync` and `async`.
+//!   runs the suite under both `sync` and `async`;
+//! * `ESLAM_ATLAS` (a filesystem path) — names an atlas file for
+//!   sessions to load at start ([`overrides::ATLAS_ENV`],
+//!   [`atlas::Atlas::load_from_env`]).
 //!
 //! # Examples
 //!
@@ -56,12 +68,40 @@
 //!
 //! // Quarter-scale fr1/xyz keeps the doc test fast.
 //! let seq = SequenceSpec::paper_sequences(3, 0.25)[0].build();
-//! let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+//! let mut slam = Slam::builder()
+//!     .config(SlamConfig::scaled_for_tests(4.0))
+//!     .build();
 //! for frame in seq.frames() {
 //!     let report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
 //!     assert!(report.tracking_ok);
 //! }
 //! assert_eq!(slam.trajectory().len(), 3);
+//! ```
+//!
+//! Share the finished map with concurrent reader sessions:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use eslam_core::{Atlas, Session, Slam, SlamConfig};
+//! use eslam_dataset::sequence::SequenceSpec;
+//!
+//! let seq = SequenceSpec::paper_sequences(3, 0.25)[0].build();
+//! let atlas = Arc::new(Atlas::empty());
+//! let mut slam = Slam::builder()
+//!     .config(SlamConfig::scaled_for_tests(4.0))
+//!     .atlas(Arc::clone(&atlas))
+//!     .build();
+//! for frame in seq.frames() {
+//!     slam.process(frame.timestamp, &frame.gray, &frame.depth);
+//! }
+//! slam.finish(); // publishes the map: epoch 0 → 1
+//! assert_eq!(atlas.epoch(), 1);
+//!
+//! // Any number of sessions localize against the published snapshot.
+//! let mut session = Session::new(Arc::clone(&atlas), SlamConfig::scaled_for_tests(4.0));
+//! let frame = seq.frames().next().unwrap();
+//! let localization = session.localize(&frame.gray);
+//! # let _ = localization;
 //! ```
 //!
 //! Or run a whole [`eslam_dataset::FrameSource`] in one call, with the
@@ -80,21 +120,29 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod atlas;
 pub mod config;
 pub mod map;
+pub mod overrides;
+pub mod persist;
 pub mod pipeline;
 pub mod runner;
+pub mod session;
 pub mod stats;
 pub mod system;
 pub mod tracking;
 
+pub use atlas::{Atlas, AtlasState};
 pub use config::{
     Backend, BackendConfig, BackendMode, KeyframeCullConfig, LoopClosureConfig, PrefetchMode,
     SlamConfig, BACKEND_ENV, PREFETCH_ENV,
 };
 pub use map::{Map, MapPoint, PointObservation};
+pub use overrides::{Overrides, ATLAS_ENV};
+pub use persist::{AtlasContents, AtlasError};
 pub use pipeline::{sequence_timing, PlatformSequenceTiming, SequenceWallTiming};
-pub use runner::{run_sequence, RunResult};
+pub use runner::{run_sequence, RunResult, Stage};
+pub use session::{Localization, Session};
 pub use stats::SequenceStats;
-pub use system::{FrameHwTiming, FrameReport, Slam};
+pub use system::{FrameHwTiming, FrameReport, Slam, SlamBuilder};
 pub use tracking::{track_frame, TrackingOutcome};

@@ -203,6 +203,26 @@ impl Map {
         removed
     }
 
+    /// Rebuilds a map from deserialized points (the atlas-load path):
+    /// the descriptor column and id index are re-derived, and the next
+    /// stable id resumes above the largest persisted one (ids never
+    /// recycle, even across save/load). The only invariant checked is
+    /// id uniqueness; a duplicate returns a description of the
+    /// violation so corrupted files surface as typed errors upstream.
+    pub fn from_points(points: Vec<MapPoint>) -> Result<Map, String> {
+        let mut map = Map {
+            next_id: points.iter().map(|p| p.id + 1).max().unwrap_or(0),
+            points,
+            descriptors: Vec::new(),
+            index_of: HashMap::new(),
+        };
+        map.rebuild_columns();
+        if map.index_of.len() != map.points.len() {
+            return Err("duplicate stable landmark id".into());
+        }
+        Ok(map)
+    }
+
     /// Re-derives the descriptor column and the id index from the point
     /// list after a structural mutation.
     fn rebuild_columns(&mut self) {

@@ -65,21 +65,49 @@ pub struct RunResult {
     pub prefetched: bool,
 }
 
+/// The refinement stage of an estimate: every run carries its
+/// trajectory at three points of the pipeline, and [`RunResult`]'s
+/// accessors select between them with one of these instead of a
+/// per-stage method zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Exactly as tracked — before any backend refinement.
+    Raw,
+    /// With local-BA refinements swapped in, loop corrections
+    /// withheld.
+    Ba,
+    /// Fully refined: local BA *and* loop-closure corrections (the
+    /// headline estimate).
+    Closed,
+}
+
 impl RunResult {
-    /// ATE rmse in centimetres (the Fig. 8 unit), or `None`.
-    pub fn ate_rmse_cm(&self) -> Option<f64> {
-        self.ate.map(|a| a.stats.rmse * 100.0)
+    /// The estimated trajectory at `stage`. `Stage::Closed` is the
+    /// headline estimate; `Raw` and `Ba` are the drift-reporting
+    /// references (identical to it when no refinement, respectively no
+    /// closure, was applied).
+    pub fn trajectory(&self, stage: Stage) -> &Trajectory {
+        match stage {
+            Stage::Raw => &self.raw_estimate,
+            Stage::Ba => &self.ba_estimate,
+            Stage::Closed => &self.estimate,
+        }
     }
 
-    /// ATE rmse of the raw (pre-BA) estimate in centimetres, or `None`.
-    pub fn raw_ate_rmse_cm(&self) -> Option<f64> {
-        self.raw_ate.map(|a| a.stats.rmse * 100.0)
+    /// ATE of the `stage` estimate against the re-based ground truth,
+    /// if computable.
+    pub fn stage_ate(&self, stage: Stage) -> Option<AteResult> {
+        match stage {
+            Stage::Raw => self.raw_ate,
+            Stage::Ba => self.ba_ate,
+            Stage::Closed => self.ate,
+        }
     }
 
-    /// ATE rmse of the BA-only (pre-closure) estimate in centimetres,
-    /// or `None`.
-    pub fn ba_ate_rmse_cm(&self) -> Option<f64> {
-        self.ba_ate.map(|a| a.stats.rmse * 100.0)
+    /// ATE rmse of the `stage` estimate in centimetres (the Fig. 8
+    /// unit), or `None`.
+    pub fn ate_rmse_cm(&self, stage: Stage) -> Option<f64> {
+        self.stage_ate(stage).map(|a| a.stats.rmse * 100.0)
     }
 
     /// Number of loop closures applied during the run.
@@ -108,7 +136,7 @@ impl RunResult {
 /// The returned ground truth is re-based so its first pose is the
 /// identity, matching the estimate's world convention.
 pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> RunResult {
-    let mut slam = Slam::new(config);
+    let mut slam = Slam::builder().config(config).build();
     let prefetched = config.prefetch.resolved();
     let mut reports = Vec::with_capacity(source.len());
 
@@ -207,7 +235,7 @@ mod tests {
         assert_eq!(result.ground_truth.len(), 5);
         assert_eq!(result.stats.frames, 5);
         assert!(result.stats.tracking_ratio() > 0.9);
-        let ate = result.ate_rmse_cm().expect("ate computable");
+        let ate = result.ate_rmse_cm(Stage::Closed).expect("ate computable");
         assert!(ate < 20.0, "ate {ate} cm");
         // Ground truth is re-based: first pose is identity.
         let first = result.ground_truth.poses()[0].pose;

@@ -17,6 +17,7 @@
 //! [`Slam::finish`] at end of sequence), a deterministic application
 //! point that makes the async mode bit-identical to the sync one.
 
+use crate::atlas::{Atlas, AtlasState};
 use crate::config::{Backend, SlamConfig};
 use crate::map::Map;
 use crate::tracking::track_frame;
@@ -28,6 +29,7 @@ use eslam_geometry::{Se3, Vec2};
 use eslam_hw::extractor::{ExtractionWorkload, ExtractorModel};
 use eslam_hw::matcher::MatcherModel;
 use eslam_image::{DepthImage, GrayImage};
+use std::sync::Arc;
 
 /// Modelled accelerator latencies for one frame.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -125,17 +127,74 @@ pub struct Slam {
     /// The keyframe backend (covisibility graph + windowed local BA);
     /// `None` when the resolved mode is off.
     backend: Option<BackendRunner>,
+    /// Publish target for the finished map: [`Slam::finish`] builds a
+    /// query-ready [`AtlasState`] and publishes it here. `None` when
+    /// the run is not feeding a shared atlas.
+    atlas: Option<Arc<Atlas>>,
 }
 
-impl Slam {
-    /// Creates a system with the given configuration.
+/// Builder for [`Slam`] — the one way to assemble a system.
+///
+/// ```
+/// use eslam_core::{Slam, SlamConfig};
+///
+/// let slam = Slam::builder()
+///     .config(SlamConfig::scaled_for_tests(4.0))
+///     .worker_pool(2)
+///     .build();
+/// assert!(slam.worker_threads() >= 1);
+/// ```
+///
+/// Attach a shared [`Atlas`] with [`SlamBuilder::atlas`] to make the
+/// run a *mapping* session: [`Slam::finish`] then publishes the
+/// finished map (landmarks, keyframes, covisibility, offline-trained
+/// vocabulary) for concurrent [`crate::session::Session`] readers.
+#[derive(Debug, Default)]
+#[must_use = "call .build() to assemble the system"]
+pub struct SlamBuilder {
+    config: SlamConfig,
+    atlas: Option<Arc<Atlas>>,
+    worker_pool: Option<usize>,
+}
+
+impl SlamBuilder {
+    /// Replaces the whole configuration (defaults to
+    /// [`SlamConfig::default`], the TUM fr1 tuning).
+    pub fn config(mut self, config: SlamConfig) -> SlamBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a shared atlas as the publish target of this run's
+    /// finished map.
+    pub fn atlas(mut self, atlas: Arc<Atlas>) -> SlamBuilder {
+        self.atlas = Some(atlas);
+        self
+    }
+
+    /// Sizes the persistent front-end worker pool (overrides
+    /// `config.worker_threads`; clamped to available parallelism).
+    ///
+    /// # Panics
+    /// `build` panics on `0` — a present-but-empty pool is a
+    /// configuration error, not a request for sequential execution.
+    pub fn worker_pool(mut self, threads: usize) -> SlamBuilder {
+        self.worker_pool = Some(threads);
+        self
+    }
+
+    /// Assembles the system.
     ///
     /// Builds the persistent front-end worker pool here, sized by
-    /// `config.worker_threads` (clamped to available parallelism;
-    /// `Some(0)` panics — see `SlamConfig::worker_threads`). Extraction
-    /// levels and matcher rows reuse this pool on every frame instead of
-    /// spawning scoped threads per call.
-    pub fn new(config: SlamConfig) -> Self {
+    /// [`SlamBuilder::worker_pool`] (falling back to
+    /// `config.worker_threads`, clamped to available parallelism).
+    /// Extraction levels and matcher rows reuse this pool on every
+    /// frame instead of spawning scoped threads per call.
+    pub fn build(self) -> Slam {
+        let mut config = self.config;
+        if self.worker_pool.is_some() {
+            config.worker_threads = self.worker_pool;
+        }
         Slam {
             extractor: OrbExtractor::new(config.orb),
             extractor_scratch: OrbScratch::with_threads(config.worker_threads),
@@ -152,7 +211,21 @@ impl Slam {
             velocity: Se3::identity(),
             last_keyframe_c2w: Se3::identity(),
             keyframes: 0,
+            atlas: self.atlas,
         }
+    }
+}
+
+impl Slam {
+    /// Starts assembling a system: `Slam::builder().config(..).build()`.
+    pub fn builder() -> SlamBuilder {
+        SlamBuilder::default()
+    }
+
+    /// Creates a system with the given configuration.
+    #[deprecated(note = "use `Slam::builder().config(config).build()`")]
+    pub fn new(config: SlamConfig) -> Self {
+        Slam::builder().config(config).build()
     }
 
     /// The active configuration.
@@ -213,8 +286,10 @@ impl Slam {
     }
 
     /// Collects and applies every in-flight backend result — local-BA
-    /// refinements *and* pending loop corrections. Call after the last
-    /// frame of a sequence so the final keyframe's BA and any
+    /// refinements *and* pending loop corrections — then, when an
+    /// [`Atlas`] is attached ([`SlamBuilder::atlas`]), publishes the
+    /// finished map to it for concurrent session readers. Call after
+    /// the last frame of a sequence so the final keyframe's BA and any
     /// just-verified closure land in the exported trajectory
     /// ([`crate::run_sequence`] does this for you); [`Slam::process`]
     /// applies pending results at every frame boundary on its own.
@@ -226,6 +301,36 @@ impl Slam {
                 break;
             }
         }
+        if let Some(atlas) = self.atlas.clone() {
+            atlas.publish(self.atlas_state());
+        }
+    }
+
+    /// Builds a query-ready [`AtlasState`] from the current map: the
+    /// landmark map, the backend's keyframe store and covisibility
+    /// graph (empty when the backend is off), and a vocabulary trained
+    /// **offline** over the full keyframe descriptor corpus with
+    /// tf-idf weights fitted per keyframe. This is the state
+    /// [`Slam::finish`] publishes to an attached atlas; call it
+    /// directly to save a map without sharing it.
+    pub fn atlas_state(&self) -> AtlasState {
+        let (store, graph) = match &self.backend {
+            Some(runner) => (
+                runner.mapper().store().clone(),
+                runner.mapper().covisibility().clone(),
+            ),
+            None => (
+                eslam_backend::KeyframeStore::new(),
+                eslam_backend::CovisibilityGraph::new(),
+            ),
+        };
+        AtlasState::build(
+            self.map.clone(),
+            store,
+            graph,
+            &self.config.backend.loop_closure.bow,
+        )
+        .expect("backend store and covisibility graph are maintained in lockstep")
     }
 
     /// Deterministic application point of the backend: joins the oldest
@@ -594,7 +699,9 @@ mod tests {
     #[test]
     fn bootstrap_creates_keyframe_and_map() {
         let seq = quarter_scale_sequence(0, 2);
-        let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+        let mut slam = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(4.0))
+            .build();
         let f = seq.frame(0);
         let report = slam.process(f.timestamp, &f.gray, &f.depth);
         assert!(report.is_keyframe);
@@ -612,7 +719,9 @@ mod tests {
     #[test]
     fn tracks_second_frame_of_sequence() {
         let seq = quarter_scale_sequence(0, 3);
-        let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+        let mut slam = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(4.0))
+            .build();
         for i in 0..2 {
             let f = seq.frame(i);
             let report = slam.process(f.timestamp, &f.gray, &f.depth);
@@ -645,7 +754,9 @@ mod tests {
     #[test]
     fn accelerator_backend_reports_hw_timing() {
         let seq = quarter_scale_sequence(0, 1);
-        let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+        let mut slam = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(4.0))
+            .build();
         let f = seq.frame(0);
         let report = slam.process(f.timestamp, &f.gray, &f.depth);
         let hw = report.hw_timing.expect("accelerator backend");
@@ -659,7 +770,7 @@ mod tests {
         let seq = quarter_scale_sequence(0, 1);
         let mut cfg = SlamConfig::scaled_for_tests(4.0);
         cfg.hw_model = Backend::Software;
-        let mut slam = Slam::new(cfg);
+        let mut slam = Slam::builder().config(cfg).build();
         let f = seq.frame(0);
         let report = slam.process(f.timestamp, &f.gray, &f.depth);
         assert!(report.hw_timing.is_none());
@@ -668,7 +779,9 @@ mod tests {
     #[test]
     fn trajectory_grows_per_frame() {
         let seq = quarter_scale_sequence(4, 3); // rpy
-        let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+        let mut slam = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(4.0))
+            .build();
         for f in seq.frames() {
             slam.process(f.timestamp, &f.gray, &f.depth);
         }
@@ -683,7 +796,7 @@ mod tests {
         for motion_model in [true, false] {
             let mut cfg = SlamConfig::scaled_for_tests(4.0);
             cfg.motion_model = motion_model;
-            let mut slam = Slam::new(cfg);
+            let mut slam = Slam::builder().config(cfg).build();
             for f in seq.frames() {
                 let r = slam.process(f.timestamp, &f.gray, &f.depth);
                 assert!(r.tracking_ok, "motion_model={motion_model}");
@@ -694,7 +807,9 @@ mod tests {
     #[test]
     fn relocalization_flag_off_during_normal_tracking() {
         let seq = quarter_scale_sequence(0, 4);
-        let mut slam = Slam::new(SlamConfig::scaled_for_tests(4.0));
+        let mut slam = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(4.0))
+            .build();
         for f in seq.frames() {
             let r = slam.process(f.timestamp, &f.gray, &f.depth);
             assert!(!r.relocalized, "frame {} should not need recovery", r.index);
@@ -705,12 +820,12 @@ mod tests {
     fn worker_thread_override_is_clamped() {
         let mut cfg = SlamConfig::scaled_for_tests(4.0);
         cfg.worker_threads = Some(10_000);
-        let slam = Slam::new(cfg);
+        let slam = Slam::builder().config(cfg).build();
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         assert_eq!(slam.worker_threads(), cores);
 
         cfg.worker_threads = Some(1);
-        assert_eq!(Slam::new(cfg).worker_threads(), 1);
+        assert_eq!(Slam::builder().config(cfg).build().worker_threads(), 1);
     }
 
     #[test]
@@ -718,7 +833,7 @@ mod tests {
     fn zero_worker_threads_rejected() {
         let mut cfg = SlamConfig::scaled_for_tests(4.0);
         cfg.worker_threads = Some(0);
-        let _ = Slam::new(cfg);
+        let _ = Slam::builder().config(cfg).build();
     }
 
     #[test]
@@ -727,7 +842,7 @@ mod tests {
         let mut cfg = SlamConfig::scaled_for_tests(4.0);
         cfg.max_map_points = 300;
         cfg.keyframe_translation = 0.0; // every tracked frame is a keyframe
-        let mut slam = Slam::new(cfg);
+        let mut slam = Slam::builder().config(cfg).build();
         for f in seq.frames() {
             let r = slam.process(f.timestamp, &f.gray, &f.depth);
             assert!(r.map_size <= 300, "map grew to {}", r.map_size);

@@ -19,6 +19,18 @@
 //! recursion splits clusters in a fixed order — so training the same
 //! descriptor set always yields the same tree, which the backend's
 //! bit-identical sync/async guarantee relies on.
+//!
+//! For map persistence a trained vocabulary round-trips through
+//! [`VocabularyParts`] ([`Vocabulary::to_parts`] /
+//! [`Vocabulary::from_parts`] — the importer re-validates every tree
+//! invariant, so a corrupted file can never produce a vocabulary whose
+//! quantization walk loops or indexes out of bounds), and can carry
+//! optional **idf** (inverse document frequency) weights trained over a
+//! keyframe corpus ([`Vocabulary::train_idf`]): cold-start
+//! relocalization queries use [`Vocabulary::tfidf_vector_of`] to
+//! down-weight words that appear in most keyframes. The idf channel is
+//! strictly opt-in — [`Vocabulary::vector_of`] and the online loop
+//! detector's scoring are untouched by it.
 
 use crate::descriptor::{Descriptor, DESCRIPTOR_BITS};
 
@@ -65,6 +77,40 @@ pub struct Vocabulary {
     /// Children of the (virtual) root.
     roots: Vec<usize>,
     words: usize,
+    /// Optional per-word idf weights ([`Vocabulary::train_idf`]);
+    /// `None` straight after [`Vocabulary::train`].
+    idf: Option<Vec<f64>>,
+}
+
+/// One node of a vocabulary tree in exported form — the serializable
+/// mirror of the private tree node (see [`Vocabulary::to_parts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VocabularyNode {
+    /// Cluster centre (bitwise majority of the training descriptors).
+    pub centroid: Descriptor,
+    /// Child node indices (empty for leaves). Training emits parents
+    /// before children, so every child index is strictly greater than
+    /// its parent's — [`Vocabulary::from_parts`] enforces this, which
+    /// is what guarantees the quantization walk terminates.
+    pub children: Vec<usize>,
+    /// Word id (leaves only).
+    pub word: Option<u32>,
+}
+
+/// The complete exported state of a [`Vocabulary`] — everything needed
+/// to rebuild it bit-identically on another machine or after a process
+/// restart. Produced by [`Vocabulary::to_parts`]; consumed (with full
+/// re-validation) by [`Vocabulary::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VocabularyParts {
+    /// Flattened tree nodes, parents strictly before children.
+    pub nodes: Vec<VocabularyNode>,
+    /// Children of the (virtual) root.
+    pub roots: Vec<usize>,
+    /// Number of words (leaves); leaf word ids are exactly `0..words`.
+    pub words: usize,
+    /// Optional per-word idf weights (length `words` when present).
+    pub idf: Option<Vec<f64>>,
 }
 
 impl Vocabulary {
@@ -80,6 +126,7 @@ impl Vocabulary {
             nodes: Vec::new(),
             roots: Vec::new(),
             words: 0,
+            idf: None,
         };
         let all: Vec<usize> = (0..descriptors.len()).collect();
         vocab.roots = vocab.split(descriptors, &all, params.levels.max(1), params);
@@ -210,6 +257,185 @@ impl Vocabulary {
             }
         }
         BowVector { entries }
+    }
+
+    /// Trains per-word idf (inverse document frequency) weights over a
+    /// corpus of documents (one descriptor set per keyframe, say) and
+    /// attaches them to the vocabulary. Uses the smooth formulation
+    /// `idf(w) = ln((1 + N) / (1 + n_w)) + 1` (N documents, `n_w`
+    /// containing word `w`), which is strictly positive and defined
+    /// even for words no document contains — so a tf-idf vector can
+    /// never lose words outright, only down-weight them.
+    ///
+    /// This only affects [`Vocabulary::tfidf_vector_of`];
+    /// [`Vocabulary::vector_of`] (and everything built on it, like the
+    /// online loop detector) is unchanged.
+    pub fn train_idf<'a, I>(&mut self, documents: I)
+    where
+        I: IntoIterator<Item = &'a [Descriptor]>,
+    {
+        let mut containing = vec![0u64; self.words];
+        let mut total_docs = 0u64;
+        let mut seen = vec![false; self.words];
+        for doc in documents {
+            total_docs += 1;
+            seen.iter_mut().for_each(|s| *s = false);
+            for d in doc {
+                let w = self.word_of(d) as usize;
+                if !seen[w] {
+                    seen[w] = true;
+                    containing[w] += 1;
+                }
+            }
+        }
+        self.idf = Some(
+            containing
+                .iter()
+                .map(|&n| ((1.0 + total_docs as f64) / (1.0 + n as f64)).ln() + 1.0)
+                .collect(),
+        );
+    }
+
+    /// The trained per-word idf weights, if [`Vocabulary::train_idf`]
+    /// has run (or the imported parts carried them).
+    pub fn idf(&self) -> Option<&[f64]> {
+        self.idf.as_deref()
+    }
+
+    /// Quantizes a frame into an L1-normalized **tf-idf** weighted
+    /// sparse vector: term frequencies scaled by the trained idf
+    /// weights, then renormalized. Falls back to plain term-frequency
+    /// weighting ([`Vocabulary::vector_of`]) when no idf weights are
+    /// attached, so callers need not branch on idf availability.
+    pub fn tfidf_vector_of(&self, descriptors: &[Descriptor]) -> BowVector {
+        let mut v = self.vector_of(descriptors);
+        let Some(idf) = &self.idf else {
+            return v;
+        };
+        for e in &mut v.entries {
+            e.1 *= idf[e.0 as usize];
+        }
+        let total: f64 = v.entries.iter().map(|e| e.1).sum();
+        if total > 0.0 {
+            for e in &mut v.entries {
+                e.1 /= total;
+            }
+        }
+        v
+    }
+
+    /// Exports the complete vocabulary state for serialization. The
+    /// round trip `Vocabulary::from_parts(vocab.to_parts())` is exact:
+    /// the reimported vocabulary compares equal and quantizes every
+    /// descriptor to the same word.
+    pub fn to_parts(&self) -> VocabularyParts {
+        VocabularyParts {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| VocabularyNode {
+                    centroid: n.centroid,
+                    children: n.children.clone(),
+                    word: n.word,
+                })
+                .collect(),
+            roots: self.roots.clone(),
+            words: self.words,
+            idf: self.idf.clone(),
+        }
+    }
+
+    /// Rebuilds a vocabulary from exported parts, re-validating every
+    /// structural invariant the quantization walk relies on — node
+    /// indices in range, children strictly after their parent (the tree
+    /// is acyclic and the walk terminates), every node either a leaf
+    /// (word, no children) or internal (children, no word), word ids
+    /// exactly `0..words` with one leaf each, and idf weights (when
+    /// present) finite with length `words`. Returns a description of
+    /// the first violation instead, so corrupted or adversarial files
+    /// surface as typed errors upstream rather than hangs or panics.
+    pub fn from_parts(parts: VocabularyParts) -> Result<Vocabulary, String> {
+        let n = parts.nodes.len();
+        if parts.roots.is_empty() {
+            return Err("vocabulary has no root children".into());
+        }
+        for &r in &parts.roots {
+            if r >= n {
+                return Err(format!("root child index {r} out of range ({n} nodes)"));
+            }
+        }
+        let mut word_seen = vec![false; parts.words];
+        let mut leaves = 0usize;
+        for (i, node) in parts.nodes.iter().enumerate() {
+            match node.word {
+                Some(w) => {
+                    if !node.children.is_empty() {
+                        return Err(format!("node {i} is both a leaf and internal"));
+                    }
+                    let w = w as usize;
+                    if w >= parts.words {
+                        return Err(format!(
+                            "node {i} word id {w} out of range ({} words)",
+                            parts.words
+                        ));
+                    }
+                    if word_seen[w] {
+                        return Err(format!("word id {w} assigned to more than one leaf"));
+                    }
+                    word_seen[w] = true;
+                    leaves += 1;
+                }
+                None => {
+                    if node.children.is_empty() {
+                        return Err(format!("internal node {i} has no children"));
+                    }
+                    for &c in &node.children {
+                        if c >= n {
+                            return Err(format!(
+                                "node {i} child index {c} out of range ({n} nodes)"
+                            ));
+                        }
+                        if c <= i {
+                            return Err(format!(
+                                "node {i} child index {c} not strictly after its parent"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if leaves != parts.words {
+            return Err(format!(
+                "{leaves} leaves but {} words declared",
+                parts.words
+            ));
+        }
+        if let Some(idf) = &parts.idf {
+            if idf.len() != parts.words {
+                return Err(format!(
+                    "idf length {} does not match {} words",
+                    idf.len(),
+                    parts.words
+                ));
+            }
+            if let Some(bad) = idf.iter().find(|v| !v.is_finite()) {
+                return Err(format!("non-finite idf weight {bad}"));
+            }
+        }
+        Ok(Vocabulary {
+            nodes: parts
+                .nodes
+                .into_iter()
+                .map(|n| Node {
+                    centroid: n.centroid,
+                    children: n.children,
+                    word: n.word,
+                })
+                .collect(),
+            roots: parts.roots,
+            words: parts.words,
+            idf: parts.idf,
+        })
     }
 }
 
@@ -396,6 +622,107 @@ mod tests {
         let v = vocab.vector_of(std::slice::from_ref(&d));
         assert_eq!(v.entries(), &[(w, 1.0)]);
         assert!((w as usize) < vocab.words());
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        let data = three_places(30);
+        let mut vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        let docs: Vec<&[Descriptor]> = data.chunks(10).collect();
+        vocab.train_idf(docs.iter().copied());
+        let rebuilt = Vocabulary::from_parts(vocab.to_parts()).expect("valid parts");
+        assert_eq!(vocab, rebuilt);
+        for d in &data {
+            assert_eq!(vocab.word_of(d), rebuilt.word_of(d));
+        }
+        assert_eq!(
+            vocab.tfidf_vector_of(&data[..10]),
+            rebuilt.tfidf_vector_of(&data[..10])
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_trees() {
+        let data = three_places(20);
+        let vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        let good = vocab.to_parts();
+
+        let mut no_roots = good.clone();
+        no_roots.roots.clear();
+        assert!(Vocabulary::from_parts(no_roots).is_err());
+
+        let mut bad_root = good.clone();
+        bad_root.roots[0] = good.nodes.len();
+        assert!(Vocabulary::from_parts(bad_root).is_err());
+
+        // A child pointing at (or before) its parent would make the
+        // quantization walk loop forever — must be rejected.
+        let mut cyclic = good.clone();
+        if let Some(internal) = cyclic.nodes.iter().position(|n| !n.children.is_empty()) {
+            cyclic.nodes[internal].children[0] = internal;
+            assert!(Vocabulary::from_parts(cyclic).is_err());
+        }
+
+        let mut dup_word = good.clone();
+        let leaf_ids: Vec<usize> = dup_word
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.word.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(leaf_ids.len() >= 2, "need two leaves to duplicate a word");
+        dup_word.nodes[leaf_ids[1]].word = dup_word.nodes[leaf_ids[0]].word;
+        assert!(Vocabulary::from_parts(dup_word).is_err());
+
+        let mut bad_idf = good.clone();
+        bad_idf.idf = Some(vec![f64::NAN; good.words]);
+        assert!(Vocabulary::from_parts(bad_idf).is_err());
+
+        let mut short_idf = good;
+        short_idf.idf = Some(vec![1.0]);
+        assert!(Vocabulary::from_parts(short_idf).is_err());
+    }
+
+    #[test]
+    fn idf_down_weights_ubiquitous_words() {
+        let data = three_places(30);
+        let mut vocab = Vocabulary::train(&data, &BowParams::default()).unwrap();
+        assert!(vocab.idf().is_none());
+        // tf-idf without idf falls back to plain tf.
+        assert_eq!(
+            vocab.tfidf_vector_of(&data[..10]),
+            vocab.vector_of(&data[..10])
+        );
+        // Documents: family A appears in every document (ubiquitous),
+        // families B and C in one third each.
+        let docs: Vec<Vec<Descriptor>> = (0..6)
+            .map(|i| {
+                let mut d: Vec<Descriptor> = data[..10].to_vec(); // family A
+                let other = 30 + (i % 2) * 30; // B or C
+                d.extend_from_slice(&data[other..other + 10]);
+                d
+            })
+            .collect();
+        vocab.train_idf(docs.iter().map(|d| d.as_slice()));
+        let idf = vocab.idf().expect("trained");
+        assert_eq!(idf.len(), vocab.words());
+        assert!(idf.iter().all(|v| v.is_finite() && *v > 0.0));
+        // A word every document contains gets the minimum weight; the
+        // family-A words are those, so their idf sits strictly below
+        // the idf of the rarer family-B words.
+        let word_a = vocab.word_of(&data[0]) as usize;
+        let word_b = vocab.word_of(&data[30]) as usize;
+        assert!(
+            idf[word_a] < idf[word_b],
+            "ubiquitous {} vs rare {}",
+            idf[word_a],
+            idf[word_b]
+        );
+        // The weighted vector stays normalized.
+        let v = vocab.tfidf_vector_of(&docs[0]);
+        let total: f64 = v.entries().iter().map(|e| e.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]

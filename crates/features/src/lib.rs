@@ -43,6 +43,7 @@
 pub mod bow;
 pub mod brief;
 pub mod descriptor;
+pub mod envopt;
 pub mod fast;
 pub mod grid;
 pub mod harris;
@@ -54,7 +55,7 @@ pub mod orientation;
 pub mod pattern;
 pub mod pool;
 
-pub use bow::{BowParams, BowVector, Vocabulary};
+pub use bow::{BowParams, BowVector, Vocabulary, VocabularyNode, VocabularyParts};
 pub use descriptor::{Descriptor, DESCRIPTOR_BITS};
 pub use matcher::{DescriptorMatch, MatchKernel};
 pub use orb::{Keypoint, OrbConfig, OrbExtractor, OrbFeatures};

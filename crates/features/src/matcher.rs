@@ -151,14 +151,13 @@ impl MatchKernel {
 pub fn active_kernel() -> MatchKernel {
     static ACTIVE: OnceLock<MatchKernel> = OnceLock::new();
     *ACTIVE.get_or_init(|| {
-        let Ok(raw) = std::env::var(MATCH_KERNEL_ENV) else {
-            return MatchKernel::detect();
-        };
-        let value = raw.trim().to_ascii_lowercase();
-        if value.is_empty() || value == "auto" {
-            return MatchKernel::detect();
-        }
-        match MatchKernel::from_name(&value) {
+        let forced = crate::envopt::forced(
+            MATCH_KERNEL_ENV,
+            "auto, scalar, popcnt, avx2 or avx512",
+            MatchKernel::from_name,
+        );
+        match forced {
+            None => MatchKernel::detect(),
             Some(kernel) if kernel.is_supported() => kernel,
             Some(kernel) => {
                 eprintln!(
@@ -169,9 +168,6 @@ pub fn active_kernel() -> MatchKernel {
                 );
                 MatchKernel::detect()
             }
-            None => panic!(
-                "unrecognised {MATCH_KERNEL_ENV}={raw:?} (expected auto, scalar, popcnt, avx2 or avx512)"
-            ),
         }
     })
 }

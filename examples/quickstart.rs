@@ -25,7 +25,7 @@ fn main() {
     );
 
     let config = SlamConfig::scaled_for_tests(1.0 / image_scale);
-    let mut slam = Slam::new(config);
+    let mut slam = Slam::builder().config(config).build();
 
     // Stream through one recycled frame buffer: after the first frame
     // the dataset layer allocates nothing (`run_sequence` does the same

@@ -8,7 +8,7 @@
 //!
 //! Outputs land in `target/eslam-out/`.
 
-use eslam_core::{run_sequence, SlamConfig};
+use eslam_core::{run_sequence, SlamConfig, Stage};
 use eslam_dataset::sequence::SequenceSpec;
 use eslam_image::draw::plot_polyline;
 use eslam_image::RgbImage;
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // TUM-format dumps.
     result
-        .estimate
+        .trajectory(Stage::Closed)
         .write_tum(File::create(out_dir.join("estimate.tum"))?)?;
     truth.write_tum(File::create(out_dir.join("groundtruth.tum"))?)?;
 
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map(|p| (p.pose.translation.x, p.pose.translation.z))
         .collect();
     let est_points: Vec<(f64, f64)> = result
-        .estimate
+        .trajectory(Stage::Closed)
         .poses()
         .iter()
         .map(|p| (p.pose.translation.x, p.pose.translation.z))
@@ -73,8 +73,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // trajectory withholds loop corrections, so the two backend stages
     // report their shares separately.
     if let (Some(raw), Some(ba), Some(stats)) = (
-        result.raw_ate_rmse_cm(),
-        result.ba_ate_rmse_cm(),
+        result.ate_rmse_cm(Stage::Raw),
+        result.ate_rmse_cm(Stage::Ba),
         result.backend,
     ) {
         println!(

@@ -14,7 +14,7 @@
 //! suite under `ESLAM_BACKEND=sync` and `=async` (alongside the kernel
 //! × prefetch matrix) to pin both modes explicitly.
 
-use eslam_core::{run_sequence, BackendMode, PrefetchMode, Slam, SlamConfig};
+use eslam_core::{run_sequence, BackendMode, PrefetchMode, Slam, SlamConfig, Stage};
 use eslam_dataset::sequence::{SequenceSpec, SyntheticSequence};
 
 const IMAGE_SCALE: f64 = 0.25;
@@ -67,7 +67,7 @@ fn async_backend_bit_identical_to_sync_reference() {
     for seq in backend_heavy_sequences() {
         let mut sync_cfg = config();
         sync_cfg.backend.mode = BackendMode::Sync;
-        let mut manual = Slam::new(sync_cfg);
+        let mut manual = Slam::builder().config(sync_cfg).build();
         let sync_reports: Vec<_> = seq
             .frames()
             .map(|f| manual.process(f.timestamp, &f.gray, &f.depth))
@@ -233,9 +233,11 @@ fn local_ba_reduces_trajectory_error_on_paper_sequences() {
             cfg.backend.mode = mode;
             run_sequence(&seq, cfg)
         };
-        let off = run(BackendMode::Off).ate_rmse_cm().expect("ate");
+        let off = run(BackendMode::Off)
+            .ate_rmse_cm(Stage::Closed)
+            .expect("ate");
         let on_run = run(BackendMode::Sync);
-        let on = on_run.ate_rmse_cm().expect("ate");
+        let on = on_run.ate_rmse_cm(Stage::Closed).expect("ate");
         assert!(
             on_run.backend.map_or(0, |b| b.applied) >= 1 || spec.name.contains("rpy"),
             "{}: backend never engaged",

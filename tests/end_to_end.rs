@@ -24,7 +24,7 @@ fn run_sequence(
     let seq = spec.build();
     let mut config = SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE);
     config.orb.descriptor = descriptor;
-    let mut slam = Slam::new(config);
+    let mut slam = Slam::builder().config(config).build();
     let mut tracked = 0;
     for frame in seq.frames() {
         let report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
@@ -118,7 +118,9 @@ fn rs_brief_accuracy_is_comparable_to_original_orb() {
 fn keyframes_trigger_map_growth() {
     let spec = &SequenceSpec::paper_sequences(FRAMES, IMAGE_SCALE)[3]; // room
     let seq = spec.build();
-    let mut slam = Slam::new(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE));
+    let mut slam = Slam::builder()
+        .config(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE))
+        .build();
     let mut sizes = Vec::new();
     let mut any_keyframe_after_bootstrap = false;
     for frame in seq.frames() {
@@ -154,7 +156,9 @@ fn survives_a_dropout_frame() {
     use eslam_core::SequenceStats;
     let spec = &SequenceSpec::paper_sequences(8, IMAGE_SCALE)[0];
     let seq = spec.build();
-    let mut slam = Slam::new(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE));
+    let mut slam = Slam::builder()
+        .config(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE))
+        .build();
     let mut reports = Vec::new();
     for (i, frame) in seq.frames().enumerate() {
         if i == 4 {
@@ -192,7 +196,9 @@ fn disk_round_trip_preserves_slam_results() {
     let disk = eslam_dataset::disk::DiskSequence::open(&root).expect("open");
 
     let run = |frames: Vec<eslam_dataset::Frame>| {
-        let mut slam = Slam::new(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE));
+        let mut slam = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE))
+            .build();
         frames
             .into_iter()
             .map(|f| slam.process(f.timestamp, &f.gray, &f.depth))

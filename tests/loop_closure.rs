@@ -14,7 +14,7 @@
 //! map-based tracking — the only way to reconnect the loop ends is the
 //! place-recognition path under test.
 
-use eslam_core::{run_sequence, BackendMode, PrefetchMode, RunResult, SlamConfig};
+use eslam_core::{run_sequence, BackendMode, PrefetchMode, RunResult, SlamConfig, Stage};
 use eslam_dataset::sequence::SequenceSpec;
 
 const IMAGE_SCALE: f64 = 0.25;
@@ -105,8 +105,8 @@ fn detector_fires_and_correction_reduces_ate_on_loop_sequences() {
     for spec in &SequenceSpec::loop_sequences(LOOP_FRAMES, IMAGE_SCALE) {
         let ba_only = run(spec, BackendMode::Sync, false);
         let with_loop = run(spec, BackendMode::Sync, true);
-        let base = ba_only.ate_rmse_cm().expect("ate");
-        let closed = with_loop.ate_rmse_cm().expect("ate");
+        let base = ba_only.ate_rmse_cm(Stage::Closed).expect("ate");
+        let closed = with_loop.ate_rmse_cm(Stage::Closed).expect("ate");
         let stats = with_loop.backend.expect("backend on");
         table.push_str(&format!(
             "  {:13} BA-only {base:7.3} -> loop {closed:7.3} cm \
@@ -255,7 +255,7 @@ fn finish_flushes_a_pending_loop_correction() {
     }
     // Manual drive without finish: the correction dispatched at the
     // final keyframe must still be pending, not silently dropped.
-    let mut slam = eslam_core::Slam::new(cfg);
+    let mut slam = eslam_core::Slam::builder().config(cfg).build();
     for f in seq.frames() {
         slam.process(f.timestamp, &f.gray, &f.depth);
     }

@@ -76,7 +76,9 @@ fn prefetched_run_matches_synchronous_run_exactly() {
     // paper sequence. Trajectories, tracking decisions and feature
     // counts must agree exactly.
     for seq in paper_sequences(4) {
-        let mut manual = Slam::new(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE));
+        let mut manual = Slam::builder()
+            .config(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE))
+            .build();
         let manual_reports: Vec<_> = seq
             .frames()
             .map(|f| manual.process(f.timestamp, &f.gray, &f.depth))
