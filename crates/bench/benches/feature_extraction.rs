@@ -4,7 +4,7 @@
 //! shape is what matters).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eslam_features::orb::{OrbConfig, OrbExtractor};
+use eslam_features::orb::{OrbConfig, OrbExtractor, OrbScratch};
 use eslam_image::pyramid::PyramidConfig;
 use eslam_image::GrayImage;
 use std::hint::black_box;
@@ -34,6 +34,24 @@ fn bench_extraction_sizes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_extraction_paths(c: &mut Criterion) {
+    // Streaming vs multi-pass head-to-head on the VGA workload, with
+    // reused scratch so the line-buffer reuse of the streaming path is
+    // visible (extract() above allocates fresh scratch per call).
+    let mut group = c.benchmark_group("feature_extraction");
+    let img = test_image(640, 480);
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    let mut stream_scratch = OrbScratch::default();
+    group.bench_with_input(BenchmarkId::new("stream", "640x480"), &img, |b, img| {
+        b.iter(|| black_box(extractor.extract_stream_with(img, &mut stream_scratch)))
+    });
+    let mut passes_scratch = OrbScratch::default();
+    group.bench_with_input(BenchmarkId::new("passes", "640x480"), &img, |b, img| {
+        b.iter(|| black_box(extractor.extract_passes_with(img, &mut passes_scratch)))
+    });
+    group.finish();
+}
+
 fn bench_extraction_pyramid_depth(c: &mut Criterion) {
     // The §4.4 pixel argument: 4 levels ≈ 1.48× the pixels of 2 levels.
     let mut group = c.benchmark_group("feature_extraction/pyramid_levels");
@@ -57,6 +75,7 @@ fn bench_extraction_pyramid_depth(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_extraction_sizes,
+    bench_extraction_paths,
     bench_extraction_pyramid_depth
 );
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! One typed surface over every `ESLAM_*` environment override.
 //!
-//! The system honours four process-wide toggles, each read **once**
+//! The system honours five process-wide toggles, each read **once**
 //! (cached behind a `OnceLock` at its point of use) so a run cannot
 //! change behaviour mid-flight:
 //!
@@ -9,9 +9,10 @@
 //! | `ESLAM_MATCH_KERNEL` | `auto`, `scalar`, `popcnt`, `avx2`, `avx512` | the Hamming-matcher SIMD rung |
 //! | `ESLAM_PREFETCH` | `auto`, `on`/`1`/`true`, `off`/`0`/`false` | frame-source double-buffered prefetch |
 //! | `ESLAM_BACKEND` | `auto`, `off`, `sync`, `async` | keyframe-backend execution mode |
+//! | `ESLAM_EXTRACT` | `auto`, `stream`, `passes` | the ORB extraction path (fused streaming vs multi-pass) |
 //! | `ESLAM_ATLAS` | a filesystem path | the atlas file sessions load at start |
 //!
-//! All four share one parse contract (implemented in
+//! All five share one parse contract (implemented in
 //! `eslam_features::envopt`): unset, empty and `auto` mean "no
 //! override"; keyword values are trimmed and case-insensitive
 //! (`ESLAM_ATLAS` is trimmed only — paths are case-sensitive); and an
@@ -28,6 +29,7 @@ use std::path::PathBuf;
 use eslam_backend::BackendMode;
 use eslam_features::envopt;
 use eslam_features::matcher::MatchKernel;
+use eslam_features::ExtractMode;
 
 /// Environment variable naming an atlas file for sessions to load.
 pub const ATLAS_ENV: &str = "ESLAM_ATLAS";
@@ -39,6 +41,8 @@ pub use crate::config::PREFETCH_ENV;
 pub use eslam_backend::BACKEND_ENV;
 /// Re-export of the match-kernel variable name.
 pub use eslam_features::matcher::MATCH_KERNEL_ENV;
+/// Re-export of the extraction-path variable name.
+pub use eslam_features::stream::EXTRACT_ENV;
 
 /// The full set of environment overrides, parsed and validated.
 /// `None` everywhere means "defer to configuration/detection".
@@ -50,6 +54,8 @@ pub struct Overrides {
     pub prefetch: Option<bool>,
     /// Forced backend execution mode, from `ESLAM_BACKEND`.
     pub backend: Option<BackendMode>,
+    /// Forced ORB extraction path, from `ESLAM_EXTRACT`.
+    pub extract: Option<ExtractMode>,
     /// Atlas file to load, from `ESLAM_ATLAS`.
     pub atlas: Option<PathBuf>,
 }
@@ -85,6 +91,7 @@ impl Overrides {
                     _ => None,
                 },
             ),
+            extract: envopt::forced(EXTRACT_ENV, "auto, stream or passes", ExtractMode::parse),
             atlas: atlas_path(),
         }
     }
@@ -104,13 +111,16 @@ impl Overrides {
             Some(BackendMode::Sync) => "sync",
             Some(BackendMode::Async) => "async",
         };
+        let extract = self
+            .extract
+            .map_or_else(|| "auto".to_string(), |m| m.to_string());
         let atlas = self
             .atlas
             .as_ref()
             .map_or_else(|| "unset".to_string(), |p| p.display().to_string());
         format!(
             "{MATCH_KERNEL_ENV}={kernel} {PREFETCH_ENV}={prefetch} \
-             {BACKEND_ENV}={backend} {ATLAS_ENV}={atlas}"
+             {BACKEND_ENV}={backend} {EXTRACT_ENV}={extract} {ATLAS_ENV}={atlas}"
         )
     }
 }
@@ -131,7 +141,8 @@ mod tests {
         let overrides = Overrides::default();
         assert_eq!(
             overrides.report(),
-            "ESLAM_MATCH_KERNEL=auto ESLAM_PREFETCH=auto ESLAM_BACKEND=auto ESLAM_ATLAS=unset"
+            "ESLAM_MATCH_KERNEL=auto ESLAM_PREFETCH=auto ESLAM_BACKEND=auto \
+             ESLAM_EXTRACT=auto ESLAM_ATLAS=unset"
         );
     }
 
@@ -141,12 +152,88 @@ mod tests {
             match_kernel: Some(MatchKernel::Scalar),
             prefetch: Some(false),
             backend: Some(BackendMode::Async),
+            extract: Some(ExtractMode::Stream),
             atlas: Some(PathBuf::from("/maps/office.atlas")),
         };
         assert_eq!(
             overrides.report(),
             "ESLAM_MATCH_KERNEL=scalar ESLAM_PREFETCH=off ESLAM_BACKEND=async \
-             ESLAM_ATLAS=/maps/office.atlas"
+             ESLAM_EXTRACT=stream ESLAM_ATLAS=/maps/office.atlas"
         );
+    }
+
+    /// Child body of the subprocess tests below: parses the environment
+    /// and prints the resulting report. Run only when spawned with
+    /// `--ignored` — env-var parsing cannot be exercised in-process
+    /// because variables are process-global and tests run in parallel.
+    #[test]
+    #[ignore = "spawned as a child process by the from_env tests"]
+    fn ignored_from_env_probe() {
+        println!("PROBE {}", Overrides::from_env().report());
+    }
+
+    /// Re-runs this test binary with a controlled environment, executing
+    /// only [`ignored_from_env_probe`].
+    fn run_probe(envs: &[(&str, &str)]) -> std::process::Output {
+        let mut cmd = std::process::Command::new(std::env::current_exe().unwrap());
+        cmd.args([
+            "--exact",
+            "--ignored",
+            "--nocapture",
+            "overrides::tests::ignored_from_env_probe",
+        ]);
+        for var in [
+            MATCH_KERNEL_ENV,
+            PREFETCH_ENV,
+            BACKEND_ENV,
+            EXTRACT_ENV,
+            ATLAS_ENV,
+        ] {
+            cmd.env_remove(var);
+        }
+        for (var, value) in envs {
+            cmd.env(var, value);
+        }
+        cmd.output().expect("spawning the probe child must succeed")
+    }
+
+    #[test]
+    fn from_env_parses_the_full_override_set() {
+        let out = run_probe(&[
+            (MATCH_KERNEL_ENV, "scalar"),
+            (PREFETCH_ENV, "off"),
+            (BACKEND_ENV, "sync"),
+            (EXTRACT_ENV, " Stream "), // trimmed + case-insensitive
+            (ATLAS_ENV, "/maps/office.atlas"),
+        ]);
+        assert!(out.status.success(), "probe failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(
+                "PROBE ESLAM_MATCH_KERNEL=scalar ESLAM_PREFETCH=off ESLAM_BACKEND=sync \
+                 ESLAM_EXTRACT=stream ESLAM_ATLAS=/maps/office.atlas"
+            ),
+            "unexpected probe output: {stdout}"
+        );
+    }
+
+    #[test]
+    fn typoed_values_fail_from_env_for_every_variable() {
+        // A typo in any `ESLAM_*` toggle must abort the run up front
+        // (the `axv2` regression class), never silently fall back.
+        for (var, bad) in [
+            (MATCH_KERNEL_ENV, "axv2"),
+            (PREFETCH_ENV, "offf"),
+            (BACKEND_ENV, "asink"),
+            (EXTRACT_ENV, "streem"),
+        ] {
+            let out = run_probe(&[(var, bad)]);
+            assert!(!out.status.success(), "{var}={bad} must fail from_env");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains(&format!("unrecognised {var}=\"{bad}\"")),
+                "{var}={bad}: panic message missing from {stderr}"
+            );
+        }
     }
 }

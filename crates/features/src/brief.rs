@@ -142,6 +142,37 @@ pub fn compute_descriptor_interior(
     Descriptor::from_words(words)
 }
 
+/// Band-aware descriptor entry of the streaming front-end: samples the
+/// pattern around **virtual** image row `y` from a *mirrored* row ring
+/// (see [`crate::orientation::patch_moments_ring`] for the ring layout
+/// and caller contract). The table must be compiled for the ring's
+/// width — the ring is full-width precisely so the table's linearized
+/// offsets stay valid. Bit-identical to
+/// `compute_descriptor_interior(full_smoothed, x, y, table)` under the
+/// contract. Returns the **unsteered** descriptor, like
+/// [`compute_descriptor_interior`].
+///
+/// # Panics
+/// Panics if the ring is not mirrored, too short for the patch window,
+/// or `(x, y)` violates the interior margins.
+pub fn compute_descriptor_ring(
+    ring: &GrayImage,
+    x: u32,
+    y: u32,
+    ring_rows: u32,
+    table: &PatternOffsets,
+) -> Descriptor {
+    // Slot mapping uses the full 15-pixel patch radius (not the
+    // table's possibly smaller margin) so it agrees with every other
+    // ring consumer about where virtual rows live.
+    let r = crate::pattern::PATCH_RADIUS as u32;
+    assert_eq!(ring.height(), 2 * ring_rows, "ring must be mirrored");
+    assert!(ring_rows > 2 * r, "ring too short for the patch window");
+    assert!(y >= r, "virtual row {y} clips the top border");
+    let slot = (y - r) % ring_rows + r;
+    compute_descriptor_interior(ring, x, slot, table)
+}
+
 /// RS-BRIEF descriptor engine: one fixed pattern; steering by orientation
 /// label is the BRIEF Rotator byte-rotation.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,7 +1,8 @@
 //! Shared parsing for the `ESLAM_*` environment-override family.
 //!
 //! Every process-wide override (`ESLAM_MATCH_KERNEL`, `ESLAM_PREFETCH`,
-//! `ESLAM_BACKEND`, `ESLAM_ATLAS`) follows one contract: unset, empty
+//! `ESLAM_BACKEND`, `ESLAM_EXTRACT`, `ESLAM_ATLAS`) follows one
+//! contract: unset, empty
 //! and `auto` mean "no override — use the configured/detected value";
 //! any other value must parse, and a typo panics loudly (so a CI-matrix
 //! typo fails the job instead of silently testing the auto-detected

@@ -203,11 +203,265 @@ pub fn detect_reference(img: &GrayImage, threshold: u8) -> Vec<FastDetection> {
     out
 }
 
+/// The seven row slices the radius-3 circle around row `y` touches.
+struct CircleRows<'a> {
+    rm3: &'a [u8],
+    rm2: &'a [u8],
+    rm1: &'a [u8],
+    r0: &'a [u8],
+    rp1: &'a [u8],
+    rp2: &'a [u8],
+    rp3: &'a [u8],
+}
+
+impl<'a> CircleRows<'a> {
+    fn new(data: &'a [u8], w: usize, y: usize) -> Self {
+        CircleRows {
+            rm3: &data[(y - 3) * w..(y - 3) * w + w],
+            rm2: &data[(y - 2) * w..(y - 2) * w + w],
+            rm1: &data[(y - 1) * w..(y - 1) * w + w],
+            r0: &data[y * w..y * w + w],
+            rp1: &data[(y + 1) * w..(y + 1) * w + w],
+            rp2: &data[(y + 2) * w..(y + 2) * w + w],
+            rp3: &data[(y + 3) * w..(y + 3) * w + w],
+        }
+    }
+}
+
+/// The full per-pixel FAST-9 decision (compass reject + bitmask/LUT
+/// segment test) at interior column `x`. The single source of truth for
+/// the scalar scan and the SIMD prefilter's confirm step.
+#[inline(always)]
+fn corner_at(r: &CircleRows<'_>, x: usize, t: i32, lut: &[u8; 65536]) -> bool {
+    let c = r.r0[x] as i32;
+    let hi = c + t;
+    let lo = c - t;
+
+    // Compass-point early reject (§fast.rs reference): any 9-arc covers
+    // ≥ 2 of the 4 compass points.
+    let p0 = r.rm3[x] as i32;
+    let p4 = r.r0[x + 3] as i32;
+    let p8 = r.rp3[x] as i32;
+    let p12 = r.r0[x - 3] as i32;
+    let bright_compass = (p0 > hi) as u32 + (p4 > hi) as u32 + (p8 > hi) as u32 + (p12 > hi) as u32;
+    let dark_compass = (p0 < lo) as u32 + (p4 < lo) as u32 + (p8 < lo) as u32 + (p12 < lo) as u32;
+    if bright_compass < 2 && dark_compass < 2 {
+        return false;
+    }
+
+    // Classify the 16 circle pixels into bright/dark bitmasks (bit i
+    // corresponds to CIRCLE_OFFSETS[i]) — branchless.
+    let circle = [
+        p0,                  //  0: ( 0, -3)
+        r.rm3[x + 1] as i32, //  1: ( 1, -3)
+        r.rm2[x + 2] as i32, //  2: ( 2, -2)
+        r.rm1[x + 3] as i32, //  3: ( 3, -1)
+        p4,                  //  4: ( 3,  0)
+        r.rp1[x + 3] as i32, //  5: ( 3,  1)
+        r.rp2[x + 2] as i32, //  6: ( 2,  2)
+        r.rp3[x + 1] as i32, //  7: ( 1,  3)
+        p8,                  //  8: ( 0,  3)
+        r.rp3[x - 1] as i32, //  9: (-1,  3)
+        r.rp2[x - 2] as i32, // 10: (-2,  2)
+        r.rp1[x - 3] as i32, // 11: (-3,  1)
+        p12,                 // 12: (-3,  0)
+        r.rm1[x - 3] as i32, // 13: (-3, -1)
+        r.rm2[x - 2] as i32, // 14: (-2, -2)
+        r.rm3[x - 1] as i32, // 15: (-1, -3)
+    ];
+    let mut bright = 0u16;
+    let mut dark = 0u16;
+    for (i, &p) in circle.iter().enumerate() {
+        bright |= ((p > hi) as u16) << i;
+        dark |= ((p < lo) as u16) << i;
+    }
+
+    lut[bright as usize] >= FAST_ARC as u8 || lut[dark as usize] >= FAST_ARC as u8
+}
+
+/// Scalar scan of interior columns `x0..x1` of row `y`.
+fn scan_row_scalar(
+    r: &CircleRows<'_>,
+    y: u32,
+    x0: usize,
+    x1: usize,
+    t: i32,
+    lut: &[u8; 65536],
+    out: &mut Vec<FastDetection>,
+) {
+    for x in x0..x1 {
+        if corner_at(r, x, t, lut) {
+            out.push(FastDetection { x: x as u32, y });
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{CircleRows, FastDetection};
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    pub(super) fn avx2_available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(p: *const u8) -> __m256i {
+        _mm256_loadu_si256(p as *const __m256i)
+    }
+
+    /// AVX2 row scan, 32 centre pixels per step, in two vector stages
+    /// that mirror the scalar decision exactly:
+    ///
+    /// 1. **Compass-point early reject** — counts of the four compass
+    ///    points brighter than `c + t` / darker than `c − t`. If no lane
+    ///    reaches 2 the whole block is rejected, like the scalar
+    ///    `continue`.
+    /// 2. **Full circle classification** — for blocks with candidates,
+    ///    the 16 circle comparisons run vectorially and each pixel's
+    ///    bright/dark bitmask is accumulated in-register (bit *i* of
+    ///    lane *j* = circle pixel *i* of centre *j*); only the final
+    ///    arc-LUT lookup is scalar, per candidate.
+    ///
+    /// Bit-identity with the scalar path:
+    ///
+    /// * `hi = adds_epu8(c, t)` saturates at 255; the scalar test
+    ///   `p > c + t` is false for every `u8` p whenever `c + t ≥ 255`,
+    ///   matching the saturated comparison exactly.
+    /// * `lo = subs_epu8(c, t)` saturates at 0; `p < c − t` is false for
+    ///   every `u8` p whenever `c − t ≤ 0`, and `subs_epu8(0, p) = 0`
+    ///   never flags.
+    /// * `min_epu8(subs_epu8(a, b), 1)` is `(a > b) as u8`, so summing
+    ///   the four compass points counts exactly like the scalar code;
+    ///   `cmpgt_epi8(count, 1)` is `count ≥ 2` (counts are 0..=4).
+    /// * Stage 2 classifies with the same `subs_epu8` comparisons, so
+    ///   the assembled 16-bit masks equal the scalar `bright`/`dark`
+    ///   masks and the LUT decision is the scalar decision.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scan_row(
+        r: &CircleRows<'_>,
+        w: usize,
+        y: u32,
+        t: u8,
+        lut: &[u8; 65536],
+        out: &mut Vec<FastDetection>,
+    ) {
+        use super::{CIRCLE_OFFSETS, FAST_ARC};
+        let tv = _mm256_set1_epi8(t as i8);
+        let one = _mm256_set1_epi8(1);
+        let ones = _mm256_set1_epi8(-1);
+        let zero = _mm256_setzero_si256();
+        // Row base pointer for each circle offset's dy, in offset order.
+        let row_of = |dy: i32| -> *const u8 {
+            match dy {
+                -3 => r.rm3.as_ptr(),
+                -2 => r.rm2.as_ptr(),
+                -1 => r.rm1.as_ptr(),
+                0 => r.r0.as_ptr(),
+                1 => r.rp1.as_ptr(),
+                2 => r.rp2.as_ptr(),
+                _ => r.rp3.as_ptr(),
+            }
+        };
+        let mut x = 3usize;
+        // Widest load reaches r0[x + 3 + 31]; stop while it stays in-row.
+        while x + 35 <= w {
+            let c = loadu(r.r0.as_ptr().add(x));
+            let hi = _mm256_adds_epu8(c, tv);
+            let lo = _mm256_subs_epu8(c, tv);
+
+            // Stage 1: compass counts (circle pixels 0, 4, 8, 12).
+            let mut bright_n = zero;
+            let mut dark_n = zero;
+            for p in [
+                loadu(r.rm3.as_ptr().add(x)),
+                loadu(r.r0.as_ptr().add(x + 3)),
+                loadu(r.rp3.as_ptr().add(x)),
+                loadu(r.r0.as_ptr().add(x - 3)),
+            ] {
+                bright_n = _mm256_add_epi8(bright_n, _mm256_min_epu8(_mm256_subs_epu8(p, hi), one));
+                dark_n = _mm256_add_epi8(dark_n, _mm256_min_epu8(_mm256_subs_epu8(lo, p), one));
+            }
+            let cand = _mm256_or_si256(
+                _mm256_cmpgt_epi8(bright_n, one),
+                _mm256_cmpgt_epi8(dark_n, one),
+            );
+            let mut mask = _mm256_movemask_epi8(cand) as u32;
+            if mask == 0 {
+                x += 32;
+                continue;
+            }
+
+            // Stage 2: full 16-pixel classification. Accumulate bit i of
+            // each pixel's bright/dark mask into lane bytes (low byte =
+            // bits 0..7, high byte = bits 8..15).
+            let mut b_lo = zero;
+            let mut b_hi = zero;
+            let mut d_lo = zero;
+            let mut d_hi = zero;
+            for (i, &(dx, dy)) in CIRCLE_OFFSETS.iter().enumerate() {
+                let p = loadu(row_of(dy).add((x as i32 + dx) as usize));
+                // 0/FF masks for p > hi and p < lo.
+                let b = _mm256_xor_si256(_mm256_cmpeq_epi8(_mm256_subs_epu8(p, hi), zero), ones);
+                let d = _mm256_xor_si256(_mm256_cmpeq_epi8(_mm256_subs_epu8(lo, p), zero), ones);
+                let bit = _mm256_set1_epi8(1i8 << (i & 7));
+                if i < 8 {
+                    b_lo = _mm256_or_si256(b_lo, _mm256_and_si256(b, bit));
+                    d_lo = _mm256_or_si256(d_lo, _mm256_and_si256(d, bit));
+                } else {
+                    b_hi = _mm256_or_si256(b_hi, _mm256_and_si256(b, bit));
+                    d_hi = _mm256_or_si256(d_hi, _mm256_and_si256(d, bit));
+                }
+            }
+            let mut bytes = [0u8; 128];
+            _mm256_storeu_si256(bytes.as_mut_ptr() as *mut __m256i, b_lo);
+            _mm256_storeu_si256(bytes.as_mut_ptr().add(32) as *mut __m256i, b_hi);
+            _mm256_storeu_si256(bytes.as_mut_ptr().add(64) as *mut __m256i, d_lo);
+            _mm256_storeu_si256(bytes.as_mut_ptr().add(96) as *mut __m256i, d_hi);
+
+            while mask != 0 {
+                let j = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let bright = bytes[j] as usize | (bytes[32 + j] as usize) << 8;
+                let dark = bytes[64 + j] as usize | (bytes[96 + j] as usize) << 8;
+                if lut[bright] >= FAST_ARC as u8 || lut[dark] >= FAST_ARC as u8 {
+                    out.push(FastDetection {
+                        x: (x + j) as u32,
+                        y,
+                    });
+                }
+            }
+            x += 32;
+        }
+        super::scan_row_scalar(r, y, x, w - 3, t as i32, lut, out);
+    }
+}
+
 /// Detects all FAST-9 corners into a caller-owned buffer (cleared
 /// first), performing no other allocation. Output is bit-identical to
 /// [`detect_reference`]: raster order, same corner set.
 pub fn detect_into(img: &GrayImage, threshold: u8, out: &mut Vec<FastDetection>) {
     out.clear();
+    detect_band_into(img, threshold, 0..img.height(), out);
+}
+
+/// Band-aware FAST scan: **appends** (does not clear) the corners of
+/// rows `rows ∩ [3, height − 3)` in raster order — the row-band entry
+/// point the streaming front-end calls once per scanned row. The
+/// detection set over any row range is bit-identical to the same rows of
+/// [`detect_reference`].
+///
+/// Uses an AVX2 compass-point prefilter (32 centre pixels per step) with
+/// exact scalar confirmation where available, falling back to the scalar
+/// scan otherwise; both paths make identical decisions.
+pub fn detect_band_into(
+    img: &GrayImage,
+    threshold: u8,
+    rows: std::ops::Range<u32>,
+    out: &mut Vec<FastDetection>,
+) {
     let w = img.width() as usize;
     let h = img.height() as usize;
     if w < 7 || h < 7 {
@@ -215,71 +469,22 @@ pub fn detect_into(img: &GrayImage, threshold: u8, out: &mut Vec<FastDetection>)
     }
     let data = img.as_raw();
     let lut = arc_lut();
-    let t = threshold as i32;
+    let y0 = rows.start.max(3) as usize;
+    let y1 = (rows.end as usize).min(h - 3);
 
-    for y in 3..h - 3 {
-        // The seven rows the radius-3 circle touches.
-        let rm3 = &data[(y - 3) * w..(y - 3) * w + w];
-        let rm2 = &data[(y - 2) * w..(y - 2) * w + w];
-        let rm1 = &data[(y - 1) * w..(y - 1) * w + w];
-        let r0 = &data[y * w..y * w + w];
-        let rp1 = &data[(y + 1) * w..(y + 1) * w + w];
-        let rp2 = &data[(y + 2) * w..(y + 2) * w + w];
-        let rp3 = &data[(y + 3) * w..(y + 3) * w + w];
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = x86::avx2_available();
 
-        for x in 3..w - 3 {
-            let c = r0[x] as i32;
-            let hi = c + t;
-            let lo = c - t;
-
-            // Compass-point early reject (§fast.rs reference): any 9-arc
-            // covers ≥ 2 of the 4 compass points.
-            let p0 = rm3[x] as i32;
-            let p4 = r0[x + 3] as i32;
-            let p8 = rp3[x] as i32;
-            let p12 = r0[x - 3] as i32;
-            let bright_compass =
-                (p0 > hi) as u32 + (p4 > hi) as u32 + (p8 > hi) as u32 + (p12 > hi) as u32;
-            let dark_compass =
-                (p0 < lo) as u32 + (p4 < lo) as u32 + (p8 < lo) as u32 + (p12 < lo) as u32;
-            if bright_compass < 2 && dark_compass < 2 {
-                continue;
-            }
-
-            // Classify the 16 circle pixels into bright/dark bitmasks
-            // (bit i corresponds to CIRCLE_OFFSETS[i]) — branchless.
-            let circle = [
-                p0,                //  0: ( 0, -3)
-                rm3[x + 1] as i32, //  1: ( 1, -3)
-                rm2[x + 2] as i32, //  2: ( 2, -2)
-                rm1[x + 3] as i32, //  3: ( 3, -1)
-                p4,                //  4: ( 3,  0)
-                rp1[x + 3] as i32, //  5: ( 3,  1)
-                rp2[x + 2] as i32, //  6: ( 2,  2)
-                rp3[x + 1] as i32, //  7: ( 1,  3)
-                p8,                //  8: ( 0,  3)
-                rp3[x - 1] as i32, //  9: (-1,  3)
-                rp2[x - 2] as i32, // 10: (-2,  2)
-                rp1[x - 3] as i32, // 11: (-3,  1)
-                p12,               // 12: (-3,  0)
-                rm1[x - 3] as i32, // 13: (-3, -1)
-                rm2[x - 2] as i32, // 14: (-2, -2)
-                rm3[x - 1] as i32, // 15: (-1, -3)
-            ];
-            let mut bright = 0u16;
-            let mut dark = 0u16;
-            for (i, &p) in circle.iter().enumerate() {
-                bright |= ((p > hi) as u16) << i;
-                dark |= ((p < lo) as u16) << i;
-            }
-
-            if lut[bright as usize] >= FAST_ARC as u8 || lut[dark as usize] >= FAST_ARC as u8 {
-                out.push(FastDetection {
-                    x: x as u32,
-                    y: y as u32,
-                });
-            }
+    for y in y0..y1 {
+        let r = CircleRows::new(data, w, y);
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            // SAFETY: gated on runtime AVX2 detection; loads stay within
+            // the row slices by the loop bound.
+            unsafe { x86::scan_row(&r, w, y as u32, threshold, lut, out) };
+            continue;
         }
+        scan_row_scalar(&r, y as u32, 3, w - 3, threshold as i32, lut, out);
     }
 }
 
@@ -532,6 +737,47 @@ mod tests {
         let mut buf = vec![FastDetection { x: 0, y: 0 }; 3];
         detect_into(&img, 30, &mut buf);
         assert_eq!(buf, detect_reference(&img, 30));
+    }
+
+    #[test]
+    fn band_scan_matches_reference_row_ranges() {
+        // The band entry appends each requested row range bit-identically
+        // to the same rows of the reference, across widths chosen to
+        // exercise every SIMD tail shape (w < 38 is all-scalar; 38, 39,
+        // 66, 67, 101 leave tails of various lengths).
+        for &w in &[7u32, 12, 37, 38, 39, 66, 67, 101] {
+            let img = GrayImage::from_fn(w, 29, |x, y| {
+                let h = (x as u64)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((y as u64).wrapping_mul(40503));
+                ((h >> 5) % 256) as u8
+            });
+            let reference = detect_reference(&img, 10);
+            // Full range in one call.
+            let mut all = Vec::new();
+            detect_band_into(&img, 10, 0..29, &mut all);
+            assert_eq!(all, reference, "width {w} full");
+            // Assembled from single-row bands (the streaming call shape).
+            let mut assembled = Vec::new();
+            for y in 0..29 {
+                detect_band_into(&img, 10, y..y + 1, &mut assembled);
+            }
+            assert_eq!(assembled, reference, "width {w} per-row");
+            // Uneven split, including out-of-range rows (clamped).
+            let mut split = Vec::new();
+            detect_band_into(&img, 10, 0..11, &mut split);
+            detect_band_into(&img, 10, 11..1000, &mut split);
+            assert_eq!(split, reference, "width {w} split");
+        }
+    }
+
+    #[test]
+    fn band_scan_appends_without_clearing() {
+        let img = bright_square(40, 20, 220);
+        let mut out = vec![FastDetection { x: 999, y: 999 }];
+        detect_band_into(&img, 30, 0..40, &mut out);
+        assert_eq!(out[0], FastDetection { x: 999, y: 999 });
+        assert_eq!(&out[1..], detect_reference(&img, 30).as_slice());
     }
 
     #[test]

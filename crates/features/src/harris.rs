@@ -80,6 +80,25 @@ pub fn harris_score(img: &GrayImage, x: u32, y: u32) -> f64 {
     det - HARRIS_K * trace * trace
 }
 
+/// Band-aware scoring entry of the streaming front-end: appends one
+/// [`ScoredPoint`](crate::nms::ScoredPoint) per detection (the
+/// detections of one scanned row),
+/// preserving order. Identical arithmetic to calling [`harris_score`]
+/// per point — the band shape only batches the calls.
+pub fn score_band(
+    img: &GrayImage,
+    detections: &[crate::fast::FastDetection],
+    out: &mut Vec<crate::nms::ScoredPoint>,
+) {
+    for d in detections {
+        out.push(crate::nms::ScoredPoint {
+            x: d.x,
+            y: d.y,
+            score: harris_score(img, d.x, d.y),
+        });
+    }
+}
+
 #[inline]
 fn sobel_x(img: &GrayImage, x: i64, y: i64) -> f64 {
     let g = |dx: i64, dy: i64| img.get_clamped(x + dx, y + dy) as f64;

@@ -16,7 +16,11 @@
 //! * [`matcher`] — Hamming-distance brute-force matching (the BRIEF
 //!   Matcher, §3.2);
 //! * [`orb`] — the complete extractor with the paper's Original vs
-//!   Rescheduled workflow schedules (§3.1).
+//!   Rescheduled workflow schedules (§3.1);
+//! * [`stream`] — the fused single-pass streaming front-end: one
+//!   row-band scan per pyramid level through ring line buffers, the
+//!   software mirror of the accelerator's dataflow (selected via
+//!   `ESLAM_EXTRACT` / [`ExtractMode`]).
 //!
 //! # Examples
 //!
@@ -54,12 +58,14 @@ pub mod orb;
 pub mod orientation;
 pub mod pattern;
 pub mod pool;
+pub mod stream;
 
 pub use bow::{BowParams, BowVector, Vocabulary, VocabularyNode, VocabularyParts};
 pub use descriptor::{Descriptor, DESCRIPTOR_BITS};
 pub use matcher::{DescriptorMatch, MatchKernel};
 pub use orb::{Keypoint, OrbConfig, OrbExtractor, OrbFeatures};
 pub use pool::WorkerPool;
+pub use stream::ExtractMode;
 
 #[cfg(test)]
 mod proptests {

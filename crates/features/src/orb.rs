@@ -28,8 +28,9 @@ use crate::fast::{self, FastDetection};
 use crate::harris::harris_score;
 use crate::heap::{BestHeap, DEFAULT_HEAP_CAPACITY};
 use crate::nms::{suppress, suppress_sorted_into, NmsScratch, ScoredPoint};
-use crate::orientation::{angle_to_label, label_to_angle, patch_moments, OrientationLut};
+use crate::orientation::{angle_to_label, label_to_angle, patch_moments, Moments, OrientationLut};
 use crate::pool::WorkerPool;
+use crate::stream::{self, ExtractMode, StreamScratch};
 use eslam_image::filter::{gaussian_blur_7x7_fixed_into, gaussian_blur_7x7_fixed_reference};
 use eslam_image::pyramid::{ImagePyramid, PyramidConfig, PyramidScratch};
 use eslam_image::GrayImage;
@@ -74,6 +75,10 @@ pub struct OrbConfig {
     pub workflow: Workflow,
     /// Seed for the descriptor pattern generation.
     pub pattern_seed: u64,
+    /// Extraction path: the fused streaming pass, the legacy multi-pass
+    /// pipeline, or automatic selection (overridable per process via
+    /// `ESLAM_EXTRACT`).
+    pub extract: ExtractMode,
 }
 
 impl Default for OrbConfig {
@@ -85,6 +90,7 @@ impl Default for OrbConfig {
             descriptor: DescriptorKind::RsBrief,
             workflow: Workflow::Rescheduled,
             pattern_seed: 0xe51a,
+            extract: ExtractMode::Auto,
         }
     }
 }
@@ -162,8 +168,8 @@ enum Engine {
 /// Per-pyramid-level scratch of the frame loop: detection, scoring, NMS,
 /// smoothing and descriptor buffers, all reused across frames.
 #[derive(Debug, Default)]
-struct LevelScratch {
-    detections: Vec<FastDetection>,
+pub(crate) struct LevelScratch {
+    pub(crate) detections: Vec<FastDetection>,
     scored: Vec<ScoredPoint>,
     surviving: Vec<ScoredPoint>,
     candidates: Vec<ScoredPoint>,
@@ -171,11 +177,19 @@ struct LevelScratch {
     smoothed: GrayImage,
     blur_scratch: Vec<u16>,
     /// RS-BRIEF sampling table compiled for this level's stride.
-    offsets: Option<PatternOffsets>,
+    pub(crate) offsets: Option<PatternOffsets>,
     /// Oriented + described candidates ([`Workflow::Rescheduled`]).
-    results: Vec<(Keypoint, Descriptor)>,
+    pub(crate) results: Vec<(Keypoint, Descriptor)>,
     /// Oriented candidates ([`Workflow::Original`]).
-    keypoints: Vec<Keypoint>,
+    pub(crate) keypoints: Vec<Keypoint>,
+    /// Line-buffer rings of the fused streaming pass.
+    pub(crate) stream: StreamScratch,
+    /// Raw FAST detections this level produced (both paths set it; the
+    /// streaming pass reuses `detections` as a one-row band buffer, so
+    /// its length alone cannot feed the stats merge).
+    pub(crate) fast_count: usize,
+    /// Candidates surviving NMS + the edge margin (the paper's M).
+    pub(crate) cand_count: usize,
 }
 
 /// Caller-owned scratch for [`OrbExtractor::extract_with`]: holds the
@@ -219,6 +233,15 @@ impl OrbScratch {
     /// the process-global pool otherwise.
     pub fn pool(&self) -> &WorkerPool {
         self.pool.as_ref().unwrap_or_else(|| WorkerPool::global())
+    }
+
+    /// Bytes currently held by the streaming pass's line buffers across
+    /// all pyramid levels. Diagnostic for the `O(width)` working-memory
+    /// claim: for a fixed width this is constant in image height
+    /// (whereas the pass pipeline's smoothed frame + `u16` scratch scale
+    /// with `width × height`).
+    pub fn stream_working_bytes(&self) -> usize {
+        self.levels.iter().map(|ls| ls.stream.working_bytes()).sum()
     }
 }
 
@@ -290,7 +313,41 @@ impl OrbExtractor {
     /// descriptors, and [`ExtractionStats`] — is identical to the
     /// sequential scalar reference ([`OrbExtractor::extract_reference`])
     /// regardless of thread count.
+    ///
+    /// The per-level stage runs either the fused single-pass streaming
+    /// front-end ([`crate::stream`]) or the legacy multi-pass pipeline,
+    /// selected by [`OrbConfig::extract`] / `ESLAM_EXTRACT`; both
+    /// produce bit-identical features and stats.
     pub fn extract_with(&self, image: &GrayImage, scratch: &mut OrbScratch) -> OrbFeatures {
+        let use_stream = stream::stream_active(self.config.extract, self.config.workflow);
+        self.extract_impl(image, scratch, use_stream)
+    }
+
+    /// Extraction pinned to the fused streaming front-end (falling back
+    /// to the pass pipeline under [`Workflow::Original`], whose
+    /// post-filter descriptor stage needs the full smoothed frame).
+    /// Benchmarks and the equivalence tier call this to compare the two
+    /// paths regardless of environment overrides.
+    pub fn extract_stream_with(&self, image: &GrayImage, scratch: &mut OrbScratch) -> OrbFeatures {
+        self.extract_impl(
+            image,
+            scratch,
+            self.config.workflow == Workflow::Rescheduled,
+        )
+    }
+
+    /// Extraction pinned to the legacy multi-pass pipeline (the oracle
+    /// path the streaming front-end is verified against).
+    pub fn extract_passes_with(&self, image: &GrayImage, scratch: &mut OrbScratch) -> OrbFeatures {
+        self.extract_impl(image, scratch, false)
+    }
+
+    fn extract_impl(
+        &self,
+        image: &GrayImage,
+        scratch: &mut OrbScratch,
+        use_stream: bool,
+    ) -> OrbFeatures {
         let OrbScratch {
             pyramid,
             pyramid_scratch,
@@ -315,15 +372,24 @@ impl OrbExtractor {
                 .zip(levels.iter_mut())
                 .map(|((level, img), ls)| {
                     let scale = self.config.pyramid.scale_of(level);
-                    Box::new(move || self.process_level(img, level, scale, ls))
-                        as Box<dyn FnOnce() + Send + '_>
+                    Box::new(move || {
+                        if use_stream {
+                            stream::process_level_stream(self, img, level, scale, ls);
+                        } else {
+                            self.process_level(img, level, scale, ls);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             pool.scope_run(tasks);
         } else {
             for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
                 let scale = self.config.pyramid.scale_of(level);
-                self.process_level(img, level, scale, ls);
+                if use_stream {
+                    stream::process_level_stream(self, img, level, scale, ls);
+                } else {
+                    self.process_level(img, level, scale, ls);
+                }
             }
         }
 
@@ -335,8 +401,8 @@ impl OrbExtractor {
             ..Default::default()
         };
         for ls in levels.iter() {
-            stats.fast_detections += ls.detections.len();
-            stats.candidates += ls.candidates.len();
+            stats.fast_detections += ls.fast_count;
+            stats.candidates += ls.cand_count;
         }
 
         let (keypoints, descriptors) = match self.config.workflow {
@@ -386,8 +452,15 @@ impl OrbExtractor {
     }
 
     /// The per-level pipeline stage; independent across levels.
-    fn process_level(&self, img: &GrayImage, level: usize, scale: f64, ls: &mut LevelScratch) {
+    pub(crate) fn process_level(
+        &self,
+        img: &GrayImage,
+        level: usize,
+        scale: f64,
+        ls: &mut LevelScratch,
+    ) {
         fast::detect_into(img, self.config.fast_threshold, &mut ls.detections);
+        ls.fast_count = ls.detections.len();
         ls.scored.clear();
         for d in &ls.detections {
             ls.scored.push(ScoredPoint {
@@ -404,25 +477,9 @@ impl OrbExtractor {
                 && p.x + EDGE_MARGIN < img.width()
                 && p.y + EDGE_MARGIN < img.height()
         }));
+        ls.cand_count = ls.candidates.len();
         gaussian_blur_7x7_fixed_into(img, &mut ls.smoothed, &mut ls.blur_scratch);
-
-        // Compile the RS-BRIEF sampling table for this level's stride
-        // (only when the geometry or the pattern changed since the last
-        // frame — the fingerprint guards scratch buffers shared across
-        // extractors with different engines or pattern seeds).
-        if let Engine::Rs(rs) = &self.engine {
-            let fp = pattern_fingerprint(rs.pattern());
-            if ls
-                .offsets
-                .as_ref()
-                .is_none_or(|t| t.width() != img.width() || t.fingerprint() != fp)
-            {
-                ls.offsets = Some(PatternOffsets::new(rs.pattern(), img.width()));
-            }
-        } else {
-            // A stale RS table must never survive into a non-RS engine.
-            ls.offsets = None;
-        }
+        self.prepare_offsets(img.width(), ls);
 
         ls.results.clear();
         ls.keypoints.clear();
@@ -539,9 +596,41 @@ impl OrbExtractor {
         }
     }
 
+    /// Compiles the RS-BRIEF sampling table for a level's stride (only
+    /// when the geometry or the pattern changed since the last frame —
+    /// the fingerprint guards scratch buffers shared across extractors
+    /// with different engines or pattern seeds).
+    pub(crate) fn prepare_offsets(&self, width: u32, ls: &mut LevelScratch) {
+        if let Engine::Rs(rs) = &self.engine {
+            let fp = pattern_fingerprint(rs.pattern());
+            if ls
+                .offsets
+                .as_ref()
+                .is_none_or(|t| t.width() != width || t.fingerprint() != fp)
+            {
+                ls.offsets = Some(PatternOffsets::new(rs.pattern(), width));
+            }
+        } else {
+            // A stale RS table must never survive into a non-RS engine.
+            ls.offsets = None;
+        }
+    }
+
     /// Builds the oriented keypoint for a surviving candidate.
     fn orient(&self, smoothed: &GrayImage, c: &ScoredPoint, level: usize, scale: f64) -> Keypoint {
-        let moments = patch_moments(smoothed, c.x, c.y);
+        self.orient_from_moments(patch_moments(smoothed, c.x, c.y), c, level, scale)
+    }
+
+    /// Keypoint construction from already-computed patch moments (the
+    /// streaming pass reads moments off its ring buffer rather than a
+    /// full smoothed frame).
+    pub(crate) fn orient_from_moments(
+        &self,
+        moments: Moments,
+        c: &ScoredPoint,
+        level: usize,
+        scale: f64,
+    ) -> Keypoint {
         let label = self.lut.label(moments.m10, moments.m01);
         // The continuous angle is retained for the Original descriptor
         // modes; RS-BRIEF uses only the label, as the hardware does.
@@ -580,10 +669,34 @@ impl OrbExtractor {
         kp: &Keypoint,
         offsets: Option<&PatternOffsets>,
     ) -> Descriptor {
+        self.describe_at(
+            smoothed, kp.level_x, kp.level_y, kp.label, kp.angle, offsets,
+        )
+    }
+
+    /// Descriptor computation at explicit level coordinates — the
+    /// streaming pass calls this with ring-buffer coordinates, where
+    /// `y` is the keypoint row's slot in the mirrored ring. Identical
+    /// engine dispatch to [`OrbExtractor::describe`]; none of the
+    /// engines' clamped sampling engages because the caller guarantees
+    /// a full radius-15 interior around `(x, y)`.
+    pub(crate) fn describe_at(
+        &self,
+        smoothed: &GrayImage,
+        x: u32,
+        y: u32,
+        label: u8,
+        angle: f64,
+        offsets: Option<&PatternOffsets>,
+    ) -> Descriptor {
         if let Some(table) = offsets {
-            compute_descriptor_interior(smoothed, kp.level_x, kp.level_y, table).steer(kp.label)
+            compute_descriptor_interior(smoothed, x, y, table).steer(label)
         } else {
-            self.describe(smoothed, kp)
+            match &self.engine {
+                Engine::Rs(rs) => rs.compute(smoothed, x, y, label),
+                Engine::Original(orig) => orig.compute_lut(smoothed, x, y, angle),
+                Engine::Direct(orig) => orig.compute_direct(smoothed, x, y, angle),
+            }
         }
     }
 

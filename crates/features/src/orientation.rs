@@ -105,6 +105,38 @@ pub fn patch_moments(img: &GrayImage, x: u32, y: u32) -> Moments {
     Moments { m10, m01, m00 }
 }
 
+/// Band-aware moments entry of the streaming front-end: reads the
+/// radius-15 patch around **virtual** image row `y` from a *mirrored*
+/// row ring instead of a full smoothed frame.
+///
+/// The ring holds `ring_rows` logical slots, physically doubled: a
+/// virtual row `v` lives at slot `v % ring_rows` *and* at
+/// `v % ring_rows + ring_rows`, so any window of up to `ring_rows − 1`
+/// consecutive virtual rows is one contiguous block of physical rows
+/// starting at `(first_row % ring_rows)` — no per-row modulo inside the
+/// pixel loops, and [`patch_moments`]' interior hot path runs unchanged
+/// on the ring.
+///
+/// Caller contract: virtual rows `y ± 15` are the most recent rows
+/// written to their slots, and `x` keeps a 15-pixel column margin (both
+/// guaranteed behind the extractor's 16-pixel edge margin). Under that
+/// contract the result is bit-identical to
+/// `patch_moments(full_smoothed, x, y)`.
+///
+/// # Panics
+/// Panics if the ring is not mirrored (`height != 2 * ring_rows`), if
+/// `ring_rows` cannot hold the 31-row window, or if `(x, y)` violates
+/// the interior margins.
+pub fn patch_moments_ring(ring: &GrayImage, x: u32, y: u32, ring_rows: u32) -> Moments {
+    let r = ORIENTATION_RADIUS as u32;
+    assert_eq!(ring.height(), 2 * ring_rows, "ring must be mirrored");
+    assert!(ring_rows > 2 * r, "ring too short for the patch window");
+    assert!(y >= r, "virtual row {y} clips the top border");
+    assert!(x >= r && x + r < ring.width(), "column {x} clips a border");
+    let slot = (y - r) % ring_rows + r;
+    patch_moments(ring, x, slot)
+}
+
 /// Continuous orientation angle at `(x, y)` in radians.
 pub fn orientation_angle(img: &GrayImage, x: u32, y: u32) -> f64 {
     patch_moments(img, x, y).angle()

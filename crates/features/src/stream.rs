@@ -1,0 +1,572 @@
+//! Fused single-pass streaming extraction front-end.
+//!
+//! The paper's accelerator (§3, Fig. 4) never materializes intermediate
+//! images: each pyramid level streams row by row through line buffers,
+//! and smoothing, FAST, scoring, NMS, orientation and the descriptor
+//! sampler all tap the stream at fixed latencies. This module is the
+//! software mirror of that dataflow — one pass over each level, tiling
+//! the image through L1/L2 once, with a small ring of line buffers
+//! carrying the halo rows between stages. The legacy pass pipeline
+//! (`OrbExtractor::process_level`) stays as the bit-exact oracle,
+//! exactly like the PR 1 `*_reference` pattern.
+//!
+//! # Per-stage latency offsets
+//!
+//! All stages are driven by the raw-row scan position `y`. The halo each
+//! stage needs below its output row (its *latency* in raw rows):
+//!
+//! | stage                    | needs rows        | latency source                |
+//! |--------------------------|-------------------|-------------------------------|
+//! | horizontal blur (h-row)  | `j` only          | 0 ([`STREAM_BLUR_HALO`] cols) |
+//! | vertical blur (smoothed) | h-rows `k ± 3`    | [`STREAM_BLUR_HALO`] = 3      |
+//! | FAST scan of row `y`     | raw `y ± 3`       | [`STREAM_FAST_HALO`] = 3      |
+//! | NMS finalize of row `yf` | scores `yf ± 1`   | [`STREAM_NMS_DELAY`] = 1 scan |
+//! | moments / descriptor     | smoothed `yc ± 15`| [`STREAM_PATCH_HALO`] = 15    |
+//!
+//! A candidate finalized at row `yc` therefore needs raw rows up to
+//! `max(yc + FAST + NMS, yc + PATCH + BLUR) = yc +`
+//! [`STREAM_LATENCY_ROWS`] (= 18): the FAST/NMS chain trails the scan by
+//! 4 rows while the smoothing/descriptor chain trails it by 18, which is
+//! the figure the `eslam-hw` band schedule mirrors stage for stage.
+//!
+//! # Ring buffers
+//!
+//! * **Smoothed ring** — [`SMOOTH_RING_ROWS`] (32) logical rows, sized
+//!   to the widest consumer window (2 × 15 + 1 = 31 smoothed rows),
+//!   stored *mirrored* (64 physical rows: virtual row `v` at slots
+//!   `v % 32` and `v % 32 + 32`) so every patch window is one contiguous
+//!   block of rows and the interior hot paths of
+//!   [`patch_moments`](crate::orientation::patch_moments) and the
+//!   compiled descriptor tables run on the ring unchanged.
+//! * **H-row ring** — [`HROW_RING_ROWS`] (8) rows of 16-bit horizontal
+//!   blur sums, covering the vertical tap window (7) under monotone
+//!   advance.
+//! * **Score rows** — 3 rotating rows of scored detections for the 3×3
+//!   NMS window.
+//!
+//! Blur work is *lazy*: smoothed rows are produced only when a surviving
+//! candidate needs them, skipping ahead over candidate-free spans. Peak
+//! extraction working memory is `O(width)` — independent of image
+//! height (`64·w` ring bytes + `2·8·w` h-row bytes per level), where the
+//! pass pipeline holds a full smoothed frame plus a `u16` scratch
+//! (`3·w·h` bytes).
+//!
+//! # Bit-identity
+//!
+//! Every stage reuses the exact kernels of the pass pipeline (shared
+//! band producers for blur, the same FAST decision, the same Harris
+//! arithmetic, the local NMS rule of [`crate::nms::suppress`], the same
+//! interior moments/descriptor paths), candidates are emitted in the
+//! same raster order per level, and the merge is unchanged — so
+//! keypoints, responses, angles, descriptors *and stats* are
+//! bit-identical to the pass pipeline. `tests/stream_equivalence.rs`
+//! proves it across the paper sequences.
+
+use crate::brief::{compute_descriptor_ring, PatternOffsets};
+use crate::descriptor::Descriptor;
+use crate::envopt;
+use crate::fast;
+use crate::harris;
+use crate::nms::ScoredPoint;
+use crate::orb::{Keypoint, LevelScratch, OrbExtractor, Workflow, EDGE_MARGIN};
+use crate::orientation::patch_moments_ring;
+use eslam_image::filter::{blur_hrow_7x7_into, blur_vrow_7x7_into};
+use eslam_image::GrayImage;
+use std::sync::OnceLock;
+
+/// Environment override selecting the extraction path; values `stream`,
+/// `passes`, or `auto` (see [`ExtractMode`] and `eslam_core::overrides`).
+pub const EXTRACT_ENV: &str = "ESLAM_EXTRACT";
+
+/// Columns of halo the 7-tap blur needs on each side (also its row halo
+/// in the vertical pass).
+pub const STREAM_BLUR_HALO: u32 = 3;
+/// Rows of halo the FAST segment test needs (radius-3 Bresenham circle).
+pub const STREAM_FAST_HALO: u32 = 3;
+/// Scan rows the 3×3 NMS trails behind the FAST scan (row `y` finalizes
+/// once row `y + 1` is scored).
+pub const STREAM_NMS_DELAY: u32 = 1;
+/// Rows of halo the orientation/descriptor patch needs (radius 15).
+pub const STREAM_PATCH_HALO: u32 = 15;
+
+/// Logical rows of the smoothed line-buffer ring: the widest consumer
+/// window is `2 · STREAM_PATCH_HALO + 1 = 31` rows, rounded up to a
+/// power of two for cheap slot arithmetic.
+pub const SMOOTH_RING_ROWS: u32 = 32;
+/// Rows of the horizontal-blur ring: the vertical tap window is
+/// `2 · STREAM_BLUR_HALO + 1 = 7` rows, rounded up to a power of two.
+pub const HROW_RING_ROWS: u32 = 8;
+
+/// Raw-row lookahead between a candidate's row and the last raw row its
+/// emission touches: the maximum of the FAST/NMS chain
+/// (`STREAM_FAST_HALO + STREAM_NMS_DELAY`) and the smoothing/descriptor
+/// chain (`STREAM_PATCH_HALO + STREAM_BLUR_HALO`).
+pub const STREAM_LATENCY_ROWS: u32 = {
+    let fast_chain = STREAM_FAST_HALO + STREAM_NMS_DELAY;
+    let descriptor_chain = STREAM_PATCH_HALO + STREAM_BLUR_HALO;
+    if descriptor_chain > fast_chain {
+        descriptor_chain
+    } else {
+        fast_chain
+    }
+};
+
+/// Extraction-path selector carried in
+/// [`OrbConfig`](crate::orb::OrbConfig) and overridable per process via
+/// [`EXTRACT_ENV`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtractMode {
+    /// Pick automatically: the streaming pass wherever the workflow
+    /// supports it (everything but [`Workflow::Original`], whose
+    /// post-filter descriptor stage needs the full smoothed frame).
+    #[default]
+    Auto,
+    /// Force the fused streaming pass (falls back to the pass pipeline,
+    /// with a one-time warning, where the workflow cannot stream).
+    Stream,
+    /// Force the legacy multi-pass pipeline (the oracle path).
+    Passes,
+}
+
+impl ExtractMode {
+    /// Parses a lowercased override value; `None` for anything outside
+    /// `auto` / `stream` / `passes`.
+    pub fn parse(value: &str) -> Option<ExtractMode> {
+        match value {
+            "auto" => Some(ExtractMode::Auto),
+            "stream" => Some(ExtractMode::Stream),
+            "passes" => Some(ExtractMode::Passes),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExtractMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExtractMode::Auto => "auto",
+            ExtractMode::Stream => "stream",
+            ExtractMode::Passes => "passes",
+        })
+    }
+}
+
+/// The process-wide forced mode, read once. Typos hard-error via
+/// [`envopt::forced`]; `auto` (or unset/empty) forces nothing.
+pub(crate) fn forced_mode() -> Option<ExtractMode> {
+    static FORCED: OnceLock<Option<ExtractMode>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        envopt::forced(EXTRACT_ENV, "stream, passes, or auto", |v| match v {
+            "stream" => Some(ExtractMode::Stream),
+            "passes" => Some(ExtractMode::Passes),
+            _ => None,
+        })
+    })
+}
+
+/// Resolves whether extraction takes the streaming path: the forced env
+/// mode wins over the configured mode; `Auto` streams exactly where the
+/// workflow supports it. Forcing `stream` onto [`Workflow::Original`]
+/// warns once (stderr) and keeps the pass pipeline, mirroring the
+/// matcher's unsupported-kernel fallback.
+pub(crate) fn stream_active(config_mode: ExtractMode, workflow: Workflow) -> bool {
+    let mode = forced_mode().unwrap_or(config_mode);
+    match (mode, workflow) {
+        (ExtractMode::Passes, _) => false,
+        (_, Workflow::Rescheduled) => true,
+        (ExtractMode::Stream, Workflow::Original) => {
+            static WARNED: OnceLock<()> = OnceLock::new();
+            WARNED.get_or_init(|| {
+                eprintln!(
+                    "eslam: ESLAM_EXTRACT=stream requested but the Original workflow's \
+                     post-filter descriptor stage needs the full smoothed frame; \
+                     using the pass pipeline"
+                );
+            });
+            false
+        }
+        (ExtractMode::Auto, Workflow::Original) => false,
+    }
+}
+
+/// Ring buffers of the streaming pass, held per level inside
+/// [`OrbScratch`](crate::orb::OrbScratch) and reused across frames.
+#[derive(Debug, Default)]
+pub(crate) struct StreamScratch {
+    /// Mirrored smoothed ring: `2 · SMOOTH_RING_ROWS` physical rows.
+    pub(crate) ring: GrayImage,
+    /// Horizontal blur sums: `HROW_RING_ROWS` rows of `u16`.
+    pub(crate) hrows: Vec<u16>,
+    /// Scored detections of the three NMS window rows, indexed `y % 3`.
+    pub(crate) rows: [Vec<ScoredPoint>; 3],
+}
+
+impl StreamScratch {
+    /// Bytes currently held by the line buffers (diagnostic; constant in
+    /// image height for a fixed width).
+    pub(crate) fn working_bytes(&self) -> usize {
+        self.ring.as_raw().len() + 2 * self.hrows.len()
+    }
+}
+
+/// `q` suppresses `p` under the 3×3 NMS rule of
+/// [`crate::nms::suppress`]: strictly higher score, or an equal score at
+/// an earlier raster position.
+#[inline]
+fn beats(q: &ScoredPoint, p: &ScoredPoint) -> bool {
+    q.score > p.score || (q.score == p.score && (q.y, q.x) < (p.y, p.x))
+}
+
+/// The detections of `row` (sorted by x) within `[x − 1, x + 1]`.
+#[inline]
+fn row_neighbors(row: &[ScoredPoint], x: u32) -> &[ScoredPoint] {
+    let lo = x.saturating_sub(1);
+    let from = row.partition_point(|q| q.x < lo);
+    let to = from + row[from..].partition_point(|q| q.x <= x + 1);
+    &row[from..to]
+}
+
+/// The three score rows forming the NMS window around finalize row `yf`
+/// (`yf − 1`, `yf`, `yf + 1` at slots `(yf + 2) % 3`, `yf % 3`,
+/// `(yf + 1) % 3`).
+fn nms_window(rows: &[Vec<ScoredPoint>; 3], yf: usize) -> (&[ScoredPoint], &[ScoredPoint]) {
+    (&rows[(yf + 2) % 3], &rows[yf % 3])
+}
+
+/// Per-level state of the streaming pass that advances the lazy
+/// smoothing chain and emits finished candidates.
+struct StreamLevel<'a> {
+    ex: &'a OrbExtractor,
+    img: &'a GrayImage,
+    level: usize,
+    scale: f64,
+    w: usize,
+    h: usize,
+    ring: &'a mut GrayImage,
+    hrows: &'a mut [u16],
+    offsets: Option<&'a PatternOffsets>,
+    results: &'a mut Vec<(Keypoint, Descriptor)>,
+    cand_count: &'a mut usize,
+    /// Next raw row to run the horizontal blur on.
+    h_next: usize,
+    /// Next smoothed row to produce into the ring.
+    smooth_next: usize,
+}
+
+impl StreamLevel<'_> {
+    /// Finalizes NMS for row `yf` and emits every survivor behind the
+    /// edge margin, in x order — the raster order
+    /// [`crate::nms::suppress_sorted_into`] + margin filtering produce.
+    fn finalize_row(&mut self, prev: &[ScoredPoint], cur: &[ScoredPoint], next: &[ScoredPoint]) {
+        'candidate: for (i, p) in cur.iter().enumerate() {
+            // In-row neighbours are adjacent in the sorted row.
+            if i > 0 {
+                let q = &cur[i - 1];
+                if q.x + 1 == p.x && beats(q, p) {
+                    continue 'candidate;
+                }
+            }
+            if let Some(q) = cur.get(i + 1) {
+                if q.x == p.x + 1 && beats(q, p) {
+                    continue 'candidate;
+                }
+            }
+            for q in row_neighbors(prev, p.x) {
+                if beats(q, p) {
+                    continue 'candidate;
+                }
+            }
+            for q in row_neighbors(next, p.x) {
+                if beats(q, p) {
+                    continue 'candidate;
+                }
+            }
+            if p.x < EDGE_MARGIN
+                || p.y < EDGE_MARGIN
+                || p.x + EDGE_MARGIN >= self.img.width()
+                || p.y + EDGE_MARGIN >= self.img.height()
+            {
+                continue 'candidate;
+            }
+            *self.cand_count += 1;
+            self.emit(p);
+        }
+    }
+
+    /// Orients and describes one surviving candidate off the ring.
+    fn emit(&mut self, p: &ScoredPoint) {
+        let yc = p.y as usize;
+        let halo = STREAM_PATCH_HALO as usize;
+        // The edge margin guarantees yc ± 15 stay inside the image.
+        self.ensure_smoothed(yc - halo, yc + halo);
+        let moments = patch_moments_ring(self.ring, p.x, p.y, SMOOTH_RING_ROWS);
+        let kp = self
+            .ex
+            .orient_from_moments(moments, p, self.level, self.scale);
+        let desc = if let Some(table) = self.offsets {
+            compute_descriptor_ring(self.ring, p.x, p.y, SMOOTH_RING_ROWS, table).steer(kp.label)
+        } else {
+            let slot = (p.y - STREAM_PATCH_HALO) % SMOOTH_RING_ROWS + STREAM_PATCH_HALO;
+            self.ex
+                .describe_at(self.ring, p.x, slot, kp.label, kp.angle, None)
+        };
+        self.results.push((kp, desc));
+    }
+
+    /// Advances the lazy blur chain until smoothed rows `..= upto` are
+    /// in the ring. `lo` is the first row the caller will read: when the
+    /// chain is further back than that (a candidate-free span), it jumps
+    /// ahead instead of smoothing rows nobody looks at.
+    fn ensure_smoothed(&mut self, lo: usize, upto: usize) {
+        if self.smooth_next < lo {
+            self.smooth_next = lo;
+        }
+        debug_assert!(upto < self.h);
+        let w = self.w;
+        let data = self.img.as_raw();
+        let hrow_rows = HROW_RING_ROWS as usize;
+        let ring_rows = SMOOTH_RING_ROWS as usize;
+        let halo = STREAM_BLUR_HALO as usize;
+        while self.smooth_next <= upto {
+            let k = self.smooth_next;
+            // Horizontal pass for the raw rows the vertical tap touches
+            // (clamped at the image borders like the full-frame pass).
+            let need_lo = k.saturating_sub(halo);
+            let need_hi = (k + halo).min(self.h - 1);
+            if self.h_next < need_lo {
+                self.h_next = need_lo;
+            }
+            while self.h_next <= need_hi {
+                let j = self.h_next;
+                blur_hrow_7x7_into(
+                    &data[j * w..(j + 1) * w],
+                    &mut self.hrows[(j % hrow_rows) * w..][..w],
+                );
+                self.h_next += 1;
+            }
+            // Vertical combine into the ring slot, then its mirror.
+            let taps: [&[u16]; 7] = std::array::from_fn(|i| {
+                let sy = (k as i64 + i as i64 - halo as i64).clamp(0, self.h as i64 - 1) as usize;
+                &self.hrows[(sy % hrow_rows) * w..][..w]
+            });
+            let slot = k % ring_rows;
+            let ring_data = self.ring.as_raw_mut();
+            blur_vrow_7x7_into(&taps, &mut ring_data[slot * w..][..w]);
+            let (low, high) = ring_data.split_at_mut(ring_rows * w);
+            high[slot * w..][..w].copy_from_slice(&low[slot * w..][..w]);
+            self.smooth_next = k + 1;
+        }
+    }
+}
+
+/// The fused per-level streaming pass: one scan over the level's rows
+/// drives FAST + Harris, 3×3 NMS one row behind, and — per surviving
+/// candidate — lazy blur, moments and descriptor off the ring buffers.
+/// Drop-in replacement for [`OrbExtractor::process_level`] under
+/// [`Workflow::Rescheduled`], bit-identical results and stats.
+pub(crate) fn process_level_stream(
+    ex: &OrbExtractor,
+    img: &GrayImage,
+    level: usize,
+    scale: f64,
+    ls: &mut LevelScratch,
+) {
+    if ex.config().workflow == Workflow::Original {
+        // Defensive: the Original schedule re-describes off the full
+        // smoothed frame after filtering; resolution should never route
+        // it here (see `stream_active`).
+        return ex.process_level(img, level, scale, ls);
+    }
+    ex.prepare_offsets(img.width(), ls);
+    ls.results.clear();
+    ls.keypoints.clear();
+    ls.fast_count = 0;
+    ls.cand_count = 0;
+    for row in &mut ls.stream.rows {
+        row.clear();
+    }
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    if w < 7 || h < 7 {
+        return;
+    }
+    ls.stream.ring.reshape(img.width(), 2 * SMOOTH_RING_ROWS);
+    ls.stream.hrows.resize(HROW_RING_ROWS as usize * w, 0);
+
+    let LevelScratch {
+        detections,
+        results,
+        stream,
+        offsets,
+        fast_count,
+        cand_count,
+        ..
+    } = ls;
+    let StreamScratch { ring, hrows, rows } = stream;
+    let mut st = StreamLevel {
+        ex,
+        img,
+        level,
+        scale,
+        w,
+        h,
+        ring,
+        hrows,
+        offsets: offsets.as_ref(),
+        results,
+        cand_count,
+        h_next: 0,
+        smooth_next: 0,
+    };
+    let threshold = ex.config().fast_threshold;
+
+    for y in 3..h - 3 {
+        detections.clear();
+        fast::detect_band_into(img, threshold, y as u32..y as u32 + 1, detections);
+        *fast_count += detections.len();
+        let row = &mut rows[y % 3];
+        row.clear();
+        harris::score_band(img, detections, row);
+        if y > 3 {
+            let yf = y - 1;
+            let (prev, cur) = nms_window(rows, yf);
+            st.finalize_row(prev, cur, &rows[(yf + 1) % 3]);
+        }
+    }
+    // The last scanned row has no successor: finalize against an empty
+    // "next" row (its ring slot holds a stale row from 3 scans back).
+    let yf = h - 4;
+    let (prev, cur) = nms_window(rows, yf);
+    st.finalize_row(prev, cur, &[]);
+}
+
+/// Re-exported consistency hook for `eslam-hw`: `(halo rows carried per
+/// stage, total raw-row latency)` — the numbers the hardware model's
+/// band schedule must mirror.
+pub fn latency_schedule() -> ([(&'static str, u32); 4], u32) {
+    (
+        [
+            ("blur", STREAM_BLUR_HALO),
+            ("fast", STREAM_FAST_HALO),
+            ("nms", STREAM_NMS_DELAY),
+            ("patch", STREAM_PATCH_HALO),
+        ],
+        STREAM_LATENCY_ROWS,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orb::{DescriptorKind, OrbConfig, OrbScratch};
+
+    fn test_image(w: u32, h: u32, seed: u64) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            let base = if ((x / 12) + (y / 12)) % 2 == 0 {
+                50
+            } else {
+                190
+            };
+            base + ((x as u64 * 31 + y as u64 * 17 + seed * 1009) % 23) as u8
+        })
+    }
+
+    #[test]
+    fn latency_is_descriptor_chain_bound() {
+        assert_eq!(STREAM_LATENCY_ROWS, 18);
+        const { assert!(STREAM_LATENCY_ROWS >= STREAM_FAST_HALO + STREAM_NMS_DELAY) };
+        assert_eq!(STREAM_LATENCY_ROWS, STREAM_PATCH_HALO + STREAM_BLUR_HALO);
+        // The rings hold their widest consumer window.
+        const { assert!(SMOOTH_RING_ROWS > 2 * STREAM_PATCH_HALO) };
+        const { assert!(HROW_RING_ROWS > 2 * STREAM_BLUR_HALO) };
+    }
+
+    #[test]
+    fn extract_mode_parse_round_trips() {
+        for mode in [ExtractMode::Auto, ExtractMode::Stream, ExtractMode::Passes] {
+            assert_eq!(ExtractMode::parse(&mode.to_string()), Some(mode));
+        }
+        assert_eq!(ExtractMode::parse("strem"), None);
+        assert_eq!(ExtractMode::parse(""), None);
+        assert_eq!(ExtractMode::default(), ExtractMode::Auto);
+    }
+
+    #[test]
+    fn stream_matches_passes_across_kinds_and_sizes() {
+        for kind in [
+            DescriptorKind::RsBrief,
+            DescriptorKind::OriginalLut,
+            DescriptorKind::OriginalDirect,
+        ] {
+            let e = OrbExtractor::new(OrbConfig {
+                descriptor: kind,
+                max_features: 200,
+                ..Default::default()
+            });
+            for (w, h) in [(200u32, 150u32), (64, 64), (40, 400), (400, 40)] {
+                let img = test_image(w, h, kind as u64);
+                let stream = e.extract_stream_with(&img, &mut OrbScratch::default());
+                let passes = e.extract_passes_with(&img, &mut OrbScratch::default());
+                assert_eq!(stream, passes, "{kind:?} {w}x{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_handles_degenerate_sizes() {
+        let e = OrbExtractor::new(OrbConfig::default());
+        for (w, h) in [(1u32, 1u32), (6, 6), (8, 40), (40, 8), (17, 19), (33, 33)] {
+            let img = test_image(w, h, 7);
+            let stream = e.extract_stream_with(&img, &mut OrbScratch::default());
+            let passes = e.extract_passes_with(&img, &mut OrbScratch::default());
+            assert_eq!(stream, passes, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn stream_scratch_reuse_is_equivalent() {
+        let e = OrbExtractor::new(OrbConfig::default());
+        let mut scratch = OrbScratch::default();
+        for seed in 0..3u64 {
+            let img = test_image(160, 120, seed);
+            let reused = e.extract_stream_with(&img, &mut scratch);
+            let fresh = e.extract_stream_with(&img, &mut OrbScratch::default());
+            assert_eq!(reused, fresh, "frame {seed}");
+        }
+        // Geometry change mid-stream.
+        let small = test_image(96, 80, 9);
+        assert_eq!(
+            e.extract_stream_with(&small, &mut scratch),
+            e.extract_passes_with(&small, &mut OrbScratch::default())
+        );
+    }
+
+    #[test]
+    fn working_memory_is_independent_of_image_height() {
+        let e = OrbExtractor::new(OrbConfig::default());
+        let mut short = OrbScratch::default();
+        let mut tall = OrbScratch::default();
+        e.extract_stream_with(&test_image(128, 96, 0), &mut short);
+        e.extract_stream_with(&test_image(128, 768, 0), &mut tall);
+        let bytes = short.stream_working_bytes();
+        assert!(bytes > 0, "streaming pass must have used its rings");
+        assert_eq!(
+            bytes,
+            tall.stream_working_bytes(),
+            "line-buffer memory must not scale with height"
+        );
+    }
+
+    #[test]
+    fn original_workflow_falls_back_to_passes() {
+        let e = OrbExtractor::new(OrbConfig {
+            workflow: Workflow::Original,
+            ..Default::default()
+        });
+        let img = test_image(160, 120, 3);
+        assert_eq!(
+            e.extract_stream_with(&img, &mut OrbScratch::default()),
+            e.extract_passes_with(&img, &mut OrbScratch::default())
+        );
+    }
+}

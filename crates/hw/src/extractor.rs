@@ -23,6 +23,7 @@
 use crate::axi::AxiConfig;
 use crate::clock::{Cycles, FPGA_CLOCK_HZ};
 use eslam_features::orb::{DescriptorKind, OrbConfig, OrbExtractor, OrbFeatures, Workflow};
+use eslam_features::stream;
 use eslam_image::pyramid::PyramidConfig;
 use eslam_image::GrayImage;
 
@@ -255,6 +256,109 @@ impl ExtractorModel {
     }
 }
 
+/// One pipeline stage of the row-band schedule: how many rows of halo it
+/// needs around its output row, and the line-buffer rows (and bit width)
+/// it holds on-chip to carry that halo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandStage {
+    /// Stage name, matching the software orchestrator's stage list.
+    pub name: &'static str,
+    /// Rows of halo below the stage's output row (its latency
+    /// contribution in raw rows; the NMS entry is its one-scan delay).
+    pub halo_rows: u32,
+    /// Line-buffer rows the stage holds (physical rows, including the
+    /// smoothed ring's mirror copy).
+    pub buffer_rows: u32,
+    /// Bits per buffered pixel (8-bit pixels, 16-bit horizontal blur
+    /// sums).
+    pub bits_per_pixel: u32,
+}
+
+/// The extractor's row-band schedule: the hardware-side accounting of
+/// the line buffers that carry halo rows between the fused stages. This
+/// mirrors the software streaming orchestrator
+/// ([`eslam_features::stream`]) **stage for stage** — the consistency
+/// test below pins each constant to its software counterpart, so the
+/// model's line-buffer sizing can never drift from the implemented
+/// dataflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandSchedule {
+    /// The fused stages in dataflow order: horizontal/vertical blur,
+    /// FAST segment test, NMS, and the orientation/descriptor patch.
+    pub stages: [BandStage; 4],
+}
+
+impl Default for BandSchedule {
+    fn default() -> Self {
+        BandSchedule {
+            stages: [
+                // 7-tap blur: ±3 columns/rows; HROW ring holds the
+                // 16-bit horizontal sums for the vertical combine.
+                BandStage {
+                    name: "blur",
+                    halo_rows: stream::STREAM_BLUR_HALO,
+                    buffer_rows: stream::HROW_RING_ROWS,
+                    bits_per_pixel: 16,
+                },
+                // FAST-9/16: ±3 raw rows (the radius-3 Bresenham
+                // circle), served by the 7-row slice of the image cache.
+                BandStage {
+                    name: "fast",
+                    halo_rows: stream::STREAM_FAST_HALO,
+                    buffer_rows: 2 * stream::STREAM_FAST_HALO + 1,
+                    bits_per_pixel: 8,
+                },
+                // 3×3 NMS trails the FAST scan by one row; the score
+                // rows hold f64 responses but only for the (sparse)
+                // detections, so they are not line buffers — charge the
+                // 3-row window at score width for the worst case.
+                BandStage {
+                    name: "nms",
+                    halo_rows: stream::STREAM_NMS_DELAY,
+                    buffer_rows: 3,
+                    bits_per_pixel: 64,
+                },
+                // Orientation + descriptor patch: ±15 smoothed rows off
+                // the mirrored smoothed ring (32 logical → 64 physical
+                // rows).
+                BandStage {
+                    name: "patch",
+                    halo_rows: stream::STREAM_PATCH_HALO,
+                    buffer_rows: 2 * stream::SMOOTH_RING_ROWS,
+                    bits_per_pixel: 8,
+                },
+            ],
+        }
+    }
+}
+
+impl BandSchedule {
+    /// Raw-row latency between a candidate's row and the last raw row
+    /// its emission touches: the maximum of the FAST → NMS chain and the
+    /// blur → patch chain (the two paths from the raw stream to a
+    /// finished feature).
+    pub fn latency_rows(&self) -> u32 {
+        let halo = |name: &str| {
+            self.stages
+                .iter()
+                .find(|s| s.name == name)
+                .expect("stage present")
+                .halo_rows
+        };
+        (halo("fast") + halo("nms")).max(halo("blur") + halo("patch"))
+    }
+
+    /// Total line-buffer bits for a level of the given width — linear in
+    /// width and independent of image height, the property that lets the
+    /// schedule stream arbitrarily tall frames through fixed caches.
+    pub fn line_buffer_bits(&self, width: u32) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.buffer_rows as u64 * width as u64 * s.bits_per_pixel as u64)
+            .sum()
+    }
+}
+
 /// Result of a functional + timed extraction run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulatedExtraction {
@@ -399,6 +503,38 @@ mod tests {
         );
         let ratio = four.total_pixels() as f64 / two.total_pixels() as f64;
         assert!((ratio - 1.48).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn band_schedule_mirrors_the_software_stream() {
+        // Stage-for-stage consistency with the software orchestrator:
+        // same stage names, same halo rows, same total latency.
+        let schedule = BandSchedule::default();
+        let (stages, latency) = stream::latency_schedule();
+        assert_eq!(schedule.stages.len(), stages.len());
+        for (hw, (name, halo)) in schedule.stages.iter().zip(stages) {
+            assert_eq!(hw.name, name);
+            assert_eq!(hw.halo_rows, halo, "stage {name}");
+        }
+        assert_eq!(schedule.latency_rows(), latency);
+        assert_eq!(schedule.latency_rows(), stream::STREAM_LATENCY_ROWS);
+        // The ring buffers cover their widest consumer windows.
+        const { assert!(stream::HROW_RING_ROWS > 2 * stream::STREAM_BLUR_HALO) };
+        const { assert!(stream::SMOOTH_RING_ROWS > 2 * stream::STREAM_PATCH_HALO) };
+    }
+
+    #[test]
+    fn band_line_buffers_scale_with_width_not_height() {
+        let schedule = BandSchedule::default();
+        let vga = schedule.line_buffer_bits(640);
+        assert_eq!(vga, 2 * schedule.line_buffer_bits(320));
+        // Mirrored smoothed ring (64 rows × 8 b) + h-row ring
+        // (8 rows × 16 b) + FAST window (7 rows × 8 b) + NMS scores
+        // (3 rows × 64 b) = 888 bits/column.
+        assert_eq!(vga, 640 * 888);
+        // Far below the full-frame alternative (a VGA smoothed frame
+        // alone is 640 × 480 × 8 bits).
+        assert!(vga < 640 * 480 * 8 / 4);
     }
 
     #[test]

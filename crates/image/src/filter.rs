@@ -71,6 +71,82 @@ pub fn gaussian_blur_7x7_fixed_reference(src: &GrayImage) -> GrayImage {
     })
 }
 
+/// Horizontal 7-tap pass over one image row: `out[x]` is the weighted
+/// sum `Σ KERNEL_7_FIXED[k] · row[clamp(x + k − 3)]` (border pixels
+/// replicate; max 255 × 64 = 16320, exact in `u16`).
+///
+/// This is the row-band producer of the streaming extraction front-end:
+/// the full-frame [`gaussian_blur_7x7_fixed_into`] and the per-band
+/// line-buffer path both build on it, so the two are bit-identical at
+/// every border by construction.
+///
+/// # Panics
+/// Panics if `out.len() != row.len()` or the row is empty.
+pub fn blur_hrow_7x7_into(row: &[u8], out: &mut [u16]) {
+    let w = row.len();
+    assert_eq!(out.len(), w, "output row length mismatch");
+    assert!(w > 0, "empty row");
+    let clamped_tap = |x: usize| -> u16 {
+        let mut acc: u32 = 0;
+        for (k, &weight) in KERNEL_7_FIXED.iter().enumerate() {
+            let sx = (x as i64 + k as i64 - 3).clamp(0, w as i64 - 1) as usize;
+            acc += weight * row[sx] as u32;
+        }
+        acc as u16
+    };
+    let interior_end = w.saturating_sub(3);
+    // Left border (clamped).
+    for (x, o) in out.iter_mut().enumerate().take(w.min(3)) {
+        *o = clamped_tap(x);
+    }
+    // Interior: direct 7-tap window (empty when w < 7).
+    let interior = 3.min(w)..interior_end.max(3).min(w);
+    for (win, o) in row.windows(7).zip(out[interior].iter_mut()) {
+        let acc = KERNEL_7_FIXED[0] * win[0] as u32
+            + KERNEL_7_FIXED[1] * win[1] as u32
+            + KERNEL_7_FIXED[2] * win[2] as u32
+            + KERNEL_7_FIXED[3] * win[3] as u32
+            + KERNEL_7_FIXED[4] * win[4] as u32
+            + KERNEL_7_FIXED[5] * win[5] as u32
+            + KERNEL_7_FIXED[6] * win[6] as u32;
+        *o = acc as u16;
+    }
+    // Right border (clamped).
+    for (x, o) in out.iter_mut().enumerate().skip(interior_end.max(w.min(3))) {
+        *o = clamped_tap(x);
+    }
+}
+
+/// Vertical 7-tap combine of one output row from the seven horizontal
+/// rows the kernel touches (callers pass the same row slice several
+/// times to replicate the border, exactly like the full-frame pass
+/// clamps `y + k − 3`). The single rounding shift of the separable
+/// fixed-point blur happens here.
+///
+/// Companion band producer to [`blur_hrow_7x7_into`]; together they are
+/// the single source of truth for the 7×7 blur arithmetic.
+///
+/// # Panics
+/// Panics if any input row's length differs from `out.len()`.
+pub fn blur_vrow_7x7_into(hrows: &[&[u16]; 7], out: &mut [u8]) {
+    const ROUND: u32 = (KERNEL_7_FIXED_SUM * KERNEL_7_FIXED_SUM) / 2;
+    const DENOM: u32 = KERNEL_7_FIXED_SUM * KERNEL_7_FIXED_SUM;
+    for r in hrows {
+        assert_eq!(r.len(), out.len(), "horizontal row length mismatch");
+    }
+    for (x, o) in out.iter_mut().enumerate() {
+        // Max 16320 * 64 = 1 044 480 < u32::MAX: exact in u32.
+        let acc = KERNEL_7_FIXED[0] * hrows[0][x] as u32
+            + KERNEL_7_FIXED[1] * hrows[1][x] as u32
+            + KERNEL_7_FIXED[2] * hrows[2][x] as u32
+            + KERNEL_7_FIXED[3] * hrows[3][x] as u32
+            + KERNEL_7_FIXED[4] * hrows[4][x] as u32
+            + KERNEL_7_FIXED[5] * hrows[5][x] as u32
+            + KERNEL_7_FIXED[6] * hrows[6][x] as u32;
+        *o = ((acc + ROUND) / DENOM).min(255) as u8;
+    }
+}
+
 /// Fixed-point 7×7 blur into caller-owned buffers: `dst` receives the
 /// smoothed image, `scratch` holds the 16-bit horizontal intermediates.
 /// Both are reshaped/resized as needed and reused across calls, so
@@ -79,7 +155,10 @@ pub fn gaussian_blur_7x7_fixed_reference(src: &GrayImage) -> GrayImage {
 /// Interior pixels use row-sliced direct addressing; only the 3-pixel
 /// borders take the clamped path. Output is bit-identical to
 /// [`gaussian_blur_7x7_fixed_reference`] (the sums are exact integer
-/// arithmetic, so only addressing differs).
+/// arithmetic, so only addressing differs). Both passes delegate to the
+/// per-row band producers ([`blur_hrow_7x7_into`] /
+/// [`blur_vrow_7x7_into`]), which the streaming extraction front-end
+/// drives row by row through its line-buffer rings.
 pub fn gaussian_blur_7x7_fixed_into(src: &GrayImage, dst: &mut GrayImage, scratch: &mut Vec<u16>) {
     let w = src.width() as usize;
     let h = src.height() as usize;
@@ -91,62 +170,19 @@ pub fn gaussian_blur_7x7_fixed_into(src: &GrayImage, dst: &mut GrayImage, scratc
     let data = src.as_raw();
 
     // Horizontal pass.
-    let interior_end = w.saturating_sub(3);
     for y in 0..h {
-        let row = &data[y * w..(y + 1) * w];
-        let hrow = &mut scratch[y * w..(y + 1) * w];
-        let clamped_tap = |x: usize| -> u16 {
-            let mut acc: u32 = 0;
-            for (k, &weight) in KERNEL_7_FIXED.iter().enumerate() {
-                let sx = (x as i64 + k as i64 - 3).clamp(0, w as i64 - 1) as usize;
-                acc += weight * row[sx] as u32;
-            }
-            acc as u16
-        };
-        // Left border (clamped).
-        for (x, o) in hrow.iter_mut().enumerate().take(w.min(3)) {
-            *o = clamped_tap(x);
-        }
-        // Interior: direct 7-tap window (empty when w < 7).
-        let interior = 3.min(w)..interior_end.max(3).min(w);
-        for (win, o) in row.windows(7).zip(hrow[interior].iter_mut()) {
-            let acc = KERNEL_7_FIXED[0] * win[0] as u32
-                + KERNEL_7_FIXED[1] * win[1] as u32
-                + KERNEL_7_FIXED[2] * win[2] as u32
-                + KERNEL_7_FIXED[3] * win[3] as u32
-                + KERNEL_7_FIXED[4] * win[4] as u32
-                + KERNEL_7_FIXED[5] * win[5] as u32
-                + KERNEL_7_FIXED[6] * win[6] as u32;
-            *o = acc as u16;
-        }
-        // Right border (clamped).
-        for (x, o) in hrow.iter_mut().enumerate().skip(interior_end.max(w.min(3))) {
-            *o = clamped_tap(x);
-        }
+        blur_hrow_7x7_into(&data[y * w..(y + 1) * w], &mut scratch[y * w..(y + 1) * w]);
     }
 
     // Vertical pass: for each output row, combine the 7 (clamped)
     // horizontal rows column-wise.
-    const ROUND: u32 = (KERNEL_7_FIXED_SUM * KERNEL_7_FIXED_SUM) / 2;
-    const DENOM: u32 = KERNEL_7_FIXED_SUM * KERNEL_7_FIXED_SUM;
     let out = dst.as_raw_mut();
     for y in 0..h {
         let rows: [&[u16]; 7] = std::array::from_fn(|k| {
             let sy = (y as i64 + k as i64 - 3).clamp(0, h as i64 - 1) as usize;
             &scratch[sy * w..(sy + 1) * w]
         });
-        let orow = &mut out[y * w..(y + 1) * w];
-        for (x, o) in orow.iter_mut().enumerate() {
-            // Max 16320 * 64 = 1 044 480 < u32::MAX: exact in u32.
-            let acc = KERNEL_7_FIXED[0] * rows[0][x] as u32
-                + KERNEL_7_FIXED[1] * rows[1][x] as u32
-                + KERNEL_7_FIXED[2] * rows[2][x] as u32
-                + KERNEL_7_FIXED[3] * rows[3][x] as u32
-                + KERNEL_7_FIXED[4] * rows[4][x] as u32
-                + KERNEL_7_FIXED[5] * rows[5][x] as u32
-                + KERNEL_7_FIXED[6] * rows[6][x] as u32;
-            *o = ((acc + ROUND) / DENOM).min(255) as u8;
-        }
+        blur_vrow_7x7_into(&rows, &mut out[y * w..(y + 1) * w]);
     }
 }
 
@@ -315,6 +351,65 @@ mod tests {
         assert_eq!(out, gaussian_blur_7x7_fixed_reference(&b));
         assert_eq!(scratch.capacity(), cap);
         assert_eq!(out.as_raw().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn border_rule_exhaustive_small_sizes_match_reference() {
+        // Satellite audit: the optimized blur vs the scalar reference at
+        // every size where the 7-tap halo interacts with a border —
+        // every width and height from 1 to 16 covers all partial-window
+        // layouts (w < 3, 3 ≤ w < 7, w ≥ 7; same for h), pinning the
+        // edge-replication rule the band pass must reproduce bit-exactly.
+        for h in 1..=16u32 {
+            for w in 1..=16u32 {
+                let img = GrayImage::from_fn(w, h, |x, y| {
+                    ((x as u64 * 151 + y as u64 * 83 + (x * y) as u64) % 256) as u8
+                });
+                assert_eq!(
+                    gaussian_blur_7x7_fixed(&img),
+                    gaussian_blur_7x7_fixed_reference(&img),
+                    "size {w}x{h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_producers_match_full_frame_blur() {
+        // The streaming front-end drives blur_hrow/blur_vrow through a
+        // line-buffer ring; assembling a frame from the row producers
+        // with explicitly clamped row indices must equal the full-frame
+        // pass (and hence the reference) bit-exactly, including top and
+        // bottom rows where the vertical window is clamped.
+        for (w, h) in [(1u32, 1u32), (5, 3), (7, 7), (9, 4), (33, 11), (40, 31)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x as u64 * 31 + y as u64 * 17 + 5) % 256) as u8
+            });
+            let wz = w as usize;
+            let hz = h as usize;
+            let data = img.as_raw();
+            let mut hrows = vec![0u16; wz * hz];
+            for y in 0..hz {
+                blur_hrow_7x7_into(
+                    &data[y * wz..(y + 1) * wz],
+                    &mut hrows[y * wz..(y + 1) * wz],
+                );
+            }
+            let mut assembled = GrayImage::new(w, h);
+            let out = assembled.as_raw_mut();
+            for y in 0..hz {
+                let rows: [&[u16]; 7] = std::array::from_fn(|k| {
+                    let sy = (y as i64 + k as i64 - 3).clamp(0, hz as i64 - 1) as usize;
+                    &hrows[sy * wz..(sy + 1) * wz]
+                });
+                blur_vrow_7x7_into(&rows, &mut out[y * wz..(y + 1) * wz]);
+            }
+            assert_eq!(
+                assembled,
+                gaussian_blur_7x7_fixed_reference(&img),
+                "size {w}x{h}"
+            );
+        }
     }
 
     #[test]

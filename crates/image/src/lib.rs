@@ -71,6 +71,47 @@ mod proptests {
         }
 
         #[test]
+        fn blur_border_rule_matches_reference(
+            w in 1u32..48, h in 1u32..48, seed in 0u64..1000,
+        ) {
+            // Pins the edge-replication rule of the fixed-point blur
+            // (clamp-to-border taps, single final rounding shift) across
+            // arbitrary sizes, including rows/columns below the 7-tap
+            // halo where every window is partial.
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x as u64).wrapping_mul(2654435761)
+                    ^ (y as u64).wrapping_mul(40503)
+                    ^ seed.wrapping_mul(11400714819323198485)) as u8
+            });
+            prop_assert_eq!(
+                filter::gaussian_blur_7x7_fixed(&img),
+                filter::gaussian_blur_7x7_fixed_reference(&img)
+            );
+        }
+
+        #[test]
+        fn nearest_resize_rows_match_reference(
+            w in 1u32..40, h in 1u32..40, ow in 1u32..48, oh in 1u32..48, seed in 0u64..100,
+        ) {
+            // The row-band producer assembled over all rows must equal
+            // the per-pixel reference for arbitrary up/down-scales.
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x as u64 * 7 + y as u64 * 11 + seed) % 256) as u8
+            });
+            let mut xmap = Vec::new();
+            pyramid::resize_nearest_xmap_into(w, ow, &mut xmap);
+            let mut assembled = GrayImage::new(ow, oh);
+            let out = assembled.as_raw_mut();
+            for y in 0..oh {
+                pyramid::resize_nearest_row_into(
+                    &img, oh, y, &xmap,
+                    &mut out[y as usize * ow as usize..][..ow as usize],
+                );
+            }
+            prop_assert_eq!(assembled, pyramid::resize_nearest_reference(&img, ow, oh));
+        }
+
+        #[test]
         fn nearest_resize_only_emits_source_values(
             w in 4u32..40, h in 4u32..40, seed in 0u64..20,
         ) {

@@ -206,11 +206,56 @@ pub fn resize_nearest_reference(src: &GrayImage, width: u32, height: u32) -> Gra
     })
 }
 
+/// Fills `xmap` with the nearest-neighbour source column for each of the
+/// `width` output columns (same centre-aligned rounding as
+/// [`resize_nearest_reference`]). Computed once per resize and shared by
+/// every row the band producer emits.
+pub fn resize_nearest_xmap_into(src_width: u32, width: u32, xmap: &mut Vec<u32>) {
+    let sx = src_width as f64 / width as f64;
+    xmap.clear();
+    xmap.extend((0..width).map(|x| {
+        ((x as f64 + 0.5) * sx - 0.5)
+            .round()
+            .clamp(0.0, src_width as f64 - 1.0) as u32
+    }));
+}
+
+/// The nearest-neighbour source row for output row `y` of a resize to
+/// `height` rows — the row-coordinate half of the reference math.
+pub fn resize_nearest_src_row(src_height: u32, height: u32, y: u32) -> u32 {
+    let sy = src_height as f64 / height as f64;
+    ((y as f64 + 0.5) * sy - 0.5)
+        .round()
+        .clamp(0.0, src_height as f64 - 1.0) as u32
+}
+
+/// Produces one output row of a nearest-neighbour resize: gathers from
+/// the source row [`resize_nearest_src_row`] selects, through the column
+/// map built by [`resize_nearest_xmap_into`].
+///
+/// This is the row-band producer the streaming front-end tiles levels
+/// through; the full-frame [`resize_nearest_into`] loops over it, so the
+/// two are bit-identical by construction.
+///
+/// # Panics
+/// Panics if `out.len() != xmap.len()` or `y >= height`.
+pub fn resize_nearest_row_into(src: &GrayImage, height: u32, y: u32, xmap: &[u32], out: &mut [u8]) {
+    assert_eq!(out.len(), xmap.len(), "output row / column map mismatch");
+    assert!(y < height, "row {y} out of range for height {height}");
+    let sw = src.width() as usize;
+    let src_y = resize_nearest_src_row(src.height(), height, y) as usize;
+    let srow = &src.as_raw()[src_y * sw..src_y * sw + sw];
+    for (o, &sx_idx) in out.iter_mut().zip(xmap.iter()) {
+        *o = srow[sx_idx as usize];
+    }
+}
+
 /// Nearest-neighbour resize into a caller-owned image, with the
 /// source-column map kept in `xmap` scratch: the per-pixel coordinate
 /// math of the reference runs once per row/column instead of once per
 /// pixel, and row gathers use direct slices. Bit-identical to
-/// [`resize_nearest_reference`].
+/// [`resize_nearest_reference`]. Implemented as a loop over the
+/// [`resize_nearest_row_into`] band producer.
 pub fn resize_nearest_into(
     src: &GrayImage,
     dst: &mut GrayImage,
@@ -218,30 +263,12 @@ pub fn resize_nearest_into(
     height: u32,
     xmap: &mut Vec<u32>,
 ) {
-    let sx = src.width() as f64 / width as f64;
-    let sy = src.height() as f64 / height as f64;
     dst.reshape(width, height);
-
-    xmap.clear();
-    xmap.extend((0..width).map(|x| {
-        ((x as f64 + 0.5) * sx - 0.5)
-            .round()
-            .clamp(0.0, src.width() as f64 - 1.0) as u32
-    }));
-
-    let sw = src.width() as usize;
-    let data = src.as_raw();
+    resize_nearest_xmap_into(src.width(), width, xmap);
     let out = dst.as_raw_mut();
     let w = width as usize;
-    for y in 0..height as usize {
-        let src_y = ((y as f64 + 0.5) * sy - 0.5)
-            .round()
-            .clamp(0.0, src.height() as f64 - 1.0) as usize;
-        let srow = &data[src_y * sw..src_y * sw + sw];
-        let orow = &mut out[y * w..(y + 1) * w];
-        for (o, &sx_idx) in orow.iter_mut().zip(xmap.iter()) {
-            *o = srow[sx_idx as usize];
-        }
+    for y in 0..height {
+        resize_nearest_row_into(src, height, y, xmap, &mut out[y as usize * w..][..w]);
     }
 }
 

@@ -1,0 +1,225 @@
+//! The streaming front-end oracle: everything the fused single-pass
+//! streaming extractor produces must be **bit-identical** to the legacy
+//! multi-pass pipeline — keypoints, Harris responses, orientation
+//! angles/labels, descriptors, and extraction stats — for every paper
+//! sequence, every pyramid depth, odd and degenerate image sizes, every
+//! descriptor kind, and every worker-pool shape, no matter what
+//! `ESLAM_EXTRACT` is set to in the environment (both paths are driven
+//! directly here, so the CI matrix exercises the same assertions under
+//! both forced settings).
+
+use eslam_core::{run_sequence, Slam, SlamConfig};
+use eslam_dataset::sequence::{SequenceSpec, SyntheticSequence};
+use eslam_features::orb::{DescriptorKind, OrbConfig, OrbExtractor, OrbScratch, Workflow};
+use eslam_features::ExtractMode;
+use eslam_image::pyramid::PyramidConfig;
+use eslam_image::GrayImage;
+
+const IMAGE_SCALE: f64 = 0.25;
+
+fn paper_sequences(frames: usize) -> Vec<SyntheticSequence> {
+    SequenceSpec::paper_sequences(frames, IMAGE_SCALE)
+        .iter()
+        .map(|spec| spec.build())
+        .collect()
+}
+
+/// A corner-rich checkerboard with per-pixel variation (pure
+/// checkerboards have no FAST-9 corners).
+fn textured(w: u32, h: u32, seed: u64) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let base = if ((x / 12) + (y / 12)) % 2 == 0 {
+            50
+        } else {
+            190
+        };
+        base + ((x as u64 * 31 + y as u64 * 17 + seed * 1009) % 23) as u8
+    })
+}
+
+/// Asserts full bit-identity of the two extraction paths on one image,
+/// with a context message; the `OrbFeatures` equality covers keypoints
+/// (coordinates, responses, angles, labels), descriptors, and stats.
+fn assert_paths_identical(extractor: &OrbExtractor, img: &GrayImage, context: &str) {
+    let stream = extractor.extract_stream_with(img, &mut OrbScratch::default());
+    let passes = extractor.extract_passes_with(img, &mut OrbScratch::default());
+    assert_eq!(stream, passes, "{context}");
+}
+
+#[test]
+fn streaming_bit_identical_across_all_paper_sequences() {
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    for seq in paper_sequences(3) {
+        for (i, frame) in seq.frames().enumerate() {
+            assert_paths_identical(&extractor, &frame.gray, &format!("{} frame {i}", seq.name));
+        }
+    }
+}
+
+#[test]
+fn streaming_bit_identical_across_pyramid_depths() {
+    // All pyramid levels stream, including the tiny top levels whose
+    // height approaches the descriptor halo.
+    let seq = &paper_sequences(2)[0];
+    let frame = seq.frame(0);
+    for levels in [1usize, 2, 4, 6] {
+        let extractor = OrbExtractor::new(OrbConfig {
+            pyramid: PyramidConfig {
+                levels,
+                scale_factor: 1.2,
+            },
+            ..Default::default()
+        });
+        assert_paths_identical(&extractor, &frame.gray, &format!("{levels} levels"));
+    }
+}
+
+#[test]
+fn streaming_bit_identical_on_odd_and_degenerate_sizes() {
+    // Below-band sizes (nothing extractable), widths that exercise the
+    // SIMD row tails, and heights straddling the ring size.
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    for (w, h) in [
+        (1u32, 1u32),
+        (6, 6),
+        (7, 7),
+        (8, 40),
+        (40, 8),
+        (17, 19),
+        (31, 33),
+        (37, 64),
+        (41, 100),
+        (65, 48),
+        (101, 77),
+        (64, 64),
+    ] {
+        assert_paths_identical(&extractor, &textured(w, h, 11), &format!("{w}x{h}"));
+    }
+}
+
+#[test]
+fn streaming_bit_identical_for_all_descriptor_kinds_and_workflows() {
+    // The Original workflow cannot stream (its post-filter descriptor
+    // stage needs the full smoothed frame); extract_stream_with must
+    // fall back and still agree exactly.
+    let img = textured(200, 150, 3);
+    for kind in [
+        DescriptorKind::RsBrief,
+        DescriptorKind::OriginalLut,
+        DescriptorKind::OriginalDirect,
+    ] {
+        for workflow in [Workflow::Rescheduled, Workflow::Original] {
+            let extractor = OrbExtractor::new(OrbConfig {
+                descriptor: kind,
+                workflow,
+                max_features: 200,
+                ..Default::default()
+            });
+            assert_paths_identical(&extractor, &img, &format!("{kind:?} {workflow:?}"));
+        }
+    }
+}
+
+#[test]
+fn streaming_bit_identical_across_worker_pool_shapes() {
+    // Parallel levels must not perturb either path: 1 thread, a small
+    // pool, and the process-global pool all agree with the single-pool
+    // passes result.
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    let img = paper_sequences(1)[2].frame(0).gray.clone();
+    let oracle = extractor.extract_passes_with(&img, &mut OrbScratch::default());
+    for threads in [Some(1), Some(3), None] {
+        let mut scratch = match threads {
+            Some(_) => OrbScratch::with_threads(threads),
+            None => OrbScratch::default(),
+        };
+        let streamed = extractor.extract_stream_with(&img, &mut scratch);
+        assert_eq!(streamed, oracle, "threads {threads:?}");
+    }
+}
+
+#[test]
+fn full_pipeline_identical_under_all_extract_modes() {
+    // End-to-end oracle: a Slam run with the extraction path pinned to
+    // passes versus stream versus auto — trajectories, tracking
+    // decisions and feature counts must agree exactly.
+    for seq in paper_sequences(4).into_iter().take(2) {
+        let runs: Vec<_> = [ExtractMode::Passes, ExtractMode::Stream, ExtractMode::Auto]
+            .into_iter()
+            .map(|mode| {
+                let mut config = SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE);
+                config.orb.extract = mode;
+                run_sequence(&seq, config)
+            })
+            .collect();
+        let oracle = &runs[0];
+        for (mode, run) in [ExtractMode::Stream, ExtractMode::Auto]
+            .into_iter()
+            .zip(&runs[1..])
+        {
+            assert_eq!(run.reports.len(), oracle.reports.len(), "{}", seq.name);
+            for (r, m) in run.reports.iter().zip(&oracle.reports) {
+                let ctx = format!("{} frame {} ({mode:?})", seq.name, m.index);
+                assert_eq!(r.pose_c2w, m.pose_c2w, "{ctx}: pose");
+                assert_eq!(r.extraction, m.extraction, "{ctx}: feature counts");
+                assert_eq!(r.raw_matches, m.raw_matches, "{ctx}: raw matches");
+                assert_eq!(r.inliers, m.inliers, "{ctx}: inliers");
+                assert_eq!(r.is_keyframe, m.is_keyframe, "{ctx}: keyframe flag");
+                assert_eq!(r.tracking_ok, m.tracking_ok, "{ctx}: tracking flag");
+                assert_eq!(r.map_size, m.map_size, "{ctx}: map size");
+            }
+            assert_eq!(
+                run.estimate.poses(),
+                oracle.estimate.poses(),
+                "{} ({mode:?}): trajectory",
+                seq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_working_memory_is_height_independent() {
+    // The line-buffer claim at the tier level: same width, 8× the
+    // height, identical peak extraction working memory — while the
+    // results still match the multi-pass oracle on both shapes.
+    let extractor = OrbExtractor::new(OrbConfig::default());
+    let mut short = OrbScratch::default();
+    let mut tall = OrbScratch::default();
+    let short_img = textured(160, 120, 5);
+    let tall_img = textured(160, 960, 5);
+    let short_run = extractor.extract_stream_with(&short_img, &mut short);
+    let tall_run = extractor.extract_stream_with(&tall_img, &mut tall);
+    assert_eq!(
+        short_run,
+        extractor.extract_passes_with(&short_img, &mut OrbScratch::default())
+    );
+    assert_eq!(
+        tall_run,
+        extractor.extract_passes_with(&tall_img, &mut OrbScratch::default())
+    );
+    let bytes = short.stream_working_bytes();
+    assert!(bytes > 0, "streaming pass must have used its line buffers");
+    assert_eq!(
+        bytes,
+        tall.stream_working_bytes(),
+        "line-buffer bytes must not scale with image height"
+    );
+}
+
+#[test]
+fn slam_default_config_streams_and_matches_manual_extraction() {
+    // The default Auto mode streams under the default Rescheduled
+    // workflow; a Slam frame step must agree with manual extraction on
+    // the same image regardless.
+    let seq = &paper_sequences(2)[1];
+    let frame = seq.frame(0);
+    let mut slam = Slam::builder()
+        .config(SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE))
+        .build();
+    let report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
+    let config = SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE);
+    let manual = OrbExtractor::new(config.orb).extract(&frame.gray);
+    assert_eq!(report.extraction.kept, manual.stats.kept);
+    assert_eq!(report.extraction.candidates, manual.stats.candidates);
+}
