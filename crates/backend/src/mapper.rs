@@ -32,7 +32,9 @@ use eslam_features::pool::{TaskHandle, WorkerPool};
 use eslam_features::Descriptor;
 use eslam_geometry::ba::{bundle_adjust, BaObservation, BaParams, BaResult};
 use eslam_geometry::{PinholeCamera, Se3, Vec3};
+use eslam_telemetry::{Counter, Stage, Telemetry};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Environment variable forcing the backend execution mode: `off`,
 /// `sync`, `async`, or `auto` (honour the configured mode). Works
@@ -625,6 +627,8 @@ pub struct BackendRunner {
     detector: Option<LoopDetector>,
     pending_loops: VecDeque<PendingLoop>,
     stats: BackendStats,
+    /// Telemetry sink backend stages record into; `None` → off.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl BackendRunner {
@@ -648,7 +652,15 @@ impl BackendRunner {
             pending_loops: VecDeque::new(),
             config,
             stats: BackendStats::default(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches (or detaches) the telemetry sink backend spans and
+    /// counters record into. Telemetry observes only — job scheduling
+    /// and solve results are bit-identical with and without a sink.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
     }
 
     /// The mapper (keyframe store + covisibility graph).
@@ -709,12 +721,16 @@ impl BackendRunner {
         // evolve deterministically); verification + pose graph as a
         // dispatched job.
         if let Some(detector) = self.detector.as_mut() {
-            if let Some(candidate) = detector.observe(
-                self.mapper.store(),
-                self.mapper.covisibility(),
-                id,
-                &mut |landmark| position_of(landmark).is_some(),
-            ) {
+            let candidate = {
+                let _span = Telemetry::span_opt(self.telemetry.as_deref(), Stage::LoopDetect);
+                detector.observe(
+                    self.mapper.store(),
+                    self.mapper.covisibility(),
+                    id,
+                    &mut |landmark| position_of(landmark).is_some(),
+                )
+            };
+            if let Some(candidate) = candidate {
                 let job = LoopClosureJob::snapshot(
                     candidate,
                     self.mapper.store(),
@@ -724,12 +740,30 @@ impl BackendRunner {
                     position_of,
                 );
                 self.stats.loop_candidates += 1;
+                if let Some(t) = &self.telemetry {
+                    t.count(Counter::LoopCandidates, 1);
+                }
+                // The `Arc` clone travels into the job so verification
+                // is timed on whichever thread runs it.
+                let telemetry = self
+                    .telemetry
+                    .as_ref()
+                    .filter(|t| t.timing())
+                    .map(Arc::clone);
                 if self.asynchronous {
                     self.pending_loops
-                        .push_back(PendingLoop::Handle(pool.submit(move || job.run())));
+                        .push_back(PendingLoop::Handle(pool.submit(move || {
+                            let _span =
+                                Telemetry::span_opt(telemetry.as_deref(), Stage::LoopVerify);
+                            job.run()
+                        })));
                 } else {
+                    let outcome = {
+                        let _span = Telemetry::span_opt(telemetry.as_deref(), Stage::LoopVerify);
+                        job.run()
+                    };
                     self.pending_loops
-                        .push_back(PendingLoop::Ready(Box::new(job.run())));
+                        .push_back(PendingLoop::Ready(Box::new(outcome)));
                 }
             }
         }
@@ -740,12 +774,23 @@ impl BackendRunner {
             return;
         };
         self.stats.runs += 1;
+        let telemetry = self
+            .telemetry
+            .as_ref()
+            .filter(|t| t.timing())
+            .map(Arc::clone);
         if self.asynchronous {
             self.pending
-                .push_back(PendingJob::Handle(pool.submit(move || job.run())));
+                .push_back(PendingJob::Handle(pool.submit(move || {
+                    let _span = Telemetry::span_opt(telemetry.as_deref(), Stage::BackendSolve);
+                    job.run()
+                })));
         } else {
-            self.pending
-                .push_back(PendingJob::Ready(Box::new(job.run())));
+            let outcome = {
+                let _span = Telemetry::span_opt(telemetry.as_deref(), Stage::BackendSolve);
+                job.run()
+            };
+            self.pending.push_back(PendingJob::Ready(Box::new(outcome)));
         }
     }
 
@@ -764,6 +809,9 @@ impl BackendRunner {
             PendingJob::Ready(ready) => *ready,
         };
         self.stats.join_wait_ms += collect_start.elapsed().as_secs_f64() * 1e3;
+        if let Some(t) = &self.telemetry {
+            t.record_since(Stage::BackendJoin, collect_start);
+        }
         self.mapper.apply(&outcome);
         self.stats.applied += 1;
         self.stats.iterations += outcome.result.iterations;
@@ -791,6 +839,17 @@ impl BackendRunner {
             PendingLoop::Ready(ready) => *ready,
         };
         self.stats.join_wait_ms += collect_start.elapsed().as_secs_f64() * 1e3;
+        if let Some(t) = &self.telemetry {
+            t.record_since(Stage::BackendJoin, collect_start);
+            t.count(
+                if outcome.accepted {
+                    Counter::LoopClosuresAccepted
+                } else {
+                    Counter::LoopClosuresRejected
+                },
+                1,
+            );
+        }
         self.stats.last_loop_matches = outcome.matches;
         self.stats.last_loop_inliers = outcome.inliers;
         self.stats.loop_solve_ms += outcome.solve_ms;

@@ -5,7 +5,7 @@
 //! zero-allocation check on the recycled-buffer render path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eslam_core::{run_sequence, PrefetchMode, Slam, SlamConfig};
+use eslam_core::{run_sequence, PrefetchMode, Slam, SlamConfig, TelemetryMode};
 use eslam_dataset::sequence::{Frame, SequenceSpec};
 use eslam_hw::system::{frame_timing, Schedule, StageTimesMs};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -84,6 +84,22 @@ fn bench_run_sequence_overlap(c: &mut Criterion) {
             result.wall.track_ms,
             100.0 * result.wall.wait_fraction(),
         );
+    }
+
+    // The observability overhead gate: the same streamed run with
+    // telemetry disabled vs recording everything (spans, histograms,
+    // flight recorder, trace events). CI holds full/off under +5% via
+    // `bench_regress --ratio`.
+    for (name, mode) in [
+        ("telemetry_off", TelemetryMode::Off),
+        ("telemetry_full", TelemetryMode::Full),
+    ] {
+        let mut config = SlamConfig::scaled_for_tests(4.0);
+        config.prefetch = PrefetchMode::On;
+        config.telemetry = config.telemetry.with_mode(mode);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_sequence(&seq, config)).reports.len())
+        });
     }
     group.finish();
 }

@@ -19,14 +19,23 @@
 //! `--write-baseline` refreshes the baseline file instead of comparing —
 //! run it (with the same quick-mode env knobs CI uses) after an
 //! intentional performance change or a runner-hardware change.
+//!
+//! `--ratio <numerator>:<denominator>:<max>` (repeatable) additionally
+//! gates the ratio of two benches **within the current run** — e.g.
+//! `--ratio pipeline/run_sequence/telemetry_full:pipeline/run_sequence/telemetry_off:1.05`
+//! fails when full-mode telemetry costs more than 5% over off. Being a
+//! same-run ratio, it is immune to runner-speed drift that the absolute
+//! baseline comparison has to tolerate.
 
 use eslam_bench::regress::{
-    compare, has_failures, parse_harness_output, parse_json, to_json, Verdict,
+    compare, has_failures, parse_harness_output, parse_json, ratio_check, to_json, RatioVerdict,
+    Verdict,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_regress --input <harness-output|-> [--out <artifact.json>] \
+         [--ratio <numerator>:<denominator>:<max>]... \
          (--baseline <baseline.json> | --write-baseline <baseline.json>)"
     );
     std::process::exit(2);
@@ -38,6 +47,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut write_baseline: Option<String> = None;
+    let mut ratios: Vec<(String, String, f64)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,6 +55,22 @@ fn main() {
             "--out" => out = it.next().cloned(),
             "--baseline" => baseline = it.next().cloned(),
             "--write-baseline" => write_baseline = it.next().cloned(),
+            "--ratio" => {
+                let Some(spec) = it.next() else { usage() };
+                let parts: Vec<&str> = spec.rsplitn(2, ':').collect();
+                // rsplitn so bench names may themselves contain ':'… they
+                // don't today, but the max is always the last field.
+                let (Some(max_str), Some(pair)) = (parts.first(), parts.get(1)) else {
+                    usage()
+                };
+                let Some((num, den)) = pair.split_once(':') else {
+                    usage()
+                };
+                let Ok(max) = max_str.parse::<f64>() else {
+                    usage()
+                };
+                ratios.push((num.to_string(), den.to_string(), max));
+            }
             _ => usage(),
         }
     }
@@ -83,7 +109,32 @@ fn main() {
         println!("wrote artifact {out}");
     }
 
+    // Same-run ratio gates apply even when refreshing the baseline —
+    // a baseline refresh must not bless an over-budget ratio.
+    let mut ratio_failed = false;
+    for (num, den, max) in &ratios {
+        match ratio_check(&run, num, den, *max) {
+            RatioVerdict::Ok(min_r, med_r) => println!(
+                "  ratio ok  {num} / {den} = {min_r:.3} (min), {med_r:.3} (median) <= {max}"
+            ),
+            RatioVerdict::Exceeded(min_r, med_r) => {
+                println!(
+                    "  RATIO EXCEEDED {num} / {den} = {min_r:.3} (min), {med_r:.3} (median) > {max}"
+                );
+                ratio_failed = true;
+            }
+            RatioVerdict::Missing(names) => {
+                println!("  RATIO MISSING benches: {names}");
+                ratio_failed = true;
+            }
+        }
+    }
+
     if let Some(path) = &write_baseline {
+        if ratio_failed {
+            eprintln!("bench_regress: ratio gate failed; baseline not refreshed");
+            std::process::exit(1);
+        }
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("refreshed baseline {path}");
         return;
@@ -120,15 +171,17 @@ fn main() {
             Verdict::New => println!("  new       {name}  (no baseline)"),
         }
     }
-    if has_failures(&verdicts) {
+    if has_failures(&verdicts) || ratio_failed {
         eprintln!(
-            "bench_regress: regression beyond +{:.0}% (or missing bench) vs {baseline_path}",
+            "bench_regress: regression beyond +{:.0}% (or missing bench, or ratio gate) \
+             vs {baseline_path}",
             tolerance * 100.0
         );
         std::process::exit(1);
     }
     println!(
-        "all tracked benches within +{:.0}% of baseline",
-        tolerance * 100.0
+        "all tracked benches within +{:.0}% of baseline ({} ratio gates ok)",
+        tolerance * 100.0,
+        ratios.len()
     );
 }

@@ -1,12 +1,21 @@
 //! End-to-end sequence report: runs the full SLAM pipeline on a
 //! synthetic sequence and projects the per-frame workloads through the
 //! three platform models (ARM / Intel i7 / eSLAM) under their respective
-//! schedules — the sequence-level view of Table 3.
+//! schedules — the sequence-level view of Table 3. Runs with full
+//! telemetry and appends the measured per-stage latency percentiles
+//! (see TELEMETRY.md).
 
-use eslam_core::{run_sequence, SlamConfig, Stage};
+use eslam_core::telemetry::{events, TelemetryMode};
+use eslam_core::{run_sequence, Overrides, SlamConfig, Stage};
 use eslam_dataset::sequence::SequenceSpec;
 
 fn main() {
+    // Harness binary: validate the ESLAM_* environment up front and
+    // surface library warnings on stderr as they happen.
+    let overrides = Overrides::from_env();
+    eprintln!("overrides: {}", overrides.report());
+    events::mirror_to_stderr(true);
+
     let fast = std::env::args().any(|a| a == "--fast");
     let (frames, scale) = if fast { (10, 0.25) } else { (30, 0.5) };
     let spec = &SequenceSpec::paper_sequences(frames, scale)[2]; // fr1/desk
@@ -16,7 +25,9 @@ fn main() {
     );
 
     let seq = spec.build();
-    let result = run_sequence(&seq, SlamConfig::scaled_for_tests(1.0 / scale));
+    let mut config = SlamConfig::scaled_for_tests(1.0 / scale);
+    config.telemetry = config.telemetry.with_mode(TelemetryMode::Full);
+    let result = run_sequence(&seq, config);
 
     let s = &result.stats;
     println!(
@@ -58,4 +69,31 @@ fn main() {
     // accelerates, and is the most energy-efficient platform.
     assert!(eslam.total_ms < arm.total_ms);
     assert!(eslam.energy_mj < arm.energy_mj && eslam.energy_mj < i7.energy_mj);
+
+    // Measured (not modelled) per-stage latency distribution of this
+    // host's run — the telemetry layer's summary view.
+    if let Some(summary) = &result.telemetry {
+        println!("\nmeasured stage latencies (telemetry, this host):");
+        println!(
+            "{:<20} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "p50", "p95", "p99", "max"
+        );
+        for s in &summary.stages {
+            println!(
+                "{:<20} {:>7} {:>7.3}ms {:>7.3}ms {:>7.3}ms {:>7.3}ms",
+                s.stage.name(),
+                s.count,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.max_ms
+            );
+        }
+        if !summary.nonzero_counters().is_empty() {
+            println!("\ncounters:");
+            for (counter, value) in summary.nonzero_counters() {
+                println!("  {:<28} {}", counter.name(), value);
+            }
+        }
+    }
 }

@@ -217,6 +217,52 @@ pub fn has_failures(verdicts: &[(String, Verdict)]) -> bool {
         .any(|(_, v)| matches!(v, Verdict::Regressed(..) | Verdict::Missing))
 }
 
+/// Outcome of a paired-bench ratio gate (e.g. telemetry full vs off).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatioVerdict {
+    /// Within bound (ratios: min, median).
+    Ok(f64, f64),
+    /// Both the min ratio and the median ratio exceed the bound.
+    Exceeded(f64, f64),
+    /// One or both benches missing from the run — a gate that silently
+    /// stops measuring must fail, not pass.
+    Missing(String),
+}
+
+/// Gates the ratio `numerator / denominator` of two benches in the
+/// same run against `max` (e.g. `1.05` → the numerator may cost at
+/// most 5% more). Applies the same min-AND-median rule as [`compare`]:
+/// the gate trips only when both statistics exceed the bound, so a
+/// one-sided spike on a shared runner doesn't fail the job.
+pub fn ratio_check(
+    current: &HarnessRun,
+    numerator: &str,
+    denominator: &str,
+    max: f64,
+) -> RatioVerdict {
+    let find = |name: &str| current.records.iter().find(|r| r.name == name);
+    let (num, den) = match (find(numerator), find(denominator)) {
+        (Some(n), Some(d)) => (n, d),
+        (n, d) => {
+            let mut missing = Vec::new();
+            if n.is_none() {
+                missing.push(numerator);
+            }
+            if d.is_none() {
+                missing.push(denominator);
+            }
+            return RatioVerdict::Missing(missing.join(", "));
+        }
+    };
+    let min_ratio = num.min_ns / den.min_ns;
+    let median_ratio = num.median_ns / den.median_ns;
+    if min_ratio > max && median_ratio > max {
+        RatioVerdict::Exceeded(min_ratio, median_ratio)
+    } else {
+        RatioVerdict::Ok(min_ratio, median_ratio)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +361,36 @@ bench_tiny                                       time:   [2.000 ns 3.000 ns 4.00
     fn malformed_json_is_rejected() {
         assert!(parse_json("not json").is_none());
         assert!(parse_json("{\"benches\": {\"x\": [1.0, oops]}}").is_none());
+    }
+
+    #[test]
+    fn ratio_check_gates_paired_benches() {
+        let run = HarnessRun {
+            records: vec![
+                rec("p/off", 100.0, 110.0),
+                rec("p/full", 103.0, 113.0),  // ~3% — within 1.05
+                rec("p/slow", 120.0, 130.0),  // ~20% on both — exceeds
+                rec("p/noisy", 103.0, 160.0), // median spiked, min flat
+            ],
+            skipped: vec![],
+        };
+        assert!(matches!(
+            ratio_check(&run, "p/full", "p/off", 1.05),
+            RatioVerdict::Ok(..)
+        ));
+        assert!(matches!(
+            ratio_check(&run, "p/slow", "p/off", 1.05),
+            RatioVerdict::Exceeded(..)
+        ));
+        // One-sided noise passes, exactly like `compare`.
+        assert!(matches!(
+            ratio_check(&run, "p/noisy", "p/off", 1.05),
+            RatioVerdict::Ok(..)
+        ));
+        // A vanished bench fails the gate instead of skipping it.
+        let RatioVerdict::Missing(names) = ratio_check(&run, "p/gone", "p/off", 1.05) else {
+            panic!("missing bench must be reported");
+        };
+        assert_eq!(names, "p/gone");
     }
 }

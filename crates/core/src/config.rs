@@ -8,6 +8,7 @@ use eslam_geometry::PinholeCamera;
 pub use eslam_backend::{
     BackendConfig, BackendMode, KeyframeCullConfig, LoopClosureConfig, BACKEND_ENV,
 };
+pub use eslam_telemetry::{TelemetryConfig, TelemetryMode};
 
 /// Hardware-model selection for the front-end stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,34 @@ impl PrefetchMode {
     }
 }
 
+/// Environment variable forcing the telemetry mode: `off`, `counters`,
+/// `full`, or `auto` (defer to [`SlamConfig::telemetry`]). When set it
+/// overrides [`TelemetryConfig::mode`] entirely — the CI matrix uses
+/// it, exactly like [`PREFETCH_ENV`], to run the suite under every
+/// recording mode. An unrecognised value panics so matrix typos fail
+/// loudly.
+pub const TELEMETRY_ENV: &str = "ESLAM_TELEMETRY";
+
+/// Resolves the telemetry mode: [`TELEMETRY_ENV`] (read once per
+/// process) wins over the configured mode.
+///
+/// # Panics
+/// Panics when [`TELEMETRY_ENV`] is set to an unrecognised value.
+pub fn resolved_telemetry(config: TelemetryConfig) -> TelemetryConfig {
+    static FORCED: std::sync::OnceLock<Option<TelemetryMode>> = std::sync::OnceLock::new();
+    let forced = *FORCED.get_or_init(|| {
+        eslam_features::envopt::forced(
+            TELEMETRY_ENV,
+            "auto, off, counters or full",
+            TelemetryMode::parse,
+        )
+    });
+    match forced {
+        Some(mode) => config.with_mode(mode),
+        None => config,
+    }
+}
+
 /// Configuration of the [`crate::Slam`] system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlamConfig {
@@ -125,6 +154,12 @@ pub struct SlamConfig {
     /// tracking via the async double-buffered prefetcher. Overridden by
     /// the [`PREFETCH_ENV`] environment variable when set.
     pub prefetch: PrefetchMode,
+    /// Observability configuration: what the telemetry layer records
+    /// ([`TelemetryConfig::mode`], overridden by [`TELEMETRY_ENV`]),
+    /// the per-frame budget, and the flight-recorder / trace-buffer
+    /// sizes. Telemetry observes only — trajectories and stats are
+    /// bit-identical under every mode.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SlamConfig {
@@ -161,6 +196,7 @@ impl SlamConfig {
             motion_model: true,
             worker_threads: None,
             prefetch: PrefetchMode::Auto,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -233,6 +269,46 @@ mod tests {
                 assert!(!off);
                 let cores = eslam_features::pool::available_threads();
                 assert_eq!(auto, cores > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_resolution_honours_config_and_env() {
+        // Same process-wide OnceLock caveat as the prefetch test: with
+        // ESLAM_TELEMETRY unset/auto the configured mode passes through
+        // untouched; with a forced value every configured mode resolves
+        // to the forced one. Non-mode fields always pass through.
+        let config = TelemetryConfig {
+            frame_budget_ms: 33.0,
+            flight_frames: 7,
+            ..TelemetryConfig::default()
+        };
+        let off = resolved_telemetry(config.with_mode(TelemetryMode::Off));
+        let counters = resolved_telemetry(config.with_mode(TelemetryMode::Counters));
+        let full = resolved_telemetry(config.with_mode(TelemetryMode::Full));
+        for resolved in [&off, &counters, &full] {
+            assert_eq!(resolved.frame_budget_ms, 33.0);
+            assert_eq!(resolved.flight_frames, 7);
+        }
+        let forced = std::env::var(TELEMETRY_ENV)
+            .ok()
+            .map(|v| v.trim().to_ascii_lowercase())
+            .filter(|v| !v.is_empty() && v != "auto");
+        match forced {
+            Some(value) => {
+                let mode = TelemetryMode::parse(&value).expect("forced mode parses");
+                assert_eq!(
+                    off.mode, mode,
+                    "a forced {TELEMETRY_ENV} overrides the config"
+                );
+                assert_eq!(counters.mode, mode);
+                assert_eq!(full.mode, mode);
+            }
+            None => {
+                assert_eq!(off.mode, TelemetryMode::Off);
+                assert_eq!(counters.mode, TelemetryMode::Counters);
+                assert_eq!(full.mode, TelemetryMode::Full);
             }
         }
     }

@@ -54,6 +54,11 @@
 //!   keyframe-backend execution mode over the configured
 //!   [`config::BackendConfig::mode`] ([`config::BACKEND_ENV`]). CI
 //!   runs the suite under both `sync` and `async`;
+//! * `ESLAM_TELEMETRY` (`auto`/`off`/`counters`/`full`) — forces the
+//!   telemetry recording mode over the configured
+//!   [`config::SlamConfig::telemetry`] ([`config::TELEMETRY_ENV`]).
+//!   Telemetry observes only: trajectories are bit-identical under
+//!   every mode (`tests/telemetry.rs`);
 //! * `ESLAM_ATLAS` (a filesystem path) — names an atlas file for
 //!   sessions to load at start ([`overrides::ATLAS_ENV`],
 //!   [`atlas::Atlas::load_from_env`]).
@@ -132,10 +137,14 @@ pub mod stats;
 pub mod system;
 pub mod tracking;
 
+/// The telemetry substrate crate, re-exported whole: histograms,
+/// flight-recorder timelines, exporters and the event ring.
+pub use eslam_telemetry as telemetry;
+
 pub use atlas::{Atlas, AtlasState};
 pub use config::{
     Backend, BackendConfig, BackendMode, KeyframeCullConfig, LoopClosureConfig, PrefetchMode,
-    SlamConfig, BACKEND_ENV, PREFETCH_ENV,
+    SlamConfig, TelemetryConfig, TelemetryMode, BACKEND_ENV, PREFETCH_ENV, TELEMETRY_ENV,
 };
 pub use map::{Map, MapPoint, PointObservation};
 pub use overrides::{Overrides, ATLAS_ENV};

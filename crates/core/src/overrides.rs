@@ -1,6 +1,6 @@
 //! One typed surface over every `ESLAM_*` environment override.
 //!
-//! The system honours five process-wide toggles, each read **once**
+//! The system honours six process-wide toggles, each read **once**
 //! (cached behind a `OnceLock` at its point of use) so a run cannot
 //! change behaviour mid-flight:
 //!
@@ -10,9 +10,10 @@
 //! | `ESLAM_PREFETCH` | `auto`, `on`/`1`/`true`, `off`/`0`/`false` | frame-source double-buffered prefetch |
 //! | `ESLAM_BACKEND` | `auto`, `off`, `sync`, `async` | keyframe-backend execution mode |
 //! | `ESLAM_EXTRACT` | `auto`, `stream`, `passes` | the ORB extraction path (fused streaming vs multi-pass) |
+//! | `ESLAM_TELEMETRY` | `auto`, `off`, `counters`, `full` | the telemetry recording mode |
 //! | `ESLAM_ATLAS` | a filesystem path | the atlas file sessions load at start |
 //!
-//! All five share one parse contract (implemented in
+//! All six share one parse contract (implemented in
 //! `eslam_features::envopt`): unset, empty and `auto` mean "no
 //! override"; keyword values are trimmed and case-insensitive
 //! (`ESLAM_ATLAS` is trimmed only — paths are case-sensitive); and an
@@ -30,6 +31,7 @@ use eslam_backend::BackendMode;
 use eslam_features::envopt;
 use eslam_features::matcher::MatchKernel;
 use eslam_features::ExtractMode;
+use eslam_telemetry::TelemetryMode;
 
 /// Environment variable naming an atlas file for sessions to load.
 pub const ATLAS_ENV: &str = "ESLAM_ATLAS";
@@ -37,6 +39,8 @@ pub const ATLAS_ENV: &str = "ESLAM_ATLAS";
 /// Re-export of the prefetch variable name, for discoverability
 /// alongside the others.
 pub use crate::config::PREFETCH_ENV;
+/// Re-export of the telemetry-mode variable name.
+pub use crate::config::TELEMETRY_ENV;
 /// Re-export of the backend-mode variable name.
 pub use eslam_backend::BACKEND_ENV;
 /// Re-export of the match-kernel variable name.
@@ -56,6 +60,8 @@ pub struct Overrides {
     pub backend: Option<BackendMode>,
     /// Forced ORB extraction path, from `ESLAM_EXTRACT`.
     pub extract: Option<ExtractMode>,
+    /// Forced telemetry recording mode, from `ESLAM_TELEMETRY`.
+    pub telemetry: Option<TelemetryMode>,
     /// Atlas file to load, from `ESLAM_ATLAS`.
     pub atlas: Option<PathBuf>,
 }
@@ -92,6 +98,11 @@ impl Overrides {
                 },
             ),
             extract: envopt::forced(EXTRACT_ENV, "auto, stream or passes", ExtractMode::parse),
+            telemetry: envopt::forced(
+                TELEMETRY_ENV,
+                "auto, off, counters or full",
+                TelemetryMode::parse,
+            ),
             atlas: atlas_path(),
         }
     }
@@ -114,13 +125,15 @@ impl Overrides {
         let extract = self
             .extract
             .map_or_else(|| "auto".to_string(), |m| m.to_string());
+        let telemetry = self.telemetry.map_or("auto", |m| m.name());
         let atlas = self
             .atlas
             .as_ref()
             .map_or_else(|| "unset".to_string(), |p| p.display().to_string());
         format!(
             "{MATCH_KERNEL_ENV}={kernel} {PREFETCH_ENV}={prefetch} \
-             {BACKEND_ENV}={backend} {EXTRACT_ENV}={extract} {ATLAS_ENV}={atlas}"
+             {BACKEND_ENV}={backend} {EXTRACT_ENV}={extract} \
+             {TELEMETRY_ENV}={telemetry} {ATLAS_ENV}={atlas}"
         )
     }
 }
@@ -142,7 +155,7 @@ mod tests {
         assert_eq!(
             overrides.report(),
             "ESLAM_MATCH_KERNEL=auto ESLAM_PREFETCH=auto ESLAM_BACKEND=auto \
-             ESLAM_EXTRACT=auto ESLAM_ATLAS=unset"
+             ESLAM_EXTRACT=auto ESLAM_TELEMETRY=auto ESLAM_ATLAS=unset"
         );
     }
 
@@ -153,12 +166,13 @@ mod tests {
             prefetch: Some(false),
             backend: Some(BackendMode::Async),
             extract: Some(ExtractMode::Stream),
+            telemetry: Some(TelemetryMode::Full),
             atlas: Some(PathBuf::from("/maps/office.atlas")),
         };
         assert_eq!(
             overrides.report(),
             "ESLAM_MATCH_KERNEL=scalar ESLAM_PREFETCH=off ESLAM_BACKEND=async \
-             ESLAM_EXTRACT=stream ESLAM_ATLAS=/maps/office.atlas"
+             ESLAM_EXTRACT=stream ESLAM_TELEMETRY=full ESLAM_ATLAS=/maps/office.atlas"
         );
     }
 
@@ -187,6 +201,7 @@ mod tests {
             PREFETCH_ENV,
             BACKEND_ENV,
             EXTRACT_ENV,
+            TELEMETRY_ENV,
             ATLAS_ENV,
         ] {
             cmd.env_remove(var);
@@ -204,6 +219,7 @@ mod tests {
             (PREFETCH_ENV, "off"),
             (BACKEND_ENV, "sync"),
             (EXTRACT_ENV, " Stream "), // trimmed + case-insensitive
+            (TELEMETRY_ENV, "counters"),
             (ATLAS_ENV, "/maps/office.atlas"),
         ]);
         assert!(out.status.success(), "probe failed: {out:?}");
@@ -211,7 +227,7 @@ mod tests {
         assert!(
             stdout.contains(
                 "PROBE ESLAM_MATCH_KERNEL=scalar ESLAM_PREFETCH=off ESLAM_BACKEND=sync \
-                 ESLAM_EXTRACT=stream ESLAM_ATLAS=/maps/office.atlas"
+                 ESLAM_EXTRACT=stream ESLAM_TELEMETRY=counters ESLAM_ATLAS=/maps/office.atlas"
             ),
             "unexpected probe output: {stdout}"
         );
@@ -226,6 +242,7 @@ mod tests {
             (PREFETCH_ENV, "offf"),
             (BACKEND_ENV, "asink"),
             (EXTRACT_ENV, "streem"),
+            (TELEMETRY_ENV, "fulll"),
         ] {
             let out = run_probe(&[(var, bad)]);
             assert!(!out.status.success(), "{var}={bad} must fail from_env");

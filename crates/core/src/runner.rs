@@ -17,10 +17,11 @@ use crate::stats::SequenceStats;
 use crate::system::{FrameReport, Slam};
 use eslam_backend::BackendStats;
 use eslam_dataset::eval::{absolute_trajectory_error, AteResult};
-use eslam_dataset::prefetch::with_prefetch;
+use eslam_dataset::prefetch::with_prefetch_telemetry;
 use eslam_dataset::source::FrameSource;
 use eslam_dataset::{Frame, Trajectory};
 use eslam_features::pool::WorkerPool;
+use eslam_telemetry::{Stage as TelemetryStage, TelemetrySummary};
 use std::time::Instant;
 
 /// Everything produced by one SLAM run over a sequence.
@@ -63,6 +64,10 @@ pub struct RunResult {
     pub wall: SequenceWallTiming,
     /// Whether frames were streamed through the async prefetcher.
     pub prefetched: bool,
+    /// Telemetry rollup of the run — per-stage p50/p95/p99/max
+    /// latencies (full mode) and every pipeline counter. `None` when
+    /// the resolved telemetry mode is off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// The refinement stage of an estimate: every run carries its
@@ -139,21 +144,32 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
     let mut slam = Slam::builder().config(config).build();
     let prefetched = config.prefetch.resolved();
     let mut reports = Vec::with_capacity(source.len());
+    // Shared sink: the prefetcher records render spans into the same
+    // telemetry the Slam system and its backend record into. The wait
+    // measurement itself stays the plain `Instant` pair — telemetry
+    // mirrors it into the `frame_wait` histogram without touching the
+    // report values.
+    let telemetry = slam.telemetry().cloned();
 
     if prefetched {
         // Streamed path: the prefetcher renders ahead on the shared
         // global pool (the Slam-owned pool runs the extraction levels
         // and matcher rows; a long-lived render job must not occupy one
         // of its workers mid-batch).
-        with_prefetch(source, WorkerPool::global(), |stream| loop {
-            let wait_start = Instant::now();
-            let Some(frame) = stream.next_frame() else {
-                break;
-            };
-            let wait_ms = wait_start.elapsed().as_secs_f64() * 1e3;
-            let mut report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
-            report.frame_wait_ms = wait_ms;
-            reports.push(report);
+        with_prefetch_telemetry(source, WorkerPool::global(), telemetry.clone(), |stream| {
+            loop {
+                let wait_start = Instant::now();
+                let Some(frame) = stream.next_frame() else {
+                    break;
+                };
+                let wait_ms = wait_start.elapsed().as_secs_f64() * 1e3;
+                if let Some(t) = &telemetry {
+                    t.record_since(TelemetryStage::FrameWait, wait_start);
+                }
+                let mut report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
+                report.frame_wait_ms = wait_ms;
+                reports.push(report);
+            }
         });
     } else {
         // Synchronous path: render on demand into one recycled buffer.
@@ -162,6 +178,9 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
             let wait_start = Instant::now();
             source.frame_into(index, &mut frame);
             let wait_ms = wait_start.elapsed().as_secs_f64() * 1e3;
+            if let Some(t) = &telemetry {
+                t.record_since(TelemetryStage::FrameWait, wait_start);
+            }
             let mut report = slam.process(frame.timestamp, &frame.gray, &frame.depth);
             report.frame_wait_ms = wait_ms;
             reports.push(report);
@@ -216,6 +235,7 @@ pub fn run_sequence<S: FrameSource + Sync>(source: &S, config: SlamConfig) -> Ru
         backend: slam.backend_stats().copied(),
         wall,
         prefetched,
+        telemetry: slam.telemetry_summary(),
     }
 }
 

@@ -18,9 +18,9 @@
 //! point that makes the async mode bit-identical to the sync one.
 
 use crate::atlas::{Atlas, AtlasState};
-use crate::config::{Backend, SlamConfig};
+use crate::config::{resolved_telemetry, Backend, SlamConfig};
 use crate::map::Map;
-use crate::tracking::track_frame;
+use crate::tracking::track_frame_with_telemetry;
 use eslam_backend::keyframe::KeyframeObservation;
 use eslam_backend::{BackendRunner, BackendStats, KeyframeData};
 use eslam_dataset::Trajectory;
@@ -29,6 +29,7 @@ use eslam_geometry::{Se3, Vec2};
 use eslam_hw::extractor::{ExtractionWorkload, ExtractorModel};
 use eslam_hw::matcher::MatcherModel;
 use eslam_image::{DepthImage, GrayImage};
+use eslam_telemetry::{Counter, Stage, Telemetry, TelemetrySummary};
 use std::sync::Arc;
 
 /// Modelled accelerator latencies for one frame.
@@ -131,6 +132,11 @@ pub struct Slam {
     /// query-ready [`AtlasState`] and publishes it here. `None` when
     /// the run is not feeding a shared atlas.
     atlas: Option<Arc<Atlas>>,
+    /// Telemetry sink shared with the extraction scratch, the backend
+    /// runner and (via [`crate::run_sequence`]) the prefetcher. `None`
+    /// when the resolved mode is off — the absence of the sink *is* the
+    /// zero-cost off implementation.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Builder for [`Slam`] — the one way to assemble a system.
@@ -195,12 +201,20 @@ impl SlamBuilder {
         if self.worker_pool.is_some() {
             config.worker_threads = self.worker_pool;
         }
+        let telemetry = Telemetry::new(resolved_telemetry(config.telemetry));
+        let mut extractor_scratch = OrbScratch::with_threads(config.worker_threads);
+        extractor_scratch.set_telemetry(telemetry.clone());
+        let mut backend = BackendRunner::new(config.backend, config.camera);
+        if let Some(runner) = backend.as_mut() {
+            runner.set_telemetry(telemetry.clone());
+        }
         Slam {
             extractor: OrbExtractor::new(config.orb),
-            extractor_scratch: OrbScratch::with_threads(config.worker_threads),
+            extractor_scratch,
             extractor_model: ExtractorModel::default(),
             matcher_model: MatcherModel::default(),
-            backend: BackendRunner::new(config.backend, config.camera),
+            backend,
+            telemetry,
             config,
             map: Map::new(),
             trajectory: Trajectory::new(),
@@ -220,12 +234,6 @@ impl Slam {
     /// Starts assembling a system: `Slam::builder().config(..).build()`.
     pub fn builder() -> SlamBuilder {
         SlamBuilder::default()
-    }
-
-    /// Creates a system with the given configuration.
-    #[deprecated(note = "use `Slam::builder().config(config).build()`")]
-    pub fn new(config: SlamConfig) -> Self {
-        Slam::builder().config(config).build()
     }
 
     /// The active configuration.
@@ -302,8 +310,22 @@ impl Slam {
             }
         }
         if let Some(atlas) = self.atlas.clone() {
+            let _span = Telemetry::span_opt(self.telemetry.as_deref(), Stage::AtlasPublish);
             atlas.publish(self.atlas_state());
         }
+    }
+
+    /// The telemetry sink of this run, when the resolved mode is not
+    /// off. Exposes histograms, counters, the flight recorder and the
+    /// exporters (`summary()`, `prometheus()`, `chrome_trace()`).
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Aggregated per-stage percentiles + counters, when telemetry is
+    /// active ([`crate::RunResult`] carries the same summary).
+    pub fn telemetry_summary(&self) -> Option<TelemetrySummary> {
+        self.telemetry.as_ref().map(|t| t.summary())
     }
 
     /// Builds a query-ready [`AtlasState`] from the current map: the
@@ -465,6 +487,9 @@ impl Slam {
         // async solve that outlasted its frame is real critical-path
         // time and must show up in `track_ms`.
         let track_start = std::time::Instant::now();
+        if let Some(t) = &self.telemetry {
+            t.frame_start(self.frame_index, timestamp);
+        }
         let mut backend_applied = false;
         while self.apply_backend_refinement() {
             backend_applied = true;
@@ -490,16 +515,32 @@ impl Slam {
                     self.pose_w2c
                 };
                 let pool = self.extractor_scratch.pool();
-                let mut outcome = track_frame(&features, &self.map, &prior, &self.config, pool);
+                let telemetry = self.telemetry.as_deref();
+                let mut outcome = track_frame_with_telemetry(
+                    &features,
+                    &self.map,
+                    &prior,
+                    &self.config,
+                    pool,
+                    telemetry,
+                );
                 if !outcome.ok {
                     // Relocalization fallback: retry with relaxed
                     // matching/geometry gates before declaring the frame
                     // lost.
+                    if let Some(t) = telemetry {
+                        t.count(Counter::RelocAttempts, 1);
+                    }
                     let recovery = self.recovery_config();
-                    let retry = track_frame(&features, &self.map, &prior, &recovery, pool);
+                    let retry = track_frame_with_telemetry(
+                        &features, &self.map, &prior, &recovery, pool, telemetry,
+                    );
                     if retry.ok {
                         outcome = retry;
                         relocalized = true;
+                        if let Some(t) = telemetry {
+                            t.count(Counter::RelocSuccesses, 1);
+                        }
                     }
                 }
                 let pose_c2w = if outcome.ok {
@@ -526,6 +567,13 @@ impl Slam {
         for &mi in &matched_map {
             self.map.mark_matched(mi, frame);
         }
+        if let Some(t) = &self.telemetry {
+            t.count(Counter::RawMatches, raw_matches as u64);
+            t.count(Counter::MatchInliers, inliers as u64);
+            if !tracking_ok {
+                t.count(Counter::TrackingFailures, 1);
+            }
+        }
 
         // Key-frame decision (§2.1): translation or rotation relative to
         // the last key frame above threshold. The bootstrap frame is
@@ -537,6 +585,10 @@ impl Slam {
                     || rel.rotation_angle() > self.config.keyframe_rotation));
 
         if is_keyframe {
+            let _kf_span = Telemetry::span_opt(self.telemetry.as_deref(), Stage::KeyframePromotion);
+            if let Some(t) = &self.telemetry {
+                t.count(Counter::KeyframesPromoted, 1);
+            }
             // Dense keyframe id: the map's observation lists and the
             // backend's store share this numbering.
             let kf_id = self.keyframes;
@@ -610,8 +662,12 @@ impl Slam {
                 }
             }
             // Cull stale landmarks and enforce the matcher cache budget.
-            self.map
+            let culled = self
+                .map
                 .cull(frame, self.config.map_cull_age, self.config.max_map_points);
+            if let Some(t) = &self.telemetry {
+                t.count(Counter::LandmarksCulled, culled as u64);
+            }
             // Hand the keyframe to the backend: it wires the
             // covisibility graph and dispatches the windowed local BA
             // (inline, or async on the *global* pool — the same
@@ -667,6 +723,10 @@ impl Slam {
         self.ba_trajectory.push(timestamp, pose_c2w);
         self.frame_index += 1;
 
+        let track_ms = track_start.elapsed().as_secs_f64() * 1e3;
+        if let Some(t) = &self.telemetry {
+            t.frame_end(track_ms);
+        }
         FrameReport {
             index: frame,
             timestamp,
@@ -680,7 +740,7 @@ impl Slam {
             extraction,
             hw_timing,
             frame_wait_ms: 0.0,
-            track_ms: track_start.elapsed().as_secs_f64() * 1e3,
+            track_ms,
             backend_applied,
             loop_closed,
         }

@@ -9,6 +9,7 @@ use eslam_features::pool::WorkerPool;
 use eslam_geometry::lm::optimize_pose_with_prior;
 use eslam_geometry::pnp::solve_pnp_ransac;
 use eslam_geometry::{Se3, Vec2, Vec3};
+use eslam_telemetry::{Stage, Telemetry};
 
 /// Outcome of tracking one frame against the map.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,14 +45,31 @@ pub fn track_frame(
     config: &SlamConfig,
     pool: &WorkerPool,
 ) -> TrackingOutcome {
+    track_frame_with_telemetry(features, map, prior_w2c, config, pool, None)
+}
+
+/// [`track_frame`] with a telemetry sink: the matching, pose-estimation
+/// and pose-optimization stages are recorded as spans (full mode only).
+/// The outcome is bit-identical with and without a sink.
+pub fn track_frame_with_telemetry(
+    features: &OrbFeatures,
+    map: &Map,
+    prior_w2c: &Se3,
+    config: &SlamConfig,
+    pool: &WorkerPool,
+    telemetry: Option<&Telemetry>,
+) -> TrackingOutcome {
     // Borrowed descriptor column: the map maintains it incrementally,
     // so steady-state tracking allocates nothing for the train set.
-    let matches = match_brute_force_in(
-        pool,
-        &features.descriptors,
-        map.descriptors(),
-        config.matcher_max_distance,
-    );
+    let matches = {
+        let _span = Telemetry::span_opt(telemetry, Stage::Matching);
+        match_brute_force_in(
+            pool,
+            &features.descriptors,
+            map.descriptors(),
+            config.matcher_max_distance,
+        )
+    };
 
     // Build 3-D/2-D correspondences.
     let mut world = Vec::with_capacity(matches.len());
@@ -69,6 +87,7 @@ pub fn track_frame(
     let mut inlier_set: Vec<usize> = Vec::new();
 
     if world.len() >= 4 {
+        let _span = Telemetry::span_opt(telemetry, Stage::PoseEstimate);
         if let Some(pnp) = solve_pnp_ransac(&world, &pixels, &config.camera, &config.pnp) {
             pose_w2c = pnp.pose;
             inlier_set = pnp.inliers;
@@ -84,6 +103,7 @@ pub fn track_frame(
     };
     let mut final_cost = 0.0;
     if opt_world.len() >= 3 {
+        let _span = Telemetry::span_opt(telemetry, Stage::PoseOptimize);
         // The PnP estimate seeds the iteration; the motion prediction
         // (`prior_w2c`) anchors the optional motion-prior term that
         // conditions weakly-constrained solves.

@@ -46,6 +46,8 @@
 use crate::sequence::Frame;
 use crate::source::FrameSource;
 use eslam_features::pool::{TaskHandle, WorkerPool};
+use eslam_telemetry::{Stage, Telemetry};
+use std::sync::Arc;
 
 /// A streaming view of a [`FrameSource`] that renders one frame ahead
 /// of the consumer on a background worker.
@@ -56,6 +58,8 @@ use eslam_features::pool::{TaskHandle, WorkerPool};
 pub struct PrefetchSource<'env, S: FrameSource + Sync> {
     source: &'env S,
     pool: &'env WorkerPool,
+    /// Telemetry sink background renders record into.
+    telemetry: Option<Arc<Telemetry>>,
     /// Render of the next frame to yield, already in flight.
     inflight: Option<TaskHandle<Frame>>,
     /// Index the in-flight render (if any) will produce.
@@ -67,10 +71,11 @@ pub struct PrefetchSource<'env, S: FrameSource + Sync> {
 }
 
 impl<'env, S: FrameSource + Sync> PrefetchSource<'env, S> {
-    fn new(source: &'env S, pool: &'env WorkerPool) -> Self {
+    fn new(source: &'env S, pool: &'env WorkerPool, telemetry: Option<Arc<Telemetry>>) -> Self {
         let mut stream = PrefetchSource {
             source,
             pool,
+            telemetry,
             inflight: None,
             next_yield: 0,
             current: Frame::buffer(),
@@ -86,7 +91,15 @@ impl<'env, S: FrameSource + Sync> PrefetchSource<'env, S> {
     /// Queues an asynchronous render of frame `index` into `buf`.
     fn submit_render(&self, index: usize, mut buf: Frame) -> TaskHandle<Frame> {
         let source = self.source;
+        // The `Arc` clone is `'static`, so the telemetry capture needs
+        // no part in the lifetime transmute below.
+        let telemetry = self
+            .telemetry
+            .as_ref()
+            .filter(|t| t.timing())
+            .map(Arc::clone);
         let job: Box<dyn FnOnce() -> Frame + Send + 'env> = Box::new(move || {
+            let _span = Telemetry::span_opt(telemetry.as_deref(), Stage::PrefetchRender);
             source.frame_into(index, &mut buf);
             buf
         });
@@ -166,7 +179,20 @@ pub fn with_prefetch<S: FrameSource + Sync, R>(
     pool: &WorkerPool,
     consume: impl FnOnce(&mut PrefetchSource<'_, S>) -> R,
 ) -> R {
-    let mut stream = PrefetchSource::new(source, pool);
+    with_prefetch_telemetry(source, pool, None, consume)
+}
+
+/// [`with_prefetch`] with a telemetry sink: each background render is
+/// recorded as a `prefetch_render` span (full mode only), making the
+/// compute/IO overlap visible in the Chrome trace. Streamed frames are
+/// bit-identical with or without a sink.
+pub fn with_prefetch_telemetry<S: FrameSource + Sync, R>(
+    source: &S,
+    pool: &WorkerPool,
+    telemetry: Option<Arc<Telemetry>>,
+    consume: impl FnOnce(&mut PrefetchSource<'_, S>) -> R,
+) -> R {
+    let mut stream = PrefetchSource::new(source, pool, telemetry);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| consume(&mut stream)));
     stream.drain();
     match result {
@@ -272,6 +298,25 @@ mod tests {
         });
         assert_eq!(first_two.len(), 2);
         assert_eq!(first_two[0], seq.frame(0).timestamp);
+    }
+
+    #[test]
+    fn telemetry_records_one_render_span_per_frame() {
+        use eslam_telemetry::{TelemetryConfig, TelemetryMode};
+        let seq = tiny(4);
+        let pool = WorkerPool::new(2);
+        let telemetry =
+            Telemetry::new(TelemetryConfig::default().with_mode(TelemetryMode::Full)).unwrap();
+        let plain: Vec<Frame> = (0..4).map(|i| seq.frame(i)).collect();
+        with_prefetch_telemetry(&seq, &pool, Some(telemetry.clone()), |stream| {
+            let mut n = 0;
+            while let Some(frame) = stream.next_frame() {
+                assert_eq!(frame, &plain[n], "telemetry must not change frames");
+                n += 1;
+            }
+            assert_eq!(n, 4);
+        });
+        assert_eq!(telemetry.histogram(Stage::PrefetchRender).count(), 4);
     }
 
     #[test]

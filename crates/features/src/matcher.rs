@@ -145,9 +145,10 @@ impl MatchKernel {
 /// The kernel the production entry points dispatch to, resolved once:
 /// the fastest supported rung, unless [`MATCH_KERNEL_ENV`] forces one.
 /// A forced kernel the CPU cannot run falls back to [`MatchKernel::detect`]
-/// (with a warning on stderr) so a `avx2`-forced suite still runs on an
-/// AVX2-less machine; an unrecognised value panics, so CI matrix typos
-/// fail loudly instead of silently testing the auto-detected rung.
+/// (with a warning through the telemetry event ring) so a `avx2`-forced
+/// suite still runs on an AVX2-less machine; an unrecognised value
+/// panics, so CI matrix typos fail loudly instead of silently testing
+/// the auto-detected rung.
 pub fn active_kernel() -> MatchKernel {
     static ACTIVE: OnceLock<MatchKernel> = OnceLock::new();
     *ACTIVE.get_or_init(|| {
@@ -160,12 +161,12 @@ pub fn active_kernel() -> MatchKernel {
             None => MatchKernel::detect(),
             Some(kernel) if kernel.is_supported() => kernel,
             Some(kernel) => {
-                eprintln!(
-                    "warning: {MATCH_KERNEL_ENV}={} is not supported by this CPU; \
+                eslam_telemetry::events::warn(format!(
+                    "{MATCH_KERNEL_ENV}={} is not supported by this CPU; \
                      falling back to {}",
                     kernel.name(),
                     MatchKernel::detect().name(),
-                );
+                ));
                 MatchKernel::detect()
             }
         }

@@ -34,6 +34,9 @@ use crate::stream::{self, ExtractMode, StreamScratch};
 use eslam_image::filter::{gaussian_blur_7x7_fixed_into, gaussian_blur_7x7_fixed_reference};
 use eslam_image::pyramid::{ImagePyramid, PyramidConfig, PyramidScratch};
 use eslam_image::GrayImage;
+use eslam_telemetry::{Stage, Telemetry};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Margin (pixels) a keypoint must keep from the level border so that the
 /// radius-15 descriptor/orientation patch (plus rounding) stays inside.
@@ -208,6 +211,8 @@ pub struct OrbScratch {
     levels: Vec<LevelScratch>,
     /// Owned worker pool; `None` → [`WorkerPool::global`].
     pool: Option<WorkerPool>,
+    /// Telemetry sink extraction records into; `None` → telemetry off.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl OrbScratch {
@@ -233,6 +238,13 @@ impl OrbScratch {
     /// the process-global pool otherwise.
     pub fn pool(&self) -> &WorkerPool {
         self.pool.as_ref().unwrap_or_else(|| WorkerPool::global())
+    }
+
+    /// Attaches (or detaches) the telemetry sink extraction spans
+    /// record into. Telemetry observes only — extraction results are
+    /// bit-identical with and without a sink.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
     }
 
     /// Bytes currently held by the streaming pass's line buffers across
@@ -353,8 +365,18 @@ impl OrbExtractor {
             pyramid_scratch,
             levels,
             pool,
+            telemetry,
         } = scratch;
-        pyramid.build_into(image, &self.config.pyramid, pyramid_scratch);
+        // `Option<&Telemetry>` is `Copy`, so the level tasks can capture
+        // it by value; `timing` is `None` unless full mode is active, so
+        // counters/off modes read no clocks here at all.
+        let telemetry = telemetry.as_deref();
+        let timing = telemetry.filter(|t| t.timing());
+        let _extraction_span = Telemetry::span_opt(timing, Stage::Extraction);
+        {
+            let _span = Telemetry::span_opt(timing, Stage::PyramidBuild);
+            pyramid.build_into(image, &self.config.pyramid, pyramid_scratch);
+        }
         let nlevels = pyramid.levels();
         levels.truncate(nlevels);
         while levels.len() < nlevels {
@@ -372,7 +394,12 @@ impl OrbExtractor {
                 .zip(levels.iter_mut())
                 .map(|((level, img), ls)| {
                     let scale = self.config.pyramid.scale_of(level);
+                    let enqueued = timing.map(|_| Instant::now());
                     Box::new(move || {
+                        if let (Some(t), Some(start)) = (timing, enqueued) {
+                            t.record_since(Stage::PoolQueueWait, start);
+                        }
+                        let _span = Telemetry::span_opt(timing, Stage::ExtractLevel);
                         if use_stream {
                             stream::process_level_stream(self, img, level, scale, ls);
                         } else {
@@ -381,10 +408,12 @@ impl OrbExtractor {
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
+            let _span = Telemetry::span_opt(timing, Stage::PoolDispatch);
             pool.scope_run(tasks);
         } else {
             for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
                 let scale = self.config.pyramid.scale_of(level);
+                let _span = Telemetry::span_opt(timing, Stage::ExtractLevel);
                 if use_stream {
                     stream::process_level_stream(self, img, level, scale, ls);
                 } else {

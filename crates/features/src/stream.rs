@@ -167,8 +167,8 @@ pub(crate) fn forced_mode() -> Option<ExtractMode> {
 /// Resolves whether extraction takes the streaming path: the forced env
 /// mode wins over the configured mode; `Auto` streams exactly where the
 /// workflow supports it. Forcing `stream` onto [`Workflow::Original`]
-/// warns once (stderr) and keeps the pass pipeline, mirroring the
-/// matcher's unsupported-kernel fallback.
+/// warns once (through the telemetry event ring) and keeps the pass
+/// pipeline, mirroring the matcher's unsupported-kernel fallback.
 pub(crate) fn stream_active(config_mode: ExtractMode, workflow: Workflow) -> bool {
     let mode = forced_mode().unwrap_or(config_mode);
     match (mode, workflow) {
@@ -177,10 +177,10 @@ pub(crate) fn stream_active(config_mode: ExtractMode, workflow: Workflow) -> boo
         (ExtractMode::Stream, Workflow::Original) => {
             static WARNED: OnceLock<()> = OnceLock::new();
             WARNED.get_or_init(|| {
-                eprintln!(
-                    "eslam: ESLAM_EXTRACT=stream requested but the Original workflow's \
+                eslam_telemetry::events::warn(
+                    "ESLAM_EXTRACT=stream requested but the Original workflow's \
                      post-filter descriptor stage needs the full smoothed frame; \
-                     using the pass pipeline"
+                     using the pass pipeline",
                 );
             });
             false

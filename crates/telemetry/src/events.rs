@@ -1,0 +1,127 @@
+//! Bounded diagnostic event layer.
+//!
+//! Library code must never write to stderr unconditionally: one-time
+//! fallback warnings (e.g. "descriptor kind cannot stream") and
+//! over-budget frame reports land here instead, in a process-wide
+//! bounded ring. Applications decide what to do with them — drain with
+//! [`take`], peek with [`snapshot`], or opt into stderr mirroring with
+//! [`mirror_to_stderr`] (off by default).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum events retained; older events are discarded first.
+pub const CAPACITY: usize = 256;
+
+/// Severity of a diagnostic event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// Something degraded or fell back; the run continues.
+    Warn,
+}
+
+impl Severity {
+    /// Label used when rendering the event.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One diagnostic event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// How serious the event is.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static DISCARDED: AtomicU64 = AtomicU64::new(0);
+static MIRROR: AtomicBool = AtomicBool::new(false);
+
+fn push(severity: Severity, message: String) {
+    if MIRROR.load(Ordering::Relaxed) {
+        eprintln!("eslam [{}] {}", severity.label(), message);
+    }
+    let mut events = EVENTS.lock().expect("event ring poisoned");
+    if events.len() >= CAPACITY {
+        events.remove(0);
+        DISCARDED.fetch_add(1, Ordering::Relaxed);
+    }
+    events.push(Event { severity, message });
+}
+
+/// Records a warning event.
+pub fn warn(message: impl Into<String>) {
+    push(Severity::Warn, message.into());
+}
+
+/// Records an informational event.
+pub fn info(message: impl Into<String>) {
+    push(Severity::Info, message.into());
+}
+
+/// Drains and returns all buffered events (oldest first).
+pub fn take() -> Vec<Event> {
+    std::mem::take(&mut *EVENTS.lock().expect("event ring poisoned"))
+}
+
+/// Returns a copy of the buffered events without draining them.
+pub fn snapshot() -> Vec<Event> {
+    EVENTS.lock().expect("event ring poisoned").clone()
+}
+
+/// Events discarded because the ring was full.
+pub fn discarded() -> u64 {
+    DISCARDED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables mirroring of new events to stderr (off by
+/// default so library code never writes to stderr unless the
+/// application opts in).
+pub fn mirror_to_stderr(enabled: bool) {
+    MIRROR.store(enabled, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole module: the ring is process-global,
+    // so independent #[test] fns would race on it.
+    #[test]
+    fn ring_buffers_drains_and_bounds_events() {
+        let _ = take();
+        warn("streaming fallback engaged");
+        info("atlas published");
+        let seen = snapshot();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].severity, Severity::Warn);
+        assert_eq!(seen[0].message, "streaming fallback engaged");
+        assert_eq!(seen[1].severity, Severity::Info);
+
+        let drained = take();
+        assert_eq!(drained, seen);
+        assert!(snapshot().is_empty(), "take() empties the ring");
+
+        let before = discarded();
+        for i in 0..CAPACITY + 10 {
+            info(format!("event {i}"));
+        }
+        let events = take();
+        assert_eq!(events.len(), CAPACITY, "ring is bounded");
+        assert_eq!(
+            events[0].message, "event 10",
+            "oldest events are discarded first"
+        );
+        assert_eq!(discarded() - before, 10);
+        assert_eq!(Severity::Warn.label(), "warn");
+        assert_eq!(Severity::Info.label(), "info");
+    }
+}

@@ -1,0 +1,305 @@
+//! Exporters: the aggregated [`TelemetrySummary`] (attached to
+//! `RunResult` and serializable to JSON) and the Prometheus text
+//! exposition. The Chrome trace exporter lives with the span buffer in
+//! the trace module.
+
+use crate::hist::{self, HistogramSnapshot};
+use crate::{Counter, Stage, Telemetry, TelemetryMode};
+use std::fmt::Write as _;
+
+/// Aggregated latency statistics for one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// The stage these statistics describe.
+    pub stage: Stage,
+    /// Sections recorded.
+    pub count: u64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Exact maximum latency in milliseconds.
+    pub max_ms: f64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Total time attributed to the stage in milliseconds.
+    pub total_ms: f64,
+}
+
+impl StageSummary {
+    fn from_snapshot(stage: Stage, snap: &HistogramSnapshot) -> Option<StageSummary> {
+        if snap.count == 0 {
+            return None;
+        }
+        let q = |p: f64| snap.quantile_ns(p).unwrap_or(0) as f64 / 1e6;
+        Some(StageSummary {
+            stage,
+            count: snap.count,
+            p50_ms: q(0.50),
+            p95_ms: q(0.95),
+            p99_ms: q(0.99),
+            max_ms: snap.max_ns as f64 / 1e6,
+            mean_ms: snap.sum_ns as f64 / snap.count as f64 / 1e6,
+            total_ms: snap.sum_ns as f64 / 1e6,
+        })
+    }
+}
+
+/// The whole run's telemetry rollup: per-stage percentiles (stages
+/// that recorded at least one section) and every counter. Attached to
+/// `RunResult` and printable as JSON via [`TelemetrySummary::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Mode the run executed under.
+    pub mode: TelemetryMode,
+    /// Summaries of every stage with at least one recording, in
+    /// [`Stage::ALL`] order (empty outside full mode).
+    pub stages: Vec<StageSummary>,
+    counters: [u64; Counter::COUNT],
+}
+
+impl TelemetrySummary {
+    /// The summary for `stage`, if it recorded anything.
+    pub fn stage(&self, stage: Stage) -> Option<&StageSummary> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Final value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Every counter with a nonzero value, in declaration order.
+    pub fn nonzero_counters(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL
+            .iter()
+            .filter_map(|&c| {
+                let v = self.counter(c);
+                (v > 0).then_some((c, v))
+            })
+            .collect()
+    }
+
+    /// Serializes the summary as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(out, "{{\"mode\":\"{}\",\"stages\":{{", self.mode);
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\
+                 \"p99_ms\":{:.4},\"max_ms\":{:.4},\"mean_ms\":{:.4},\"total_ms\":{:.4}}}",
+                s.stage.name(),
+                s.count,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.max_ms,
+                s.mean_ms,
+                s.total_ms
+            );
+        }
+        out.push_str("},\"counters\":{");
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", counter.name(), self.counter(*counter));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+pub(crate) fn summarize(telemetry: &Telemetry) -> TelemetrySummary {
+    let stages = Stage::ALL
+        .iter()
+        .filter_map(|&stage| {
+            StageSummary::from_snapshot(stage, &telemetry.histogram(stage).snapshot())
+        })
+        .collect();
+    let counters = std::array::from_fn(|i| telemetry.counter(Counter::ALL[i]));
+    TelemetrySummary {
+        mode: telemetry.mode(),
+        stages,
+        counters,
+    }
+}
+
+/// Prometheus text exposition: one `histogram` family over all stages
+/// (cumulative buckets in seconds; zero-delta buckets elided), gauge
+/// quantiles for convenience, and one `counter` per [`Counter`].
+pub(crate) fn prometheus(telemetry: &Telemetry) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("# HELP eslam_stage_duration_seconds Per-stage pipeline latency.\n");
+    out.push_str("# TYPE eslam_stage_duration_seconds histogram\n");
+    for &stage in &Stage::ALL {
+        let snap = telemetry.histogram(stage).snapshot();
+        if snap.count == 0 {
+            continue;
+        }
+        let name = stage.name();
+        let mut cumulative = 0u64;
+        for (slot, &bucket) in snap.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            cumulative += bucket;
+            if slot == hist::SLOTS - 1 {
+                // Overflow slot is covered by +Inf below.
+                continue;
+            }
+            let le = hist::slot_upper_ns(slot) as f64 / 1e9;
+            let _ = writeln!(
+                out,
+                "eslam_stage_duration_seconds_bucket{{stage=\"{name}\",le=\"{le:.9}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "eslam_stage_duration_seconds_bucket{{stage=\"{name}\",le=\"+Inf\"}} {}",
+            snap.count
+        );
+        let _ = writeln!(
+            out,
+            "eslam_stage_duration_seconds_sum{{stage=\"{name}\"}} {:.9}",
+            snap.sum_ns as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "eslam_stage_duration_seconds_count{{stage=\"{name}\"}} {}",
+            snap.count
+        );
+    }
+    out.push_str("# HELP eslam_stage_quantile_seconds Per-stage latency quantiles.\n");
+    out.push_str("# TYPE eslam_stage_quantile_seconds gauge\n");
+    for &stage in &Stage::ALL {
+        let snap = telemetry.histogram(stage).snapshot();
+        if snap.count == 0 {
+            continue;
+        }
+        for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+            let value = snap.quantile_ns(q).unwrap_or(0) as f64 / 1e9;
+            let _ = writeln!(
+                out,
+                "eslam_stage_quantile_seconds{{stage=\"{}\",quantile=\"{label}\"}} {value:.9}",
+                stage.name()
+            );
+        }
+    }
+    for &counter in &Counter::ALL {
+        let name = counter.name();
+        let _ = writeln!(out, "# TYPE eslam_{name}_total counter");
+        let _ = writeln!(out, "eslam_{name}_total {}", telemetry.counter(counter));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryConfig;
+
+    fn full() -> std::sync::Arc<Telemetry> {
+        Telemetry::new(TelemetryConfig::default().with_mode(TelemetryMode::Full)).unwrap()
+    }
+
+    #[test]
+    fn json_summary_is_balanced_and_names_stages() {
+        let t = full();
+        for _ in 0..10 {
+            t.record_duration_ns(Stage::Matching, 2_000_000);
+        }
+        t.count(Counter::FramesProcessed, 10);
+        let json = t.summary().to_json();
+        assert!(json.contains("\"mode\":\"full\""), "{json}");
+        assert!(json.contains("\"matching\":{\"count\":10"), "{json}");
+        assert!(json.contains("\"frames_processed\":10"), "{json}");
+        let braces = json.matches('{').count() as i64 - json.matches('}').count() as i64;
+        assert_eq!(braces, 0, "{json}");
+        // Stages with no recordings are absent from the JSON too.
+        assert!(!json.contains("\"loop_verify\""), "{json}");
+    }
+
+    #[test]
+    fn counters_mode_summary_has_counters_but_no_stages() {
+        let t = Telemetry::new(TelemetryConfig::default()).unwrap();
+        t.count(Counter::KeyframesPromoted, 4);
+        let summary = t.summary();
+        assert_eq!(summary.mode, TelemetryMode::Counters);
+        assert!(summary.stages.is_empty());
+        assert_eq!(summary.counter(Counter::KeyframesPromoted), 4);
+        assert_eq!(
+            summary.nonzero_counters(),
+            vec![(Counter::KeyframesPromoted, 4)]
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets_and_counters() {
+        let t = full();
+        t.record_duration_ns(Stage::Extraction, 1_000_000); // 1 ms
+        t.record_duration_ns(Stage::Extraction, 4_000_000); // 4 ms
+        t.count(Counter::LoopClosuresAccepted, 2);
+        let text = t.prometheus();
+        assert!(
+            text.contains("# TYPE eslam_stage_duration_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eslam_stage_duration_seconds_count{stage=\"extraction\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "eslam_stage_duration_seconds_bucket{stage=\"extraction\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("eslam_loop_closures_accepted_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eslam_stage_quantile_seconds{stage=\"extraction\",quantile=\"0.95\"}"),
+            "{text}"
+        );
+        // Cumulative: the le values for extraction must be nondecreasing counts.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("eslam_stage_duration_seconds_bucket{stage=\"extraction\""))
+        {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "{line}");
+            last = value;
+        }
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn summary_quantiles_track_recorded_distribution() {
+        let t = full();
+        // 90 fast sections and 10 slow ones.
+        for _ in 0..90 {
+            t.record_duration_ns(Stage::PoseOptimize, 1_000_000);
+        }
+        for _ in 0..10 {
+            t.record_duration_ns(Stage::PoseOptimize, 30_000_000);
+        }
+        let s = *t.summary().stage(Stage::PoseOptimize).unwrap();
+        assert!((0.8..=1.2).contains(&s.p50_ms), "p50 {}", s.p50_ms);
+        assert!((25.0..=35.0).contains(&s.p99_ms), "p99 {}", s.p99_ms);
+        assert!((29.0..=31.0).contains(&s.max_ms), "max {}", s.max_ms);
+        assert!(
+            (s.total_ms - (90.0 + 300.0)).abs() < 1.0,
+            "total {}",
+            s.total_ms
+        );
+    }
+}

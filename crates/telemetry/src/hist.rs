@@ -1,0 +1,398 @@
+//! Lock-free log-bucketed latency histogram (HDR-style).
+//!
+//! The layout is log-linear: each power-of-two octave of the nanosecond
+//! range is split into [`SUBS`] equal linear sub-buckets, giving a
+//! bounded **relative** quantile error of `1 / SUBS` (12.5%) across the
+//! whole tracked range — the classic HDR-histogram trade of a few
+//! hundred bytes for percentile fidelity at any magnitude. The tracked
+//! range spans [`MIN_TRACKED_NS`] (≈1 µs) to [`MAX_TRACKED_NS`]
+//! (≈67 ms) in exactly [`BUCKETS`] = 128 fixed buckets; one underflow
+//! and one overflow bucket catch the tails (the exact maximum is kept
+//! separately, so a saturated p99 still reports a faithful max).
+//!
+//! Everything is `AtomicU64` with relaxed ordering: recording from any
+//! number of threads is wait-free (one `fetch_add` per counter touched)
+//! and histograms [`LogHistogram::merge_from`] associatively — the
+//! property tests in this module's suite pin both the error bound and
+//! merge associativity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per power-of-two octave (8 → ≤12.5% rel. error).
+pub const SUBS: usize = 1 << SUB_BITS;
+/// Exponent of the smallest tracked value: 2^10 ns = 1.024 µs.
+pub const MIN_EXP: u32 = 10;
+/// Number of power-of-two octaves tracked.
+pub const OCTAVES: u32 = 16;
+/// Log-linear buckets in the tracked range (the fixed "~128" layout).
+pub const BUCKETS: usize = OCTAVES as usize * SUBS;
+/// Total slots: underflow + tracked buckets + overflow.
+pub const SLOTS: usize = BUCKETS + 2;
+/// Smallest value (ns) resolved by the log-linear range.
+pub const MIN_TRACKED_NS: u64 = 1 << MIN_EXP;
+/// First value (ns) past the log-linear range (falls in overflow).
+pub const MAX_TRACKED_NS: u64 = 1 << (MIN_EXP + OCTAVES);
+
+/// A mergeable, lock-free latency histogram over nanosecond values.
+pub struct LogHistogram {
+    buckets: [AtomicU64; SLOTS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("sum_ns", &self.sum_ns())
+            .field("max_ns", &self.max_ns())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Slot index for a nanosecond value. Slot 0 is underflow
+/// (`v < MIN_TRACKED_NS`), slot `SLOTS - 1` overflow.
+#[inline]
+pub fn slot_of(v: u64) -> usize {
+    if v < MIN_TRACKED_NS {
+        return 0;
+    }
+    let exp = 63 - v.leading_zeros();
+    if exp >= MIN_EXP + OCTAVES {
+        return SLOTS - 1;
+    }
+    let sub = (v >> (exp - SUB_BITS)) as usize & (SUBS - 1);
+    1 + (exp - MIN_EXP) as usize * SUBS + sub
+}
+
+/// Inclusive lower bound (ns) of a slot.
+pub fn slot_lower_ns(slot: usize) -> u64 {
+    debug_assert!(slot < SLOTS);
+    if slot == 0 {
+        return 0;
+    }
+    if slot == SLOTS - 1 {
+        return MAX_TRACKED_NS;
+    }
+    let idx = slot - 1;
+    let exp = MIN_EXP + (idx / SUBS) as u32;
+    let sub = (idx % SUBS) as u64;
+    (1u64 << exp) + sub * (1u64 << (exp - SUB_BITS))
+}
+
+/// Exclusive upper bound (ns) of a slot (`u64::MAX` for overflow).
+pub fn slot_upper_ns(slot: usize) -> u64 {
+    debug_assert!(slot < SLOTS);
+    if slot == SLOTS - 1 {
+        return u64::MAX;
+    }
+    slot_lower_ns(slot + 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one nanosecond value. Wait-free; callable from any
+    /// thread concurrently.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[slot_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values, ns.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded value, ns (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, ns (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / count as f64
+        }
+    }
+
+    /// Folds `other`'s recordings into `self`. Addition of per-bucket
+    /// counts, so merging is associative and commutative — worker
+    /// threads can keep private histograms and fold them in any order.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy for reporting. (Buckets
+    /// are loaded one by one; concurrent recording can make the copy
+    /// off by in-flight samples — reporting runs after the measured
+    /// section, where that slack is zero.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+            max_ns: self.max_ns(),
+        }
+    }
+
+    /// The value (ns) at quantile `q` in `[0, 1]`, or `None` when
+    /// empty. See [`HistogramSnapshot::quantile_ns`] for the estimate's
+    /// error bound.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile_ns(q)
+    }
+}
+
+/// A plain (non-atomic) copy of a [`LogHistogram`]'s state.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-slot counts (underflow, tracked buckets, overflow).
+    pub buckets: [u64; SLOTS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values, ns.
+    pub sum_ns: u64,
+    /// Exact maximum recorded value, ns.
+    pub max_ns: u64,
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("sum_ns", &self.sum_ns)
+            .field("max_ns", &self.max_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HistogramSnapshot {
+    /// The value (ns) at quantile `q` in `[0, 1]`, or `None` when
+    /// empty.
+    ///
+    /// The estimate is the midpoint of the bucket holding the rank-`q`
+    /// sample, so for values inside the tracked range the relative
+    /// error is bounded by half a bucket width: `1 / (2 · SUBS)`
+    /// ≈ 6.25%, and never worse than a full width (12.5%) against any
+    /// sample in the bucket. Underflow reports the midpoint of
+    /// `[0, MIN_TRACKED_NS)`; overflow reports the exact tracked max.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (slot, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if slot == SLOTS - 1 {
+                    return Some(self.max_ns);
+                }
+                let lo = slot_lower_ns(slot);
+                let hi = slot_upper_ns(slot);
+                // Clamped to the exact tracked max so the quantile
+                // sequence never overshoots it (a top-bucket midpoint
+                // otherwise can).
+                return Some((lo + (hi - lo) / 2).min(self.max_ns));
+            }
+        }
+        // count > 0 guarantees the walk finds the rank.
+        unreachable!("histogram count/bucket mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_is_the_documented_128_buckets() {
+        assert_eq!(BUCKETS, 128);
+        assert_eq!(SLOTS, 130);
+        assert_eq!(MIN_TRACKED_NS, 1_024);
+        assert_eq!(MAX_TRACKED_NS, 67_108_864); // ≈ 67 ms
+    }
+
+    #[test]
+    fn slot_bounds_tile_the_range() {
+        // Buckets are contiguous, monotone and self-consistent: every
+        // slot's values map back to it.
+        for slot in 0..SLOTS - 1 {
+            assert_eq!(slot_upper_ns(slot), slot_lower_ns(slot + 1), "slot {slot}");
+            let lo = slot_lower_ns(slot);
+            let hi = slot_upper_ns(slot);
+            assert!(lo < hi, "slot {slot}");
+            assert_eq!(slot_of(lo), slot, "lower bound of slot {slot}");
+            assert_eq!(slot_of(hi - 1), slot, "last value of slot {slot}");
+        }
+        assert_eq!(slot_of(MAX_TRACKED_NS), SLOTS - 1);
+        assert_eq!(slot_of(u64::MAX), SLOTS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn single_value_quantiles_hit_its_bucket() {
+        let h = LogHistogram::new();
+        h.record(5_000_000); // 5 ms
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile_ns(q).unwrap() as f64;
+            assert!((est - 5e6).abs() <= 5e6 / 8.0, "q={q} est={est}");
+        }
+        assert_eq!(h.max_ns(), 5_000_000);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_exact_max() {
+        let h = LogHistogram::new();
+        h.record(3 * MAX_TRACKED_NS);
+        assert_eq!(h.quantile_ns(0.5), Some(3 * MAX_TRACKED_NS));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let threads = 4;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(1_000 + t * 37 + i * 13);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), threads * per_thread);
+        let bucket_total: u64 = h.snapshot().buckets.iter().sum();
+        assert_eq!(bucket_total, threads * per_thread);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_error_is_bounded(values in proptest::collection::vec(MIN_TRACKED_NS..MAX_TRACKED_NS, 1..200)) {
+            // For in-range data, any quantile estimate must land within
+            // one bucket width (≤ 12.5% relative) of an actual sample
+            // at that rank.
+            let h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let truth = sorted[rank - 1] as f64;
+                let est = h.quantile_ns(q).unwrap() as f64;
+                let bound = truth / SUBS as f64;
+                prop_assert!(
+                    (est - truth).abs() <= bound,
+                    "q={} truth={} est={} bound={}", q, truth, est, bound
+                );
+            }
+        }
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in proptest::collection::vec(0u64..(4 * MAX_TRACKED_NS), 0..100),
+            b in proptest::collection::vec(0u64..(4 * MAX_TRACKED_NS), 0..100),
+            c in proptest::collection::vec(0u64..(4 * MAX_TRACKED_NS), 0..100),
+        ) {
+            let fill = |values: &[u64]| {
+                let h = LogHistogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                h
+            };
+            // (a ⊕ b) ⊕ c
+            let left = fill(&a);
+            left.merge_from(&fill(&b));
+            left.merge_from(&fill(&c));
+            // a ⊕ (b ⊕ c)
+            let bc = fill(&b);
+            bc.merge_from(&fill(&c));
+            let right = fill(&a);
+            right.merge_from(&bc);
+            prop_assert_eq!(left.snapshot(), right.snapshot());
+            // c ⊕ b ⊕ a (commuted)
+            let commuted = fill(&c);
+            commuted.merge_from(&fill(&b));
+            commuted.merge_from(&fill(&a));
+            prop_assert_eq!(left.snapshot(), commuted.snapshot());
+        }
+
+        #[test]
+        fn merge_equals_recording_everything_into_one(
+            a in proptest::collection::vec(0u64..(4 * MAX_TRACKED_NS), 0..100),
+            b in proptest::collection::vec(0u64..(4 * MAX_TRACKED_NS), 0..100),
+        ) {
+            let ha = LogHistogram::new();
+            for &v in &a {
+                ha.record(v);
+            }
+            let hb = LogHistogram::new();
+            for &v in &b {
+                hb.record(v);
+            }
+            ha.merge_from(&hb);
+            let all = LogHistogram::new();
+            for &v in a.iter().chain(&b) {
+                all.record(v);
+            }
+            prop_assert_eq!(ha.snapshot(), all.snapshot());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The flight recorder: a bounded ring of recent per-frame stage
+//! timelines, plus a pinned copy of the most recent over-budget frame.
+
+use crate::Stage;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One frame's recorded timeline: where its wall-clock went, stage by
+/// stage. Produced by [`Telemetry::frame_end`](crate::Telemetry::frame_end)
+/// in full mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTimeline {
+    /// Sequence index of the frame within the run.
+    pub index: u64,
+    /// Dataset timestamp of the frame (seconds).
+    pub timestamp: f64,
+    /// Total tracking wall time for the frame in milliseconds.
+    pub total_ms: f64,
+    /// Whether the frame exceeded
+    /// [`TelemetryConfig::frame_budget_ms`](crate::TelemetryConfig::frame_budget_ms).
+    pub over_budget: bool,
+    /// Nanoseconds attributed to each stage during this frame's
+    /// window, indexed by [`Stage::index`].
+    pub stage_ns: [u64; Stage::COUNT],
+}
+
+impl FrameTimeline {
+    /// Milliseconds attributed to `stage` during this frame.
+    pub fn stage_ms(&self, stage: Stage) -> f64 {
+        self.stage_ns[stage.index()] as f64 / 1e6
+    }
+
+    /// One-line description listing the frame's nonzero stages,
+    /// slowest first.
+    pub fn describe(&self) -> String {
+        let mut stages: Vec<(Stage, u64)> = Stage::ALL
+            .iter()
+            .map(|&s| (s, self.stage_ns[s.index()]))
+            .filter(|&(s, ns)| ns > 0 && s != Stage::Track)
+            .collect();
+        stages.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        let mut line = format!(
+            "frame {} (t={:.3}s) {:.2} ms{}",
+            self.index,
+            self.timestamp,
+            self.total_ms,
+            if self.over_budget { " OVER BUDGET" } else { "" }
+        );
+        for (stage, ns) in stages {
+            let _ = write!(line, " {}={:.2}ms", stage.name(), ns as f64 / 1e6);
+        }
+        line
+    }
+}
+
+/// Bounded ring of the last N frame timelines.
+#[derive(Debug)]
+pub(crate) struct FlightRecorder {
+    ring: VecDeque<FrameTimeline>,
+    capacity: usize,
+    last_over_budget: Option<FrameTimeline>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            last_over_budget: None,
+        }
+    }
+
+    pub(crate) fn push(&mut self, timeline: FrameTimeline) {
+        if timeline.over_budget {
+            self.last_over_budget = Some(timeline.clone());
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(timeline);
+    }
+
+    pub(crate) fn timelines(&self) -> Vec<FrameTimeline> {
+        self.ring.iter().cloned().collect()
+    }
+
+    pub(crate) fn last_over_budget(&self) -> Option<FrameTimeline> {
+        self.last_over_budget.clone()
+    }
+
+    pub(crate) fn dump(&self) -> String {
+        let mut out = format!("flight recorder: {} frame(s)\n", self.ring.len());
+        for timeline in &self.ring {
+            out.push_str("  ");
+            out.push_str(&timeline.describe());
+            out.push('\n');
+        }
+        if let Some(pinned) = &self.last_over_budget {
+            out.push_str("last over-budget: ");
+            out.push_str(&pinned.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(index: u64, over: bool) -> FrameTimeline {
+        let mut stage_ns = [0u64; Stage::COUNT];
+        stage_ns[Stage::Extraction.index()] = 2_000_000;
+        stage_ns[Stage::Matching.index()] = 500_000;
+        FrameTimeline {
+            index,
+            timestamp: index as f64 / 30.0,
+            total_ms: 3.0,
+            over_budget: over,
+            stage_ns,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_n() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.push(timeline(i, false));
+        }
+        let kept = rec.timelines();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].index, 7);
+        assert_eq!(kept[2].index, 9);
+    }
+
+    #[test]
+    fn over_budget_frame_survives_ring_rotation() {
+        let mut rec = FlightRecorder::new(2);
+        rec.push(timeline(0, true));
+        for i in 1..6 {
+            rec.push(timeline(i, false));
+        }
+        assert!(rec.timelines().iter().all(|t| !t.over_budget));
+        assert_eq!(rec.last_over_budget().unwrap().index, 0);
+    }
+
+    #[test]
+    fn zero_capacity_still_pins_over_budget_frames() {
+        let mut rec = FlightRecorder::new(0);
+        rec.push(timeline(4, true));
+        assert!(rec.timelines().is_empty());
+        assert_eq!(rec.last_over_budget().unwrap().index, 4);
+    }
+
+    #[test]
+    fn describe_lists_slowest_stage_first() {
+        let line = timeline(2, true).describe();
+        assert!(line.contains("frame 2"), "{line}");
+        assert!(line.contains("OVER BUDGET"), "{line}");
+        let extraction = line.find("extraction=").unwrap();
+        let matching = line.find("matching=").unwrap();
+        assert!(extraction < matching, "{line}");
+    }
+
+    #[test]
+    fn dump_mentions_every_retained_frame() {
+        let mut rec = FlightRecorder::new(4);
+        rec.push(timeline(0, false));
+        rec.push(timeline(1, false));
+        let dump = rec.dump();
+        assert!(dump.contains("2 frame(s)"), "{dump}");
+        assert!(dump.contains("frame 0"), "{dump}");
+        assert!(dump.contains("frame 1"), "{dump}");
+    }
+}
