@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eslam_features::orb::{OrbConfig, OrbExtractor, OrbScratch};
+use eslam_features::BandMode;
 use eslam_image::pyramid::PyramidConfig;
 use eslam_image::GrayImage;
 use std::hint::black_box;
@@ -52,6 +53,27 @@ fn bench_extraction_paths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_extraction_bands(c: &mut Criterion) {
+    // The PR 10 band-parallel axis on the VGA streaming workload. The
+    // bands=1 entry is the single-band regression guard (CI gates it at
+    // ≤1.05× of feature_extraction/stream above); bands=2/4 show the
+    // split cost on one core and the realized overlap when the pool has
+    // threads to dispatch onto.
+    let mut group = c.benchmark_group("feature_extraction/bands");
+    let img = test_image(640, 480);
+    for bands in [1usize, 2, 4] {
+        let extractor = OrbExtractor::new(OrbConfig {
+            bands: BandMode::Fixed(bands),
+            ..Default::default()
+        });
+        let mut scratch = OrbScratch::default();
+        group.bench_with_input(BenchmarkId::from_parameter(bands), &img, |b, img| {
+            b.iter(|| black_box(extractor.extract_stream_with(img, &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_extraction_pyramid_depth(c: &mut Criterion) {
     // The §4.4 pixel argument: 4 levels ≈ 1.48× the pixels of 2 levels.
     let mut group = c.benchmark_group("feature_extraction/pyramid_levels");
@@ -76,6 +98,7 @@ criterion_group!(
     benches,
     bench_extraction_sizes,
     bench_extraction_paths,
+    bench_extraction_bands,
     bench_extraction_pyramid_depth
 );
 criterion_main!(benches);

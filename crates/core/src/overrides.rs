@@ -1,6 +1,6 @@
 //! One typed surface over every `ESLAM_*` environment override.
 //!
-//! The system honours six process-wide toggles, each read **once**
+//! The system honours seven process-wide toggles, each read **once**
 //! (cached behind a `OnceLock` at its point of use) so a run cannot
 //! change behaviour mid-flight:
 //!
@@ -10,10 +10,11 @@
 //! | `ESLAM_PREFETCH` | `auto`, `on`/`1`/`true`, `off`/`0`/`false` | frame-source double-buffered prefetch |
 //! | `ESLAM_BACKEND` | `auto`, `off`, `sync`, `async` | keyframe-backend execution mode |
 //! | `ESLAM_EXTRACT` | `auto`, `stream`, `passes` | the ORB extraction path (fused streaming vs multi-pass) |
+//! | `ESLAM_BANDS` | `auto`, a positive integer | the per-level row-band count for band-parallel streaming |
 //! | `ESLAM_TELEMETRY` | `auto`, `off`, `counters`, `full` | the telemetry recording mode |
 //! | `ESLAM_ATLAS` | a filesystem path | the atlas file sessions load at start |
 //!
-//! All six share one parse contract (implemented in
+//! All seven share one parse contract (implemented in
 //! `eslam_features::envopt`): unset, empty and `auto` mean "no
 //! override"; keyword values are trimmed and case-insensitive
 //! (`ESLAM_ATLAS` is trimmed only — paths are case-sensitive); and an
@@ -45,6 +46,8 @@ pub use crate::config::TELEMETRY_ENV;
 pub use eslam_backend::BACKEND_ENV;
 /// Re-export of the match-kernel variable name.
 pub use eslam_features::matcher::MATCH_KERNEL_ENV;
+/// Re-export of the row-band-count variable name.
+pub use eslam_features::stream::BANDS_ENV;
 /// Re-export of the extraction-path variable name.
 pub use eslam_features::stream::EXTRACT_ENV;
 
@@ -60,6 +63,8 @@ pub struct Overrides {
     pub backend: Option<BackendMode>,
     /// Forced ORB extraction path, from `ESLAM_EXTRACT`.
     pub extract: Option<ExtractMode>,
+    /// Forced per-level row-band count, from `ESLAM_BANDS`.
+    pub bands: Option<usize>,
     /// Forced telemetry recording mode, from `ESLAM_TELEMETRY`.
     pub telemetry: Option<TelemetryMode>,
     /// Atlas file to load, from `ESLAM_ATLAS`.
@@ -98,6 +103,9 @@ impl Overrides {
                 },
             ),
             extract: envopt::forced(EXTRACT_ENV, "auto, stream or passes", ExtractMode::parse),
+            bands: envopt::forced(BANDS_ENV, "auto or a positive band count", |value| {
+                value.parse::<usize>().ok().filter(|n| *n >= 1)
+            }),
             telemetry: envopt::forced(
                 TELEMETRY_ENV,
                 "auto, off, counters or full",
@@ -125,6 +133,9 @@ impl Overrides {
         let extract = self
             .extract
             .map_or_else(|| "auto".to_string(), |m| m.to_string());
+        let bands = self
+            .bands
+            .map_or_else(|| "auto".to_string(), |n| n.to_string());
         let telemetry = self.telemetry.map_or("auto", |m| m.name());
         let atlas = self
             .atlas
@@ -133,7 +144,7 @@ impl Overrides {
         format!(
             "{MATCH_KERNEL_ENV}={kernel} {PREFETCH_ENV}={prefetch} \
              {BACKEND_ENV}={backend} {EXTRACT_ENV}={extract} \
-             {TELEMETRY_ENV}={telemetry} {ATLAS_ENV}={atlas}"
+             {BANDS_ENV}={bands} {TELEMETRY_ENV}={telemetry} {ATLAS_ENV}={atlas}"
         )
     }
 }
@@ -155,7 +166,7 @@ mod tests {
         assert_eq!(
             overrides.report(),
             "ESLAM_MATCH_KERNEL=auto ESLAM_PREFETCH=auto ESLAM_BACKEND=auto \
-             ESLAM_EXTRACT=auto ESLAM_TELEMETRY=auto ESLAM_ATLAS=unset"
+             ESLAM_EXTRACT=auto ESLAM_BANDS=auto ESLAM_TELEMETRY=auto ESLAM_ATLAS=unset"
         );
     }
 
@@ -166,13 +177,15 @@ mod tests {
             prefetch: Some(false),
             backend: Some(BackendMode::Async),
             extract: Some(ExtractMode::Stream),
+            bands: Some(3),
             telemetry: Some(TelemetryMode::Full),
             atlas: Some(PathBuf::from("/maps/office.atlas")),
         };
         assert_eq!(
             overrides.report(),
             "ESLAM_MATCH_KERNEL=scalar ESLAM_PREFETCH=off ESLAM_BACKEND=async \
-             ESLAM_EXTRACT=stream ESLAM_TELEMETRY=full ESLAM_ATLAS=/maps/office.atlas"
+             ESLAM_EXTRACT=stream ESLAM_BANDS=3 ESLAM_TELEMETRY=full \
+             ESLAM_ATLAS=/maps/office.atlas"
         );
     }
 
@@ -201,6 +214,7 @@ mod tests {
             PREFETCH_ENV,
             BACKEND_ENV,
             EXTRACT_ENV,
+            BANDS_ENV,
             TELEMETRY_ENV,
             ATLAS_ENV,
         ] {
@@ -219,6 +233,7 @@ mod tests {
             (PREFETCH_ENV, "off"),
             (BACKEND_ENV, "sync"),
             (EXTRACT_ENV, " Stream "), // trimmed + case-insensitive
+            (BANDS_ENV, "4"),
             (TELEMETRY_ENV, "counters"),
             (ATLAS_ENV, "/maps/office.atlas"),
         ]);
@@ -227,7 +242,8 @@ mod tests {
         assert!(
             stdout.contains(
                 "PROBE ESLAM_MATCH_KERNEL=scalar ESLAM_PREFETCH=off ESLAM_BACKEND=sync \
-                 ESLAM_EXTRACT=stream ESLAM_TELEMETRY=counters ESLAM_ATLAS=/maps/office.atlas"
+                 ESLAM_EXTRACT=stream ESLAM_BANDS=4 ESLAM_TELEMETRY=counters \
+                 ESLAM_ATLAS=/maps/office.atlas"
             ),
             "unexpected probe output: {stdout}"
         );
@@ -242,6 +258,8 @@ mod tests {
             (PREFETCH_ENV, "offf"),
             (BACKEND_ENV, "asink"),
             (EXTRACT_ENV, "streem"),
+            (BANDS_ENV, "two"),
+            (BANDS_ENV, "0"), // zero bands is a typo, not a request
             (TELEMETRY_ENV, "fulll"),
         ] {
             let out = run_probe(&[(var, bad)]);

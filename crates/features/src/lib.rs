@@ -65,7 +65,7 @@ pub use descriptor::{Descriptor, DESCRIPTOR_BITS};
 pub use matcher::{DescriptorMatch, MatchKernel};
 pub use orb::{Keypoint, OrbConfig, OrbExtractor, OrbFeatures};
 pub use pool::WorkerPool;
-pub use stream::ExtractMode;
+pub use stream::{BandMode, ExtractMode};
 
 #[cfg(test)]
 mod proptests {

@@ -30,7 +30,7 @@ use crate::heap::{BestHeap, DEFAULT_HEAP_CAPACITY};
 use crate::nms::{suppress, suppress_sorted_into, NmsScratch, ScoredPoint};
 use crate::orientation::{angle_to_label, label_to_angle, patch_moments, Moments, OrientationLut};
 use crate::pool::WorkerPool;
-use crate::stream::{self, ExtractMode, StreamScratch};
+use crate::stream::{self, BandMode, BandScratch, ExtractMode, StreamScratch};
 use eslam_image::filter::{gaussian_blur_7x7_fixed_into, gaussian_blur_7x7_fixed_reference};
 use eslam_image::pyramid::{ImagePyramid, PyramidConfig, PyramidScratch};
 use eslam_image::GrayImage;
@@ -82,6 +82,13 @@ pub struct OrbConfig {
     /// pipeline, or automatic selection (overridable per process via
     /// `ESLAM_EXTRACT`).
     pub extract: ExtractMode,
+    /// Row-band count of the band-parallel streaming pass: each level
+    /// splits into this many independently streamed horizontal bands
+    /// (clamped per level to the usable interior rows), scheduled
+    /// depth-first across levels on the worker pool. `Auto` matches the
+    /// pool's thread count; overridable per process via `ESLAM_BANDS`.
+    /// Ignored by the multi-pass pipeline.
+    pub bands: BandMode,
 }
 
 impl Default for OrbConfig {
@@ -94,6 +101,7 @@ impl Default for OrbConfig {
             workflow: Workflow::Rescheduled,
             pattern_seed: 0xe51a,
             extract: ExtractMode::Auto,
+            bands: BandMode::Auto,
         }
     }
 }
@@ -187,6 +195,9 @@ pub(crate) struct LevelScratch {
     pub(crate) keypoints: Vec<Keypoint>,
     /// Line-buffer rings of the fused streaming pass.
     pub(crate) stream: StreamScratch,
+    /// Per-band rings, results and counters of the band-parallel
+    /// streaming pass (empty until a band-split frame runs).
+    pub(crate) bands: Vec<BandScratch>,
     /// Raw FAST detections this level produced (both paths set it; the
     /// streaming pass reuses `detections` as a one-row band buffer, so
     /// its length alone cannot feed the stats merge).
@@ -248,12 +259,24 @@ impl OrbScratch {
     }
 
     /// Bytes currently held by the streaming pass's line buffers across
-    /// all pyramid levels. Diagnostic for the `O(width)` working-memory
-    /// claim: for a fixed width this is constant in image height
-    /// (whereas the pass pipeline's smoothed frame + `u16` scratch scale
-    /// with `width × height`).
+    /// all pyramid levels — including every band's own rings under the
+    /// band-parallel schedule, whose full-width halo duplication is
+    /// exactly what the bound must charge for. Diagnostic for the
+    /// `O(width · bands)` working-memory claim: for a fixed width and
+    /// band count this is constant in image height (whereas the pass
+    /// pipeline's smoothed frame + `u16` scratch scale with
+    /// `width × height`).
     pub fn stream_working_bytes(&self) -> usize {
-        self.levels.iter().map(|ls| ls.stream.working_bytes()).sum()
+        self.levels
+            .iter()
+            .map(|ls| {
+                ls.stream.working_bytes()
+                    + ls.bands
+                        .iter()
+                        .map(BandScratch::working_bytes)
+                        .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -282,6 +305,11 @@ pub struct OrbExtractor {
     engine: Engine,
     lut: OrientationLut,
 }
+
+/// A band task parked in its (level, band) slot until the depth-first
+/// schedule moves it onto the pool (`Option` so each closure can be
+/// taken exactly once in schedule order).
+type BandTaskSlot<'env> = Option<Box<dyn FnOnce() + Send + 'env>>;
 
 impl OrbExtractor {
     /// Creates an extractor, generating the descriptor pattern from
@@ -319,12 +347,16 @@ impl OrbExtractor {
 
     /// Extracts features using caller-owned scratch buffers.
     ///
-    /// Pyramid levels are processed **in parallel** (one scoped thread
-    /// per level when the host has more than one core) and merged in
-    /// deterministic level order, so the result — keypoints,
-    /// descriptors, and [`ExtractionStats`] — is identical to the
-    /// sequential scalar reference ([`OrbExtractor::extract_reference`])
-    /// regardless of thread count.
+    /// Extraction is processed **in parallel** on the worker pool: the
+    /// streaming path splits every pyramid level into horizontal row
+    /// bands on one depth-first schedule across levels (band count from
+    /// [`OrbConfig::bands`] / `ESLAM_BANDS`; one band per pool thread
+    /// under `Auto`), while the multi-pass path runs one task per
+    /// level. Either way results merge in deterministic (level, band)
+    /// order, so the result — keypoints, descriptors, and
+    /// [`ExtractionStats`] — is identical to the sequential scalar
+    /// reference ([`OrbExtractor::extract_reference`]) regardless of
+    /// thread or band count.
     ///
     /// The per-level stage runs either the fused single-pass streaming
     /// front-end ([`crate::stream`]) or the legacy multi-pass pipeline,
@@ -387,8 +419,70 @@ impl OrbExtractor {
         // margin filter → smooth → orient (→ describe). Parallel levels
         // run on the persistent pool — no per-frame thread spawns.
         let pool = pool.as_ref().unwrap_or_else(|| WorkerPool::global());
+        let bands_requested = if use_stream {
+            stream::resolve_bands(self.config.bands, pool.threads())
+        } else {
+            1
+        };
+        let banded = use_stream && bands_requested > 1;
         let parallel = nlevels > 1 && pool.threads() > 1;
-        if parallel {
+        if banded {
+            // Band-parallel streaming: every level splits into row
+            // bands ([`stream::band_partition`]) and all (level, band)
+            // tasks run on one depth-first schedule, so small upper
+            // levels fill in around the heavy level-0 bands instead of
+            // waiting behind a per-level barrier. Each band writes into
+            // its own `BandScratch` slot; the merge below reads the
+            // slots back in (level, band) order, which makes the result
+            // independent of the execution order and bit-identical to
+            // the single-band stream.
+            let dims: Vec<(u32, u32)> = pyramid
+                .iter()
+                .map(|(_, img)| (img.width(), img.height()))
+                .collect();
+            let schedule = stream::depth_first_schedule(&dims, bands_requested);
+            let mut slots: Vec<Vec<BandTaskSlot<'_>>> = Vec::with_capacity(nlevels);
+            for ((level, img), ls) in pyramid.iter().zip(levels.iter_mut()) {
+                let scale = self.config.pyramid.scale_of(level);
+                // The offset table is compiled once up front and shared
+                // read-only across the level's bands.
+                self.prepare_offsets(img.width(), ls);
+                ls.results.clear();
+                ls.keypoints.clear();
+                ls.fast_count = 0;
+                ls.cand_count = 0;
+                let parts = stream::band_partition(img.height(), bands_requested);
+                ls.bands.truncate(parts.len());
+                while ls.bands.len() < parts.len() {
+                    ls.bands.push(BandScratch::default());
+                }
+                let LevelScratch { offsets, bands, .. } = ls;
+                let offsets = offsets.as_ref();
+                let mut level_tasks = Vec::with_capacity(parts.len());
+                for (bs, rows) in bands.iter_mut().zip(parts) {
+                    let enqueued = timing.map(|_| Instant::now());
+                    level_tasks.push(Some(Box::new(move || {
+                        if let (Some(t), Some(start)) = (timing, enqueued) {
+                            t.record_since(Stage::PoolQueueWait, start);
+                        }
+                        let _span = Telemetry::span_opt(timing, Stage::ExtractBand);
+                        stream::process_band_stream(self, img, level, scale, offsets, bs, rows);
+                    })
+                        as Box<dyn FnOnce() + Send + '_>));
+                }
+                slots.push(level_tasks);
+            }
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = schedule
+                .iter()
+                .map(|t| {
+                    slots[t.level][t.band]
+                        .take()
+                        .expect("each band scheduled once")
+                })
+                .collect();
+            let _span = Telemetry::span_opt(timing, Stage::PoolDispatch);
+            pool.scope_run(tasks);
+        } else if parallel {
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pyramid
                 .iter()
                 .zip(levels.iter_mut())
@@ -424,14 +518,25 @@ impl OrbExtractor {
 
         // Stage 2: deterministic merge in level order — the heap sees
         // candidates in exactly the sequential order, so tie-breaking by
-        // arrival matches the reference bit-for-bit.
+        // arrival matches the reference bit-for-bit. Under the band
+        // split, bands partition a level's finalize rows in raster
+        // order, so reading band slots in band order *is* the level's
+        // sequential emission order (stats sum per owning band for the
+        // same reason).
         let mut stats = ExtractionStats {
             pixels_processed: pyramid.total_pixels(),
             ..Default::default()
         };
         for ls in levels.iter() {
-            stats.fast_detections += ls.fast_count;
-            stats.candidates += ls.cand_count;
+            if banded {
+                for bs in &ls.bands {
+                    stats.fast_detections += bs.fast_count;
+                    stats.candidates += bs.cand_count;
+                }
+            } else {
+                stats.fast_detections += ls.fast_count;
+                stats.candidates += ls.cand_count;
+            }
         }
 
         let (keypoints, descriptors) = match self.config.workflow {
@@ -439,9 +544,18 @@ impl OrbExtractor {
                 let mut heap: BestHeap<(Keypoint, Descriptor)> =
                     BestHeap::new(self.config.max_features);
                 for ls in levels.iter() {
-                    for &(kp, desc) in &ls.results {
-                        stats.descriptors_computed += 1;
-                        heap.push(kp.score, (kp, desc));
+                    if banded {
+                        for bs in &ls.bands {
+                            for &(kp, desc) in &bs.results {
+                                stats.descriptors_computed += 1;
+                                heap.push(kp.score, (kp, desc));
+                            }
+                        }
+                    } else {
+                        for &(kp, desc) in &ls.results {
+                            stats.descriptors_computed += 1;
+                            heap.push(kp.score, (kp, desc));
+                        }
                     }
                 }
                 let mut kps = Vec::with_capacity(heap.len());

@@ -61,22 +61,48 @@
 //! keypoints, responses, angles, descriptors *and stats* are
 //! bit-identical to the pass pipeline. `tests/stream_equivalence.rs`
 //! proves it across the paper sequences.
+//!
+//! # Band parallelism
+//!
+//! The stream is also the unit of parallelism: a level's finalize rows
+//! (`[3, h − 3)`) partition into contiguous horizontal *bands*
+//! ([`band_partition`]), and each band streams independently through
+//! its own ring buffers — the only duplicated work is the halo re-scan
+//! above each interior band's first candidate (bounded by
+//! [`STREAM_LATENCY_ROWS`], exactly the overlap the paper's accelerator
+//! pays between its parallel compute units). Bands finalize their owned
+//! rows only, count stats for their owned scan rows only, and emit in
+//! raster order, so concatenating band outputs in band order reproduces
+//! the single-band emission sequence bit for bit. All `(level, band)`
+//! tasks of a frame run on one depth-first schedule
+//! ([`depth_first_schedule`]) across the worker pool: heavy level-0
+//! bands dispatch first and the small upper-level bands fill the tail,
+//! replacing the old one-task-per-level barrier. Band count comes from
+//! [`BandMode`] in [`OrbConfig`](crate::orb::OrbConfig) (`Auto` = pool
+//! threads), overridable per process via [`BANDS_ENV`].
 
 use crate::brief::{compute_descriptor_ring, PatternOffsets};
 use crate::descriptor::Descriptor;
 use crate::envopt;
-use crate::fast;
+use crate::fast::{self, FastDetection};
 use crate::harris;
 use crate::nms::ScoredPoint;
 use crate::orb::{Keypoint, LevelScratch, OrbExtractor, Workflow, EDGE_MARGIN};
 use crate::orientation::patch_moments_ring;
 use eslam_image::filter::{blur_hrow_7x7_into, blur_vrow_7x7_into};
 use eslam_image::GrayImage;
+use std::ops::Range;
 use std::sync::OnceLock;
 
 /// Environment override selecting the extraction path; values `stream`,
 /// `passes`, or `auto` (see [`ExtractMode`] and `eslam_core::overrides`).
 pub const EXTRACT_ENV: &str = "ESLAM_EXTRACT";
+
+/// Environment override forcing the per-level row-band count of the
+/// band-parallel streaming pass; `auto` (or unset/empty) defers to
+/// [`BandMode`] in the config, a positive integer forces that many
+/// bands (see `eslam_core::overrides`).
+pub const BANDS_ENV: &str = "ESLAM_BANDS";
 
 /// Columns of halo the 7-tap blur needs on each side (also its row halo
 /// in the vertical pass).
@@ -189,6 +215,148 @@ pub(crate) fn stream_active(config_mode: ExtractMode, workflow: Workflow) -> boo
     }
 }
 
+/// Row-band count selector for the band-parallel streaming pass,
+/// carried in [`OrbConfig`](crate::orb::OrbConfig) and overridable per
+/// process via [`BANDS_ENV`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BandMode {
+    /// One band per worker-pool thread — a single-core host resolves to
+    /// one band and never pays the split.
+    #[default]
+    Auto,
+    /// Exactly `n` bands per level (clamped per level by
+    /// [`effective_bands`]; `Fixed(0)` is treated as 1).
+    Fixed(usize),
+}
+
+impl BandMode {
+    /// Parses a lowercased override value: `auto`, or a positive band
+    /// count; `None` for anything else (including `0`).
+    pub fn parse(value: &str) -> Option<BandMode> {
+        if value == "auto" {
+            return Some(BandMode::Auto);
+        }
+        value
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .map(BandMode::Fixed)
+    }
+}
+
+impl std::fmt::Display for BandMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BandMode::Auto => f.write_str("auto"),
+            BandMode::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The process-wide forced band count, read once. Typos (anything that
+/// is not `auto` or a positive integer) hard-error via
+/// [`envopt::forced`]; `auto` (or unset/empty) forces nothing.
+pub(crate) fn forced_bands() -> Option<usize> {
+    static FORCED: OnceLock<Option<usize>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        envopt::forced(BANDS_ENV, "auto or a positive band count", |v| {
+            v.parse::<usize>().ok().filter(|n| *n >= 1)
+        })
+    })
+}
+
+/// Resolves the requested band count: the forced env value wins over
+/// the configured mode; `Auto` matches the pool's thread count, so the
+/// split engages exactly where workers exist to absorb it.
+pub(crate) fn resolve_bands(config: BandMode, pool_threads: usize) -> usize {
+    match forced_bands() {
+        Some(n) => n,
+        None => match config {
+            BandMode::Auto => pool_threads.max(1),
+            BandMode::Fixed(n) => n.max(1),
+        },
+    }
+}
+
+/// Clamps a requested band count to what a level can support: every
+/// band must own at least one finalize row of the scan range
+/// `[3, h − 3)`, so the count degrades to the interior row count —
+/// never an empty band — and is always at least 1 (levels too small to
+/// scan, `h < 7`, degrade to one no-op band).
+pub fn effective_bands(requested: usize, height: u32) -> usize {
+    let interior = (height as usize).saturating_sub(6);
+    requested.clamp(1, interior.max(1))
+}
+
+/// Partitions a level's finalize rows `[3, h − 3)` into
+/// [`effective_bands`]`(requested, height)` contiguous bands of
+/// near-equal size (the first `interior % bands` bands take one extra
+/// row). Empty when the level is too small to scan (`h < 7`).
+pub fn band_partition(height: u32, requested: usize) -> Vec<Range<usize>> {
+    let h = height as usize;
+    if h < 7 {
+        return Vec::new();
+    }
+    let interior = h - 6;
+    let bands = effective_bands(requested, height);
+    let base = interior / bands;
+    let rem = interior % bands;
+    let mut out = Vec::with_capacity(bands);
+    let mut start = 3usize;
+    for b in 0..bands {
+        let len = base + usize::from(b < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, h - 3);
+    out
+}
+
+/// One `(level, band)` task of the depth-first band schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandTask {
+    /// Pyramid level index.
+    pub level: usize,
+    /// Band index within the level's [`band_partition`].
+    pub band: usize,
+    /// Finalize rows the band owns.
+    pub rows: Range<usize>,
+    /// Estimated cost (owned rows × level width) steering the order.
+    pub cost: u64,
+}
+
+/// The depth-first band schedule across a pyramid: every level splits
+/// by [`band_partition`], then all `(level, band)` tasks are ordered by
+/// descending estimated cost (ties broken by `(level, band)` for
+/// determinism). Heavy level-0 bands dispatch first and the small
+/// upper-level bands fill the tail, so a worker finishing a level-0
+/// band descends straight into the next level instead of idling at a
+/// per-level barrier — levels overlap within one frame. The order is a
+/// pure scheduling concern: band outputs land in disjoint slots and the
+/// merge reads them back in `(level, band)` order, so results are
+/// bit-identical under every schedule.
+pub fn depth_first_schedule(dims: &[(u32, u32)], requested: usize) -> Vec<BandTask> {
+    let mut tasks = Vec::new();
+    for (level, &(w, h)) in dims.iter().enumerate() {
+        for (band, rows) in band_partition(h, requested).into_iter().enumerate() {
+            let cost = rows.len() as u64 * w as u64;
+            tasks.push(BandTask {
+                level,
+                band,
+                rows,
+                cost,
+            });
+        }
+    }
+    tasks.sort_by(|a, b| {
+        b.cost
+            .cmp(&a.cost)
+            .then(a.level.cmp(&b.level))
+            .then(a.band.cmp(&b.band))
+    });
+    tasks
+}
+
 /// Ring buffers of the streaming pass, held per level inside
 /// [`OrbScratch`](crate::orb::OrbScratch) and reused across frames.
 #[derive(Debug, Default)]
@@ -207,6 +375,47 @@ impl StreamScratch {
     pub(crate) fn working_bytes(&self) -> usize {
         self.ring.as_raw().len() + 2 * self.hrows.len()
     }
+}
+
+/// Per-band state of the band-parallel streaming pass: each band owns
+/// its own line-buffer rings, detection buffer, result list and
+/// counters, so bands of one level stream concurrently with no shared
+/// mutable state. Held per level inside
+/// [`OrbScratch`](crate::orb::OrbScratch) and reused across frames.
+#[derive(Debug, Default)]
+pub(crate) struct BandScratch {
+    /// One-row FAST detection buffer.
+    pub(crate) detections: Vec<FastDetection>,
+    /// The band's own ring buffers (full level width — the per-band
+    /// halo duplication the working-memory accounting must include).
+    pub(crate) stream: StreamScratch,
+    /// Oriented + described survivors of the band's owned rows, in
+    /// raster order.
+    pub(crate) results: Vec<(Keypoint, Descriptor)>,
+    /// Raw FAST detections on the band's owned scan rows (halo rows are
+    /// scanned by two bands but counted by their owner only).
+    pub(crate) fast_count: usize,
+    /// Survivors of NMS + the edge margin on the band's owned rows.
+    pub(crate) cand_count: usize,
+}
+
+impl BandScratch {
+    /// Bytes currently held by the band's line buffers.
+    pub(crate) fn working_bytes(&self) -> usize {
+        self.stream.working_bytes()
+    }
+}
+
+/// The mutable buffers one band streams through — grouped so the band
+/// runner can be fed either from a [`LevelScratch`]'s own fields (the
+/// single-band path) or from a [`BandScratch`] (the band-parallel
+/// path).
+struct BandBuffers<'a> {
+    detections: &'a mut Vec<FastDetection>,
+    stream: &'a mut StreamScratch,
+    results: &'a mut Vec<(Keypoint, Descriptor)>,
+    fast_count: &'a mut usize,
+    cand_count: &'a mut usize,
 }
 
 /// `q` suppresses `p` under the 3×3 NMS rule of
@@ -378,21 +587,13 @@ pub(crate) fn process_level_stream(
         return ex.process_level(img, level, scale, ls);
     }
     ex.prepare_offsets(img.width(), ls);
-    ls.results.clear();
     ls.keypoints.clear();
-    ls.fast_count = 0;
-    ls.cand_count = 0;
-    for row in &mut ls.stream.rows {
-        row.clear();
-    }
-    let w = img.width() as usize;
     let h = img.height() as usize;
-    if w < 7 || h < 7 {
-        return;
-    }
-    ls.stream.ring.reshape(img.width(), 2 * SMOOTH_RING_ROWS);
-    ls.stream.hrows.resize(HROW_RING_ROWS as usize * w, 0);
-
+    let owned = if img.width() >= 7 && h >= 7 {
+        3..h - 3
+    } else {
+        0..0
+    };
     let LevelScratch {
         detections,
         results,
@@ -402,7 +603,97 @@ pub(crate) fn process_level_stream(
         cand_count,
         ..
     } = ls;
-    let StreamScratch { ring, hrows, rows } = stream;
+    stream_band(
+        ex,
+        img,
+        level,
+        scale,
+        offsets.as_ref(),
+        BandBuffers {
+            detections,
+            stream,
+            results,
+            fast_count,
+            cand_count,
+        },
+        owned,
+    );
+}
+
+/// Streams one row band of a level into its [`BandScratch`] — the task
+/// body of the band-parallel schedule. `offsets` must already be
+/// prepared by the caller (the table is shared read-only across a
+/// level's bands).
+pub(crate) fn process_band_stream(
+    ex: &OrbExtractor,
+    img: &GrayImage,
+    level: usize,
+    scale: f64,
+    offsets: Option<&PatternOffsets>,
+    bs: &mut BandScratch,
+    owned: Range<usize>,
+) {
+    let BandScratch {
+        detections,
+        stream,
+        results,
+        fast_count,
+        cand_count,
+    } = bs;
+    stream_band(
+        ex,
+        img,
+        level,
+        scale,
+        offsets,
+        BandBuffers {
+            detections,
+            stream,
+            results,
+            fast_count,
+            cand_count,
+        },
+        owned,
+    );
+}
+
+/// Streams one band of a level: raw rows
+/// `max(3, owned.start − 1) .. min(h − 3, owned.end + 1)` are scanned
+/// and scored (one row of NMS halo on each interior side), exactly the
+/// `owned` rows are finalized, and survivors emit in raster order. The
+/// lazy blur chain independently re-produces up to
+/// [`STREAM_LATENCY_ROWS`] raw rows above the band's first candidate —
+/// the duplicated halo work that buys band independence. Stats count
+/// owned rows only, so per-band sums equal the single-band totals, and
+/// concatenating band outputs in band order reproduces the single-band
+/// emission sequence exactly — the partition is invisible in the
+/// results.
+fn stream_band(
+    ex: &OrbExtractor,
+    img: &GrayImage,
+    level: usize,
+    scale: f64,
+    offsets: Option<&PatternOffsets>,
+    buf: BandBuffers<'_>,
+    owned: Range<usize>,
+) {
+    buf.results.clear();
+    *buf.fast_count = 0;
+    *buf.cand_count = 0;
+    for row in &mut buf.stream.rows {
+        row.clear();
+    }
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    if w < 7 || h < 7 || owned.is_empty() {
+        return;
+    }
+    debug_assert!(owned.start >= 3 && owned.end <= h - 3);
+    buf.stream.ring.reshape(img.width(), 2 * SMOOTH_RING_ROWS);
+    buf.stream.hrows.resize(HROW_RING_ROWS as usize * w, 0);
+
+    let detections = buf.detections;
+    let StreamScratch { ring, hrows, rows } = buf.stream;
     let mut st = StreamLevel {
         ex,
         img,
@@ -412,32 +703,45 @@ pub(crate) fn process_level_stream(
         h,
         ring,
         hrows,
-        offsets: offsets.as_ref(),
-        results,
-        cand_count,
+        offsets,
+        results: buf.results,
+        cand_count: buf.cand_count,
         h_next: 0,
         smooth_next: 0,
     };
     let threshold = ex.config().fast_threshold;
 
-    for y in 3..h - 3 {
+    let scan_lo = owned.start.max(4) - 1;
+    let scan_hi = (owned.end + 1).min(h - 3);
+    for y in scan_lo..scan_hi {
         detections.clear();
         fast::detect_band_into(img, threshold, y as u32..y as u32 + 1, detections);
-        *fast_count += detections.len();
+        if owned.contains(&y) {
+            *buf.fast_count += detections.len();
+        }
         let row = &mut rows[y % 3];
         row.clear();
         harris::score_band(img, detections, row);
-        if y > 3 {
+        if y > scan_lo {
             let yf = y - 1;
-            let (prev, cur) = nms_window(rows, yf);
-            st.finalize_row(prev, cur, &rows[(yf + 1) % 3]);
+            // A band's first owned row sees its upper neighbour either
+            // as the scanned halo row (interior band) or as the cleared
+            // ring slot (`owned.start == 3`, the image border).
+            if owned.contains(&yf) {
+                let (prev, cur) = nms_window(rows, yf);
+                st.finalize_row(prev, cur, &rows[(yf + 1) % 3]);
+            }
         }
     }
-    // The last scanned row has no successor: finalize against an empty
-    // "next" row (its ring slot holds a stale row from 3 scans back).
-    let yf = h - 4;
-    let (prev, cur) = nms_window(rows, yf);
-    st.finalize_row(prev, cur, &[]);
+    // The level's last finalize row has no successor: finalize against
+    // an empty "next" row (its ring slot holds a stale row from 3 scans
+    // back). Interior bands already finalized their last owned row
+    // against the scanned halo row below inside the loop.
+    if owned.end == h - 3 {
+        let yf = h - 4;
+        let (prev, cur) = nms_window(rows, yf);
+        st.finalize_row(prev, cur, &[]);
+    }
 }
 
 /// Re-exported consistency hook for `eslam-hw`: `(halo rows carried per
@@ -489,6 +793,183 @@ mod tests {
         assert_eq!(ExtractMode::parse("strem"), None);
         assert_eq!(ExtractMode::parse(""), None);
         assert_eq!(ExtractMode::default(), ExtractMode::Auto);
+    }
+
+    #[test]
+    fn band_mode_parse_round_trips() {
+        for mode in [BandMode::Auto, BandMode::Fixed(1), BandMode::Fixed(8)] {
+            assert_eq!(BandMode::parse(&mode.to_string()), Some(mode));
+        }
+        // `0` bands is a typo, not a request: it must hard-error at the
+        // envopt layer rather than silently mean anything.
+        assert_eq!(BandMode::parse("0"), None);
+        assert_eq!(BandMode::parse("two"), None);
+        assert_eq!(BandMode::parse(""), None);
+        assert_eq!(BandMode::default(), BandMode::Auto);
+    }
+
+    #[test]
+    fn band_count_resolution_prefers_config_then_pool() {
+        // (No env override in-process: forced_bands is exercised by the
+        // subprocess probes in eslam_core::overrides.)
+        assert_eq!(resolve_bands(BandMode::Fixed(4), 1), 4);
+        assert_eq!(resolve_bands(BandMode::Fixed(0), 8), 1);
+        assert_eq!(resolve_bands(BandMode::Auto, 1), 1);
+        assert_eq!(resolve_bands(BandMode::Auto, 6), 6);
+        assert_eq!(resolve_bands(BandMode::Auto, 0), 1);
+    }
+
+    #[test]
+    fn band_partition_covers_the_finalize_rows_exactly() {
+        for h in [7u32, 8, 10, 19, 37, 96, 100, 480, 481] {
+            for requested in [1usize, 2, 3, 4, 7, 16, 1000] {
+                let parts = band_partition(h, requested);
+                let interior = h as usize - 6;
+                assert_eq!(
+                    parts.len(),
+                    effective_bands(requested, h),
+                    "{h} {requested}"
+                );
+                assert!(parts.len() <= interior);
+                // Contiguous cover of [3, h - 3), every band non-empty,
+                // sizes within one row of each other.
+                let mut next = 3usize;
+                let (mut min_len, mut max_len) = (usize::MAX, 0);
+                for band in &parts {
+                    assert_eq!(band.start, next, "{h} {requested}");
+                    assert!(!band.is_empty(), "{h} {requested}");
+                    min_len = min_len.min(band.len());
+                    max_len = max_len.max(band.len());
+                    next = band.end;
+                }
+                assert_eq!(next, h as usize - 3, "{h} {requested}");
+                assert!(max_len - min_len <= 1, "{h} {requested}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_clamp_degrades_never_empties() {
+        // Levels too small to scan yield one (no-op) band and an empty
+        // partition; tiny-but-scannable levels degrade the count.
+        for h in [0u32, 1, 3, 6] {
+            assert_eq!(effective_bands(4, h), 1, "h={h}");
+            assert!(band_partition(h, 4).is_empty(), "h={h}");
+        }
+        assert_eq!(effective_bands(1000, 10), 4); // interior rows = 4
+        assert_eq!(effective_bands(0, 480), 1);
+        assert_eq!(effective_bands(4, 480), 4);
+    }
+
+    #[test]
+    fn depth_first_schedule_interleaves_levels_by_cost() {
+        // A VGA-ish 3-level pyramid, 2 bands: level-0 bands lead, the
+        // small upper-level bands fill the tail, every (level, band)
+        // task appears exactly once.
+        let dims = [(640u32, 480u32), (320, 240), (160, 120)];
+        let tasks = depth_first_schedule(&dims, 2);
+        assert_eq!(tasks.len(), 6);
+        assert_eq!((tasks[0].level, tasks[0].band), (0, 0));
+        assert_eq!((tasks[1].level, tasks[1].band), (0, 1));
+        assert_eq!(tasks.last().unwrap().level, 2);
+        for pair in tasks.windows(2) {
+            assert!(pair[0].cost >= pair[1].cost);
+        }
+        let mut seen: Vec<(usize, usize)> = tasks.iter().map(|t| (t.level, t.band)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+        // The rows in the schedule are the level partitions verbatim.
+        for t in &tasks {
+            assert_eq!(t.rows, band_partition(dims[t.level].1, 2)[t.band]);
+        }
+    }
+
+    #[test]
+    fn band_split_matches_single_band_across_counts_and_sizes() {
+        // The tentpole identity at unit scale: Fixed(n) splits must be
+        // invisible in the output (features AND stats) for every band
+        // count, including counts past the interior-row clamp.
+        let passes = OrbExtractor::new(OrbConfig::default());
+        for (w, h) in [(64u32, 64u32), (200, 150), (40, 400), (97, 83)] {
+            let img = test_image(w, h, 21);
+            let oracle = passes.extract_passes_with(&img, &mut OrbScratch::default());
+            for bands in [1usize, 2, 3, 4, 7, 64, 500] {
+                let e = OrbExtractor::new(OrbConfig {
+                    bands: BandMode::Fixed(bands),
+                    ..Default::default()
+                });
+                let split = e.extract_stream_with(&img, &mut OrbScratch::default());
+                assert_eq!(split, oracle, "{w}x{h} bands={bands}");
+            }
+        }
+    }
+
+    mod band_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            // Satellite: degenerate sizes down to 1×1 must degrade the
+            // band count, never panic or drift from the multi-pass path.
+            #[test]
+            fn banded_stream_matches_passes_on_degenerate_sizes(
+                w in 1u32..40, h in 1u32..40, bands in 1usize..10, seed in 0u64..1000,
+            ) {
+                let img = test_image(w, h, seed);
+                let e = OrbExtractor::new(OrbConfig {
+                    bands: BandMode::Fixed(bands),
+                    ..Default::default()
+                });
+                let split = e.extract_stream_with(&img, &mut OrbScratch::default());
+                let oracle = e.extract_passes_with(&img, &mut OrbScratch::default());
+                prop_assert_eq!(split, oracle);
+            }
+
+            #[test]
+            fn band_partition_is_total_and_exact(h in 0u32..2000, requested in 0usize..4000) {
+                let parts = band_partition(h, requested.max(1));
+                if h < 7 {
+                    prop_assert!(parts.is_empty());
+                } else {
+                    prop_assert_eq!(parts.len(), effective_bands(requested.max(1), h));
+                    let mut next = 3usize;
+                    for band in &parts {
+                        prop_assert_eq!(band.start, next);
+                        prop_assert!(!band.is_empty());
+                        next = band.end;
+                    }
+                    prop_assert_eq!(next, h as usize - 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_split_scratch_reuse_is_equivalent() {
+        // Reused band scratches across frames and geometry changes —
+        // including a band-count change on the same scratch.
+        let mut scratch = OrbScratch::default();
+        for (frame, bands) in [(0u64, 4usize), (1, 4), (2, 2), (3, 5)] {
+            let e = OrbExtractor::new(OrbConfig {
+                bands: BandMode::Fixed(bands),
+                ..Default::default()
+            });
+            let img = test_image(160, 120, frame);
+            let reused = e.extract_stream_with(&img, &mut scratch);
+            let fresh = e.extract_passes_with(&img, &mut OrbScratch::default());
+            assert_eq!(reused, fresh, "frame {frame} bands {bands}");
+        }
+        let small = test_image(96, 80, 9);
+        let e = OrbExtractor::new(OrbConfig {
+            bands: BandMode::Fixed(3),
+            ..Default::default()
+        });
+        assert_eq!(
+            e.extract_stream_with(&small, &mut scratch),
+            e.extract_passes_with(&small, &mut OrbScratch::default())
+        );
     }
 
     #[test]

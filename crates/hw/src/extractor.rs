@@ -357,6 +357,78 @@ impl BandSchedule {
             .map(|s| s.buffer_rows as u64 * width as u64 * s.bits_per_pixel as u64)
             .sum()
     }
+
+    /// Models running this schedule as `requested` concurrent band units
+    /// over one `width`×`height` level (the PR 10 band-parallel mode).
+    ///
+    /// The row partition and the clamp to usable interior rows delegate
+    /// to the software implementation
+    /// ([`eslam_features::stream::band_partition`]), so the model cannot
+    /// disagree with the code about who owns which rows. Each band unit
+    /// pays the full [`Self::latency_rows`] halo re-scan above its first
+    /// owned row (the first band starts at the image border and pays
+    /// none) and holds its own copy of the line buffers.
+    pub fn parallelize(&self, width: u32, height: u32, requested: usize) -> ParallelBandSchedule {
+        let halo = self.latency_rows();
+        let band_rows: Vec<(u32, u32)> = stream::band_partition(height, requested)
+            .into_iter()
+            .map(|r| (r.start as u32, r.end as u32))
+            .collect();
+        let critical_path_rows = band_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| (hi - lo) + if i == 0 { 0 } else { halo })
+            .max()
+            .unwrap_or(0);
+        ParallelBandSchedule {
+            bands: band_rows.len() as u32,
+            band_rows,
+            halo_rows: halo,
+            total_line_buffer_bits: self.line_buffer_bits(width),
+            critical_path_rows,
+        }
+    }
+}
+
+/// The multi-band parallel variant of [`BandSchedule`]: `bands`
+/// concurrent band units over one pyramid level, each re-scanning a
+/// halo of `halo_rows` above its owned rows and holding its own
+/// line-buffer copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelBandSchedule {
+    /// Concurrent band units after clamping to usable interior rows.
+    pub bands: u32,
+    /// Owned finalize rows `[start, end)` per band, in raster order.
+    pub band_rows: Vec<(u32, u32)>,
+    /// Halo rows each non-first band re-scans above its owned range
+    /// (pinned to the software `STREAM_LATENCY_ROWS`).
+    pub halo_rows: u32,
+    /// Per-band line-buffer bits: each unit duplicates the full
+    /// single-stream ring set ([`BandSchedule::line_buffer_bits`]).
+    pub total_line_buffer_bits: u64,
+    /// Rows processed by the slowest band unit, halo included — the
+    /// level's latency in row-times when all units run concurrently.
+    pub critical_path_rows: u32,
+}
+
+impl ParallelBandSchedule {
+    /// Aggregate on-chip line-buffer bits across all band units — the
+    /// area cost of the parallel schedule.
+    pub fn aggregate_line_buffer_bits(&self) -> u64 {
+        self.bands as u64 * self.total_line_buffer_bits
+    }
+
+    /// Projected speedup over the single-band stream: total owned rows
+    /// divided by the critical-path rows. Halo re-scans are pure
+    /// overhead, so the projection saturates below the band count as
+    /// bands shrink toward the 18-row halo.
+    pub fn projected_speedup(&self) -> f64 {
+        if self.critical_path_rows == 0 {
+            return 1.0;
+        }
+        let owned: u64 = self.band_rows.iter().map(|(lo, hi)| (hi - lo) as u64).sum();
+        owned as f64 / self.critical_path_rows as f64
+    }
 }
 
 /// Result of a functional + timed extraction run.
@@ -535,6 +607,77 @@ mod tests {
         // Far below the full-frame alternative (a VGA smoothed frame
         // alone is 640 × 480 × 8 bits).
         assert!(vga < 640 * 480 * 8 / 4);
+    }
+
+    #[test]
+    fn parallel_schedule_zip_asserts_the_software_partition() {
+        // The parallel model's row ownership IS the software partition —
+        // zip-assert band for band, and pin the halo to the software
+        // latency constant.
+        let schedule = BandSchedule::default();
+        for (h, requested) in [(480u32, 4usize), (480, 1), (100, 7), (10, 1000)] {
+            let p = schedule.parallelize(640, h, requested);
+            let sw = stream::band_partition(h, requested);
+            assert_eq!(p.bands as usize, sw.len());
+            assert_eq!(p.bands as usize, stream::effective_bands(requested, h));
+            for (hw, sw) in p.band_rows.iter().zip(&sw) {
+                assert_eq!(*hw, (sw.start as u32, sw.end as u32));
+            }
+            assert_eq!(p.halo_rows, stream::STREAM_LATENCY_ROWS);
+            assert_eq!(p.total_line_buffer_bits, schedule.line_buffer_bits(640));
+            assert_eq!(
+                p.aggregate_line_buffer_bits(),
+                p.bands as u64 * schedule.line_buffer_bits(640)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_critical_path_and_speedup() {
+        let schedule = BandSchedule::default();
+        // VGA, 4 bands: 474 interior rows split 119/119/118/118; every
+        // band past the first re-scans the 18-row halo, so the critical
+        // path is 119 + 18 = 137 row-times → ≈3.46× projected.
+        let p = schedule.parallelize(640, 480, 4);
+        assert_eq!(p.critical_path_rows, 137);
+        let speedup = p.projected_speedup();
+        assert!((speedup - 474.0 / 137.0).abs() < 1e-12, "{speedup}");
+        assert!(speedup > 3.4 && speedup < 4.0);
+
+        // One band degenerates to the PR 7 single stream: no halo paid,
+        // speedup exactly 1.
+        let single = schedule.parallelize(640, 480, 1);
+        assert_eq!(single.bands, 1);
+        assert_eq!(single.critical_path_rows, 474);
+        assert_eq!(single.projected_speedup(), 1.0);
+
+        // More bands never lengthen the critical path on a tall level…
+        let mut last = u32::MAX;
+        for bands in 1..=8 {
+            let p = schedule.parallelize(640, 480, bands);
+            assert!(p.critical_path_rows <= last, "bands={bands}");
+            last = p.critical_path_rows;
+        }
+        // …but the halo overhead caps the projection below the band
+        // count (18 rows re-scanned per extra unit is not free).
+        let eight = schedule.parallelize(640, 480, 8);
+        assert!(eight.projected_speedup() < 8.0 * 0.85);
+    }
+
+    #[test]
+    fn parallel_schedule_degenerates_gracefully() {
+        let schedule = BandSchedule::default();
+        // 4 interior rows: requested 1000 clamps to 4 one-row bands.
+        let tiny = schedule.parallelize(64, 10, 1000);
+        assert_eq!(tiny.bands, 4);
+        assert!(tiny.band_rows.iter().all(|(lo, hi)| hi - lo == 1));
+        assert_eq!(tiny.critical_path_rows, 1 + tiny.halo_rows);
+        // Sub-scannable level: no band units, unit speedup, zero area.
+        let empty = schedule.parallelize(64, 6, 4);
+        assert_eq!(empty.bands, 0);
+        assert_eq!(empty.critical_path_rows, 0);
+        assert_eq!(empty.projected_speedup(), 1.0);
+        assert_eq!(empty.aggregate_line_buffer_bits(), 0);
     }
 
     #[test]

@@ -160,6 +160,10 @@ pub enum Stage {
     PyramidBuild,
     /// One pyramid level's detect→describe pass (parallel per level).
     ExtractLevel,
+    /// One row band's streaming pass under the band-parallel schedule
+    /// (one span per (level, band) task; Perfetto worker tracks show
+    /// the realized overlap).
+    ExtractBand,
     /// The whole feature-extraction stage of one frame.
     Extraction,
     /// Time an extraction task waited in the worker-pool queue before a
@@ -193,7 +197,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (array dimension for per-stage state).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every stage, in declaration order (index == discriminant).
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -201,6 +205,7 @@ impl Stage {
         Stage::Track,
         Stage::PyramidBuild,
         Stage::ExtractLevel,
+        Stage::ExtractBand,
         Stage::Extraction,
         Stage::PoolQueueWait,
         Stage::PoolDispatch,
@@ -223,6 +228,7 @@ impl Stage {
             Stage::Track => "track",
             Stage::PyramidBuild => "pyramid_build",
             Stage::ExtractLevel => "extract_level",
+            Stage::ExtractBand => "extract_band",
             Stage::Extraction => "extraction",
             Stage::PoolQueueWait => "pool_queue_wait",
             Stage::PoolDispatch => "pool_dispatch",

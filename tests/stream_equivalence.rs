@@ -11,7 +11,7 @@
 use eslam_core::{run_sequence, Slam, SlamConfig};
 use eslam_dataset::sequence::{SequenceSpec, SyntheticSequence};
 use eslam_features::orb::{DescriptorKind, OrbConfig, OrbExtractor, OrbScratch, Workflow};
-use eslam_features::ExtractMode;
+use eslam_features::{BandMode, ExtractMode};
 use eslam_image::pyramid::PyramidConfig;
 use eslam_image::GrayImage;
 
@@ -139,6 +139,96 @@ fn streaming_bit_identical_across_worker_pool_shapes() {
 }
 
 #[test]
+fn band_parallel_bit_identical_across_paper_and_loop_sequences() {
+    // The PR 10 tentpole oracle: splitting each level into row bands —
+    // the `ESLAM_BANDS=1|2|4` axis the CI matrix forces — must be
+    // invisible in the output on every paper sequence AND the
+    // loop-closure sequences, against the multi-pass reference.
+    let sequences: Vec<SyntheticSequence> = SequenceSpec::paper_sequences(2, IMAGE_SCALE)
+        .iter()
+        .chain(SequenceSpec::loop_sequences(2, IMAGE_SCALE).iter())
+        .map(|spec| spec.build())
+        .collect();
+    let reference = OrbExtractor::new(OrbConfig::default());
+    for seq in &sequences {
+        for (i, frame) in seq.frames().enumerate() {
+            let oracle = reference.extract_passes_with(&frame.gray, &mut OrbScratch::default());
+            for bands in [1usize, 2, 4] {
+                let banded = OrbExtractor::new(OrbConfig {
+                    bands: BandMode::Fixed(bands),
+                    ..Default::default()
+                });
+                let split = banded.extract_stream_with(&frame.gray, &mut OrbScratch::default());
+                assert_eq!(split, oracle, "{} frame {i} bands {bands}", seq.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn band_parallel_bit_identical_across_worker_pool_shapes() {
+    // Band count × pool shape: the depth-first schedule dispatches onto
+    // whatever pool the scratch carries (1 thread = inline help-drain,
+    // a small private pool, the process-global pool) and the merge must
+    // stay deterministic under every shape.
+    let img = paper_sequences(1)[2].frame(0).gray.clone();
+    let oracle = OrbExtractor::new(OrbConfig::default())
+        .extract_passes_with(&img, &mut OrbScratch::default());
+    for bands in [2usize, 4] {
+        let extractor = OrbExtractor::new(OrbConfig {
+            bands: BandMode::Fixed(bands),
+            ..Default::default()
+        });
+        for threads in [Some(1), Some(3), None] {
+            let mut scratch = match threads {
+                Some(_) => OrbScratch::with_threads(threads),
+                None => OrbScratch::default(),
+            };
+            let streamed = extractor.extract_stream_with(&img, &mut scratch);
+            assert_eq!(streamed, oracle, "bands {bands} threads {threads:?}");
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_identical_under_all_band_counts() {
+    // End-to-end: a Slam run with the band count pinned to 2 or 4 must
+    // reproduce the single-band trajectory, tracking decisions and
+    // feature counts bit for bit.
+    for seq in paper_sequences(4).into_iter().take(2) {
+        let runs: Vec<_> = [1usize, 2, 4]
+            .into_iter()
+            .map(|bands| {
+                let mut config = SlamConfig::scaled_for_tests(1.0 / IMAGE_SCALE);
+                config.orb.extract = ExtractMode::Stream;
+                config.orb.bands = BandMode::Fixed(bands);
+                run_sequence(&seq, config)
+            })
+            .collect();
+        let oracle = &runs[0];
+        for (bands, run) in [2usize, 4].into_iter().zip(&runs[1..]) {
+            assert_eq!(run.reports.len(), oracle.reports.len(), "{}", seq.name);
+            for (r, m) in run.reports.iter().zip(&oracle.reports) {
+                let ctx = format!("{} frame {} (bands {bands})", seq.name, m.index);
+                assert_eq!(r.pose_c2w, m.pose_c2w, "{ctx}: pose");
+                assert_eq!(r.extraction, m.extraction, "{ctx}: feature counts");
+                assert_eq!(r.raw_matches, m.raw_matches, "{ctx}: raw matches");
+                assert_eq!(r.inliers, m.inliers, "{ctx}: inliers");
+                assert_eq!(r.is_keyframe, m.is_keyframe, "{ctx}: keyframe flag");
+                assert_eq!(r.tracking_ok, m.tracking_ok, "{ctx}: tracking flag");
+                assert_eq!(r.map_size, m.map_size, "{ctx}: map size");
+            }
+            assert_eq!(
+                run.estimate.poses(),
+                oracle.estimate.poses(),
+                "{} (bands {bands}): trajectory",
+                seq.name
+            );
+        }
+    }
+}
+
+#[test]
 fn full_pipeline_identical_under_all_extract_modes() {
     // End-to-end oracle: a Slam run with the extraction path pinned to
     // passes versus stream versus auto — trajectories, tracking
@@ -204,6 +294,41 @@ fn streaming_working_memory_is_height_independent() {
         bytes,
         tall.stream_working_bytes(),
         "line-buffer bytes must not scale with image height"
+    );
+}
+
+#[test]
+fn band_parallel_working_memory_scales_with_bands_not_height() {
+    // The tier-pinned memory bound with bands: O(width)·bands. Each of
+    // the four bands holds a full-width line-buffer set (the halo
+    // duplication `stream_working_bytes` must charge), so 4 bands cost
+    // exactly 4× one band — and still nothing scales with height.
+    let banded = OrbExtractor::new(OrbConfig {
+        bands: BandMode::Fixed(4),
+        ..Default::default()
+    });
+    let mut short = OrbScratch::default();
+    let mut tall = OrbScratch::default();
+    banded.extract_stream_with(&textured(160, 120, 5), &mut short);
+    banded.extract_stream_with(&textured(160, 960, 5), &mut tall);
+    let four_band_bytes = short.stream_working_bytes();
+    assert!(four_band_bytes > 0);
+    assert_eq!(
+        four_band_bytes,
+        tall.stream_working_bytes(),
+        "band line-buffer bytes must not scale with image height"
+    );
+
+    let single = OrbExtractor::new(OrbConfig {
+        bands: BandMode::Fixed(1),
+        ..Default::default()
+    });
+    let mut one = OrbScratch::default();
+    single.extract_stream_with(&textured(160, 120, 5), &mut one);
+    assert_eq!(
+        four_band_bytes,
+        4 * one.stream_working_bytes(),
+        "4 bands must charge exactly 4 full line-buffer sets"
     );
 }
 
